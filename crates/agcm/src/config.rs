@@ -1,0 +1,114 @@
+//! Run configuration.
+
+use agcm_dynamics::timestep::{max_stable_dt, signal_speed};
+use agcm_filtering::driver::FilterVariant;
+use agcm_grid::latlon::GridSpec;
+
+/// Configuration of one AGCM run.
+#[derive(Debug, Clone, Copy)]
+pub struct AgcmConfig {
+    /// The global grid.
+    pub grid: GridSpec,
+    /// Processors along latitude.
+    pub mesh_lat: usize,
+    /// Processors along longitude.
+    pub mesh_lon: usize,
+    /// Timestep (seconds).
+    pub dt: f64,
+    /// Polar filter implementation.
+    pub filter: FilterVariant,
+    /// Whether the Physics component load-balances (scheme 3).
+    pub balance_physics: bool,
+    /// Physics balancing: target imbalance fraction.
+    pub balance_target: f64,
+    /// Physics balancing: maximum pairwise rounds per step.
+    pub balance_rounds: usize,
+    /// Steps to run.
+    pub steps: usize,
+}
+
+impl AgcmConfig {
+    /// The paper's standard configuration on a given mesh: 2°×2.5°×9 grid,
+    /// timestep at 35% of the filtered CFL bound, chosen filter variant,
+    /// physics balancing off (the original organization).
+    pub fn paper(mesh_lat: usize, mesh_lon: usize, filter: FilterVariant) -> AgcmConfig {
+        let grid = GridSpec::paper_9_layer();
+        AgcmConfig::for_grid(grid, mesh_lat, mesh_lon, filter)
+    }
+
+    /// Same, with an explicit grid (e.g. the 15-layer variant or a reduced
+    /// test grid).
+    pub fn for_grid(
+        grid: GridSpec,
+        mesh_lat: usize,
+        mesh_lon: usize,
+        filter: FilterVariant,
+    ) -> AgcmConfig {
+        let dt = max_stable_dt(&grid, signal_speed(), 0.35, Some(45.0));
+        AgcmConfig {
+            grid,
+            mesh_lat,
+            mesh_lon,
+            dt,
+            filter,
+            balance_physics: false,
+            balance_target: 0.06,
+            balance_rounds: 2,
+            steps: 2,
+        }
+    }
+
+    /// Builder-style: enable physics load balancing.
+    pub fn with_physics_balancing(mut self) -> AgcmConfig {
+        self.balance_physics = true;
+        self
+    }
+
+    /// Builder-style: set the number of steps.
+    pub fn with_steps(mut self, steps: usize) -> AgcmConfig {
+        self.steps = steps;
+        self
+    }
+
+    /// Total processors.
+    pub fn size(&self) -> usize {
+        self.mesh_lat * self.mesh_lon
+    }
+
+    /// Number of timesteps in one simulated day (for converting measured
+    /// per-step times into the paper's seconds/simulated-day).
+    pub fn steps_per_day(&self) -> f64 {
+        86_400.0 / self.dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_shape() {
+        let cfg = AgcmConfig::paper(8, 30, FilterVariant::LbFft);
+        assert_eq!(cfg.size(), 240);
+        assert_eq!(cfg.grid.points(), 144 * 90 * 9);
+        assert!(cfg.dt > 60.0 && cfg.dt < 1200.0, "plausible AGCM timestep: {}", cfg.dt);
+        assert!(cfg.steps_per_day() > 50.0);
+        assert!(!cfg.balance_physics);
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = AgcmConfig::paper(4, 4, FilterVariant::ConvolutionRing)
+            .with_physics_balancing()
+            .with_steps(5);
+        assert!(cfg.balance_physics);
+        assert_eq!(cfg.steps, 5);
+    }
+
+    #[test]
+    fn fifteen_layer_variant() {
+        let cfg = AgcmConfig::for_grid(GridSpec::paper_15_layer(), 4, 8, FilterVariant::FftNoLb);
+        assert_eq!(cfg.grid.n_lev, 15);
+        assert_eq!(cfg.size(), 32);
+    }
+}

@@ -1,0 +1,30 @@
+//! # agcm-core — the assembled parallel AGCM
+//!
+//! The full model of the paper's Figure 1: a time-stepping main body whose
+//! every step runs the Dynamics component (spectral filtering + finite
+//! differences, `agcm-dynamics`) followed by the Physics component (column
+//! processes, `agcm-physics`), on a 2-D processor mesh over the 2°×2.5°
+//! grid. Pre/post-processing is a one-time setup, "absolutely dominant
+//! [cost] is the main body".
+//!
+//! * [`config`] — run configuration: grid, mesh, timestep, filter variant,
+//!   physics balancing;
+//! * [`model`] — the driver: spawn the mesh, step the model, collect the
+//!   execution trace and per-rank results;
+//! * [`timers`] — wall-clock component timers (the measurement
+//!   infrastructure of Tables 1–3);
+//! * [`report`] — fixed-width table formatting for the `reproduce`
+//!   harness, including paper-vs-measured columns;
+//! * [`templates`] — the paper's §5 reusable-component design: a
+//!   [`templates::Component`] trait and [`templates::Pipeline`] assembling
+//!   a model from parts.
+
+pub mod config;
+pub mod model;
+pub mod report;
+pub mod templates;
+pub mod timers;
+
+pub use config::AgcmConfig;
+pub use model::{run_model, ModelRun, RankOutcome};
+pub use report::Table;

@@ -1,0 +1,100 @@
+//! Wall-clock component timers.
+//!
+//! The paper's measurement infrastructure: named accumulating timers
+//! around code sections ("a timing on the previous pass of physics
+//! component was performed at each processor", §3.4). The virtual
+//! (machine-model) times come from the trace replay; these timers measure
+//! *this* machine, which the benches use for real kernel comparisons.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A set of named accumulating timers.
+#[derive(Debug, Default)]
+pub struct Timers {
+    acc: HashMap<&'static str, f64>,
+    running: HashMap<&'static str, Instant>,
+}
+
+impl Timers {
+    /// Fresh timer set.
+    pub fn new() -> Timers {
+        Timers::default()
+    }
+
+    /// Start (or restart) the named timer.
+    pub fn start(&mut self, name: &'static str) {
+        self.running.insert(name, Instant::now());
+    }
+
+    /// Stop the named timer, accumulating elapsed seconds.
+    ///
+    /// # Panics
+    /// If the timer was not started.
+    pub fn stop(&mut self, name: &'static str) {
+        let t0 = self.running.remove(name).unwrap_or_else(|| panic!("timer {name} not started"));
+        *self.acc.entry(name).or_insert(0.0) += t0.elapsed().as_secs_f64();
+    }
+
+    /// Time a closure under the named timer.
+    pub fn time<R>(&mut self, name: &'static str, body: impl FnOnce() -> R) -> R {
+        self.start(name);
+        let r = body();
+        self.stop(name);
+        r
+    }
+
+    /// Accumulated seconds for a timer (0 if never stopped).
+    pub fn seconds(&self, name: &str) -> f64 {
+        self.acc.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// All timers, sorted by descending accumulated time.
+    pub fn sorted(&self) -> Vec<(&'static str, f64)> {
+        let mut v: Vec<(&'static str, f64)> = self.acc.iter().map(|(&k, &t)| (k, t)).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_invocations() {
+        let mut t = Timers::new();
+        t.time("work", || std::thread::sleep(std::time::Duration::from_millis(5)));
+        let first = t.seconds("work");
+        assert!(first >= 0.004, "{first}");
+        t.time("work", || std::thread::sleep(std::time::Duration::from_millis(5)));
+        assert!(t.seconds("work") > first);
+    }
+
+    #[test]
+    fn unknown_timer_is_zero() {
+        assert_eq!(Timers::new().seconds("nope"), 0.0);
+    }
+
+    #[test]
+    fn time_returns_closure_value() {
+        let mut t = Timers::new();
+        let v = t.time("calc", || 21 * 2);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn sorted_order() {
+        let mut t = Timers::new();
+        t.time("fast", || ());
+        t.time("slow", || std::thread::sleep(std::time::Duration::from_millis(10)));
+        let order = t.sorted();
+        assert_eq!(order[0].0, "slow");
+    }
+
+    #[test]
+    #[should_panic(expected = "not started")]
+    fn stop_without_start_panics() {
+        Timers::new().stop("ghost");
+    }
+}

@@ -1,0 +1,39 @@
+//! The advection routine: original loops vs the paper's restructuring
+//! (§3.4: ~35% reduction on one T3D node).
+
+use agcm_dynamics::advection::{advect_naive, advect_restructured, AdvShape};
+use agcm_grid::latlon::GridSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn inputs(shape: AdvShape) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let n = shape.ni * shape.nj * shape.nk;
+    (
+        (0..n).map(|i| (i as f64 * 0.01).sin()).collect(),
+        (0..n).map(|i| 10.0 + (i as f64 * 0.02).cos()).collect(),
+        (0..n).map(|i| -(i as f64 * 0.03).sin()).collect(),
+    )
+}
+
+fn bench_advection(c: &mut Criterion) {
+    // The paper's grid and a larger one (cache pressure ablation).
+    for (label, shape) in [
+        ("paper_144x90x9", AdvShape { ni: 144, nj: 90, nk: 9 }),
+        ("large_288x180x9", AdvShape { ni: 288, nj: 180, nk: 9 }),
+    ] {
+        let grid = GridSpec::new(shape.ni, shape.nj, shape.nk);
+        let (q, u, v) = inputs(shape);
+        let mut g = c.benchmark_group(format!("advection_{label}"));
+        g.sample_size(10).measurement_time(Duration::from_secs(1));
+        g.bench_with_input(BenchmarkId::new("original", label), &(), |b, _| {
+            b.iter(|| std::hint::black_box(advect_naive(&q, &u, &v, shape, &grid, 0)))
+        });
+        g.bench_with_input(BenchmarkId::new("restructured", label), &(), |b, _| {
+            b.iter(|| std::hint::black_box(advect_restructured(&q, &u, &v, shape, &grid, 0)))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_advection);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Message-passing substrate collectives — the communication primitives
+//! underneath every parallel algorithm in the reproduction.
+
+use agcm_mps::collectives::Op;
+use agcm_mps::message::Payload;
+use agcm_mps::runtime::run;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_8_ranks");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    g.bench_function("barrier_x10", |b| {
+        b.iter(|| {
+            run(8, |comm| {
+                for _ in 0..10 {
+                    comm.barrier();
+                }
+            })
+        })
+    });
+    g.bench_function("allreduce_1k_f64", |b| {
+        b.iter(|| {
+            run(8, |comm| {
+                let data = vec![comm.rank() as f64; 1024];
+                std::hint::black_box(comm.allreduce_f64(Op::Sum, &data));
+            })
+        })
+    });
+    g.bench_function("alltoallv_4kB_each", |b| {
+        b.iter(|| {
+            run(8, |comm| {
+                let send: Vec<Payload> =
+                    (0..comm.size()).map(|_| Payload::F64(vec![1.0; 512])).collect();
+                std::hint::black_box(comm.alltoallv(send));
+            })
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("bcast_scaling");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for p in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                run(p, |comm| {
+                    let data = if comm.rank() == 0 { vec![42.0; 2048] } else { vec![] };
+                    std::hint::black_box(comm.bcast_f64(0, &data));
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! The three filter modules end to end (Tables 8–11 in wall-clock
+//! miniature): real parallel runs on a small mesh, plus the ablation the
+//! DESIGN.md calls out (concurrent vs per-variable movement).
+
+use agcm_filtering::driver::{FilterVariant, PolarFilter};
+use agcm_filtering::lines::FilterSetup;
+use agcm_filtering::reference::{local_from_global, synthetic_field};
+use agcm_grid::decomp::Decomp;
+use agcm_grid::field::Field3D;
+use agcm_grid::latlon::GridSpec;
+use agcm_mps::runtime::run;
+use agcm_mps::topology::CartComm;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn apply_variant(grid: GridSpec, mesh: (usize, usize), variant: FilterVariant) {
+    let decomp = Decomp::new(grid, mesh.0, mesh.1);
+    let globals: Vec<Field3D> = (0..6).map(|v| synthetic_field(&grid, v)).collect();
+    run(decomp.size(), |comm| {
+        let cart = CartComm::new(comm, mesh.0, mesh.1, (false, true));
+        let setup = FilterSetup::new(grid, decomp);
+        let filter = PolarFilter::new(&setup, variant);
+        let sub = decomp.subdomain_of_rank(comm.rank());
+        let mut fields: Vec<Field3D> =
+            globals.iter().map(|g| local_from_global(g, &sub)).collect();
+        filter.apply(&setup, &cart, &mut fields);
+    });
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let grid = GridSpec::new(72, 46, 3);
+    let mesh = (2usize, 2usize);
+    let mut g = c.benchmark_group("filter_variants_72x46x3_2x2");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for variant in FilterVariant::ALL {
+        g.bench_function(variant.label(), |b| {
+            b.iter(|| apply_variant(grid, mesh, variant))
+        });
+    }
+    g.finish();
+}
+
+fn bench_setup_cost(c: &mut Criterion) {
+    // The paper's point about the set-up: "done only once" and "nearly
+    // independent of AGCM problem size".
+    let mut g = c.benchmark_group("filter_setup");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for (label, grid) in [
+        ("9_layer", GridSpec::paper_9_layer()),
+        ("15_layer", GridSpec::paper_15_layer()),
+    ] {
+        let decomp = Decomp::new(grid, 4, 8);
+        g.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(FilterSetup::new(grid, decomp)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_setup_cost);
+criterion_main!(benches);

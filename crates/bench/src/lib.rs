@@ -1,0 +1,15 @@
+//! # agcm-bench — the reproduction harness
+//!
+//! Regenerates every table and figure of Lou & Farrara (SC'96):
+//!
+//! * [`paper`] — the paper's reported numbers, transcribed;
+//! * [`harness`] — traced experiment runners and the trace→seconds
+//!   conversion through `agcm-costmodel`, with the single calibration
+//!   anchor per machine (the 1×1 Dynamics entry of Tables 4/6);
+//! * the `reproduce` binary — prints each table with paper-reported and
+//!   model-measured columns side by side;
+//! * `benches/` — Criterion microbenchmarks for the single-node study and
+//!   the kernel-level comparisons.
+
+pub mod harness;
+pub mod paper;

@@ -1,0 +1,238 @@
+//! The paper's reported numbers (Lou & Farrara, SC'96), transcribed.
+//!
+//! These are printed next to the model-measured values by the `reproduce`
+//! binary, and the summary checks compare *shapes*: speed-up ratios,
+//! scaling factors and crossovers, not absolute seconds.
+
+/// One row of Tables 4–7: node mesh and measured times (s/simulated day).
+#[derive(Debug, Clone, Copy)]
+pub struct AgcmTimingRow {
+    /// Mesh shape (lat × lon processors).
+    pub mesh: (usize, usize),
+    /// Dynamics time.
+    pub dynamics: f64,
+    /// Dynamics speed-up vs 1×1.
+    pub speedup: f64,
+    /// Total (Dynamics + Physics) time.
+    pub total: f64,
+}
+
+/// Table 4: old (convolution) filtering, Intel Paragon, 2°×2.5°×9.
+pub const TABLE4_PARAGON_OLD: [AgcmTimingRow; 4] = [
+    AgcmTimingRow { mesh: (1, 1), dynamics: 8702.0, speedup: 1.0, total: 14010.0 },
+    AgcmTimingRow { mesh: (4, 4), dynamics: 848.5, speedup: 10.3, total: 1177.0 },
+    AgcmTimingRow { mesh: (8, 8), dynamics: 366.0, speedup: 23.8, total: 443.5 },
+    AgcmTimingRow { mesh: (8, 30), dynamics: 186.0, speedup: 46.8, total: 216.0 },
+];
+
+/// Table 5: new (load-balanced FFT) filtering, Intel Paragon.
+pub const TABLE5_PARAGON_NEW: [AgcmTimingRow; 4] = [
+    AgcmTimingRow { mesh: (1, 1), dynamics: 8075.0, speedup: 1.0, total: 11225.0 },
+    AgcmTimingRow { mesh: (4, 4), dynamics: 639.0, speedup: 12.6, total: 992.6 },
+    AgcmTimingRow { mesh: (8, 8), dynamics: 207.5, speedup: 38.9, total: 306.0 },
+    AgcmTimingRow { mesh: (8, 30), dynamics: 87.2, speedup: 92.6, total: 119.0 },
+];
+
+/// Table 6: old filtering, Cray T3D.
+pub const TABLE6_T3D_OLD: [AgcmTimingRow; 4] = [
+    AgcmTimingRow { mesh: (1, 1), dynamics: 3480.0, speedup: 1.0, total: 5600.0 },
+    AgcmTimingRow { mesh: (4, 4), dynamics: 339.0, speedup: 11.3, total: 470.0 },
+    AgcmTimingRow { mesh: (8, 8), dynamics: 146.0, speedup: 26.3, total: 177.0 },
+    AgcmTimingRow { mesh: (8, 30), dynamics: 74.0, speedup: 51.9, total: 87.5 },
+];
+
+/// Table 7: new filtering, Cray T3D.
+pub const TABLE7_T3D_NEW: [AgcmTimingRow; 4] = [
+    AgcmTimingRow { mesh: (1, 1), dynamics: 3230.0, speedup: 1.0, total: 4990.0 },
+    AgcmTimingRow { mesh: (4, 4), dynamics: 256.0, speedup: 12.6, total: 397.0 },
+    AgcmTimingRow { mesh: (8, 8), dynamics: 83.0, speedup: 38.9, total: 122.0 },
+    AgcmTimingRow { mesh: (8, 30), dynamics: 35.0, speedup: 92.3, total: 48.0 },
+];
+
+/// One row of Tables 8–11: filtering s/simulated-day per variant.
+#[derive(Debug, Clone, Copy)]
+pub struct FilterTimingRow {
+    /// Mesh shape (lat × lon processors).
+    pub mesh: (usize, usize),
+    /// Convolution module.
+    pub convolution: f64,
+    /// FFT without load balance.
+    pub fft: f64,
+    /// FFT with load balance.
+    pub lb_fft: f64,
+}
+
+/// The meshes of Tables 8–11, in row order.
+pub const FILTER_MESHES: [(usize, usize); 5] = [(4, 4), (4, 8), (8, 8), (4, 30), (8, 30)];
+
+/// Table 8: filtering times, Intel Paragon, 9-layer.
+pub const TABLE8_PARAGON_9: [FilterTimingRow; 5] = [
+    FilterTimingRow { mesh: (4, 4), convolution: 309.5, fft: 111.4, lb_fft: 87.7 },
+    FilterTimingRow { mesh: (4, 8), convolution: 240.0, fft: 88.0, lb_fft: 53.7 },
+    FilterTimingRow { mesh: (8, 8), convolution: 189.5, fft: 66.4, lb_fft: 38.2 },
+    FilterTimingRow { mesh: (4, 30), convolution: 99.6, fft: 43.7, lb_fft: 22.2 },
+    FilterTimingRow { mesh: (8, 30), convolution: 90.0, fft: 37.5, lb_fft: 18.5 },
+];
+
+/// Table 9: filtering times, Cray T3D, 9-layer.
+pub const TABLE9_T3D_9: [FilterTimingRow; 5] = [
+    FilterTimingRow { mesh: (4, 4), convolution: 123.5, fft: 44.6, lb_fft: 35.1 },
+    FilterTimingRow { mesh: (4, 8), convolution: 96.0, fft: 35.2, lb_fft: 21.5 },
+    FilterTimingRow { mesh: (8, 8), convolution: 75.8, fft: 26.4, lb_fft: 15.3 },
+    FilterTimingRow { mesh: (4, 30), convolution: 39.6, fft: 17.5, lb_fft: 8.9 },
+    FilterTimingRow { mesh: (8, 30), convolution: 36.0, fft: 15.0, lb_fft: 7.4 },
+];
+
+/// Table 10: filtering times, Intel Paragon, 15-layer.
+pub const TABLE10_PARAGON_15: [FilterTimingRow; 5] = [
+    FilterTimingRow { mesh: (4, 4), convolution: 802.0, fft: 304.0, lb_fft: 221.0 },
+    FilterTimingRow { mesh: (4, 8), convolution: 566.0, fft: 205.0, lb_fft: 118.0 },
+    FilterTimingRow { mesh: (8, 8), convolution: 422.0, fft: 150.0, lb_fft: 85.0 },
+    FilterTimingRow { mesh: (4, 30), convolution: 217.0, fft: 96.0, lb_fft: 49.0 },
+    FilterTimingRow { mesh: (8, 30), convolution: 188.0, fft: 81.0, lb_fft: 37.0 },
+];
+
+/// Table 11: filtering times, Cray T3D, 15-layer.
+pub const TABLE11_T3D_15: [FilterTimingRow; 5] = [
+    FilterTimingRow { mesh: (4, 4), convolution: 320.0, fft: 121.0, lb_fft: 88.0 },
+    FilterTimingRow { mesh: (4, 8), convolution: 226.0, fft: 82.0, lb_fft: 47.0 },
+    FilterTimingRow { mesh: (8, 8), convolution: 168.0, fft: 60.0, lb_fft: 34.0 },
+    FilterTimingRow { mesh: (4, 30), convolution: 86.0, fft: 38.0, lb_fft: 19.0 },
+    FilterTimingRow { mesh: (8, 30), convolution: 75.0, fft: 32.0, lb_fft: 15.0 },
+];
+
+/// One row of Tables 1–3: physics load-balancing simulation on the T3D.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadBalanceRow {
+    /// "Before", "After first", "After second".
+    pub stage: &'static str,
+    /// Max load (seconds).
+    pub max: f64,
+    /// Min load (seconds).
+    pub min: f64,
+    /// Percentage of load imbalance.
+    pub imbalance_pct: f64,
+}
+
+/// Table 1: 8×8 = 64 nodes.
+pub const TABLE1_64: [LoadBalanceRow; 3] = [
+    LoadBalanceRow { stage: "Before load-balancing", max: 11.0, min: 4.9, imbalance_pct: 37.0 },
+    LoadBalanceRow { stage: "After first load-balancing", max: 7.7, min: 6.2, imbalance_pct: 9.0 },
+    LoadBalanceRow { stage: "After second load-balancing", max: 7.1, min: 6.3, imbalance_pct: 6.0 },
+];
+
+/// Table 2: 9×14 = 126 nodes.
+// The paper really does report a min load of 3.14 seconds; it is not π.
+#[allow(clippy::approx_constant)]
+pub const TABLE2_126: [LoadBalanceRow; 3] = [
+    LoadBalanceRow { stage: "Before load-balancing", max: 5.2, min: 2.5, imbalance_pct: 35.0 },
+    LoadBalanceRow { stage: "After first load-balancing", max: 4.0, min: 3.14, imbalance_pct: 12.0 },
+    LoadBalanceRow { stage: "After second load-balancing", max: 3.52, min: 3.22, imbalance_pct: 5.0 },
+];
+
+/// Table 3: 14×18 = 252 nodes.
+pub const TABLE3_252: [LoadBalanceRow; 3] = [
+    LoadBalanceRow { stage: "Before load-balancing", max: 3.34, min: 1.12, imbalance_pct: 48.0 },
+    LoadBalanceRow { stage: "After first load-balancing", max: 2.2, min: 1.7, imbalance_pct: 12.5 },
+    LoadBalanceRow { stage: "After second load-balancing", max: 1.92, min: 1.8, imbalance_pct: 6.0 },
+];
+
+/// The node-mesh shapes of Tables 1–3.
+pub const LB_MESHES: [(usize, usize); 3] = [(8, 8), (9, 14), (14, 18)];
+
+/// Figure 1 percentages.
+pub mod figure1 {
+    /// Dynamics share of main-body time on 16 nodes.
+    pub const DYNAMICS_SHARE_16: f64 = 0.72;
+    /// Dynamics share of main-body time on 240 nodes.
+    pub const DYNAMICS_SHARE_240: f64 = 0.86;
+    /// Filtering share of Dynamics on 16 nodes.
+    pub const FILTER_SHARE_16: f64 = 0.36;
+    /// Filtering share of Dynamics on 240 nodes.
+    pub const FILTER_SHARE_240: f64 = 0.49;
+}
+
+/// §3.4 / §4 headline claims.
+pub mod claims {
+    /// Block-array Laplace speed-up on the Paragon (32³).
+    pub const STENCIL_SPEEDUP_PARAGON: f64 = 5.0;
+    /// Block-array Laplace speed-up on the T3D (32³).
+    pub const STENCIL_SPEEDUP_T3D: f64 = 2.6;
+    /// Advection single-node time reduction on one T3D node.
+    pub const ADVECTION_REDUCTION: f64 = 0.35;
+    /// LB-FFT vs convolution filtering speed-up on 240 nodes.
+    pub const FILTER_SPEEDUP_240: f64 = 5.0;
+    /// Filter scaling 16→240 nodes, 9-layer model.
+    pub const FILTER_SCALING_9: f64 = 4.74;
+    /// Filter scaling 16→240 nodes, 15-layer model.
+    pub const FILTER_SCALING_15: f64 = 5.87;
+    /// Whole-code speed-up from the new filter on 240 nodes.
+    pub const CODE_SPEEDUP_240: f64 = 2.0;
+    /// T3D vs Paragon overall speed ratio.
+    pub const T3D_OVER_PARAGON: f64 = 2.5;
+    /// Expected additional gain from physics load balancing.
+    pub const PHYSICS_LB_GAIN: (f64, f64) = (0.10, 0.15);
+    /// Filtering share of Dynamics, 240 nodes, after the new module.
+    pub const FILTER_SHARE_240_NEW: f64 = 0.21;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_internal_consistency() {
+        // Speed-ups in Tables 4-7 are relative to the 1×1 Dynamics row.
+        for table in [&TABLE4_PARAGON_OLD, &TABLE5_PARAGON_NEW, &TABLE6_T3D_OLD, &TABLE7_T3D_NEW]
+        {
+            let base = table[0].dynamics;
+            for row in table.iter() {
+                let implied = base / row.dynamics;
+                // Table 6's 4×4 row is internally off by ~10% in the paper
+                // itself (3480/339 = 10.27, printed as 11.3) — transcribed
+                // as printed, so the tolerance allows it.
+                assert!(
+                    (implied - row.speedup).abs() / row.speedup < 0.11,
+                    "speed-up column consistent: {implied} vs {}",
+                    row.speedup
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lb_fft_always_wins_in_paper_tables() {
+        for table in [&TABLE8_PARAGON_9, &TABLE9_T3D_9, &TABLE10_PARAGON_15, &TABLE11_T3D_15] {
+            for row in table.iter() {
+                assert!(row.lb_fft < row.fft);
+                assert!(row.fft < row.convolution);
+            }
+        }
+    }
+
+    #[test]
+    fn headline_speedup_at_240_nodes() {
+        let t8 = &TABLE8_PARAGON_9[4];
+        let speedup = t8.convolution / t8.lb_fft;
+        assert!((speedup - 4.86).abs() < 0.05, "paper's ≈5×: {speedup}");
+        let t9 = &TABLE9_T3D_9[4];
+        assert!((t9.convolution / t9.lb_fft - 4.86).abs() < 0.05);
+    }
+
+    #[test]
+    fn filter_scaling_claims_match_tables() {
+        // 16 → 240 nodes, LB-FFT: Table 8: 87.7 / 18.5 = 4.74.
+        let s9 = TABLE8_PARAGON_9[0].lb_fft / TABLE8_PARAGON_9[4].lb_fft;
+        assert!((s9 - claims::FILTER_SCALING_9).abs() < 0.01, "{s9}");
+        // Table 10: 221 / 37 = 5.97 ≈ the paper's 5.87 (their rounding).
+        let s15 = TABLE10_PARAGON_15[0].lb_fft / TABLE10_PARAGON_15[4].lb_fft;
+        assert!((s15 - claims::FILTER_SCALING_15).abs() < 0.15, "{s15}");
+    }
+
+    #[test]
+    fn imbalance_columns_match_definition_roughly() {
+        // Table 1 before: max 11.0 with 37% imbalance implies avg ≈ 8.03.
+        let avg = TABLE1_64[0].max / (1.0 + TABLE1_64[0].imbalance_pct / 100.0);
+        assert!(avg > TABLE1_64[0].min && avg < TABLE1_64[0].max);
+    }
+}

@@ -1,0 +1,148 @@
+//! Closed-form cost analysis of the filtering algorithm variants.
+//!
+//! The paper compares the communication structure of the candidate filter
+//! implementations analytically before choosing one (§3.1–3.2):
+//!
+//! * convolution with **ring** communication: `P·logP` messages, `N·P`
+//!   data elements transferred (per filtered line group);
+//! * convolution with **binary trees**: `O(2P)` messages,
+//!   `O(N·P + N·logP)` data elements;
+//! * **distributed 1-D FFT** across a processor row: `O(logP)` messages,
+//!   `O(N·logN)` data elements;
+//! * **transpose + local FFT** (the chosen design): `O(P²)` messages,
+//!   `O(N)` data elements — "the first approach requires fewer messages
+//!   but exchanges larger amounts of data than the second approach".
+//!
+//! These formulas feed the ablation benches and let tests check that the
+//! traced implementations scale the way the paper predicts.
+
+/// Message count and transferred data elements of one collective pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommCost {
+    /// Total messages across the participating processors.
+    pub messages: f64,
+    /// Total data elements moved.
+    pub data_elements: f64,
+}
+
+impl CommCost {
+    /// Time under a latency/bandwidth model (seconds), assuming elements of
+    /// `elem_bytes` bytes and perfect overlap across processors is absent
+    /// (serialized upper bound).
+    pub fn time(&self, latency_s: f64, bytes_per_sec: f64, elem_bytes: f64) -> f64 {
+        self.messages * latency_s + self.data_elements * elem_bytes / bytes_per_sec
+    }
+}
+
+/// Ring-based convolution filtering over `p` processors in the latitudinal
+/// direction, lines of `n` points: `P·logP` messages, `N·P` elements
+/// (paper §3.1, citing Wehner et al.).
+pub fn convolution_ring(n: usize, p: usize) -> CommCost {
+    let (nf, pf) = (n as f64, p as f64);
+    CommCost { messages: pf * pf.log2().max(1.0), data_elements: nf * pf }
+}
+
+/// Binary-tree convolution filtering: `O(2P)` messages,
+/// `O(N·P + N·logP)` elements (paper §3.1).
+pub fn convolution_tree(n: usize, p: usize) -> CommCost {
+    let (nf, pf) = (n as f64, p as f64);
+    CommCost { messages: 2.0 * pf, data_elements: nf * pf + nf * pf.log2().max(1.0) }
+}
+
+/// Distributed parallel 1-D FFT across a processor row: `O(logP)` message
+/// rounds, `O(N·logN)` elements (paper §3.2, first approach).
+pub fn distributed_fft(n: usize, p: usize) -> CommCost {
+    let (nf, pf) = (n as f64, p as f64);
+    CommCost { messages: pf.log2().max(1.0), data_elements: nf * nf.log2().max(1.0) }
+}
+
+/// Transpose + local FFT (the paper's chosen second approach): `O(P²)`
+/// messages, `O(N)` elements.
+pub fn transpose_fft(n: usize, p: usize) -> CommCost {
+    let (nf, pf) = (n as f64, p as f64);
+    CommCost { messages: pf * pf, data_elements: nf }
+}
+
+/// Computational flop counts of the two filter formulations on an
+/// `n × m × k` grid (paper §3.1): convolution `O(N²·M·K)`, FFT
+/// `O(N·logN·M·K)`.
+pub fn filter_compute_flops(n: usize, m: usize, k: usize, fft: bool) -> f64 {
+    let lines = (m * k) as f64;
+    let nf = n as f64;
+    if fft {
+        5.0 * nf * nf.log2().max(1.0) * lines
+    } else {
+        2.0 * nf * nf * lines
+    }
+}
+
+/// Physics load-balancing scheme communication complexity (paper §3.4):
+/// scheme 1 (cyclic shuffle) is `O(P²)` messages; schemes 2 and 3 are
+/// `O(P)` per balancing pass.
+pub fn physics_scheme_messages(scheme: u8, p: usize) -> f64 {
+    let pf = p as f64;
+    match scheme {
+        1 => pf * (pf - 1.0),
+        2 => pf,
+        3 => pf, // per pairwise round
+        other => panic!("unknown physics load-balancing scheme {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ordering_of_message_counts() {
+        // At the paper's scale (N=144 longitudes, P=8 processor rows):
+        let (n, p) = (144, 8);
+        let ring = convolution_ring(n, p);
+        let _tree = convolution_tree(n, p);
+        let dfft = distributed_fft(n, p);
+        let tfft = transpose_fft(n, p);
+        // Distributed FFT has the fewest messages…
+        assert!(dfft.messages < ring.messages);
+        assert!(dfft.messages < tfft.messages);
+        // …but moves more data than the transpose.
+        assert!(dfft.data_elements > tfft.data_elements);
+    }
+
+    #[test]
+    fn convolution_moves_p_times_the_data() {
+        let c = convolution_ring(100, 16);
+        assert_eq!(c.data_elements, 1600.0);
+        assert_eq!(c.messages, 64.0);
+    }
+
+    #[test]
+    fn fft_compute_beats_convolution_asymptotically() {
+        let conv = filter_compute_flops(144, 46, 9, false);
+        let fft = filter_compute_flops(144, 46, 9, true);
+        // The paper's speedup of ~5x for the whole filter module includes
+        // load balance; compute-only the gap is larger.
+        assert!(conv / fft > 5.0, "ratio {}", conv / fft);
+    }
+
+    #[test]
+    fn cost_time_model() {
+        let c = CommCost { messages: 10.0, data_elements: 1000.0 };
+        // 10 × 1 ms + 8000 bytes / 1 MB/s = 0.01 + 0.008
+        let t = c.time(1.0e-3, 1.0e6, 8.0);
+        assert!((t - 0.018).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scheme1_quadratic_scheme3_linear() {
+        assert_eq!(physics_scheme_messages(1, 4), 12.0);
+        assert_eq!(physics_scheme_messages(3, 4), 4.0);
+        let big = physics_scheme_messages(1, 240) / physics_scheme_messages(3, 240);
+        assert_eq!(big, 239.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown physics")]
+    fn unknown_scheme_rejected() {
+        physics_scheme_messages(9, 4);
+    }
+}

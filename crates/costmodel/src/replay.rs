@@ -1,0 +1,331 @@
+//! Trace replay: turn a recorded execution into simulated machine time.
+//!
+//! Each rank's event stream is replayed against a [`MachineProfile`].
+//! Virtual clocks advance through compute and send events independently; a
+//! receive cannot complete before the matching send's arrival time, which is
+//! how communication stalls and load imbalance become visible in the
+//! simulated times. Ranks are co-routined: a rank blocks when it reaches a
+//! receive whose matching send has not been simulated yet, and resumes on a
+//! later sweep. Message-passing causality guarantees progress; a sweep that
+//! advances nothing while work remains indicates a corrupt trace and
+//! panics.
+
+use crate::machine::MachineProfile;
+use agcm_mps::trace::{Event, WorldTrace};
+use std::collections::HashMap;
+
+/// Result of replaying one [`WorldTrace`].
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    /// Virtual finish time of each rank (s).
+    pub finish_times: Vec<f64>,
+    /// Per-rank accumulated time inside each named phase (s).
+    pub phase_times: Vec<HashMap<&'static str, f64>>,
+}
+
+impl ReplayResult {
+    /// Wall-clock of the simulated run: the slowest rank.
+    pub fn total_time(&self) -> f64 {
+        self.finish_times.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Maximum over ranks of the time spent in `phase` — the parallel
+    /// execution time attributable to that phase.
+    pub fn phase_time(&self, phase: &str) -> f64 {
+        self.phase_times
+            .iter()
+            .map(|m| m.get(phase).copied().unwrap_or(0.0))
+            .fold(0.0, f64::max)
+    }
+
+    /// Minimum over ranks of the time spent in `phase` (for imbalance
+    /// reporting, cf. the "Min Load" column of Tables 1–3).
+    pub fn phase_time_min(&self, phase: &str) -> f64 {
+        self.phase_times
+            .iter()
+            .map(|m| m.get(phase).copied().unwrap_or(0.0))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Average over ranks of the time spent in `phase`.
+    pub fn phase_time_avg(&self, phase: &str) -> f64 {
+        if self.phase_times.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.phase_times.iter().map(|m| m.get(phase).copied().unwrap_or(0.0)).sum();
+        sum / self.phase_times.len() as f64
+    }
+
+    /// The paper's load-imbalance metric for a phase:
+    /// `(MaxLoad − AverageLoad) / AverageLoad`.
+    pub fn phase_imbalance(&self, phase: &str) -> f64 {
+        let avg = self.phase_time_avg(phase);
+        if avg == 0.0 {
+            return 0.0;
+        }
+        (self.phase_time(phase) - avg) / avg
+    }
+
+    /// All phase names seen on any rank.
+    pub fn phases(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = Vec::new();
+        for m in &self.phase_times {
+            for k in m.keys() {
+                if !names.contains(k) {
+                    names.push(k);
+                }
+            }
+        }
+        names
+    }
+}
+
+struct RankState<'a> {
+    events: &'a [Event],
+    next: usize,
+    clock: f64,
+    /// Stack of open phases: (name, start clock, time spent in inner phases
+    /// is *not* subtracted — phases accumulate inclusively, as timers in
+    /// the original code would).
+    open_phases: Vec<(&'static str, f64)>,
+    phase_acc: HashMap<&'static str, f64>,
+}
+
+/// Replay `trace` against `machine`, producing simulated times.
+pub fn replay(trace: &WorldTrace, machine: &MachineProfile) -> ReplayResult {
+    let n = trace.size();
+    let mut states: Vec<RankState> = trace
+        .ranks
+        .iter()
+        .map(|evs| RankState {
+            events: evs,
+            next: 0,
+            clock: 0.0,
+            open_phases: Vec::new(),
+            phase_acc: HashMap::new(),
+        })
+        .collect();
+    // arrival[(src, dst, seq)] = virtual arrival time.
+    let mut arrivals: HashMap<(usize, usize, u64), f64> = HashMap::new();
+
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        #[allow(clippy::needless_range_loop)] // index drives multiple buffers
+        for r in 0..n {
+            // Process as many events as possible for rank r.
+            loop {
+                let state = &mut states[r];
+                let Some(ev) = state.events.get(state.next) else {
+                    break;
+                };
+                match *ev {
+                    Event::Flops(f) => {
+                        state.clock += machine.compute_time(f);
+                    }
+                    Event::Send { to, bytes, seq } => {
+                        state.clock += machine.send_time(bytes);
+                        arrivals.insert((r, to, seq), state.clock + machine.latency_s);
+                    }
+                    Event::Recv { from, bytes: _, seq } => {
+                        match arrivals.get(&(from, r, seq)) {
+                            Some(&arrival) => {
+                                state.clock =
+                                    (state.clock + machine.recv_overhead_s).max(arrival);
+                            }
+                            None => break, // blocked on an unsimulated send
+                        }
+                    }
+                    Event::PhaseBegin(name) => {
+                        state.open_phases.push((name, state.clock));
+                    }
+                    Event::PhaseEnd(name) => {
+                        let (open_name, start) = state
+                            .open_phases
+                            .pop()
+                            .unwrap_or_else(|| panic!("PhaseEnd({name}) without begin on rank {r}"));
+                        assert_eq!(open_name, name, "mismatched phase nesting on rank {r}");
+                        *state.phase_acc.entry(name).or_insert(0.0) += state.clock - start;
+                    }
+                }
+                state.next += 1;
+                progressed = true;
+            }
+            if states[r].next < states[r].events.len() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        assert!(
+            progressed,
+            "replay deadlock: a receive has no matching send in the trace"
+        );
+    }
+
+    ReplayResult {
+        finish_times: states.iter().map(|s| s.clock).collect(),
+        phase_times: states.into_iter().map(|s| s.phase_acc).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineProfile {
+        // Round numbers for exact arithmetic: 1 Mflop/s, 1 ms latency,
+        // 1 MB/s, zero overheads.
+        MachineProfile {
+            name: "test",
+            flops_per_sec: 1.0e6,
+            latency_s: 1.0e-3,
+            bytes_per_sec: 1.0e6,
+            send_overhead_s: 0.0,
+            recv_overhead_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn pure_compute() {
+        let trace = WorldTrace {
+            ranks: vec![vec![Event::Flops(2.0e6)], vec![Event::Flops(0.5e6)]],
+        };
+        let r = replay(&trace, &machine());
+        assert_eq!(r.finish_times, vec![2.0, 0.5]);
+        assert_eq!(r.total_time(), 2.0);
+    }
+
+    #[test]
+    fn receive_waits_for_send() {
+        // Rank 0 computes 1 s then sends 1 MB (1 s transfer + 1 ms latency);
+        // rank 1 receives immediately and must wait until 2.001 s.
+        let trace = WorldTrace {
+            ranks: vec![
+                vec![Event::Flops(1.0e6), Event::Send { to: 1, bytes: 1_000_000, seq: 0 }],
+                vec![Event::Recv { from: 0, bytes: 1_000_000, seq: 0 }],
+            ],
+        };
+        let r = replay(&trace, &machine());
+        assert!((r.finish_times[0] - 2.0).abs() < 1e-12);
+        assert!((r.finish_times[1] - 2.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn late_receiver_does_not_wait() {
+        // Sender finishes early; receiver is busy for 5 s, so the message
+        // is already there when it posts the receive.
+        let trace = WorldTrace {
+            ranks: vec![
+                vec![Event::Send { to: 1, bytes: 1000, seq: 0 }],
+                vec![Event::Flops(5.0e6), Event::Recv { from: 0, bytes: 1000, seq: 0 }],
+            ],
+        };
+        let r = replay(&trace, &machine());
+        assert!((r.finish_times[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_order_rank_processing_converges() {
+        // Rank 0 waits on rank 2 which waits on rank 1: forces multiple
+        // sweeps regardless of processing order.
+        let trace = WorldTrace {
+            ranks: vec![
+                vec![Event::Recv { from: 2, bytes: 8, seq: 0 }],
+                vec![Event::Flops(3.0e6), Event::Send { to: 2, bytes: 8, seq: 0 }],
+                vec![
+                    Event::Recv { from: 1, bytes: 8, seq: 0 },
+                    Event::Send { to: 0, bytes: 8, seq: 0 },
+                ],
+            ],
+        };
+        let r = replay(&trace, &machine());
+        // Chain: 3 s compute + two hops of (8e-6 + 1e-3) each.
+        let hop = 8.0e-6 + 1.0e-3;
+        assert!((r.finish_times[0] - (3.0 + 2.0 * hop)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_accounting() {
+        let trace = WorldTrace {
+            ranks: vec![
+                vec![
+                    Event::PhaseBegin("dynamics"),
+                    Event::Flops(2.0e6),
+                    Event::PhaseEnd("dynamics"),
+                    Event::PhaseBegin("physics"),
+                    Event::Flops(1.0e6),
+                    Event::PhaseEnd("physics"),
+                ],
+                vec![
+                    Event::PhaseBegin("dynamics"),
+                    Event::Flops(1.0e6),
+                    Event::PhaseEnd("dynamics"),
+                    Event::PhaseBegin("physics"),
+                    Event::Flops(3.0e6),
+                    Event::PhaseEnd("physics"),
+                ],
+            ],
+        };
+        let r = replay(&trace, &machine());
+        assert_eq!(r.phase_time("dynamics"), 2.0);
+        assert_eq!(r.phase_time_min("dynamics"), 1.0);
+        assert_eq!(r.phase_time("physics"), 3.0);
+        assert_eq!(r.phase_time_avg("physics"), 2.0);
+        // imbalance = (3 - 2) / 2
+        assert!((r.phase_imbalance("physics") - 0.5).abs() < 1e-12);
+        let mut phases = r.phases();
+        phases.sort_unstable();
+        assert_eq!(phases, vec!["dynamics", "physics"]);
+    }
+
+    #[test]
+    fn nested_phases_accumulate_inclusively() {
+        let trace = WorldTrace {
+            ranks: vec![vec![
+                Event::PhaseBegin("outer"),
+                Event::Flops(1.0e6),
+                Event::PhaseBegin("inner"),
+                Event::Flops(2.0e6),
+                Event::PhaseEnd("inner"),
+                Event::PhaseEnd("outer"),
+            ]],
+        };
+        let r = replay(&trace, &machine());
+        assert_eq!(r.phase_time("inner"), 2.0);
+        assert_eq!(r.phase_time("outer"), 3.0);
+    }
+
+    #[test]
+    fn repeated_phase_sums() {
+        let trace = WorldTrace {
+            ranks: vec![vec![
+                Event::PhaseBegin("filter"),
+                Event::Flops(1.0e6),
+                Event::PhaseEnd("filter"),
+                Event::PhaseBegin("filter"),
+                Event::Flops(1.5e6),
+                Event::PhaseEnd("filter"),
+            ]],
+        };
+        let r = replay(&trace, &machine());
+        assert_eq!(r.phase_time("filter"), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no matching send")]
+    fn missing_send_detected() {
+        let trace = WorldTrace {
+            ranks: vec![vec![Event::Recv { from: 0, bytes: 8, seq: 99 }]],
+        };
+        replay(&trace, &machine());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let r = replay(&WorldTrace::default(), &machine());
+        assert_eq!(r.total_time(), 0.0);
+        assert_eq!(r.phase_time("anything"), 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Time stepping support: CFL accounting and the forward-backward update.
+//!
+//! The paper's framing (§2): "The filtering operation is needed at each
+//! time step in regions close to the poles to ensure the effective grid
+//! size there satisfies the Courant-Friedrich-Levy (CFL) condition, a
+//! stability requirement for explicit time-difference schemes when a fixed
+//! time step is used throughout the entire spherical finite-difference
+//! grid." These helpers quantify exactly that: the gravity-wave speed, the
+//! worst-cell Courant number, and the timestep bounds with and without
+//! filtering.
+
+use crate::state::MEAN_THICKNESS;
+use agcm_grid::latlon::GridSpec;
+
+/// Gravitational acceleration (m/s²).
+pub const GRAVITY: f64 = 9.81;
+
+/// Shallow-water gravity-wave speed `c = √(g·H)`.
+pub fn gravity_wave_speed(gravity: f64, mean_thickness: f64) -> f64 {
+    (gravity * mean_thickness).sqrt()
+}
+
+/// The default signal speed of the model: gravity waves on the mean state
+/// plus a jet-strength wind allowance.
+pub fn signal_speed() -> f64 {
+    gravity_wave_speed(GRAVITY, MEAN_THICKNESS) + 50.0
+}
+
+/// Worst-cell zonal Courant number of a timestep `dt` given signal speed
+/// `c`: `max_j c·dt/Δx(φ_j)`. Stability needs this ≲ 1.
+pub fn worst_courant(grid: &GridSpec, c: f64, dt: f64) -> f64 {
+    (0..grid.n_lat)
+        .map(|j| c * dt / grid.zonal_spacing_m(j))
+        .fold(0.0, f64::max)
+}
+
+/// Worst Courant number over the *unfiltered* region only (rows
+/// equatorward of `cutoff_deg`): the effective stability constraint when
+/// the polar filter damps the modes poleward of the cutoff.
+pub fn worst_courant_filtered(grid: &GridSpec, c: f64, dt: f64, cutoff_deg: f64) -> f64 {
+    (0..grid.n_lat)
+        .filter(|&j| grid.latitude_deg(j).abs() < cutoff_deg)
+        .map(|j| c * dt / grid.zonal_spacing_m(j))
+        .fold(0.0, f64::max)
+}
+
+/// Largest timestep with worst Courant number ≤ `target` (a safety factor
+/// below 1), optionally under polar filtering.
+pub fn max_stable_dt(grid: &GridSpec, c: f64, target: f64, filter_cutoff_deg: Option<f64>) -> f64 {
+    assert!(target > 0.0 && c > 0.0);
+    let min_dx = match filter_cutoff_deg {
+        Some(cut) => (0..grid.n_lat)
+            .filter(|&j| grid.latitude_deg(j).abs() < cut)
+            .map(|j| grid.zonal_spacing_m(j))
+            .fold(f64::INFINITY, f64::min),
+        None => (0..grid.n_lat).map(|j| grid.zonal_spacing_m(j)).fold(f64::INFINITY, f64::min),
+    };
+    target * min_dx / c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gravity_wave_speed_magnitude() {
+        // √(9.81 × 8000) ≈ 280 m/s — the fast external mode.
+        let c = gravity_wave_speed(GRAVITY, MEAN_THICKNESS);
+        assert!((c - 280.0).abs() < 1.0, "c = {c}");
+    }
+
+    #[test]
+    fn courant_is_worst_at_pole() {
+        let grid = GridSpec::paper_9_layer();
+        let c = signal_speed();
+        let dt = 100.0;
+        let worst = worst_courant(&grid, c, dt);
+        // Either polar row may win by a rounding hair; both are polar.
+        let polar = c * dt / grid.zonal_spacing_m(0);
+        assert!((worst - polar).abs() < 1e-9 * polar);
+    }
+
+    #[test]
+    fn filtering_relaxes_the_bound_dramatically() {
+        let grid = GridSpec::paper_9_layer();
+        let c = signal_speed();
+        let dt_raw = max_stable_dt(&grid, c, 0.7, None);
+        let dt_filt = max_stable_dt(&grid, c, 0.7, Some(45.0));
+        // "the use of spectral filtering … improves the computational
+        // efficiency … by enabling the use of uniformly larger time steps".
+        assert!(
+            dt_filt > 15.0 * dt_raw,
+            "filtered dt {dt_filt} vs unfiltered {dt_raw}"
+        );
+    }
+
+    #[test]
+    fn filtered_courant_consistent_with_dt_bound() {
+        let grid = GridSpec::paper_9_layer();
+        let c = signal_speed();
+        let dt = max_stable_dt(&grid, c, 0.7, Some(45.0));
+        let nr = worst_courant_filtered(&grid, c, dt, 45.0);
+        assert!((nr - 0.7).abs() < 1e-9);
+        // The raw Courant number at that dt is wildly unstable — the modes
+        // the filter must remove.
+        assert!(worst_courant(&grid, c, dt) > 10.0);
+    }
+}

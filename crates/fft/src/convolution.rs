@@ -1,0 +1,153 @@
+//! Circular convolution — direct and FFT-based.
+//!
+//! The paper's Eq. (2) evaluates the filter as a physical-space circular
+//! convolution `f'(i) = Σ_s Ŝ(s)·f(i−s)`; the convolution theorem makes it
+//! equal to pointwise multiplication in wavenumber space (Eq. (1)). Both
+//! forms are implemented here so `agcm-filtering` can run the "old"
+//! convolution module and the "new" FFT module against each other, and the
+//! tests verify they agree to rounding error.
+
+use crate::complex::Complex64;
+use crate::plan::FftPlan;
+
+/// Direct circular convolution of two real sequences, O(N²).
+/// `out[i] = Σ_s kernel[s]·x[(i−s) mod n]`.
+pub fn circular_convolve_direct(x: &[f64], kernel: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert_eq!(kernel.len(), n, "kernel must match the signal length");
+    let mut out = vec![0.0; n];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (s, &k) in kernel.iter().enumerate() {
+            let idx = (i + n - s) % n;
+            acc += k * x[idx];
+        }
+        *slot = acc;
+    }
+    out
+}
+
+/// FFT-based circular convolution using a prepared plan, O(N log N).
+pub fn circular_convolve_fft(plan: &FftPlan, x: &[f64], kernel: &[f64]) -> Vec<f64> {
+    let n = plan.len();
+    assert_eq!(x.len(), n);
+    assert_eq!(kernel.len(), n);
+    let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
+    let kc: Vec<Complex64> = kernel.iter().map(|&v| Complex64::from_re(v)).collect();
+    let xf = plan.forward(&xc);
+    let kf = plan.forward(&kc);
+    let prod: Vec<Complex64> = xf.iter().zip(&kf).map(|(&a, &b)| a * b).collect();
+    plan.inverse(&prod).into_iter().map(|c| c.re).collect()
+}
+
+/// Apply a wavenumber-space multiplier `s_hat[k]` to a real signal:
+/// `out = IFFT( Ŝ ⊙ FFT(x) )`, keeping the real part. This is the paper's
+/// Eq. (1) — the form the optimized filter uses directly.
+pub fn apply_spectral_multiplier(plan: &FftPlan, x: &[f64], s_hat: &[f64]) -> Vec<f64> {
+    let n = plan.len();
+    assert_eq!(x.len(), n);
+    assert_eq!(s_hat.len(), n);
+    let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
+    let mut xf = plan.forward(&xc);
+    for (v, &s) in xf.iter_mut().zip(s_hat) {
+        *v = v.scale(s);
+    }
+    plan.inverse(&xf).into_iter().map(|c| c.re).collect()
+}
+
+/// The physical-space kernel equivalent to a wavenumber multiplier:
+/// `kernel = IFFT(Ŝ)` (real part). Convolving with this kernel equals
+/// applying the multiplier — the convolution theorem, and the bridge
+/// between the paper's Eq. (1) and Eq. (2).
+pub fn kernel_from_multiplier(plan: &FftPlan, s_hat: &[f64]) -> Vec<f64> {
+    let sc: Vec<Complex64> = s_hat.iter().map(|&v| Complex64::from_re(v)).collect();
+    plan.inverse(&sc).into_iter().map(|c| c.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n).map(|j| (j as f64 * 0.31).sin() + 0.1 * j as f64).collect()
+    }
+
+    #[test]
+    fn identity_kernel_is_noop() {
+        // kernel = delta → convolution returns the signal.
+        let n = 16;
+        let x = signal(n);
+        let mut delta = vec![0.0; n];
+        delta[0] = 1.0;
+        assert!(max_abs_diff(&circular_convolve_direct(&x, &delta), &x) < 1e-12);
+    }
+
+    #[test]
+    fn shift_kernel_rotates() {
+        let n = 8;
+        let x = signal(n);
+        let mut shift = vec![0.0; n];
+        shift[1] = 1.0; // delay by one
+        let y = circular_convolve_direct(&x, &shift);
+        for i in 0..n {
+            assert!((y[i] - x[(i + n - 1) % n]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_convolution_matches_direct() {
+        for n in [8, 12, 15, 144] {
+            let plan = FftPlan::new(n);
+            let x = signal(n);
+            let k: Vec<f64> = (0..n).map(|j| ((j * j) as f64 * 0.05).cos()).collect();
+            let direct = circular_convolve_direct(&x, &k);
+            let fast = circular_convolve_fft(&plan, &x, &k);
+            assert!(
+                max_abs_diff(&direct, &fast) < 1e-8 * n as f64,
+                "n={n}: {}",
+                max_abs_diff(&direct, &fast)
+            );
+        }
+    }
+
+    #[test]
+    fn convolution_theorem_bridge() {
+        // Eq. (1) (spectral multiplier) == Eq. (2) (convolution with IFFT(Ŝ)).
+        let n = 144;
+        let plan = FftPlan::new(n);
+        let x = signal(n);
+        // A low-pass-like multiplier.
+        let s_hat: Vec<f64> = (0..n)
+            .map(|k| {
+                let kk = k.min(n - k) as f64;
+                (1.0 / (1.0 + 0.1 * kk * kk)).min(1.0)
+            })
+            .collect();
+        let spectral = apply_spectral_multiplier(&plan, &x, &s_hat);
+        let kernel = kernel_from_multiplier(&plan, &s_hat);
+        let conv = circular_convolve_direct(&x, &kernel);
+        assert!(max_abs_diff(&spectral, &conv) < 1e-9, "{}", max_abs_diff(&spectral, &conv));
+    }
+
+    #[test]
+    fn all_ones_multiplier_is_identity() {
+        let n = 36;
+        let plan = FftPlan::new(n);
+        let x = signal(n);
+        let s = vec![1.0; n];
+        let y = apply_spectral_multiplier(&plan, &x, &s);
+        assert!(max_abs_diff(&x, &y) < 1e-10);
+    }
+
+    #[test]
+    fn zero_multiplier_annihilates() {
+        let n = 24;
+        let plan = FftPlan::new(n);
+        let y = apply_spectral_multiplier(&plan, &signal(n), &vec![0.0; n]);
+        assert!(y.iter().all(|v| v.abs() < 1e-12));
+    }
+}

@@ -1,0 +1,121 @@
+//! Direct discrete Fourier transform — the O(N²) correctness oracle.
+//!
+//! Conventions (used consistently across the crate):
+//! forward transform `X[k] = Σ_j x[j]·e^{-2πi jk/N}` (no scaling);
+//! inverse transform `x[j] = (1/N) Σ_k X[k]·e^{+2πi jk/N}`.
+
+use crate::complex::Complex64;
+
+/// Forward DFT, O(N²).
+pub fn dft(x: &[Complex64]) -> Vec<Complex64> {
+    transform(x, -1.0)
+}
+
+/// Inverse DFT (including the 1/N factor), O(N²).
+pub fn idft(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    let mut out = transform(x, 1.0);
+    let inv = 1.0 / n as f64;
+    for v in &mut out {
+        *v = v.scale(inv);
+    }
+    out
+}
+
+fn transform(x: &[Complex64], sign: f64) -> Vec<Complex64> {
+    let n = x.len();
+    let mut out = vec![Complex64::ZERO; n];
+    if n == 0 {
+        return out;
+    }
+    let base = sign * 2.0 * std::f64::consts::PI / n as f64;
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (j, &v) in x.iter().enumerate() {
+            // (j*k) mod n keeps the angle argument small for large inputs.
+            acc += v * Complex64::expi(base * ((j * k) % n) as f64);
+        }
+        *slot = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_error;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dft(&[]).is_empty());
+        assert!(idft(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_point_is_identity() {
+        let x = vec![c(3.5, -1.0)];
+        assert_eq!(dft(&x), x);
+        let e = max_error(&idft(&x), &x);
+        assert!(e < 1e-15);
+    }
+
+    #[test]
+    fn constant_signal_concentrates_at_dc() {
+        let x = vec![c(2.0, 0.0); 8];
+        let y = dft(&x);
+        assert!((y[0].re - 16.0).abs() < 1e-12);
+        for v in &y[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_at_its_wavenumber() {
+        let n = 12;
+        let k0 = 3;
+        let x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::expi(2.0 * std::f64::consts::PI * (k0 * j) as f64 / n as f64))
+            .collect();
+        let y = dft(&x);
+        for (k, v) in y.iter().enumerate() {
+            if k == k0 {
+                assert!((v.re - n as f64).abs() < 1e-10);
+                assert!(v.im.abs() < 1e-10);
+            } else {
+                assert!(v.abs() < 1e-10, "leakage at k={k}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let x: Vec<Complex64> =
+            (0..17).map(|j| c((j as f64).sin(), (j as f64 * 0.3).cos())).collect();
+        let back = idft(&dft(&x));
+        assert!(max_error(&back, &x) < 1e-12);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex64> = (0..9).map(|j| c(j as f64, -(j as f64))).collect();
+        let b: Vec<Complex64> = (0..9).map(|j| c((j * j) as f64 * 0.1, 1.0)).collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let lhs = dft(&sum);
+        let (fa, fb) = (dft(&a), dft(&b));
+        let rhs: Vec<Complex64> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        assert!(max_error(&lhs, &rhs) < 1e-10);
+    }
+
+    #[test]
+    fn parseval() {
+        let x: Vec<Complex64> = (0..16).map(|j| c((j as f64 * 1.3).sin(), 0.0)).collect();
+        let y = dft(&x);
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let freq_energy: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / 16.0;
+        assert!((time_energy - freq_energy).abs() < 1e-10);
+    }
+}

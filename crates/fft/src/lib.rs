@@ -1,0 +1,31 @@
+//! # agcm-fft — Fourier transforms for the polar spectral filter
+//!
+//! The UCLA AGCM's polar filtering (paper §3.1–3.2) is an inverse Fourier
+//! transform in wavenumber space; the original code evaluated it as a
+//! physical-space *convolution* at O(N²) per line, the optimized code as an
+//! *FFT* at O(N log N). Both implementations are provided here, from
+//! scratch, so the `agcm-filtering` crate can reproduce the comparison:
+//!
+//! * [`dft`] — direct O(N²) DFT/IDFT, the correctness oracle;
+//! * [`radix2`] — iterative radix-2 FFT for power-of-two sizes;
+//! * [`plan`] — mixed-radix Cooley-Tukey (factors 2/3/5; the AGCM's
+//!   N = 144 = 2⁴·3² longitudes are 2/3/5-smooth), with a Bluestein
+//!   fallback for arbitrary sizes;
+//! * [`real`] — real-signal helpers (half-spectrum packing);
+//! * [`convolution`] — direct circular convolution and its FFT equivalent;
+//! * [`ops`] — operation-count estimators used by the execution tracer.
+//!
+//! Vendor FFT libraries (which the paper used on whole latitude lines after
+//! the transpose) are replaced by [`plan::FftPlan`], per the substitution
+//! table in `DESIGN.md`.
+
+pub mod complex;
+pub mod convolution;
+pub mod dft;
+pub mod ops;
+pub mod plan;
+pub mod radix2;
+pub mod real;
+
+pub use complex::Complex64;
+pub use plan::FftPlan;

@@ -1,0 +1,299 @@
+//! FFT plans: mixed-radix Cooley-Tukey with a Bluestein fallback.
+//!
+//! A [`FftPlan`] is built once per transform size (the paper's setup phase:
+//! "its cost is not an issue for a long AGCM simulation since it is done
+//! only once") and then applied to many latitude lines. The AGCM grid has
+//! N = 144 longitudes (2⁴·3²), which the mixed-radix path handles natively;
+//! arbitrary sizes fall back to Bluestein's algorithm so the filter works
+//! for any resolution.
+
+use crate::complex::Complex64;
+use crate::radix2::fft_pow2_inplace;
+
+/// Factor `n` into the supported radices (2, 3, 5), largest first.
+/// Returns `None` if a different prime remains.
+pub fn smooth_factors(mut n: usize) -> Option<Vec<usize>> {
+    assert!(n > 0);
+    let mut factors = Vec::new();
+    for &r in &[5usize, 3, 2] {
+        while n.is_multiple_of(r) {
+            factors.push(r);
+            n /= r;
+        }
+    }
+    if n == 1 {
+        Some(factors)
+    } else {
+        None
+    }
+}
+
+enum Strategy {
+    /// Size 1: identity.
+    Identity,
+    /// 2/3/5-smooth mixed-radix Cooley-Tukey.
+    MixedRadix { factors: Vec<usize> },
+    /// Bluestein chirp-z via a padded power-of-two convolution.
+    Bluestein {
+        /// Padded convolution size (power of two ≥ 2n−1).
+        m: usize,
+        /// Chirp `e^{-iπ j²/n}` for j in 0..n.
+        chirp: Vec<Complex64>,
+        /// FFT of the zero-padded conjugate-chirp kernel.
+        kernel_fft: Vec<Complex64>,
+    },
+}
+
+/// A reusable transform plan for one size.
+pub struct FftPlan {
+    n: usize,
+    /// Forward twiddle table: `w[t] = e^{-2πi t/n}`.
+    twiddles: Vec<Complex64>,
+    strategy: Strategy,
+}
+
+impl FftPlan {
+    /// Build a plan for size `n`.
+    pub fn new(n: usize) -> FftPlan {
+        assert!(n > 0, "FFT size must be positive");
+        let twiddles: Vec<Complex64> = (0..n)
+            .map(|t| Complex64::expi(-2.0 * std::f64::consts::PI * t as f64 / n as f64))
+            .collect();
+        let strategy = if n == 1 {
+            Strategy::Identity
+        } else if let Some(factors) = smooth_factors(n) {
+            Strategy::MixedRadix { factors }
+        } else {
+            // Bluestein: x[j]·c[j] convolved with conj-chirp, c[j]=e^{-iπj²/n}.
+            let m = (2 * n - 1).next_power_of_two();
+            let chirp: Vec<Complex64> = (0..n)
+                .map(|j| {
+                    // j² mod 2n keeps the angle bounded.
+                    let q = (j * j) % (2 * n);
+                    Complex64::expi(-std::f64::consts::PI * q as f64 / n as f64)
+                })
+                .collect();
+            let mut kernel = vec![Complex64::ZERO; m];
+            kernel[0] = chirp[0].conj();
+            for j in 1..n {
+                kernel[j] = chirp[j].conj();
+                kernel[m - j] = chirp[j].conj();
+            }
+            fft_pow2_inplace(&mut kernel, -1.0);
+            Strategy::Bluestein { m, chirp, kernel_fft: kernel }
+        };
+        FftPlan { n, twiddles, strategy }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is for the trivial size-1 transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 1
+    }
+
+    /// True if the plan uses the mixed-radix path (2/3/5-smooth size).
+    pub fn is_smooth(&self) -> bool {
+        matches!(self.strategy, Strategy::MixedRadix { .. } | Strategy::Identity)
+    }
+
+    /// Forward FFT: `X[k] = Σ_j x[j] e^{-2πi jk/n}`.
+    pub fn forward(&self, x: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(x.len(), self.n, "input length {} != plan size {}", x.len(), self.n);
+        match &self.strategy {
+            Strategy::Identity => x.to_vec(),
+            Strategy::MixedRadix { factors } => {
+                let mut out = vec![Complex64::ZERO; self.n];
+                self.mixed_radix(x, &mut out, self.n, 1, factors, false);
+                out
+            }
+            Strategy::Bluestein { .. } => self.bluestein(x, false),
+        }
+    }
+
+    /// Inverse FFT including the 1/n factor.
+    pub fn inverse(&self, x: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(x.len(), self.n, "input length {} != plan size {}", x.len(), self.n);
+        let mut out = match &self.strategy {
+            Strategy::Identity => x.to_vec(),
+            Strategy::MixedRadix { factors } => {
+                let mut out = vec![Complex64::ZERO; self.n];
+                self.mixed_radix(x, &mut out, self.n, 1, factors, true);
+                out
+            }
+            Strategy::Bluestein { .. } => self.bluestein(x, true),
+        };
+        let inv = 1.0 / self.n as f64;
+        for v in &mut out {
+            *v = v.scale(inv);
+        }
+        out
+    }
+
+    /// Twiddle lookup: `e^{∓2πi t/n}` (conjugated for the inverse).
+    #[inline]
+    fn w(&self, t: usize, inverse: bool) -> Complex64 {
+        let tw = self.twiddles[t % self.n];
+        if inverse {
+            tw.conj()
+        } else {
+            tw
+        }
+    }
+
+    /// Recursive mixed-radix decimation-in-time.
+    ///
+    /// Computes the size-`n` transform of `x[0], x[stride], x[2·stride], …`
+    /// into `out[0..n]`. `factors` lists the remaining radices whose product
+    /// is `n`.
+    fn mixed_radix(
+        &self,
+        x: &[Complex64],
+        out: &mut [Complex64],
+        n: usize,
+        stride: usize,
+        factors: &[usize],
+        inverse: bool,
+    ) {
+        if n == 1 {
+            out[0] = x[0];
+            return;
+        }
+        let r = factors[0];
+        let m = n / r;
+        // Sub-transforms of the r interleaved subsequences.
+        for j in 0..r {
+            let (_, tail) = x.split_at(j * stride);
+            self.mixed_radix(tail, &mut out[j * m..(j + 1) * m], m, stride * r, &factors[1..], inverse);
+        }
+        // Combine: X[k + q·m] = Σ_j (w_n^{jk}·out_j[k]) · w_r^{jq}.
+        // Safe in place: for a given k we first gather all out[j·m + k],
+        // then write exactly those positions.
+        let full = self.n / n; // twiddle step: w_n = (w_N)^{N/n}
+        let mut a = [Complex64::ZERO; 8];
+        for k in 0..m {
+            for (j, slot) in a.iter_mut().enumerate().take(r) {
+                *slot = out[j * m + k] * self.w(full * j * k, inverse);
+            }
+            for q in 0..r {
+                let mut s = Complex64::ZERO;
+                for (j, &aj) in a.iter().enumerate().take(r) {
+                    // w_r^{jq} = w_N^{(N/r)·jq}
+                    s += aj * self.w((self.n / r) * ((j * q) % r), inverse);
+                }
+                out[q * m + k] = s;
+            }
+        }
+    }
+
+    /// Bluestein chirp-z transform through the power-of-two engine.
+    fn bluestein(&self, x: &[Complex64], inverse: bool) -> Vec<Complex64> {
+        let Strategy::Bluestein { m, chirp, kernel_fft } = &self.strategy else {
+            unreachable!("bluestein called on a non-Bluestein plan")
+        };
+        let n = self.n;
+        let take = |c: Complex64| if inverse { c.conj() } else { c };
+        let mut a = vec![Complex64::ZERO; *m];
+        for j in 0..n {
+            a[j] = x[j] * take(chirp[j]);
+        }
+        fft_pow2_inplace(&mut a, -1.0);
+        for (av, &kv) in a.iter_mut().zip(kernel_fft.iter()) {
+            let k = if inverse { kv.conj() } else { kv };
+            *av *= k;
+        }
+        fft_pow2_inplace(&mut a, 1.0);
+        let inv_m = 1.0 / *m as f64;
+        (0..n).map(|k| (a[k] * take(chirp[k])).scale(inv_m)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::max_error;
+    use crate::dft::{dft, idft};
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|j| Complex64::new((j as f64 * 0.9).sin() + 0.2, (j as f64 * 0.4).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn smooth_factorization() {
+        assert_eq!(smooth_factors(1), Some(vec![]));
+        assert_eq!(smooth_factors(8), Some(vec![2, 2, 2]));
+        assert_eq!(smooth_factors(144), Some(vec![3, 3, 2, 2, 2, 2]));
+        assert_eq!(smooth_factors(30), Some(vec![5, 3, 2]));
+        assert_eq!(smooth_factors(7), None);
+        assert_eq!(smooth_factors(22), None);
+    }
+
+    #[test]
+    fn matches_dft_smooth_sizes() {
+        for n in [1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 27, 30, 36, 45, 48, 60, 72, 144] {
+            let plan = FftPlan::new(n);
+            assert!(plan.is_smooth(), "n={n} should be smooth");
+            let x = signal(n);
+            let err = max_error(&plan.forward(&x), &dft(&x));
+            assert!(err < 1e-9 * (n.max(4)) as f64, "n={n}: err={err}");
+        }
+    }
+
+    #[test]
+    fn matches_dft_bluestein_sizes() {
+        for n in [7, 11, 13, 17, 23, 37, 97, 101] {
+            let plan = FftPlan::new(n);
+            assert!(!plan.is_smooth(), "n={n} should use Bluestein");
+            let x = signal(n);
+            let err = max_error(&plan.forward(&x), &dft(&x));
+            assert!(err < 1e-8 * n as f64, "n={n}: err={err}");
+        }
+    }
+
+    #[test]
+    fn inverse_matches_idft() {
+        for n in [12, 144, 13, 90] {
+            let plan = FftPlan::new(n);
+            let x = signal(n);
+            let err = max_error(&plan.inverse(&x), &idft(&x));
+            assert!(err < 1e-9 * n as f64, "n={n}: err={err}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_sizes_up_to_60() {
+        for n in 1..=60 {
+            let plan = FftPlan::new(n);
+            let x = signal(n);
+            let back = plan.inverse(&plan.forward(&x));
+            let err = max_error(&back, &x);
+            assert!(err < 1e-9 * n.max(4) as f64, "n={n}: roundtrip err={err}");
+        }
+    }
+
+    #[test]
+    fn agcm_longitude_size_is_smooth() {
+        // 2.5° resolution → 144 longitudes = 2⁴·3².
+        assert!(FftPlan::new(144).is_smooth());
+        // 15-layer runs use the same horizontal grid.
+        assert!(FftPlan::new(72).is_smooth());
+    }
+
+    #[test]
+    fn plan_reuse_is_deterministic() {
+        let plan = FftPlan::new(36);
+        let x = signal(36);
+        assert_eq!(plan.forward(&x), plan.forward(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "input length")]
+    fn wrong_length_rejected() {
+        FftPlan::new(8).forward(&signal(7));
+    }
+}

@@ -1,0 +1,108 @@
+//! Real-signal transform helpers.
+//!
+//! Grid variables are real; their spectra are conjugate-symmetric, so only
+//! wavenumbers 0..=N/2 are independent. These helpers move between a real
+//! signal and its half-spectrum, which is what the filter response S(s,φ)
+//! of the paper is defined over (wavenumbers s = 1..M in Eq. (1)).
+
+use crate::complex::Complex64;
+use crate::plan::FftPlan;
+
+/// Forward transform of a real signal; returns the half spectrum
+/// `X[0..=n/2]` (length `n/2 + 1`).
+pub fn rfft(plan: &FftPlan, x: &[f64]) -> Vec<Complex64> {
+    let n = plan.len();
+    assert_eq!(x.len(), n);
+    let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
+    let full = plan.forward(&xc);
+    full[..=n / 2].to_vec()
+}
+
+/// Inverse of [`rfft`]: rebuild the full conjugate-symmetric spectrum and
+/// transform back, returning the real signal.
+pub fn irfft(plan: &FftPlan, half: &[Complex64]) -> Vec<f64> {
+    let n = plan.len();
+    assert_eq!(half.len(), n / 2 + 1, "half spectrum must have n/2+1 entries");
+    let mut full = vec![Complex64::ZERO; n];
+    full[..=n / 2].copy_from_slice(half);
+    for k in n / 2 + 1..n {
+        full[k] = half[n - k].conj();
+    }
+    plan.inverse(&full).into_iter().map(|c| c.re).collect()
+}
+
+/// Number of independent wavenumbers of a length-`n` real signal,
+/// excluding the mean (wavenumber 0): the `M` of the paper's Eq. (1).
+pub fn max_wavenumber(n: usize) -> usize {
+    n / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n).map(|j| (j as f64 * 0.8).sin() - 0.3 * (j as f64 * 0.2).cos()).collect()
+    }
+
+    #[test]
+    fn roundtrip_even_sizes() {
+        for n in [2, 8, 12, 144] {
+            let plan = FftPlan::new(n);
+            let x = signal(n);
+            let back = irfft(&plan, &rfft(&plan, &x));
+            let err: f64 =
+                x.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            assert!(err < 1e-10, "n={n}: err={err}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_odd_sizes() {
+        for n in [3, 9, 15, 45] {
+            let plan = FftPlan::new(n);
+            let x = signal(n);
+            let back = irfft(&plan, &rfft(&plan, &x));
+            let err: f64 =
+                x.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            assert!(err < 1e-10, "n={n}: err={err}");
+        }
+    }
+
+    #[test]
+    fn real_signal_spectrum_is_conjugate_symmetric() {
+        let n = 16;
+        let plan = FftPlan::new(n);
+        let x = signal(n);
+        let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
+        let full = plan.forward(&xc);
+        for k in 1..n {
+            let d = full[k] - full[n - k].conj();
+            assert!(d.abs() < 1e-10);
+        }
+        // DC and Nyquist bins are real.
+        assert!(full[0].im.abs() < 1e-10);
+        assert!(full[n / 2].im.abs() < 1e-10);
+    }
+
+    #[test]
+    fn half_spectrum_length() {
+        let plan = FftPlan::new(10);
+        assert_eq!(rfft(&plan, &signal(10)).len(), 6);
+        let plan = FftPlan::new(9);
+        assert_eq!(rfft(&plan, &signal(9)).len(), 5);
+    }
+
+    #[test]
+    fn max_wavenumber_values() {
+        assert_eq!(max_wavenumber(144), 72);
+        assert_eq!(max_wavenumber(9), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "half spectrum")]
+    fn irfft_wrong_length_rejected() {
+        let plan = FftPlan::new(8);
+        irfft(&plan, &[Complex64::ZERO; 3]);
+    }
+}

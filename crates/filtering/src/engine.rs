@@ -1,0 +1,161 @@
+//! The redistribute → filter → restore engine (Figures 2–3).
+//!
+//! Both FFT variants share the same three-phase structure; they differ only
+//! in the *assignment* of lines to processors:
+//!
+//! 1. **Forward movement** — every rank packs, for each filterable line
+//!    whose latitude it owns, its longitude chunk, addressed to the line's
+//!    assigned filterer. One message per communicating pair; pairs with
+//!    nothing to exchange send nothing (a transpose within a processor row
+//!    costs O(row²) messages, not O(mesh²) — Figure 3's row transpose is
+//!    the row-local special case). Chunks a rank assigns to itself move by
+//!    local copy.
+//! 2. **Local filtering** — the assignee reassembles complete longitude
+//!    lines, applies the spectral multiplier through the shared FFT plan,
+//!    and records the flop count.
+//! 3. **Inverse movement** — filtered lines are split back into the
+//!    original chunks and returned; "inverse data movements … restore the
+//!    data layout which existed prior to the filtering."
+//!
+//! Packing order is the canonical line order on both sides, so no indices
+//! travel with the data — the set-up bookkeeping makes the streams
+//! self-describing.
+
+use crate::filterfn::FilterKind;
+use crate::lines::FilterSetup;
+use agcm_fft::convolution::apply_spectral_multiplier;
+use agcm_fft::ops::spectral_filter_flops;
+use agcm_grid::field::Field3D;
+use agcm_mps::message::Payload;
+use agcm_mps::topology::CartComm;
+use std::collections::BTreeSet;
+
+const TAG_FWD: u64 = 401;
+const TAG_BWD: u64 = 402;
+
+/// Run one filter class through the redistribute/filter/restore engine.
+///
+/// `owners[l]` names the rank that filters line `l` (indices into
+/// `setup.lines(kind)`). `only_var` restricts the pass to a single variable
+/// — the original code's one-variable-at-a-time organization; `None`
+/// moves every variable of the class concurrently (the §3.3
+/// reorganization).
+pub(crate) fn redistribute_filter(
+    setup: &FilterSetup,
+    cart: &CartComm,
+    fields: &mut [Field3D],
+    kind: FilterKind,
+    owners: &[usize],
+    only_var: Option<usize>,
+) {
+    let comm = cart.comm();
+    let p = comm.size();
+    let rank = comm.rank();
+    let (my_row, my_col) = cart.coords();
+    let sub = setup.decomp.subdomain(my_row, my_col);
+    let lines = setup.lines(kind);
+    assert_eq!(owners.len(), lines.len(), "one owner per line");
+    let n_lon = setup.grid.n_lon;
+    let mesh_lon = setup.decomp.mesh_lon;
+    let selected = |var: usize| only_var.is_none_or(|v| v == var);
+    let holds = |lat: usize| sub.lats().contains(&lat);
+
+    // --- Phase 1: forward movement (skip empty pairs, self by copy). -----
+    let mut send: Vec<Vec<f64>> = vec![Vec::new(); p];
+    for (idx, line) in lines.iter().enumerate() {
+        if selected(line.var) && holds(line.lat) {
+            let row = fields[line.var].row(line.lat - sub.j0, line.lev);
+            send[owners[idx]].extend_from_slice(&row);
+        }
+    }
+    let mut bufs: Vec<Vec<f64>> = vec![Vec::new(); p];
+    bufs[rank] = std::mem::take(&mut send[rank]);
+    for (dst, buf) in send.into_iter().enumerate() {
+        if dst != rank && !buf.is_empty() {
+            comm.send(dst, TAG_FWD, Payload::F64(buf));
+        }
+    }
+    // Sources: every column of the mesh row owning the latitude of each
+    // line assigned to us (all hold a non-empty chunk).
+    let mut fwd_sources: BTreeSet<usize> = BTreeSet::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if owners[idx] == rank && selected(line.var) {
+            let src_row = setup.decomp.row_of_lat(line.lat);
+            for c in 0..mesh_lon {
+                fwd_sources.insert(src_row * mesh_lon + c);
+            }
+        }
+    }
+    for &src in &fwd_sources {
+        if src != rank {
+            bufs[src] = comm.recv_f64(src, TAG_FWD);
+        }
+    }
+
+    // --- Phase 2: assemble, filter, count the work. ----------------------
+    let mut cursors = vec![0usize; p];
+    let mut filtered: Vec<(usize, Vec<f64>)> = Vec::new();
+    let mut flops = 0.0;
+    for (idx, line) in lines.iter().enumerate() {
+        if owners[idx] != rank || !selected(line.var) {
+            continue;
+        }
+        let src_row = setup.decomp.row_of_lat(line.lat);
+        let mut full = vec![0.0; n_lon];
+        for c in 0..mesh_lon {
+            let src = src_row * mesh_lon + c;
+            let (i0, ni) = setup.col_chunk(c);
+            full[i0..i0 + ni].copy_from_slice(&bufs[src][cursors[src]..cursors[src] + ni]);
+            cursors[src] += ni;
+        }
+        let mult = setup.multiplier(kind, line.lat);
+        let out = apply_spectral_multiplier(&setup.fft, &full, mult);
+        flops += spectral_filter_flops(n_lon);
+        filtered.push((idx, out));
+    }
+    comm.record_flops(flops);
+
+    // --- Phase 3: inverse movement (same sparsity, reversed). ------------
+    let mut back: Vec<Vec<f64>> = vec![Vec::new(); p];
+    for (idx, out) in &filtered {
+        let line = lines[*idx];
+        let dst_row = setup.decomp.row_of_lat(line.lat);
+        for c in 0..mesh_lon {
+            let (i0, ni) = setup.col_chunk(c);
+            back[dst_row * mesh_lon + c].extend_from_slice(&out[i0..i0 + ni]);
+        }
+    }
+    let mut ret_bufs: Vec<Vec<f64>> = vec![Vec::new(); p];
+    ret_bufs[rank] = std::mem::take(&mut back[rank]);
+    for (dst, buf) in back.into_iter().enumerate() {
+        if dst != rank && !buf.is_empty() {
+            comm.send(dst, TAG_BWD, Payload::F64(buf));
+        }
+    }
+    // Sources of returned data: the owners of the lines whose chunks we
+    // hold.
+    let mut bwd_sources: BTreeSet<usize> = BTreeSet::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if selected(line.var) && holds(line.lat) {
+            bwd_sources.insert(owners[idx]);
+        }
+    }
+    for &src in &bwd_sources {
+        if src != rank {
+            ret_bufs[src] = comm.recv_f64(src, TAG_BWD);
+        }
+    }
+    let mut cursors = vec![0usize; p];
+    for (idx, line) in lines.iter().enumerate() {
+        if selected(line.var) && holds(line.lat) {
+            let o = owners[idx];
+            let chunk = &ret_bufs[o][cursors[o]..cursors[o] + sub.ni];
+            fields[line.var].set_row(line.lat - sub.j0, line.lev, chunk);
+            cursors[o] += sub.ni;
+        }
+    }
+    // Every returned byte must have been consumed.
+    for (o, buf) in ret_bufs.iter().enumerate() {
+        debug_assert_eq!(cursors[o], buf.len(), "stray data from owner {o}");
+    }
+}

@@ -1,0 +1,181 @@
+//! The filter response S(s, φ) and the filtered latitude sets.
+//!
+//! "The filtering algorithm … is basically a set of discrete Fourier
+//! filters specifically designed to damp fast-moving inertia-gravity waves
+//! near the poles. … Ŝ(s) is a prescribed function of wavenumber and
+//! latitude, but is independent of time and height" (paper §3.1).
+//!
+//! We use an Arakawa–Lamb-style form. The effective zonal phase speed of
+//! wavenumber `s` at latitude φ scales as `sin(sπ/N) / (a·cosφ·Δλ)`, so the
+//! base response restoring the cutoff latitude's CFL margin is
+//!
+//! ```text
+//! r(s, φ) = min( 1, cos φ / (cos φ_c · sin(s·π/N)) )
+//! ```
+//!
+//! The **strong** filter applies `r²` (poles to 45°): the amplification
+//! factor of an explicit step grows *linearly* in `sin(sπ/N)`, so a `1/sin`
+//! response only neutralizes it — the squared response guarantees every
+//! CFL-violating mode decays, with margin. The **weak** filter applies `r`
+//! itself (poles to 60°) — exactly the square root of the strong response,
+//! gentler damping for the slower tracers. Both leave long waves (small
+//! `s`, where `r = 1`) untouched and damp short waves increasingly toward
+//! the pole.
+
+use agcm_grid::latlon::GridSpec;
+
+/// Which of the two filter classes is being applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterKind {
+    /// Strong filtering: poles to 45°, full damping.
+    Strong,
+    /// Weak filtering: poles to 60°, square-root damping.
+    Weak,
+}
+
+impl FilterKind {
+    /// Equatorward cutoff latitude of this class, degrees.
+    pub fn cutoff_deg(self) -> f64 {
+        match self {
+            FilterKind::Strong => 45.0,
+            FilterKind::Weak => 60.0,
+        }
+    }
+
+    /// Response for zonal wavenumber `s` (1 ≤ s ≤ N/2) at latitude
+    /// `lat_rad` on an `n_lon`-point circle. Returns a damping factor in
+    /// (0, 1]; wavenumber 0 (the zonal mean) is never damped.
+    pub fn response(self, s: usize, n_lon: usize, lat_rad: f64) -> f64 {
+        assert!(s <= n_lon / 2, "wavenumber {s} beyond Nyquist for N={n_lon}");
+        if s == 0 {
+            return 1.0;
+        }
+        let cutoff = self.cutoff_deg().to_radians();
+        let ratio = lat_rad.cos().abs() / (cutoff.cos() * (std::f64::consts::PI * s as f64 / n_lon as f64).sin());
+        let base = ratio.min(1.0);
+        match self {
+            FilterKind::Strong => base * base,
+            FilterKind::Weak => base,
+        }
+    }
+
+    /// The full-length spectral multiplier for one latitude row: entry `k`
+    /// damps FFT bin `k`, symmetric so real signals stay real
+    /// (`mult[k] == mult[N−k]`).
+    pub fn multiplier(self, grid: &GridSpec, lat_row: usize) -> Vec<f64> {
+        let n = grid.n_lon;
+        let lat = grid.latitude(lat_row);
+        let mut m = vec![1.0; n];
+        #[allow(clippy::needless_range_loop)] // index drives multiple buffers
+        for k in 1..n {
+            let s = k.min(n - k);
+            m[k] = self.response(s, n, lat);
+        }
+        m
+    }
+
+    /// Global latitude rows filtered by this class: all rows poleward of
+    /// the cutoff. (Strong: "about one half of the latitudes"; weak:
+    /// "about one third", §3.1.)
+    pub fn filtered_lats(self, grid: &GridSpec) -> Vec<usize> {
+        grid.rows_poleward_of(self.cutoff_deg())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zonal_mean_never_damped() {
+        for kind in [FilterKind::Strong, FilterKind::Weak] {
+            assert_eq!(kind.response(0, 144, 1.4), 1.0);
+        }
+    }
+
+    #[test]
+    fn response_decreases_with_wavenumber() {
+        let lat = 80f64.to_radians();
+        let mut prev = 1.0;
+        for s in 1..=72 {
+            let r = FilterKind::Strong.response(s, 144, lat);
+            assert!(r <= prev + 1e-12, "response must be non-increasing in s");
+            assert!(r > 0.0 && r <= 1.0);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn damping_stronger_toward_pole() {
+        let s = 36;
+        let r70 = FilterKind::Strong.response(s, 144, 70f64.to_radians());
+        let r85 = FilterKind::Strong.response(s, 144, 85f64.to_radians());
+        assert!(r85 < r70, "pole {r85} must be damped more than {r70}");
+    }
+
+    #[test]
+    fn no_damping_equatorward_of_cutoff() {
+        // At the cutoff latitude itself, cosφ/cosφ_c = 1 and every
+        // wavenumber's response is min(1, 1/sin(·)) = 1 for all s with
+        // sin ≤ 1 … exactly 1 only where sin(sπ/N) ≤ 1, i.e. everywhere.
+        let r = FilterKind::Strong.response(72, 144, 45f64.to_radians());
+        assert!((r - 1.0).abs() < 1e-12);
+        // Equatorward rows would have response 1 too (they are simply not
+        // in the filtered set).
+        let r_eq = FilterKind::Strong.response(72, 144, 10f64.to_radians());
+        assert_eq!(r_eq, 1.0);
+    }
+
+    #[test]
+    fn weak_is_gentler_than_strong() {
+        let lat = 85f64.to_radians();
+        for s in [10, 36, 72] {
+            let strong = FilterKind::Strong.response(s, 144, lat);
+            let weak = FilterKind::Weak.response(s, 144, lat);
+            assert!(weak >= strong, "weak {weak} must damp less than strong {strong}");
+        }
+    }
+
+    #[test]
+    fn multiplier_is_symmetric() {
+        let grid = GridSpec::paper_9_layer();
+        let m = FilterKind::Strong.multiplier(&grid, 0); // most polar row
+        assert_eq!(m.len(), 144);
+        assert_eq!(m[0], 1.0);
+        for k in 1..144 {
+            assert!((m[k] - m[144 - k]).abs() < 1e-15, "multiplier must be symmetric");
+        }
+        // The polar row must damp its Nyquist mode hard.
+        assert!(m[72] < 0.05, "polar Nyquist damping {}", m[72]);
+    }
+
+    #[test]
+    fn filtered_sets_nest() {
+        let grid = GridSpec::paper_9_layer();
+        let strong = FilterKind::Strong.filtered_lats(&grid);
+        let weak = FilterKind::Weak.filtered_lats(&grid);
+        assert_eq!(strong.len(), 46);
+        assert_eq!(weak.len(), 30);
+        // Weak rows are a subset of strong rows (closer to the poles).
+        for j in &weak {
+            assert!(strong.contains(j));
+        }
+    }
+
+    #[test]
+    fn southern_and_northern_hemispheres_symmetric() {
+        let grid = GridSpec::paper_9_layer();
+        let m_south = FilterKind::Strong.multiplier(&grid, 0);
+        let m_north = FilterKind::Strong.multiplier(&grid, 89);
+        for (a, b) in m_south.iter().zip(&m_north) {
+            // Row latitudes are not exact negations in floating point.
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond Nyquist")]
+    fn wavenumber_beyond_nyquist_rejected() {
+        FilterKind::Strong.response(73, 144, 1.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # agcm-filtering — the polar spectral filter, three ways
+//!
+//! This crate is the core contribution of the reproduction: the UCLA AGCM's
+//! high-latitude spectral filtering (paper §3.1–3.3) in the three
+//! implementations whose comparison makes up Tables 8–11:
+//!
+//! 1. [`convolution`] — the **original** module: the filter evaluated as a
+//!    physical-space circular convolution (paper Eq. 2), parallelized with
+//!    ring or binary-tree communication around each processor row;
+//! 2. [`fft`] — **FFT without load balance**: each processor row transposes
+//!    its filtered lines among its own processors, applies a local FFT
+//!    filter (paper Eq. 1), and transposes back — polar rows still do all
+//!    the work;
+//! 3. [`lb_fft`] — **load-balanced FFT**: the generic row-redistribution
+//!    module of §3.3 (Figures 2–3) first spreads complete filter lines over
+//!    *all* processors (each gets ⌈ΣR_j/N⌉ lines, Eq. 3), the FFT filter
+//!    runs perfectly balanced, and inverse data movement restores the
+//!    original layout. All variables of a filter class are moved
+//!    concurrently, as the paper's reorganization allows.
+//!
+//! Supporting modules: [`filterfn`] defines the filter response S(s,φ) and
+//! the strong/weak latitude sets; [`lines`] is the bookkeeping ("some
+//! non-trivial set-up code", §3.3) that enumerates filterable lines and
+//! plans the data movement once per run; [`reference`] is the sequential
+//! oracle every parallel variant must match bit-for-bit in the tests.
+
+pub mod convolution;
+pub mod driver;
+pub(crate) mod engine;
+pub mod fft;
+pub mod filterfn;
+pub mod lb_fft;
+pub mod lines;
+pub mod reference;
+
+pub use driver::{FilterVariant, PolarFilter};
+pub use filterfn::FilterKind;
+pub use lines::{FilterSetup, Line};

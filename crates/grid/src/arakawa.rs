@@ -1,0 +1,133 @@
+//! Arakawa C-grid staggering and the model's prognostic variables.
+//!
+//! "A cell in such a grid is a cube in spherical geometry with velocity
+//! components centered on each of the faces and the thermodynamic variables
+//! at the cell center" (paper §2). The staggering matters to the
+//! finite-difference kernels (which faces each stencil touches) and to the
+//! filter driver (which variables are strongly vs weakly filtered).
+
+/// Where a variable lives within a C-grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Staggering {
+    /// Cell centre (thermodynamic variables).
+    Center,
+    /// East/west cell faces (zonal wind u).
+    EastFace,
+    /// North/south cell faces (meridional wind v).
+    NorthFace,
+    /// Top/bottom cell faces (vertical velocity in sigma coordinates).
+    TopFace,
+}
+
+/// The prognostic variables carried by the model state.
+///
+/// The set follows the paper's §2: velocity plus "thermodynamic variables
+/// (potential temperature, pressure, specific humidity, ozone, etc.)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variable {
+    /// Zonal wind.
+    U,
+    /// Meridional wind.
+    V,
+    /// Potential temperature.
+    Theta,
+    /// Surface pressure (2-D but stored with a level axis of 1 internally).
+    Pressure,
+    /// Specific humidity.
+    Humidity,
+    /// Ozone mixing ratio.
+    Ozone,
+}
+
+impl Variable {
+    /// All prognostic variables in canonical order.
+    pub const ALL: [Variable; 6] = [
+        Variable::U,
+        Variable::V,
+        Variable::Theta,
+        Variable::Pressure,
+        Variable::Humidity,
+        Variable::Ozone,
+    ];
+
+    /// Where this variable sits in the C-grid cell.
+    pub fn staggering(self) -> Staggering {
+        match self {
+            Variable::U => Staggering::EastFace,
+            Variable::V => Staggering::NorthFace,
+            Variable::Theta | Variable::Pressure | Variable::Humidity | Variable::Ozone => {
+                Staggering::Center
+            }
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variable::U => "u",
+            Variable::V => "v",
+            Variable::Theta => "theta",
+            Variable::Pressure => "p",
+            Variable::Humidity => "q",
+            Variable::Ozone => "o3",
+        }
+    }
+
+    /// Index into [`Variable::ALL`].
+    pub fn index(self) -> usize {
+        Variable::ALL.iter().position(|&v| v == self).expect("variable is in ALL")
+    }
+
+    /// Variables subject to *strong* filtering (poles to 45°): the
+    /// fast-wave variables — winds and pressure/temperature, whose
+    /// inertia-gravity modes go unstable first.
+    pub fn strongly_filtered() -> Vec<Variable> {
+        vec![Variable::U, Variable::V, Variable::Pressure, Variable::Theta]
+    }
+
+    /// Variables subject to *weak* filtering (poles to 60°): the slower
+    /// tracers.
+    pub fn weakly_filtered() -> Vec<Variable> {
+        vec![Variable::Humidity, Variable::Ozone]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staggering_assignment() {
+        assert_eq!(Variable::U.staggering(), Staggering::EastFace);
+        assert_eq!(Variable::V.staggering(), Staggering::NorthFace);
+        assert_eq!(Variable::Theta.staggering(), Staggering::Center);
+        assert_eq!(Variable::Humidity.staggering(), Staggering::Center);
+    }
+
+    #[test]
+    fn indices_are_consistent() {
+        for (i, v) in Variable::ALL.iter().enumerate() {
+            assert_eq!(v.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = Variable::ALL.iter().map(|v| v.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Variable::ALL.len());
+    }
+
+    #[test]
+    fn filter_sets_partition_is_disjoint() {
+        let strong = Variable::strongly_filtered();
+        let weak = Variable::weakly_filtered();
+        for v in &weak {
+            assert!(!strong.contains(v), "{v:?} in both filter sets");
+        }
+        // "Weak and strong filterings are performed on different sets of
+        // physical variables" (§3.3).
+        assert_eq!(strong.len() + weak.len(), Variable::ALL.len());
+    }
+}

@@ -1,0 +1,324 @@
+//! Ghost-point (halo) exchange.
+//!
+//! "Message exchanges are needed among (logically) neighboring processors
+//! (nodes) in finite-difference calculations" (paper §2). Each subdomain
+//! carries a ghost margin of `h` points in both horizontal directions;
+//! [`HaloField::exchange`] fills the margins from the four neighbours:
+//! periodically in longitude, bounded at the poles (where a zero-gradient
+//! copy of the nearest interior row stands in for the AGCM's special pole
+//! treatment).
+//!
+//! The exchange is two-phase — east/west first, then north/south including
+//! the already-filled longitude ghosts — so diagonal (corner) ghosts come
+//! out right without extra messages.
+
+use agcm_mps::message::Payload;
+use agcm_mps::topology::CartComm;
+
+const TAG_EAST: u64 = 101;
+const TAG_WEST: u64 = 102;
+const TAG_NORTH: u64 = 103;
+const TAG_SOUTH: u64 = 104;
+
+/// A local field with ghost margins of width `h` in longitude and latitude.
+///
+/// Interior indices run `0..ni` / `0..nj`; ghosts are addressed with
+/// negative or overflowing indices through the signed accessors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaloField {
+    ni: usize,
+    nj: usize,
+    nk: usize,
+    h: usize,
+    /// Padded data, shape `(ni + 2h) × (nj + 2h) × nk`, longitude fastest.
+    data: Vec<f64>,
+}
+
+impl HaloField {
+    /// A zero-filled halo field for an `ni × nj × nk` interior with ghost
+    /// width `h`.
+    pub fn zeros(ni: usize, nj: usize, nk: usize, h: usize) -> HaloField {
+        assert!(h >= 1, "halo width must be at least 1");
+        assert!(ni >= h && nj >= h, "interior must be at least as wide as the halo");
+        HaloField { ni, nj, nk, h, data: vec![0.0; (ni + 2 * h) * (nj + 2 * h) * nk] }
+    }
+
+    /// Interior shape `(ni, nj, nk)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.ni, self.nj, self.nk)
+    }
+
+    /// Ghost width.
+    pub fn halo_width(&self) -> usize {
+        self.h
+    }
+
+    #[inline]
+    fn offset(&self, i: isize, j: isize, k: usize) -> usize {
+        let h = self.h as isize;
+        debug_assert!(
+            i >= -h && i < self.ni as isize + h && j >= -h && j < self.nj as isize + h && k < self.nk,
+            "halo index ({i},{j},{k}) out of range"
+        );
+        let pi = (i + h) as usize;
+        let pj = (j + h) as usize;
+        (k * (self.nj + 2 * self.h) + pj) * (self.ni + 2 * self.h) + pi
+    }
+
+    /// Read at signed indices (ghosts reachable with negatives/overflow).
+    #[inline]
+    pub fn get(&self, i: isize, j: isize, k: usize) -> f64 {
+        self.data[self.offset(i, j, k)]
+    }
+
+    /// Write at signed indices.
+    #[inline]
+    pub fn set(&mut self, i: isize, j: isize, k: usize, v: f64) {
+        let off = self.offset(i, j, k);
+        self.data[off] = v;
+    }
+
+    /// Initialize the interior from `f(i, j, k)` (local indices).
+    pub fn fill_interior(&mut self, mut f: impl FnMut(usize, usize, usize) -> f64) {
+        for k in 0..self.nk {
+            for j in 0..self.nj {
+                for i in 0..self.ni {
+                    self.set(i as isize, j as isize, k, f(i, j, k));
+                }
+            }
+        }
+    }
+
+    /// Pack a block of columns `[i_lo, i_lo+h) × [j_lo, j_hi) × levels`.
+    fn pack(&self, i_lo: isize, j_lo: isize, j_hi: isize, count_i: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(count_i * (j_hi - j_lo) as usize * self.nk);
+        for k in 0..self.nk {
+            for j in j_lo..j_hi {
+                for di in 0..count_i as isize {
+                    out.push(self.get(i_lo + di, j, k));
+                }
+            }
+        }
+        out
+    }
+
+    fn unpack(&mut self, buf: &[f64], i_lo: isize, j_lo: isize, j_hi: isize, count_i: usize) {
+        let mut it = buf.iter();
+        for k in 0..self.nk {
+            for j in j_lo..j_hi {
+                for di in 0..count_i as isize {
+                    self.set(i_lo + di, j, k, *it.next().expect("buffer sized by sender"));
+                }
+            }
+        }
+        assert!(it.next().is_none(), "halo buffer larger than expected");
+    }
+
+    /// Pack a block of rows `[lon incl. ghosts] × [j_lo, j_lo+h)`.
+    fn pack_rows(&self, j_lo: isize, count_j: usize) -> Vec<f64> {
+        let h = self.h as isize;
+        let width = self.ni + 2 * self.h;
+        let mut out = Vec::with_capacity(width * count_j * self.nk);
+        for k in 0..self.nk {
+            for dj in 0..count_j as isize {
+                for i in -h..self.ni as isize + h {
+                    out.push(self.get(i, j_lo + dj, k));
+                }
+            }
+        }
+        out
+    }
+
+    fn unpack_rows(&mut self, buf: &[f64], j_lo: isize, count_j: usize) {
+        let h = self.h as isize;
+        let mut it = buf.iter();
+        for k in 0..self.nk {
+            for dj in 0..count_j as isize {
+                for i in -h..self.ni as isize + h {
+                    self.set(i, j_lo + dj, k, *it.next().expect("buffer sized by sender"));
+                }
+            }
+        }
+        assert!(it.next().is_none(), "halo buffer larger than expected");
+    }
+
+    /// Exchange ghost margins with the four mesh neighbours.
+    ///
+    /// Dimension 1 of `cart` (longitude) must be periodic; dimension 0
+    /// (latitude) is bounded, and at the poles the ghost rows are filled by
+    /// zero-gradient extrapolation.
+    pub fn exchange(&mut self, cart: &CartComm) {
+        let comm = cart.comm();
+        let h = self.h;
+        let nih = self.ni as isize;
+        let njh = self.nj as isize;
+
+        // --- Phase 1: east-west (longitude, periodic). -------------------
+        let east = cart.neighbor(1, 1).expect("longitude is periodic");
+        let west = cart.neighbor(1, -1).expect("longitude is periodic");
+        // Send our easternmost h interior columns east; they become the
+        // east neighbour's west ghost. And vice versa.
+        let east_edge = self.pack(nih - h as isize, 0, njh, h);
+        let west_edge = self.pack(0, 0, njh, h);
+        comm.send(east, TAG_EAST, Payload::F64(east_edge));
+        comm.send(west, TAG_WEST, Payload::F64(west_edge));
+        let from_west = comm.recv_f64(west, TAG_EAST);
+        let from_east = comm.recv_f64(east, TAG_WEST);
+        self.unpack(&from_west, -(h as isize), 0, njh, h);
+        self.unpack(&from_east, nih, 0, njh, h);
+
+        // --- Phase 2: north-south (latitude, bounded), full padded rows. --
+        let north = cart.neighbor(0, 1);
+        let south = cart.neighbor(0, -1);
+        if let Some(n) = north {
+            let edge = self.pack_rows(njh - h as isize, h);
+            comm.send(n, TAG_NORTH, Payload::F64(edge));
+        }
+        if let Some(s) = south {
+            let edge = self.pack_rows(0, h);
+            comm.send(s, TAG_SOUTH, Payload::F64(edge));
+        }
+        if let Some(s) = south {
+            let buf = comm.recv_f64(s, TAG_NORTH);
+            self.unpack_rows(&buf, -(h as isize), h);
+        } else {
+            // South pole: zero-gradient.
+            for k in 0..self.nk {
+                for dj in 1..=h as isize {
+                    for i in -(h as isize)..nih + h as isize {
+                        let v = self.get(i, 0, k);
+                        self.set(i, -dj, k, v);
+                    }
+                }
+            }
+        }
+        if let Some(n) = north {
+            let buf = comm.recv_f64(n, TAG_SOUTH);
+            self.unpack_rows(&buf, njh, h);
+        } else {
+            // North pole: zero-gradient.
+            for k in 0..self.nk {
+                for dj in 0..h as isize {
+                    for i in -(h as isize)..nih + h as isize {
+                        let v = self.get(i, njh - 1, k);
+                        self.set(i, njh + dj, k, v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agcm_mps::runtime::run;
+    use agcm_mps::topology::CartComm;
+
+    /// Global analytic function used to verify exchanged ghosts.
+    fn truth(gi: usize, gj: usize, k: usize) -> f64 {
+        (gi * 1000 + gj * 10 + k) as f64
+    }
+
+    #[test]
+    fn exchange_fills_ghosts_with_neighbor_values() {
+        // Global 8x6 grid on a 2x2 mesh, 2 levels, halo 1.
+        let (glon, glat) = (8usize, 6usize);
+        run(4, |c| {
+            let cart = CartComm::new(c, 2, 2, (false, true));
+            let (row, col) = cart.coords();
+            let (ni, nj, nk, h) = (4usize, 3usize, 2usize, 1usize);
+            let (i0, j0) = (col * ni, row * nj);
+            let mut f = HaloField::zeros(ni, nj, nk, h);
+            f.fill_interior(|i, j, k| truth(i0 + i, j0 + j, k));
+            f.exchange(&cart);
+
+            // Every ghost point must hold the global value (with longitude
+            // wraparound), except polar rows which replicate the edge.
+            for k in 0..nk {
+                for j in -(h as isize)..(nj + h) as isize {
+                    for i in -(h as isize)..(ni + h) as isize {
+                        let gj_raw = j0 as isize + j;
+                        let gi = ((i0 as isize + i).rem_euclid(glon as isize)) as usize;
+                        let gj = gj_raw.clamp(0, glat as isize - 1) as usize;
+                        let expect = truth(gi, gj, k);
+                        assert_eq!(
+                            f.get(i, j, k),
+                            expect,
+                            "rank ({row},{col}) ghost at local ({i},{j},{k})"
+                        );
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn exchange_on_single_column_mesh_wraps_to_self() {
+        // One processor in longitude: east and west neighbours are itself.
+        run(2, |c| {
+            let cart = CartComm::new(c, 2, 1, (false, true));
+            let (row, _) = cart.coords();
+            let (ni, nj, nk, h) = (6usize, 2usize, 1usize, 1usize);
+            let j0 = row * nj;
+            let mut f = HaloField::zeros(ni, nj, nk, h);
+            f.fill_interior(|i, j, k| truth(i, j0 + j, k));
+            f.exchange(&cart);
+            // West ghost must be the wrapped easternmost column.
+            for j in 0..nj as isize {
+                assert_eq!(f.get(-1, j, 0), truth(ni - 1, j0 + j as usize, 0));
+                assert_eq!(f.get(ni as isize, j, 0), truth(0, j0 + j as usize, 0));
+            }
+        });
+    }
+
+    #[test]
+    fn polar_ghosts_are_zero_gradient() {
+        run(1, |c| {
+            let cart = CartComm::new(c, 1, 1, (false, true));
+            let mut f = HaloField::zeros(4, 3, 1, 1);
+            f.fill_interior(|i, j, _| (i + 10 * j) as f64);
+            f.exchange(&cart);
+            for i in 0..4isize {
+                assert_eq!(f.get(i, -1, 0), f.get(i, 0, 0), "south pole ghost");
+                assert_eq!(f.get(i, 3, 0), f.get(i, 2, 0), "north pole ghost");
+            }
+        });
+    }
+
+    #[test]
+    fn corner_ghosts_filled_by_two_phase_exchange() {
+        let (glon, glat) = (6usize, 6usize);
+        run(9, |c| {
+            let cart = CartComm::new(c, 3, 3, (false, true));
+            let (row, col) = cart.coords();
+            let (ni, nj) = (2usize, 2usize);
+            let (i0, j0) = (col * ni, row * nj);
+            let mut f = HaloField::zeros(ni, nj, 1, 1);
+            f.fill_interior(|i, j, _| truth(i0 + i, j0 + j, 0));
+            f.exchange(&cart);
+            // Check the four diagonal corners (interior rows only exist for
+            // middle ranks; clamp at poles).
+            for (ci, cj) in [(-1isize, -1isize), (2, -1), (-1, 2), (2, 2)] {
+                let gi = ((i0 as isize + ci).rem_euclid(glon as isize)) as usize;
+                let gj = (j0 as isize + cj).clamp(0, glat as isize - 1) as usize;
+                assert_eq!(f.get(ci, cj, 0), truth(gi, gj, 0), "corner ({ci},{cj}) on ({row},{col})");
+            }
+        });
+    }
+
+    #[test]
+    fn accessors_and_shape() {
+        let mut f = HaloField::zeros(4, 4, 2, 2);
+        assert_eq!(f.shape(), (4, 4, 2));
+        assert_eq!(f.halo_width(), 2);
+        f.set(-2, -2, 1, 9.0);
+        assert_eq!(f.get(-2, -2, 1), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "halo width")]
+    fn zero_halo_rejected() {
+        HaloField::zeros(4, 4, 1, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Grid specification and spherical geometry.
+//!
+//! The paper's timing runs use a "2 × 2.5 × 9" resolution — 2° in latitude,
+//! 2.5° in longitude, 9 vertical layers — "which corresponds to a
+//! 144 × 90 × 9 grid" (§2), plus a 15-layer variant for Tables 10–11.
+//! Latitude rows run from the southern to the northern polar cap; zonal
+//! grid spacing shrinks as cos(φ) toward the poles, which is what violates
+//! the CFL condition there and motivates the polar filter.
+
+/// Mean Earth radius in metres.
+pub const EARTH_RADIUS_M: f64 = 6.371e6;
+
+/// A uniform longitude-latitude-level grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridSpec {
+    /// Number of longitude points (N in the paper's cost analysis).
+    pub n_lon: usize,
+    /// Number of latitude rows (M).
+    pub n_lat: usize,
+    /// Number of vertical layers (K).
+    pub n_lev: usize,
+}
+
+impl GridSpec {
+    /// Construct an arbitrary grid.
+    pub fn new(n_lon: usize, n_lat: usize, n_lev: usize) -> GridSpec {
+        assert!(n_lon > 0 && n_lat > 0 && n_lev > 0, "grid dimensions must be positive");
+        GridSpec { n_lon, n_lat, n_lev }
+    }
+
+    /// The paper's 2° × 2.5° × 9-layer grid: 144 × 90 × 9.
+    pub fn paper_9_layer() -> GridSpec {
+        GridSpec::new(144, 90, 9)
+    }
+
+    /// The paper's 15-layer variant (same horizontal grid; Tables 10–11).
+    pub fn paper_15_layer() -> GridSpec {
+        GridSpec::new(144, 90, 15)
+    }
+
+    /// Total number of grid points.
+    pub fn points(&self) -> usize {
+        self.n_lon * self.n_lat * self.n_lev
+    }
+
+    /// Number of horizontal columns.
+    pub fn columns(&self) -> usize {
+        self.n_lon * self.n_lat
+    }
+
+    /// Longitude spacing in radians.
+    pub fn dlon(&self) -> f64 {
+        2.0 * std::f64::consts::PI / self.n_lon as f64
+    }
+
+    /// Latitude spacing in radians (rows span pole to pole).
+    pub fn dlat(&self) -> f64 {
+        std::f64::consts::PI / self.n_lat as f64
+    }
+
+    /// Latitude of row `j` (radians), cell centres from south to north:
+    /// `φ_j = −π/2 + (j + ½)·Δφ`.
+    pub fn latitude(&self, j: usize) -> f64 {
+        assert!(j < self.n_lat, "latitude row {j} out of range");
+        -std::f64::consts::FRAC_PI_2 + (j as f64 + 0.5) * self.dlat()
+    }
+
+    /// Latitude of row `j` in degrees.
+    pub fn latitude_deg(&self, j: usize) -> f64 {
+        self.latitude(j).to_degrees()
+    }
+
+    /// Longitude of column `i` (radians), `λ_i = i·Δλ`.
+    pub fn longitude(&self, i: usize) -> f64 {
+        assert!(i < self.n_lon, "longitude column {i} out of range");
+        i as f64 * self.dlon()
+    }
+
+    /// Physical zonal (east-west) grid spacing at row `j` in metres:
+    /// `Δx = a·cos(φ)·Δλ`. This shrinks toward the poles — the root cause
+    /// of the CFL violation the filter fixes.
+    pub fn zonal_spacing_m(&self, j: usize) -> f64 {
+        EARTH_RADIUS_M * self.latitude(j).cos().abs() * self.dlon()
+    }
+
+    /// Physical meridional (north-south) grid spacing in metres.
+    pub fn meridional_spacing_m(&self) -> f64 {
+        EARTH_RADIUS_M * self.dlat()
+    }
+
+    /// Maximum stable timestep (seconds) of an explicit scheme at row `j`
+    /// for a signal speed `c` (m/s), from the 1-D CFL condition
+    /// `c·Δt ≤ Δx`.
+    pub fn cfl_timestep(&self, j: usize, c: f64) -> f64 {
+        assert!(c > 0.0, "signal speed must be positive");
+        self.zonal_spacing_m(j) / c
+    }
+
+    /// The *effective* stable timestep for the whole grid if no filtering
+    /// is applied: limited by the most polar row.
+    pub fn unfiltered_timestep(&self, c: f64) -> f64 {
+        (0..self.n_lat).map(|j| self.cfl_timestep(j, c)).fold(f64::INFINITY, f64::min)
+    }
+
+    /// The stable timestep when rows poleward of `|φ| ≥ cutoff_deg` are
+    /// filtered (their effective zonal resolution is coarsened to the
+    /// cutoff row's). This quantifies the paper's claim that filtering
+    /// "enables the use of uniformly larger time steps".
+    pub fn filtered_timestep(&self, c: f64, cutoff_deg: f64) -> f64 {
+        (0..self.n_lat)
+            .filter(|&j| self.latitude_deg(j).abs() < cutoff_deg)
+            .map(|j| self.cfl_timestep(j, c))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Rows whose latitude satisfies `|φ| ≥ cutoff_deg` (the filtered set
+    /// for a given cutoff, e.g. 45° for strong + weak, 60° for weak-only
+    /// regions — see `agcm-filtering::filterfn`).
+    pub fn rows_poleward_of(&self, cutoff_deg: f64) -> Vec<usize> {
+        (0..self.n_lat).filter(|&j| self.latitude_deg(j).abs() >= cutoff_deg).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grids() {
+        let g = GridSpec::paper_9_layer();
+        assert_eq!((g.n_lon, g.n_lat, g.n_lev), (144, 90, 9));
+        assert_eq!(g.points(), 144 * 90 * 9);
+        let g15 = GridSpec::paper_15_layer();
+        assert_eq!(g15.n_lev, 15);
+        assert_eq!(g15.columns(), g.columns());
+    }
+
+    #[test]
+    fn resolution_in_degrees() {
+        let g = GridSpec::paper_9_layer();
+        assert!((g.dlon().to_degrees() - 2.5).abs() < 1e-12);
+        assert!((g.dlat().to_degrees() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latitudes_are_symmetric_and_ordered() {
+        let g = GridSpec::paper_9_layer();
+        assert!((g.latitude_deg(0) + 89.0).abs() < 1e-9);
+        assert!((g.latitude_deg(89) - 89.0).abs() < 1e-9);
+        // Symmetry about the equator.
+        for j in 0..45 {
+            assert!((g.latitude(j) + g.latitude(89 - j)).abs() < 1e-12);
+        }
+        // Strictly increasing.
+        for j in 1..90 {
+            assert!(g.latitude(j) > g.latitude(j - 1));
+        }
+    }
+
+    #[test]
+    fn zonal_spacing_shrinks_toward_poles() {
+        let g = GridSpec::paper_9_layer();
+        let equator = g.zonal_spacing_m(45);
+        let polar = g.zonal_spacing_m(0);
+        assert!(polar < equator / 10.0, "polar {polar} vs equator {equator}");
+        // cos(89°)/cos(1°) ≈ 0.0175
+        assert!((polar / equator - (89f64.to_radians().cos() / 1f64.to_radians().cos())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cfl_gain_from_filtering() {
+        // With a 45° cutoff the stable timestep grows by ~1/cos(45°)·cos(89°)⁻¹…
+        // concretely: unfiltered is limited by the 89° row, filtered by the
+        // last row short of 45°.
+        let g = GridSpec::paper_9_layer();
+        let c = 300.0; // fast gravity-wave speed, m/s
+        let dt_unfiltered = g.unfiltered_timestep(c);
+        let dt_filtered = g.filtered_timestep(c, 45.0);
+        assert!(dt_filtered > 10.0 * dt_unfiltered,
+            "filtering should allow much larger steps: {dt_unfiltered} -> {dt_filtered}");
+    }
+
+    #[test]
+    fn filtered_row_sets_match_paper_fractions() {
+        let g = GridSpec::paper_9_layer();
+        // "strong filtering … applied to about one half of the latitudes
+        // (poles to 45°) in each hemisphere".
+        // Row centres sit at odd degrees (±89, ±87, …, ±1): the ±45° rows
+        // exist exactly, giving 23 rows per hemisphere.
+        let strong_region = g.rows_poleward_of(45.0);
+        assert_eq!(strong_region.len(), 46);
+        // "weak filtering … applied to about one third of the latitudes
+        // (poles to 60°)".
+        let weak_region = g.rows_poleward_of(60.0);
+        assert_eq!(weak_region.len(), 30); // 15 rows per hemisphere
+    }
+
+    #[test]
+    fn meridional_spacing_constant() {
+        let g = GridSpec::paper_9_layer();
+        let expect = EARTH_RADIUS_M * std::f64::consts::PI / 90.0;
+        assert!((g.meridional_spacing_m() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude row")]
+    fn latitude_out_of_range() {
+        GridSpec::paper_9_layer().latitude(90);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dimension_rejected() {
+        GridSpec::new(0, 4, 1);
+    }
+}

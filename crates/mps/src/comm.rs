@@ -1,0 +1,439 @@
+//! Communicators: point-to-point messaging with tag matching.
+//!
+//! A [`Comm`] is a rank's handle on a group of peers. The world communicator
+//! is created by [`crate::runtime::run`]; sub-communicators (rows/columns of
+//! the processor mesh, filter groups) are derived with [`Comm::split`].
+//!
+//! Matching semantics follow MPI: a receive names a source rank (or
+//! [`ANY_SRC`]) and a tag (or [`ANY_TAG`]); messages between the same
+//! (source, destination, context) triple are non-overtaking. Sends are eager
+//! and never block.
+
+use crate::message::{Packet, Payload, WirePacket};
+use crate::trace::{Event, RankTrace};
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Wildcard source rank for [`Comm::recv`].
+pub const ANY_SRC: usize = usize::MAX;
+/// Wildcard tag for [`Comm::recv`].
+pub const ANY_TAG: u64 = u64::MAX;
+
+/// Tag bit reserved for internal collective traffic. User tags must leave
+/// this bit clear; [`Comm::send`] asserts this.
+pub(crate) const COLL_BIT: u64 = 1 << 63;
+
+/// Shared routing table: one eager channel per world rank.
+pub(crate) struct World {
+    pub(crate) senders: Vec<Sender<WirePacket>>,
+}
+
+/// Per-rank state shared by every communicator this rank derives.
+pub(crate) struct RankShared {
+    pub(crate) world: Arc<World>,
+    pub(crate) world_rank: usize,
+    rx: Receiver<WirePacket>,
+    /// Messages that arrived but did not match an outstanding receive.
+    pending: Mutex<Vec<WirePacket>>,
+    /// Per-destination send sequence numbers (for trace replay matching).
+    send_seq: Vec<AtomicU64>,
+    pub(crate) trace: Arc<RankTrace>,
+}
+
+impl RankShared {
+    pub(crate) fn new(
+        world: Arc<World>,
+        world_rank: usize,
+        rx: Receiver<WirePacket>,
+        trace: Arc<RankTrace>,
+    ) -> Arc<Self> {
+        let n = world.senders.len();
+        Arc::new(RankShared {
+            world,
+            world_rank,
+            rx,
+            pending: Mutex::new(Vec::new()),
+            send_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            trace,
+        })
+    }
+}
+
+/// A communicator: this rank's view of an ordered group of world ranks.
+pub struct Comm {
+    shared: Arc<RankShared>,
+    /// Context id separating traffic of different communicators.
+    ctx: u64,
+    /// This rank's position within `members`.
+    rank: usize,
+    /// World ranks of the members, in communicator order.
+    members: Arc<Vec<usize>>,
+    /// Inverse of `members`.
+    world_to_local: Arc<HashMap<usize, usize>>,
+    /// Number of `split` calls made on this communicator (kept consistent
+    /// across members because `split` is collective).
+    split_counter: AtomicU64,
+}
+
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    // SplitMix64-style avalanche over the three inputs.
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ c.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Comm {
+    /// Build the world communicator for one rank (runtime use).
+    pub(crate) fn world(shared: Arc<RankShared>) -> Comm {
+        let n = shared.world.senders.len();
+        let members: Vec<usize> = (0..n).collect();
+        let world_to_local = members.iter().map(|&w| (w, w)).collect();
+        Comm {
+            rank: shared.world_rank,
+            shared,
+            ctx: 0,
+            members: Arc::new(members),
+            world_to_local: Arc::new(world_to_local),
+            split_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// This rank within the communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This rank's world (global) rank.
+    pub fn world_rank(&self) -> usize {
+        self.shared.world_rank
+    }
+
+    /// World rank of communicator member `local`.
+    pub fn world_rank_of(&self, local: usize) -> usize {
+        assert!(local < self.size(), "rank {local} out of range for size {}", self.size());
+        self.members[local]
+    }
+
+    /// Record `flops` floating-point operations of local work in the trace.
+    pub fn record_flops(&self, flops: f64) {
+        self.shared.trace.record_flops(flops);
+    }
+
+    /// Mark the beginning of a named phase in the trace.
+    pub fn phase_begin(&self, name: &'static str) {
+        self.shared.trace.record(Event::PhaseBegin(name));
+    }
+
+    /// Mark the end of a named phase in the trace.
+    pub fn phase_end(&self, name: &'static str) {
+        self.shared.trace.record(Event::PhaseEnd(name));
+    }
+
+    /// Run `body` inside a named phase.
+    pub fn phase<R>(&self, name: &'static str, body: impl FnOnce() -> R) -> R {
+        self.phase_begin(name);
+        let r = body();
+        self.phase_end(name);
+        r
+    }
+
+    /// Eagerly send `payload` to rank `dst` with `tag`. Never blocks.
+    pub fn send(&self, dst: usize, tag: u64, payload: Payload) {
+        assert!(tag & COLL_BIT == 0, "user tags must leave bit 63 clear");
+        self.send_internal(dst, tag, payload);
+    }
+
+    pub(crate) fn send_internal(&self, dst: usize, tag: u64, payload: Payload) {
+        assert!(dst < self.size(), "send to rank {dst} out of range for size {}", self.size());
+        let world_dst = self.members[dst];
+        let seq = self.shared.send_seq[world_dst].fetch_add(1, Ordering::Relaxed);
+        self.shared.trace.record(Event::Send {
+            to: world_dst,
+            bytes: payload.byte_len(),
+            seq,
+        });
+        let pkt = WirePacket {
+            world_src: self.shared.world_rank,
+            ctx: self.ctx,
+            tag,
+            seq,
+            payload,
+        };
+        // Receiver lives as long as the scope; failure means a peer panicked,
+        // in which case the scope is already unwinding.
+        let _ = self.shared.world.senders[world_dst].send(pkt);
+    }
+
+    fn matches(&self, pkt: &WirePacket, src: usize, tag: u64) -> bool {
+        if pkt.ctx != self.ctx {
+            return false;
+        }
+        if tag != ANY_TAG && pkt.tag != tag {
+            return false;
+        }
+        if src == ANY_SRC {
+            self.world_to_local.contains_key(&pkt.world_src)
+        } else {
+            pkt.world_src == self.members[src]
+        }
+    }
+
+    /// Blocking receive of a message from `src` (or [`ANY_SRC`]) with `tag`
+    /// (or [`ANY_TAG`]).
+    pub fn recv(&self, src: usize, tag: u64) -> Packet {
+        assert!(tag == ANY_TAG || tag & COLL_BIT == 0, "user tags must leave bit 63 clear");
+        self.recv_internal(src, tag)
+    }
+
+    pub(crate) fn recv_internal(&self, src: usize, tag: u64) -> Packet {
+        if src != ANY_SRC {
+            assert!(src < self.size(), "recv from rank {src} out of range for size {}", self.size());
+        }
+        loop {
+            {
+                let mut pending = self.shared.pending.lock();
+                if let Some(pos) = pending.iter().position(|p| self.matches(p, src, tag)) {
+                    let pkt = pending.remove(pos);
+                    return self.deliver(pkt);
+                }
+            }
+            match self.shared.rx.recv() {
+                Ok(pkt) => {
+                    if self.matches(&pkt, src, tag) {
+                        return self.deliver(pkt);
+                    }
+                    self.shared.pending.lock().push(pkt);
+                }
+                Err(_) => panic!("recv: all peers disconnected (a rank panicked?)"),
+            }
+        }
+    }
+
+    fn deliver(&self, pkt: WirePacket) -> Packet {
+        self.shared.trace.record(Event::Recv {
+            from: pkt.world_src,
+            bytes: pkt.payload.byte_len(),
+            seq: pkt.seq,
+        });
+        let src = *self
+            .world_to_local
+            .get(&pkt.world_src)
+            .expect("matched packet has a source in this communicator");
+        Packet { src, tag: pkt.tag, seq: pkt.seq, payload: pkt.payload }
+    }
+
+    /// Receive and unwrap a float buffer.
+    pub fn recv_f64(&self, src: usize, tag: u64) -> Vec<f64> {
+        self.recv(src, tag).payload.into_f64()
+    }
+
+    /// Receive and unwrap an integer buffer.
+    pub fn recv_i64(&self, src: usize, tag: u64) -> Vec<i64> {
+        self.recv(src, tag).payload.into_i64()
+    }
+
+    /// Combined send+receive (the classic shift pattern). Because sends are
+    /// eager this is just `send` followed by `recv`, but the pairing makes
+    /// call sites self-documenting.
+    pub fn sendrecv(
+        &self,
+        dst: usize,
+        send_tag: u64,
+        payload: Payload,
+        src: usize,
+        recv_tag: u64,
+    ) -> Packet {
+        self.send(dst, send_tag, payload);
+        self.recv(src, recv_tag)
+    }
+
+    /// Collectively split this communicator. Ranks supplying the same
+    /// `color` land in the same sub-communicator, ordered by `key` (ties
+    /// broken by parent rank). Every member of `self` must call `split`.
+    pub fn split(&self, color: i64, key: i64) -> Comm {
+        let seq = self.split_counter.fetch_add(1, Ordering::Relaxed);
+        // Gather (color, key) from everyone.
+        let mine = vec![color, key];
+        let all = self.allgather_i64(&mine);
+        let mut group: Vec<(i64, usize)> = Vec::new(); // (key, parent rank)
+        for (r, ck) in all.chunks(2).enumerate() {
+            if ck[0] == color {
+                group.push((ck[1], r));
+            }
+        }
+        group.sort();
+        let members: Vec<usize> = group.iter().map(|&(_, r)| self.members[r]).collect();
+        let world_to_local: HashMap<usize, usize> =
+            members.iter().enumerate().map(|(l, &w)| (w, l)).collect();
+        let rank = world_to_local[&self.shared.world_rank];
+        Comm {
+            shared: Arc::clone(&self.shared),
+            ctx: mix(self.ctx, seq.wrapping_add(1), color as u64),
+            rank,
+            members: Arc::new(members),
+            world_to_local: Arc::new(world_to_local),
+            split_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Duplicate this communicator with a fresh context (collective).
+    pub fn dup(&self) -> Comm {
+        self.split(0, self.rank as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run;
+
+    #[test]
+    fn ring_shift() {
+        let out = run(5, |c| {
+            let right = (c.rank() + 1) % c.size();
+            let left = (c.rank() + c.size() - 1) % c.size();
+            c.send(right, 1, Payload::I64(vec![c.rank() as i64]));
+            c.recv_i64(left, 1)[0]
+        });
+        assert_eq!(out, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 10, Payload::F64(vec![1.0]));
+                c.send(1, 20, Payload::F64(vec![2.0]));
+                0.0
+            } else {
+                // Receive in reverse tag order: the tag-20 message must be
+                // matched even though tag-10 arrives first.
+                let b = c.recv_f64(0, 20)[0];
+                let a = c.recv_f64(0, 10)[0];
+                a + 10.0 * b
+            }
+        });
+        assert_eq!(out[1], 21.0);
+    }
+
+    #[test]
+    fn any_source_any_tag() {
+        let out = run(3, |c| {
+            if c.rank() == 2 {
+                let mut sum = 0;
+                for _ in 0..2 {
+                    let p = c.recv(ANY_SRC, ANY_TAG);
+                    sum += p.payload.into_i64()[0];
+                    assert!(p.src < 2);
+                }
+                sum
+            } else {
+                c.send(2, c.rank() as u64, Payload::I64(vec![1 + c.rank() as i64]));
+                0
+            }
+        });
+        assert_eq!(out[2], 3);
+    }
+
+    #[test]
+    fn sendrecv_exchange() {
+        let out = run(2, |c| {
+            let other = 1 - c.rank();
+            let p = c.sendrecv(other, 3, Payload::I64(vec![c.rank() as i64]), other, 3);
+            p.payload.into_i64()[0]
+        });
+        assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    fn split_rows() {
+        // 2x3 mesh: color by row, key by column.
+        let out = run(6, |c| {
+            let (row, col) = (c.rank() / 3, c.rank() % 3);
+            let rc = c.split(row as i64, col as i64);
+            assert_eq!(rc.size(), 3);
+            assert_eq!(rc.rank(), col);
+            // Ring shift inside the row only.
+            let right = (rc.rank() + 1) % rc.size();
+            let left = (rc.rank() + rc.size() - 1) % rc.size();
+            rc.send(right, 2, Payload::I64(vec![c.rank() as i64]));
+            rc.recv_i64(left, 2)[0]
+        });
+        assert_eq!(out, vec![2, 0, 1, 5, 3, 4]);
+    }
+
+    #[test]
+    fn split_isolates_contexts() {
+        // Messages sent on the parent must not be visible on the child.
+        let out = run(2, |c| {
+            let sub = c.split(0, c.rank() as i64);
+            if c.rank() == 0 {
+                c.send(1, 5, Payload::I64(vec![111]));
+                sub.send(1, 5, Payload::I64(vec![222]));
+                0
+            } else {
+                let from_sub = sub.recv_i64(0, 5)[0];
+                let from_parent = c.recv_i64(0, 5)[0];
+                from_sub * 1000 + from_parent
+            }
+        });
+        assert_eq!(out[1], 222_111);
+    }
+
+    #[test]
+    fn world_rank_of_members() {
+        run(4, |c| {
+            let odd = c.split((c.rank() % 2) as i64, c.rank() as i64);
+            if c.rank() % 2 == 1 {
+                assert_eq!(odd.world_rank_of(0), 1);
+                assert_eq!(odd.world_rank_of(1), 3);
+            } else {
+                assert_eq!(odd.world_rank_of(0), 0);
+                assert_eq!(odd.world_rank_of(1), 2);
+            }
+        });
+    }
+
+    #[test]
+    fn dup_preserves_layout() {
+        run(3, |c| {
+            let d = c.dup();
+            assert_eq!(d.rank(), c.rank());
+            assert_eq!(d.size(), c.size());
+        });
+    }
+
+    #[test]
+    fn non_overtaking_same_tag() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..10 {
+                    c.send(1, 1, Payload::I64(vec![i]));
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| c.recv_i64(0, 1)[0]).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(out[1], (0..10).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_out_of_range_panics() {
+        run(2, |c| {
+            if c.rank() == 0 {
+                c.send(5, 0, Payload::Empty);
+            }
+        });
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for the message-passing substrate.
+
+use std::fmt;
+
+/// Errors surfaced by the substrate.
+///
+/// Most send/recv paths panic on programmer error (rank out of range) the
+/// way an MPI implementation would abort; `Error` is reserved for conditions
+/// a caller can meaningfully handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A receive was attempted after every peer hung up (a rank panicked).
+    Disconnected,
+    /// A payload was interpreted as the wrong element type.
+    PayloadType {
+        /// The variant that was expected (e.g. `"F64"`).
+        expected: &'static str,
+        /// The variant that was found.
+        found: &'static str,
+    },
+    /// A rank index was outside the communicator.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// The communicator size.
+        size: usize,
+    },
+    /// Mismatched buffer lengths in a reduction.
+    LengthMismatch {
+        /// Length expected by the reduction.
+        expected: usize,
+        /// Length received.
+        found: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Disconnected => write!(f, "all peers disconnected"),
+            Error::PayloadType { expected, found } => {
+                write!(f, "payload type mismatch: expected {expected}, found {found}")
+            }
+            Error::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            Error::LengthMismatch { expected, found } => {
+                write!(f, "buffer length mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Error::Disconnected.to_string(), "all peers disconnected");
+        assert_eq!(
+            Error::PayloadType { expected: "F64", found: "I64" }.to_string(),
+            "payload type mismatch: expected F64, found I64"
+        );
+        assert_eq!(
+            Error::RankOutOfRange { rank: 9, size: 4 }.to_string(),
+            "rank 9 out of range for communicator of size 4"
+        );
+        assert_eq!(
+            Error::LengthMismatch { expected: 3, found: 5 }.to_string(),
+            "buffer length mismatch: expected 3, found 5"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! # agcm-mps — a message-passing substrate for the AGCM reproduction
+//!
+//! The original UCLA AGCM parallel code (Lou & Farrara, SC'96) was written
+//! against message-passing libraries (NX on the Intel Paragon, shmem/MPI on
+//! the Cray T3D). This crate provides the equivalent programming model as a
+//! self-contained Rust library:
+//!
+//! * ranks are OS threads launched by [`runtime::run`];
+//! * a [`Comm`] offers point-to-point [`Comm::send`]/[`Comm::recv`] with
+//!   tag matching, plus the collectives the AGCM code needs (barrier,
+//!   broadcast, reduce, allreduce, gather, allgather, all-to-all(v), scan);
+//! * [`topology::CartComm`] builds the 2-D (latitude × longitude) processor
+//!   mesh used by the AGCM grid decomposition, with row/column
+//!   sub-communicators and periodic shifts;
+//! * every rank records a [`trace::RankTrace`] of sends, receives and
+//!   floating-point work, which the `agcm-costmodel` crate replays against a
+//!   machine profile (Paragon / T3D / SP-2) to produce the paper's
+//!   seconds-per-simulated-day numbers.
+//!
+//! Sends are *eager*: `send` never blocks, so the classic shift/exchange
+//! patterns (`send` then `recv`) are deadlock-free.
+//!
+//! ```
+//! use agcm_mps::runtime::run;
+//! use agcm_mps::message::Payload;
+//!
+//! // Four ranks compute a ring shift of their rank id.
+//! let results = run(4, |comm| {
+//!     let right = (comm.rank() + 1) % comm.size();
+//!     let left = (comm.rank() + comm.size() - 1) % comm.size();
+//!     comm.send(right, 7, Payload::I64(vec![comm.rank() as i64]));
+//!     let pkt = comm.recv(left, 7);
+//!     pkt.payload.into_i64()[0]
+//! });
+//! assert_eq!(results, vec![3, 0, 1, 2]);
+//! ```
+
+pub mod collectives;
+pub mod comm;
+pub mod error;
+pub mod message;
+pub mod runtime;
+pub mod topology;
+pub mod trace;
+
+pub use collectives::Op;
+pub use comm::{Comm, ANY_SRC, ANY_TAG};
+pub use error::{Error, Result};
+pub use message::{Packet, Payload};
+pub use runtime::{run, run_traced};
+pub use topology::CartComm;
+pub use trace::{Event, WorldTrace};

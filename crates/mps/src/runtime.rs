@@ -1,0 +1,169 @@
+//! Launching a world of ranks.
+//!
+//! [`run`] spawns one OS thread per rank, hands each a world [`Comm`], and
+//! returns the per-rank results in rank order. [`run_traced`] additionally
+//! enables event tracing and returns the [`WorldTrace`] for cost-model
+//! replay. The paper's largest configuration is an 8×30 = 240-node mesh;
+//! 240 threads are comfortably within what this runtime handles.
+
+use crate::comm::{Comm, RankShared, World};
+use crate::message::WirePacket;
+use crate::trace::{RankTrace, WorldTrace};
+use crossbeam::channel::unbounded;
+use std::sync::Arc;
+
+fn launch<F, R>(n: usize, tracing: bool, f: F) -> (Vec<R>, WorldTrace)
+where
+    F: Fn(&Comm) -> R + Sync,
+    R: Send,
+{
+    assert!(n > 0, "world size must be at least 1");
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded::<WirePacket>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let world = Arc::new(World { senders });
+    let traces: Vec<Arc<RankTrace>> = (0..n).map(|_| RankTrace::new(tracing)).collect();
+
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let world = Arc::clone(&world);
+            let trace = Arc::clone(&traces[rank]);
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let shared = RankShared::new(world, rank, rx, trace);
+                let comm = Comm::world(shared);
+                f(&comm)
+            }));
+        }
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            match handle.join() {
+                Ok(r) => *slot = Some(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    let trace = WorldTrace { ranks: traces.iter().map(|t| t.take()).collect() };
+    (
+        results.into_iter().map(|r| r.expect("joined rank produced a result")).collect(),
+        trace,
+    )
+}
+
+/// Run `f` on `n` ranks and return the per-rank results in rank order.
+/// Panics in any rank propagate to the caller.
+pub fn run<F, R>(n: usize, f: F) -> Vec<R>
+where
+    F: Fn(&Comm) -> R + Sync,
+    R: Send,
+{
+    launch(n, false, f).0
+}
+
+/// Like [`run`], but with event tracing enabled; also returns the
+/// [`WorldTrace`] for replay by `agcm-costmodel`.
+pub fn run_traced<F, R>(n: usize, f: F) -> (Vec<R>, WorldTrace)
+where
+    F: Fn(&Comm) -> R + Sync,
+    R: Send,
+{
+    launch(n, true, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::Op;
+    use crate::message::Payload;
+    use crate::trace::Event;
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = run(8, |c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = run(1, |c| {
+            assert_eq!(c.size(), 1);
+            c.rank()
+        });
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn large_world_240_ranks() {
+        // The paper's biggest mesh: 8 x 30 = 240 nodes.
+        let out = run(240, |c| c.allreduce_i64(Op::Sum, &[1])[0]);
+        assert!(out.into_iter().all(|v| v == 240));
+    }
+
+    #[test]
+    fn traced_run_captures_messages() {
+        let (_, trace) = run_traced(2, |c| {
+            let other = 1 - c.rank();
+            c.record_flops(50.0);
+            c.send(other, 0, Payload::F64(vec![0.0; 16]));
+            c.recv(other, 0);
+        });
+        assert_eq!(trace.size(), 2);
+        let stats = trace.stats();
+        for s in &stats {
+            assert_eq!(s.sends, 1);
+            assert_eq!(s.bytes_sent, 128);
+            assert_eq!(s.recvs, 1);
+            assert_eq!(s.flops, 50.0);
+        }
+        // Sequence numbers must let the replayer match sends to receives.
+        for evs in &trace.ranks {
+            let send_seq = evs.iter().find_map(|e| match e {
+                Event::Send { seq, .. } => Some(*seq),
+                _ => None,
+            });
+            assert_eq!(send_seq, Some(0));
+        }
+    }
+
+    #[test]
+    fn traced_phases_recorded_in_order() {
+        let (_, trace) = run_traced(1, |c| {
+            c.phase("dynamics", || c.record_flops(10.0));
+            c.phase("physics", || c.record_flops(20.0));
+        });
+        let evs = &trace.ranks[0];
+        assert_eq!(
+            evs.as_slice(),
+            &[
+                Event::PhaseBegin("dynamics"),
+                Event::Flops(10.0),
+                Event::PhaseEnd("dynamics"),
+                Event::PhaseBegin("physics"),
+                Event::Flops(20.0),
+                Event::PhaseEnd("physics"),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "world size must be at least 1")]
+    fn zero_ranks_rejected() {
+        run(0, |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 3 exploded")]
+    fn rank_panic_propagates() {
+        run(6, |c| {
+            if c.rank() == 3 {
+                panic!("rank 3 exploded");
+            }
+        });
+    }
+}

@@ -1,0 +1,266 @@
+//! Execution tracing.
+//!
+//! The paper reports execution time on machines we cannot run on (Intel
+//! Paragon, Cray T3D). What *can* be measured faithfully is the algorithmic
+//! behaviour of each parallel implementation: how many messages each rank
+//! sends, how many bytes move, how much floating-point work each rank does,
+//! and in what order. This module records exactly that, per rank, as a flat
+//! event list. The `agcm-costmodel` crate replays these traces against a
+//! calibrated machine profile to produce simulated seconds.
+//!
+//! Flop counts are *recorded by the algorithms themselves* (the kernels know
+//! their operation counts); the tracer just accumulates them, so the replay
+//! reflects real load imbalance, not an analytic guess.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One traced event on a rank.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A message was sent to `to` (world rank) carrying `bytes` bytes.
+    Send {
+        /// Destination world rank.
+        to: usize,
+        /// Wire size in bytes.
+        bytes: usize,
+        /// Per-(src, dst) send sequence number.
+        seq: u64,
+    },
+    /// A message from `from` (world rank) was received.
+    Recv {
+        /// Source world rank.
+        from: usize,
+        /// Wire size in bytes.
+        bytes: usize,
+        /// Sequence number of the matching send.
+        seq: u64,
+    },
+    /// `flops` floating-point operations of local work.
+    Flops(f64),
+    /// Beginning of a named phase (e.g. "dynamics", "filter", "physics").
+    PhaseBegin(&'static str),
+    /// End of the innermost open phase with this name.
+    PhaseEnd(&'static str),
+}
+
+/// Per-rank trace storage. Shared (via `Arc`) by every communicator a rank
+/// derives, so sub-communicator traffic lands in the same stream.
+#[derive(Debug, Default)]
+pub struct RankTrace {
+    events: Mutex<Vec<Event>>,
+    enabled: AtomicBool,
+}
+
+impl RankTrace {
+    /// A new trace; recording is off until [`RankTrace::set_enabled`].
+    pub fn new(enabled: bool) -> Arc<Self> {
+        Arc::new(RankTrace {
+            events: Mutex::new(Vec::new()),
+            enabled: AtomicBool::new(enabled),
+        })
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Append an event if recording is enabled.
+    pub fn record(&self, ev: Event) {
+        if self.enabled() {
+            self.events.lock().push(ev);
+        }
+    }
+
+    /// Accumulate floating-point work. Consecutive `Flops` events are merged
+    /// to keep traces small for tight loops.
+    pub fn record_flops(&self, flops: f64) {
+        if !self.enabled() || flops <= 0.0 {
+            return;
+        }
+        let mut ev = self.events.lock();
+        if let Some(Event::Flops(acc)) = ev.last_mut() {
+            *acc += flops;
+        } else {
+            ev.push(Event::Flops(flops));
+        }
+    }
+
+    /// Snapshot the event list.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Drain the event list (used by the runtime when a rank finishes).
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock())
+    }
+}
+
+/// Aggregate message statistics for one rank, derived from its trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankStats {
+    /// Messages sent.
+    pub sends: usize,
+    /// Bytes sent.
+    pub bytes_sent: usize,
+    /// Messages received.
+    pub recvs: usize,
+    /// Bytes received.
+    pub bytes_recvd: usize,
+    /// Total recorded floating-point operations.
+    pub flops: f64,
+}
+
+/// The complete trace of a traced run: one event stream per world rank.
+#[derive(Debug, Clone, Default)]
+pub struct WorldTrace {
+    /// `ranks[r]` is the event stream of world rank `r`.
+    pub ranks: Vec<Vec<Event>>,
+}
+
+impl WorldTrace {
+    /// Number of ranks traced.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Per-rank aggregate statistics.
+    pub fn stats(&self) -> Vec<RankStats> {
+        self.ranks
+            .iter()
+            .map(|evs| {
+                let mut s = RankStats::default();
+                for ev in evs {
+                    match ev {
+                        Event::Send { bytes, .. } => {
+                            s.sends += 1;
+                            s.bytes_sent += bytes;
+                        }
+                        Event::Recv { bytes, .. } => {
+                            s.recvs += 1;
+                            s.bytes_recvd += bytes;
+                        }
+                        Event::Flops(f) => s.flops += f,
+                        _ => {}
+                    }
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Total messages sent across all ranks.
+    pub fn total_messages(&self) -> usize {
+        self.stats().iter().map(|s| s.sends).sum()
+    }
+
+    /// Total bytes sent across all ranks.
+    pub fn total_bytes(&self) -> usize {
+        self.stats().iter().map(|s| s.bytes_sent).sum()
+    }
+
+    /// Total flops recorded across all ranks.
+    pub fn total_flops(&self) -> f64 {
+        self.stats().iter().map(|s| s.flops).sum()
+    }
+
+    /// Flop imbalance across ranks, using the paper's definition:
+    /// `(max − average) / average`.
+    pub fn flop_imbalance(&self) -> f64 {
+        let stats = self.stats();
+        if stats.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = stats.iter().map(|s| s.flops).sum();
+        let avg = total / stats.len() as f64;
+        if avg == 0.0 {
+            return 0.0;
+        }
+        let max = stats.iter().map(|s| s.flops).fold(0.0, f64::max);
+        (max - avg) / avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = RankTrace::new(false);
+        t.record(Event::Flops(10.0));
+        t.record_flops(5.0);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn flops_merge() {
+        let t = RankTrace::new(true);
+        t.record_flops(1.0);
+        t.record_flops(2.0);
+        t.record(Event::PhaseBegin("x"));
+        t.record_flops(4.0);
+        assert_eq!(
+            t.events(),
+            vec![Event::Flops(3.0), Event::PhaseBegin("x"), Event::Flops(4.0)]
+        );
+    }
+
+    #[test]
+    fn nonpositive_flops_ignored() {
+        let t = RankTrace::new(true);
+        t.record_flops(0.0);
+        t.record_flops(-3.0);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn stats_aggregation() {
+        let wt = WorldTrace {
+            ranks: vec![
+                vec![
+                    Event::Send { to: 1, bytes: 80, seq: 0 },
+                    Event::Flops(100.0),
+                    Event::Recv { from: 1, bytes: 40, seq: 0 },
+                ],
+                vec![
+                    Event::Recv { from: 0, bytes: 80, seq: 0 },
+                    Event::Send { to: 0, bytes: 40, seq: 0 },
+                    Event::Flops(300.0),
+                ],
+            ],
+        };
+        let s = wt.stats();
+        assert_eq!(s[0].sends, 1);
+        assert_eq!(s[0].bytes_sent, 80);
+        assert_eq!(s[1].bytes_recvd, 80);
+        assert_eq!(wt.total_messages(), 2);
+        assert_eq!(wt.total_bytes(), 120);
+        assert_eq!(wt.total_flops(), 400.0);
+        // avg = 200, max = 300 → imbalance 0.5
+        assert!((wt.flop_imbalance() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_imbalance_zero() {
+        assert_eq!(WorldTrace::default().flop_imbalance(), 0.0);
+        let wt = WorldTrace { ranks: vec![vec![], vec![]] };
+        assert_eq!(wt.flop_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn take_drains() {
+        let t = RankTrace::new(true);
+        t.record_flops(1.0);
+        assert_eq!(t.take().len(), 1);
+        assert!(t.events().is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Load-balancing schemes for the physics component (paper §3.4).
+//!
+//! A scheme examines the per-rank load vector and plans [`Transfer`]s of
+//! work between ranks. Three candidates, as in the paper:
+//!
+//! * [`scheme1`] — cyclic all-to-all data shuffling (Figure 4): perfect
+//!   balance, O(P²) messages;
+//! * [`scheme2`] — sorted greedy donor→receiver moves (Figure 5): O(P)
+//!   messages, but needs global sorting and "a substantial amount of local
+//!   bookkeeping" per pass;
+//! * [`scheme3`] — iterated pairwise exchange between rank *i* and rank
+//!   *P−i+1* of the sorted order (Figure 6): the adopted design — cheap
+//!   per round, repeatable until the imbalance is under tolerance.
+//!
+//! [`exec`] actually moves columns between ranks according to a plan.
+
+pub mod exec;
+pub mod scheme1;
+pub mod scheme2;
+pub mod scheme3;
+
+pub use scheme1::CyclicShuffle;
+pub use scheme2::SortedGreedy;
+pub use scheme3::PairwiseExchange;
+
+/// A planned movement of `amount` load units from one rank to another.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transfer {
+    /// Donor rank.
+    pub from: usize,
+    /// Receiver rank.
+    pub to: usize,
+    /// Load units (flops or seconds) to move.
+    pub amount: f64,
+}
+
+/// A load-balancing scheme: plans one balancing pass from a load vector.
+pub trait BalanceScheme {
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Plan one balancing pass. Every transfer must have
+    /// `from != to` and `amount > 0`.
+    fn plan(&self, loads: &[f64]) -> Vec<Transfer>;
+
+    /// Total messages a pass costs (one per transfer, by default).
+    fn message_count(&self, loads: &[f64]) -> usize {
+        self.plan(loads).len()
+    }
+}
+
+/// Apply a plan to a load vector (the paper's "simulation" mode: evaluate
+/// the balance quality "without actually moving the data arrays around").
+pub fn apply_plan(loads: &mut [f64], plan: &[Transfer]) {
+    for t in plan {
+        assert_ne!(t.from, t.to, "self-transfer in plan");
+        assert!(t.amount >= 0.0, "negative transfer in plan");
+        loads[t.from] -= t.amount;
+        loads[t.to] += t.amount;
+    }
+}
+
+/// Round an amount down to a multiple of `quantum` (`0` = exact). The
+/// paper's worked examples use integer load units.
+pub fn quantize(amount: f64, quantum: f64) -> f64 {
+    if quantum <= 0.0 {
+        amount
+    } else {
+        (amount / quantum).floor() * quantum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_plan_conserves_total() {
+        let mut loads = vec![65.0, 24.0, 38.0, 15.0];
+        let total: f64 = loads.iter().sum();
+        apply_plan(
+            &mut loads,
+            &[Transfer { from: 0, to: 3, amount: 25.0 }, Transfer { from: 2, to: 1, amount: 7.0 }],
+        );
+        assert_eq!(loads, vec![40.0, 31.0, 31.0, 40.0]);
+        assert_eq!(loads.iter().sum::<f64>(), total);
+    }
+
+    #[test]
+    fn quantize_modes() {
+        assert_eq!(quantize(4.5, 0.0), 4.5);
+        assert_eq!(quantize(4.5, 1.0), 4.0);
+        assert_eq!(quantize(4.5, 0.5), 4.5);
+        assert_eq!(quantize(24.9, 10.0), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-transfer")]
+    fn self_transfer_rejected() {
+        apply_plan(&mut [1.0, 2.0], &[Transfer { from: 1, to: 1, amount: 0.5 }]);
+    }
+}

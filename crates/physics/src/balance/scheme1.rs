@@ -1,0 +1,77 @@
+//! Scheme 1: cyclic all-to-all data shuffling (paper Figure 4).
+//!
+//! "Each processor divides its local data to be processed into N pieces,
+//! sends (N−1) pieces of the data to other processors, and receives (N−1)
+//! pieces of data from other processors. … The complete data shuffling
+//! guarantees a balanced load distribution as long as the load
+//! distribution within each processor is close to uniform in space. …
+//! The main drawback of this approach is the cost of performing all-to-all
+//! communications with a complexity of O(N²)."
+
+use super::{BalanceScheme, Transfer};
+
+/// The cyclic shuffle: every rank scatters its load equally to everyone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CyclicShuffle;
+
+impl BalanceScheme for CyclicShuffle {
+    fn name(&self) -> &'static str {
+        "scheme 1: cyclic all-to-all shuffle"
+    }
+
+    fn plan(&self, loads: &[f64]) -> Vec<Transfer> {
+        let p = loads.len();
+        let mut plan = Vec::with_capacity(p.saturating_sub(1) * p);
+        for (from, &load) in loads.iter().enumerate() {
+            let piece = load / p as f64;
+            if piece <= 0.0 {
+                continue;
+            }
+            for to in 0..p {
+                if to != from {
+                    plan.push(Transfer { from, to, amount: piece });
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::apply_plan;
+    use crate::load::imbalance;
+
+    #[test]
+    fn shuffle_balances_perfectly() {
+        let mut loads = vec![65.0, 24.0, 38.0, 15.0];
+        let plan = CyclicShuffle.plan(&loads);
+        apply_plan(&mut loads, &plan);
+        let avg = 142.0 / 4.0;
+        for l in &loads {
+            assert!((l - avg).abs() < 1e-12, "{loads:?}");
+        }
+        assert!(imbalance(&loads) < 1e-12);
+    }
+
+    #[test]
+    fn message_complexity_is_quadratic() {
+        // Figure 4: each of the N processors sends N−1 pieces.
+        let loads = vec![1.0; 16];
+        assert_eq!(CyclicShuffle.message_count(&loads), 16 * 15);
+        let loads = vec![1.0; 240];
+        assert_eq!(CyclicShuffle.message_count(&loads), 240 * 239);
+    }
+
+    #[test]
+    fn idle_rank_sends_nothing() {
+        let plan = CyclicShuffle.plan(&[0.0, 10.0]);
+        assert!(plan.iter().all(|t| t.from == 1));
+    }
+
+    #[test]
+    fn single_rank_noop() {
+        assert!(CyclicShuffle.plan(&[42.0]).is_empty());
+    }
+}

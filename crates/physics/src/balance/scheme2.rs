@@ -1,0 +1,149 @@
+//! Scheme 2: sorted greedy donor→receiver moves (paper Figure 5).
+//!
+//! "All the nodes are then assigned a new node id through a sorting of all
+//! local loads. The sorting … is performed to simplify subsequent data
+//! movement which attempts to minimize the amount of interprocessor
+//! communication. … the communication complexity of this load-balancing
+//! approach is O(N) … However, a potentially significant overhead is
+//! incurred … a number of global communications and a substantial amount
+//! of local bookkeeping."
+
+use super::{quantize, BalanceScheme, Transfer};
+
+/// Sorted greedy moves from the largest surplus to the largest deficit.
+#[derive(Debug, Clone, Copy)]
+pub struct SortedGreedy {
+    /// Transfers are floored to multiples of this (0 = exact). The paper's
+    /// worked example uses integer weights.
+    pub quantum: f64,
+}
+
+impl Default for SortedGreedy {
+    fn default() -> Self {
+        SortedGreedy { quantum: 0.0 }
+    }
+}
+
+impl BalanceScheme for SortedGreedy {
+    fn name(&self) -> &'static str {
+        "scheme 2: sorted greedy moves"
+    }
+
+    fn plan(&self, loads: &[f64]) -> Vec<Transfer> {
+        let p = loads.len();
+        if p < 2 {
+            return Vec::new();
+        }
+        let avg: f64 = loads.iter().sum::<f64>() / p as f64;
+        // Donors above average, receivers below; both sorted by excess /
+        // deficit, biggest first (the "new node id" of Figure 5B).
+        let mut donors: Vec<(usize, f64)> = loads
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > avg)
+            .map(|(i, &l)| (i, l - avg))
+            .collect();
+        let mut receivers: Vec<(usize, f64)> = loads
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l < avg)
+            .map(|(i, &l)| (i, avg - l))
+            .collect();
+        donors.sort_by(|a, b| b.1.total_cmp(&a.1));
+        receivers.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+        let mut plan = Vec::new();
+        let (mut d, mut r) = (0, 0);
+        while d < donors.len() && r < receivers.len() {
+            let give = quantize(donors[d].1.min(receivers[r].1), self.quantum);
+            if give > 0.0 {
+                plan.push(Transfer { from: donors[d].0, to: receivers[r].0, amount: give });
+            }
+            donors[d].1 -= give;
+            receivers[r].1 -= give;
+            // Advance whichever side is (nearly) exhausted; always advance
+            // at least one to terminate under quantization.
+            let d_done = donors[d].1 < self.quantum.max(1e-12);
+            let r_done = receivers[r].1 < self.quantum.max(1e-12);
+            if d_done {
+                d += 1;
+            }
+            if r_done {
+                r += 1;
+            }
+            if !d_done && !r_done {
+                // give was quantized to zero yet both have room: nothing
+                // more can move at this quantum.
+                break;
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::apply_plan;
+    use crate::load::imbalance;
+
+    #[test]
+    fn figure5_example_balances() {
+        // Initial loads 65/24/38/15 (Figure 5A); exact arithmetic reaches
+        // the 35.5 average everywhere.
+        let mut loads = vec![65.0, 24.0, 38.0, 15.0];
+        let plan = SortedGreedy::default().plan(&loads);
+        apply_plan(&mut loads, &plan);
+        for l in &loads {
+            assert!((l - 35.5).abs() < 1e-9, "{loads:?}");
+        }
+    }
+
+    #[test]
+    fn figure5_transfer_count_is_linear() {
+        // Figure 5's point: O(N) messages. With D donors and R receivers
+        // a greedy pass needs at most D + R − 1 ≤ N − 1 transfers.
+        let loads = vec![65.0, 24.0, 38.0, 15.0];
+        let plan = SortedGreedy::default().plan(&loads);
+        assert!(plan.len() <= 3, "{plan:?}");
+        // The largest move goes from the biggest donor (node 1, load 65) to
+        // the biggest-deficit receiver (node 4, load 15).
+        assert_eq!(plan[0].from, 0);
+        assert_eq!(plan[0].to, 3);
+    }
+
+    #[test]
+    fn quantized_plan_close_to_balanced() {
+        let mut loads = vec![65.0, 24.0, 38.0, 15.0];
+        let plan = SortedGreedy { quantum: 1.0 }.plan(&loads);
+        for t in &plan {
+            assert_eq!(t.amount.fract(), 0.0, "integer transfers only");
+        }
+        apply_plan(&mut loads, &plan);
+        assert!(imbalance(&loads) < 0.05, "{loads:?}");
+    }
+
+    #[test]
+    fn already_balanced_is_noop() {
+        assert!(SortedGreedy::default().plan(&[5.0, 5.0, 5.0]).is_empty());
+    }
+
+    #[test]
+    fn scales_linearly_on_large_vectors() {
+        let loads: Vec<f64> = (0..240).map(|i| 10.0 + (i % 7) as f64).collect();
+        let plan = SortedGreedy::default().plan(&loads);
+        assert!(plan.len() < 240, "O(N) transfers, got {}", plan.len());
+        let mut after = loads.clone();
+        apply_plan(&mut after, &plan);
+        assert!(imbalance(&after) < 1e-9);
+    }
+
+    #[test]
+    fn two_ranks() {
+        let mut loads = vec![10.0, 0.0];
+        let plan = SortedGreedy::default().plan(&loads);
+        assert_eq!(plan, vec![Transfer { from: 0, to: 1, amount: 5.0 }]);
+        apply_plan(&mut loads, &plan);
+        assert_eq!(loads, vec![5.0, 5.0]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Scheme 3: iterated pairwise exchange (paper Figure 6) — the adopted
+//! design.
+//!
+//! "The data load is sorted and a rank is assigned to each processor as a
+//! result of the sorting, and a pairwise data exchange between processors
+//! with rank i and rank N−i+1 is initiated. … If [the result] is not
+//! satisfactory … the load sorting and pairwise data exchange can be
+//! repeated. … A pairwise data exchange is only needed when the load
+//! difference in the pair of nodes exceeds some tolerance, and the
+//! iteration can stop as soon as the percentage of load-imbalance falls
+//! within a prescribed tolerance."
+
+use super::{quantize, BalanceScheme, Transfer};
+use crate::load::imbalance;
+
+/// One round pairs the k-th most loaded rank with the k-th least loaded
+/// and moves half the difference.
+#[derive(Debug, Clone, Copy)]
+pub struct PairwiseExchange {
+    /// A pair exchanges only if its load difference exceeds this.
+    pub pair_tolerance: f64,
+    /// Transfers are floored to multiples of this (0 = exact).
+    pub quantum: f64,
+}
+
+impl Default for PairwiseExchange {
+    fn default() -> Self {
+        PairwiseExchange { pair_tolerance: 0.0, quantum: 0.0 }
+    }
+}
+
+impl PairwiseExchange {
+    /// Plan repeated rounds until the imbalance is at most
+    /// `target_imbalance` or `max_rounds` is reached. Returns one plan per
+    /// executed round (the per-round structure matters: each round is a
+    /// separate sort + exchange on the machine).
+    pub fn plan_rounds(
+        &self,
+        loads: &[f64],
+        target_imbalance: f64,
+        max_rounds: usize,
+    ) -> Vec<Vec<Transfer>> {
+        let mut current = loads.to_vec();
+        let mut rounds = Vec::new();
+        for _ in 0..max_rounds {
+            if imbalance(&current) <= target_imbalance {
+                break;
+            }
+            let plan = self.plan(&current);
+            if plan.is_empty() {
+                break; // converged as far as the quantum allows
+            }
+            super::apply_plan(&mut current, &plan);
+            rounds.push(plan);
+        }
+        rounds
+    }
+}
+
+impl BalanceScheme for PairwiseExchange {
+    fn name(&self) -> &'static str {
+        "scheme 3: pairwise exchange"
+    }
+
+    fn plan(&self, loads: &[f64]) -> Vec<Transfer> {
+        let p = loads.len();
+        if p < 2 {
+            return Vec::new();
+        }
+        // Sort ranks by load, descending (Figure 6B's rank assignment).
+        let mut order: Vec<usize> = (0..p).collect();
+        order.sort_by(|&a, &b| loads[b].total_cmp(&loads[a]));
+        let mut plan = Vec::with_capacity(p / 2);
+        for k in 0..p / 2 {
+            let hi = order[k];
+            let lo = order[p - 1 - k];
+            let diff = loads[hi] - loads[lo];
+            if diff > self.pair_tolerance {
+                let amount = quantize(diff / 2.0, self.quantum);
+                if amount > 0.0 {
+                    plan.push(Transfer { from: hi, to: lo, amount });
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::apply_plan;
+
+    #[test]
+    fn figure6_first_round() {
+        // Loads 65/24/38/15 (Figure 6A). Sorted: 65, 38, 24, 15. Pairs
+        // (65,15) and (38,24): moves of 25 and 7 (Figure 6B) giving
+        // 40/31/31/40.
+        let mut loads = vec![65.0, 24.0, 38.0, 15.0];
+        let plan = PairwiseExchange { quantum: 1.0, ..Default::default() }.plan(&loads);
+        assert_eq!(
+            plan,
+            vec![
+                Transfer { from: 0, to: 3, amount: 25.0 },
+                Transfer { from: 2, to: 1, amount: 7.0 },
+            ]
+        );
+        apply_plan(&mut loads, &plan);
+        assert_eq!(loads, vec![40.0, 31.0, 31.0, 40.0]);
+    }
+
+    #[test]
+    fn figure6_second_round_reaches_paper_result() {
+        // Figure 6C/D: from 40/31/31/40 the second round moves 4 from each
+        // 40 to a 31, ending at 36/35/35/36.
+        let mut loads = vec![40.0, 31.0, 31.0, 40.0];
+        let plan = PairwiseExchange { quantum: 1.0, ..Default::default() }.plan(&loads);
+        apply_plan(&mut loads, &plan);
+        let mut sorted = loads.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(sorted, vec![35.0, 35.0, 36.0, 36.0], "{loads:?}");
+    }
+
+    #[test]
+    fn rounds_converge_like_tables_1_to_3() {
+        // The qualitative shape of Tables 1-3: a big first-round drop, a
+        // small second-round drop to single digits.
+        let loads = vec![11.0, 8.3, 7.9, 4.9, 9.5, 7.0, 8.8, 6.6];
+        let scheme = PairwiseExchange::default();
+        let rounds = scheme.plan_rounds(&loads, 0.02, 4);
+        let mut current = loads.clone();
+        let mut history = vec![imbalance(&current)];
+        for plan in &rounds {
+            apply_plan(&mut current, plan);
+            history.push(imbalance(&current));
+        }
+        assert!(history[0] > 0.3, "initial imbalance {}", history[0]);
+        for w in history.windows(2) {
+            assert!(w[1] < w[0], "imbalance must fall every round: {history:?}");
+        }
+        assert!(*history.last().unwrap() <= 0.1);
+    }
+
+    #[test]
+    fn tolerance_suppresses_small_exchanges() {
+        let loads = vec![10.0, 9.5, 9.0, 8.5];
+        let strict = PairwiseExchange::default().plan(&loads);
+        let tolerant =
+            PairwiseExchange { pair_tolerance: 2.0, ..Default::default() }.plan(&loads);
+        assert!(!strict.is_empty());
+        assert!(tolerant.is_empty(), "differences ≤ 2 must not move data");
+    }
+
+    #[test]
+    fn per_round_message_cost_is_linear() {
+        // At most ⌊P/2⌋ transfers per round — the scheme's selling point
+        // versus scheme 1's O(P²).
+        let loads: Vec<f64> = (0..240).map(|i| (i * 7919 % 101) as f64).collect();
+        let plan = PairwiseExchange::default().plan(&loads);
+        assert!(plan.len() <= 120);
+    }
+
+    #[test]
+    fn stop_when_under_target() {
+        let loads = vec![10.0, 10.1, 9.9, 10.0];
+        let rounds = PairwiseExchange::default().plan_rounds(&loads, 0.05, 10);
+        assert!(rounds.is_empty(), "already within tolerance");
+    }
+
+    #[test]
+    fn odd_rank_count_leaves_median_alone() {
+        let loads = vec![30.0, 20.0, 10.0];
+        let plan = PairwiseExchange::default().plan(&loads);
+        // Only the (30,10) pair exchanges; the median 20 is untouched.
+        assert_eq!(plan, vec![Transfer { from: 0, to: 2, amount: 10.0 }]);
+    }
+}

@@ -1,0 +1,26 @@
+//! # agcm-singlenode — the single-node performance study (paper §3.4)
+//!
+//! "Our main goal is to improve the single-node performance of the code …
+//! with a machine-independent and problem-size robust approach (i.e.
+//! without resorting to any assembly coding)." The paper's candidate
+//! techniques, each reproduced here as a pair (or family) of kernels whose
+//! outputs are bit-identical and whose speeds the benches compare:
+//!
+//! * [`blas`] — the BLAS-style building blocks (copy / scale / axpy / dot)
+//!   the paper substituted for hand-written loops, in reference and
+//!   unrolled forms;
+//! * [`pointwise`] — the paper's proposed **pointwise vector-multiply**
+//!   primitive `C(i,j) = A(i,j,s) × B(i)` (and the cyclic `a ⊛ b` of its
+//!   Eq. 4), naive / unrolled / blocked;
+//! * [`blockarray`] — the 7-point Laplace stencil over several discrete
+//!   fields, with separate arrays vs the block-oriented `f(m,i,j,k)`
+//!   layout (5× faster on the Paragon, 2.6× on the T3D for 32³ — but *not*
+//!   a win inside the full advection routine, a negative result the
+//!   benches also reproduce);
+//! * [`loopopt`] — redundant-computation elimination and loop
+//!   fission/fusion demonstrators.
+
+pub mod blas;
+pub mod blockarray;
+pub mod loopopt;
+pub mod pointwise;

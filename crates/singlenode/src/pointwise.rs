@@ -1,0 +1,122 @@
+//! The pointwise vector-multiply primitive (paper §3.4).
+//!
+//! "…a large part of the computations in our selected routines can be
+//! converted into what we call *pointwise vector-multiply*, which, for
+//! example, have the following form in a two-dimensional nested loop:
+//!
+//! ```text
+//! DO j = 1, N
+//!   DO i = 1, M
+//!     C(i,j) = A(i,j,s) × B(i)
+//!   ENDDO
+//! ENDDO
+//! ```
+//!
+//! where the subscript s can be either a constant or equal to j." And the
+//! recursive form of Eq. (4): `a ⊛ b` tiles a length-m vector `b` cyclically
+//! against a length-n vector `a` (n divisible by m). The paper proposed an
+//! optimized library routine for these; here are the portable variants the
+//! benches compare.
+
+/// Naive `C(i,j) = A(i,j) × B(i)`: straightforward nested loop, `A` and
+/// `C` as `M×N` column-major-by-j slabs (i fastest).
+pub fn pv_multiply_naive(a: &[f64], b: &[f64], m: usize, n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), m * n);
+    assert_eq!(b.len(), m);
+    let mut c = vec![0.0; m * n];
+    for j in 0..n {
+        for i in 0..m {
+            c[j * m + i] = a[j * m + i] * b[i];
+        }
+    }
+    c
+}
+
+/// Unrolled-by-4 variant with row-base hoisting.
+pub fn pv_multiply_unrolled(a: &[f64], b: &[f64], m: usize, n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), m * n);
+    assert_eq!(b.len(), m);
+    let mut c = vec![0.0; m * n];
+    for j in 0..n {
+        let row = j * m;
+        let (arow, crow) = (&a[row..row + m], &mut c[row..row + m]);
+        let chunks = m / 4;
+        for ch in 0..chunks {
+            let i = 4 * ch;
+            crow[i] = arow[i] * b[i];
+            crow[i + 1] = arow[i + 1] * b[i + 1];
+            crow[i + 2] = arow[i + 2] * b[i + 2];
+            crow[i + 3] = arow[i + 3] * b[i + 3];
+        }
+        for i in 4 * chunks..m {
+            crow[i] = arow[i] * b[i];
+        }
+    }
+    c
+}
+
+/// Iterator-fused variant (idiomatic Rust: bounds checks elided by the
+/// zip; the "portable library routine" the paper wished for).
+pub fn pv_multiply_fused(a: &[f64], b: &[f64], m: usize, n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), m * n);
+    assert_eq!(b.len(), m);
+    a.chunks_exact(m)
+        .flat_map(|row| row.iter().zip(b).map(|(&av, &bv)| av * bv))
+        .collect()
+}
+
+/// Eq. (4): the recursive cyclic product `a ⊛ b` with `n` divisible by
+/// `m`: `(a₁b₁, …, a_m b_m, a_{m+1} b₁, …)`.
+pub fn cyclic_multiply(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert!(!b.is_empty(), "b must be non-empty");
+    assert_eq!(a.len() % b.len(), 0, "n must be divisible by m (paper Eq. 4)");
+    a.iter().enumerate().map(|(i, &av)| av * b[i % b.len()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slab(m: usize, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let a = (0..m * n).map(|x| (x as f64 * 0.17).cos()).collect();
+        let b = (0..m).map(|x| 1.0 + (x as f64 * 0.29).sin()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn all_variants_bit_identical() {
+        for (m, n) in [(1, 1), (4, 3), (7, 5), (32, 32), (33, 9)] {
+            let (a, b) = slab(m, n);
+            let naive = pv_multiply_naive(&a, &b, m, n);
+            assert_eq!(pv_multiply_unrolled(&a, &b, m, n), naive, "unrolled m={m} n={n}");
+            assert_eq!(pv_multiply_fused(&a, &b, m, n), naive, "fused m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn multiply_semantics() {
+        let c = pv_multiply_naive(&[1.0, 2.0, 3.0, 4.0], &[10.0, 100.0], 2, 2);
+        assert_eq!(c, vec![10.0, 200.0, 30.0, 400.0]);
+    }
+
+    #[test]
+    fn cyclic_matches_paper_eq4() {
+        // a ⊛ b = (a1·b1, a2·b2, a3·b1, a4·b2) for m = 2, n = 4.
+        let out = cyclic_multiply(&[1.0, 2.0, 3.0, 4.0], &[10.0, 100.0]);
+        assert_eq!(out, vec![10.0, 200.0, 30.0, 400.0]);
+    }
+
+    #[test]
+    fn cyclic_equals_pv_when_layout_matches() {
+        // The 2-D loop with s = const is exactly the cyclic product of the
+        // flattened slab against B.
+        let (a, b) = slab(6, 4);
+        assert_eq!(cyclic_multiply(&a, &b), pv_multiply_naive(&a, &b, 6, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn cyclic_rejects_indivisible() {
+        cyclic_multiply(&[1.0; 5], &[1.0; 2]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Physics load balancing: the paper's Figures 4–6 worked example and the
+//! Tables 1–3 simulation, on live data.
+//!
+//! ```text
+//! cargo run --release --example physics_load_balance
+//! ```
+
+use ucla_agcm_repro::agcm::report::Table;
+use ucla_agcm_repro::grid::decomp::Decomp;
+use ucla_agcm_repro::grid::latlon::GridSpec;
+use ucla_agcm_repro::physics::balance::scheme1::CyclicShuffle;
+use ucla_agcm_repro::physics::balance::scheme2::SortedGreedy;
+use ucla_agcm_repro::physics::balance::scheme3::PairwiseExchange;
+use ucla_agcm_repro::physics::balance::{apply_plan, BalanceScheme};
+use ucla_agcm_repro::physics::load::{imbalance, summarize};
+use ucla_agcm_repro::physics::step::PhysicsStep;
+
+fn main() {
+    // --- Figures 4-6: the paper's 4-processor worked example. ------------
+    println!("=== Figures 4-6: loads 65 / 24 / 38 / 15 on four processors ===\n");
+    let initial = vec![65.0, 24.0, 38.0, 15.0];
+    println!("initial imbalance: {:.0}%\n", imbalance(&initial) * 100.0);
+
+    let mut t = Table::new(
+        "One balancing pass per scheme",
+        &["Scheme", "transfers", "final loads", "imbalance"],
+    );
+    let schemes: Vec<(String, Box<dyn BalanceScheme>)> = vec![
+        ("1: cyclic shuffle (Fig. 4)".into(), Box::new(CyclicShuffle)),
+        ("2: sorted greedy (Fig. 5)".into(), Box::new(SortedGreedy { quantum: 1.0 })),
+        (
+            "3: pairwise exchange (Fig. 6)".into(),
+            Box::new(PairwiseExchange { quantum: 1.0, ..Default::default() }),
+        ),
+    ];
+    for (name, scheme) in schemes {
+        let mut loads = initial.clone();
+        let plan = scheme.plan(&loads);
+        apply_plan(&mut loads, &plan);
+        t.add_row(vec![
+            name,
+            plan.len().to_string(),
+            format!("{loads:?}"),
+            format!("{:.0}%", imbalance(&loads) * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!("Scheme 3 after a second round (paper Figure 6D):");
+    let mut loads = initial.clone();
+    let scheme = PairwiseExchange { quantum: 1.0, ..Default::default() };
+    for round in 1..=2 {
+        let plan = scheme.plan(&loads);
+        apply_plan(&mut loads, &plan);
+        println!("  round {round}: {loads:?}  (imbalance {:.0}%)", imbalance(&loads) * 100.0);
+    }
+
+    // --- Tables 1-3 in miniature: real predicted physics loads. ----------
+    println!("\n=== Scheme 3 on real physics loads (2°x2.5°x9 grid) ===\n");
+    let grid = GridSpec::paper_9_layer();
+    for (mesh_lat, mesh_lon) in [(8usize, 8usize), (9, 14), (14, 18)] {
+        let decomp = Decomp::new(grid, mesh_lat, mesh_lon);
+        let mut loads: Vec<f64> = (0..decomp.size())
+            .map(|r| {
+                PhysicsStep::new(grid, decomp.subdomain_of_rank(r)).predicted_load(6.0 * 3600.0)
+            })
+            .collect();
+        let mut table = Table::new(
+            format!("{mesh_lat}x{mesh_lon} = {} nodes", decomp.size()),
+            &["Code status", "Max Mflops", "Min Mflops", "% imbalance"],
+        );
+        let exchange = PairwiseExchange::default();
+        for stage in ["Before", "After first round", "After second round"] {
+            let s = summarize(&loads);
+            table.add_row(vec![
+                stage.to_string(),
+                format!("{:.2}", s.max / 1e6),
+                format!("{:.2}", s.min / 1e6),
+                format!("{:.1}%", s.imbalance * 100.0),
+            ]);
+            let plan = exchange.plan(&loads);
+            apply_plan(&mut loads, &plan);
+        }
+        println!("{table}");
+    }
+    println!("Paper (Tables 1-3): 37%->9%->6% (64 nodes), 35%->12%->5% (126),");
+    println!("48%->12.5%->6% (252). The shape — a large first-round drop, then");
+    println!("single digits after the second round — is the reproduced result.");
+}

@@ -1,0 +1,111 @@
+//! Polar filtering walk-through: why the filter exists, and how the three
+//! implementations compare.
+//!
+//! Demonstrates, on real runs:
+//! 1. the CFL argument — the timestep the 45°-filtered grid supports vs
+//!    the raw polar limit;
+//! 2. Figures 2–3 — the row redistribution of the load-balanced filter
+//!    (line counts per rank, with and without load balance);
+//! 3. Tables 8–9 in miniature — message counts and flops of the three
+//!    filter variants on one mesh.
+//!
+//! ```text
+//! cargo run --release --example polar_filtering
+//! ```
+
+use ucla_agcm_repro::agcm::report::Table;
+use ucla_agcm_repro::dynamics::timestep::{max_stable_dt, signal_speed};
+use ucla_agcm_repro::filtering::driver::FilterVariant;
+use ucla_agcm_repro::filtering::filterfn::FilterKind;
+use ucla_agcm_repro::filtering::lines::FilterSetup;
+use ucla_agcm_repro::filtering::reference::{local_from_global, synthetic_field};
+use ucla_agcm_repro::filtering::driver::PolarFilter;
+use ucla_agcm_repro::grid::decomp::Decomp;
+use ucla_agcm_repro::grid::field::Field3D;
+use ucla_agcm_repro::grid::latlon::GridSpec;
+use ucla_agcm_repro::mps::runtime::run_traced;
+use ucla_agcm_repro::mps::topology::CartComm;
+
+fn main() {
+    let grid = GridSpec::paper_9_layer();
+    let c = signal_speed();
+
+    // --- 1. The CFL motivation (paper §2). -------------------------------
+    println!("=== Why filter? The CFL condition on the 2°x2.5° grid ===\n");
+    println!("fast-wave signal speed:              {c:.0} m/s");
+    println!(
+        "most polar zonal spacing:            {:.1} km",
+        grid.zonal_spacing_m(0) / 1000.0
+    );
+    let dt_raw = max_stable_dt(&grid, c, 0.7, None);
+    let dt_filtered = max_stable_dt(&grid, c, 0.7, Some(45.0));
+    println!("stable timestep, unfiltered:         {dt_raw:.1} s");
+    println!("stable timestep, filtered to 45°:    {dt_filtered:.1} s");
+    println!(
+        "=> filtering buys a {:.0}x larger uniform timestep\n",
+        dt_filtered / dt_raw
+    );
+
+    // --- 2. Figures 2-3: the row redistribution. --------------------------
+    println!("=== Figures 2-3: filter-line assignment on a 4x8 mesh ===\n");
+    let decomp = Decomp::new(grid, 4, 8);
+    let setup = FilterSetup::new(grid, decomp);
+    let strong = setup.lines(FilterKind::Strong).len();
+    let weak = setup.lines(FilterKind::Weak).len();
+    println!("strong-filtered lines (4 vars x 46 lats x 9 levels): {strong}");
+    println!("weak-filtered lines   (2 vars x 30 lats x 9 levels): {weak}\n");
+    let mut t = Table::new(
+        "Lines filtered per rank (strong class)",
+        &["Assignment", "min", "max", "idle ranks"],
+    );
+    for (name, owners) in [
+        ("row-local (no load balance)", setup.row_local_owners(FilterKind::Strong)),
+        ("balanced, paper Eq. (3)", setup.balanced_owners(FilterKind::Strong)),
+    ] {
+        let counts = setup.owner_counts(&owners);
+        t.add_row(vec![
+            name.to_string(),
+            counts.iter().min().unwrap().to_string(),
+            counts.iter().max().unwrap().to_string(),
+            counts.iter().filter(|&&c| c == 0).count().to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    // --- 3. The three implementations on one mesh. ------------------------
+    println!("=== The three filter modules on a 4x4 mesh (one application) ===\n");
+    let mesh = (4usize, 4usize);
+    let decomp = Decomp::new(grid, mesh.0, mesh.1);
+    let globals: Vec<Field3D> = (0..6).map(|v| synthetic_field(&grid, v)).collect();
+    let mut t = Table::new(
+        "Measured per application (traced run)",
+        &["Variant", "total messages", "total MB", "total Mflops", "flop imbalance"],
+    );
+    for variant in [
+        FilterVariant::ConvolutionRing,
+        FilterVariant::ConvolutionTree,
+        FilterVariant::FftNoLb,
+        FilterVariant::LbFft,
+    ] {
+        let (_, trace) = run_traced(decomp.size(), |comm| {
+            let cart = CartComm::new(comm, mesh.0, mesh.1, (false, true));
+            let setup = FilterSetup::new(grid, decomp);
+            let filter = PolarFilter::new(&setup, variant);
+            let sub = decomp.subdomain_of_rank(comm.rank());
+            let mut fields: Vec<Field3D> =
+                globals.iter().map(|g| local_from_global(g, &sub)).collect();
+            filter.apply(&setup, &cart, &mut fields);
+        });
+        t.add_row(vec![
+            variant.label().to_string(),
+            trace.total_messages().to_string(),
+            format!("{:.2}", trace.total_bytes() as f64 / 1.0e6),
+            format!("{:.1}", trace.total_flops() / 1.0e6),
+            format!("{:.0}%", trace.flop_imbalance() * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!("The FFT variants do ~an order of magnitude less arithmetic than the");
+    println!("convolution; the load-balanced variant removes the idle mid-latitude");
+    println!("ranks, at the price of a mesh-wide (rather than row-local) exchange.");
+}

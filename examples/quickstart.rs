@@ -1,0 +1,51 @@
+//! Quickstart: run the parallel AGCM on a 2×2 processor mesh and print a
+//! component breakdown on two simulated machines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ucla_agcm_repro::agcm::config::AgcmConfig;
+use ucla_agcm_repro::agcm::model::run_model;
+use ucla_agcm_repro::agcm::report::{fmt_pct, fmt_secs, Table};
+use ucla_agcm_repro::costmodel::machine::MachineProfile;
+use ucla_agcm_repro::costmodel::replay::replay;
+use ucla_agcm_repro::filtering::driver::FilterVariant;
+use ucla_agcm_repro::grid::latlon::GridSpec;
+
+fn main() {
+    // A reduced grid so the example runs in a couple of seconds; swap in
+    // GridSpec::paper_9_layer() for the full 144×90×9 configuration.
+    let grid = GridSpec::new(72, 46, 9);
+    let cfg = AgcmConfig::for_grid(grid, 2, 2, FilterVariant::LbFft).with_steps(3);
+
+    println!(
+        "Running a {}x{}x{} AGCM on a {}x{} mesh for {} steps (dt = {:.0} s)…\n",
+        grid.n_lon, grid.n_lat, grid.n_lev, cfg.mesh_lat, cfg.mesh_lon, cfg.steps, cfg.dt
+    );
+    let run = run_model(cfg);
+    assert!(run.stable(), "the filtered model must stay stable");
+
+    let mut table = Table::new(
+        "Component times per simulated day (trace replay)",
+        &["Machine", "Dynamics (s)", "  of which filter", "Physics (s)", "Physics imbalance"],
+    );
+    for machine in [MachineProfile::paragon(), MachineProfile::t3d(), MachineProfile::sp2()] {
+        let r = replay(&run.trace, &machine);
+        let per_day = cfg.steps_per_day() / cfg.steps as f64;
+        table.add_row(vec![
+            machine.name.to_string(),
+            fmt_secs(r.phase_time("dynamics") * per_day),
+            fmt_secs(r.phase_time("filter") * per_day),
+            fmt_secs(r.phase_time("physics") * per_day),
+            fmt_pct(r.phase_imbalance("physics")),
+        ]);
+    }
+    println!("{table}");
+
+    println!(
+        "Physics load imbalance at the last step (paper metric): {}",
+        fmt_pct(run.physics_imbalance(cfg.steps - 1))
+    );
+    println!("Max wind in the final state: {:.1} m/s", run.ranks[0].max_wind);
+}

@@ -1,0 +1,172 @@
+//! Single-node optimization study (paper §3.4), run on this machine.
+//!
+//! Times every kernel pair of the study — mini-BLAS vs hand loops,
+//! pointwise vector-multiply variants, block vs separate array layouts,
+//! redundant-work elimination, loop fission — and reports measured
+//! speed-ups next to the paper's 1996 numbers.
+//!
+//! ```text
+//! cargo run --release --example single_node_opt
+//! ```
+
+use ucla_agcm_repro::agcm::report::{fmt_ratio, Table};
+use ucla_agcm_repro::dynamics::advection::{advect_naive, advect_restructured, AdvShape};
+use ucla_agcm_repro::grid::field::BlockField;
+use ucla_agcm_repro::grid::latlon::GridSpec;
+use ucla_agcm_repro::singlenode::blas::{daxpy, daxpy_unrolled, ddot, ddot_unrolled};
+use ucla_agcm_repro::singlenode::blockarray::{laplace_block, laplace_separate, paper_test_fields};
+use ucla_agcm_repro::singlenode::loopopt::{
+    six_array_fissioned, six_array_fused, weighted_update_hoisted, weighted_update_naive,
+};
+use ucla_agcm_repro::singlenode::pointwise::{
+    pv_multiply_fused, pv_multiply_naive, pv_multiply_unrolled,
+};
+
+fn median_time(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[reps / 2]
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Single-node kernel study (median of 9 runs, release build)",
+        &["Kernel pair", "baseline (µs)", "optimized (µs)", "speed-up"],
+    );
+    let us = 1.0e6;
+
+    // BLAS-style kernels.
+    let n = 1 << 18;
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.001).sin()).collect();
+    let mut y = vec![0.0; n];
+    let t0 = median_time(9, || daxpy(1.5, &x, std::hint::black_box(&mut y)));
+    let t1 = median_time(9, || daxpy_unrolled(1.5, &x, std::hint::black_box(&mut y)));
+    table.add_row(vec![
+        "daxpy: loop vs unrolled".into(),
+        format!("{:.1}", t0 * us),
+        format!("{:.1}", t1 * us),
+        fmt_ratio(t0 / t1),
+    ]);
+    let t0 = median_time(9, || {
+        std::hint::black_box(ddot(&x, &x));
+    });
+    let t1 = median_time(9, || {
+        std::hint::black_box(ddot_unrolled(&x, &x));
+    });
+    table.add_row(vec![
+        "ddot: loop vs 4-accumulator".into(),
+        format!("{:.1}", t0 * us),
+        format!("{:.1}", t1 * us),
+        fmt_ratio(t0 / t1),
+    ]);
+
+    // Pointwise vector-multiply (the paper's proposed primitive).
+    let (m, cols) = (512, 512);
+    let a: Vec<f64> = (0..m * cols).map(|i| (i as f64 * 0.003).cos()).collect();
+    let b: Vec<f64> = (0..m).map(|i| 1.0 + (i as f64 * 0.01).sin()).collect();
+    let t0 = median_time(9, || {
+        std::hint::black_box(pv_multiply_naive(&a, &b, m, cols));
+    });
+    let t1 = median_time(9, || {
+        std::hint::black_box(pv_multiply_unrolled(&a, &b, m, cols));
+    });
+    let t2 = median_time(9, || {
+        std::hint::black_box(pv_multiply_fused(&a, &b, m, cols));
+    });
+    table.add_row(vec![
+        "pointwise multiply: naive vs unrolled".into(),
+        format!("{:.1}", t0 * us),
+        format!("{:.1}", t1 * us),
+        fmt_ratio(t0 / t1),
+    ]);
+    table.add_row(vec![
+        "pointwise multiply: naive vs iterator-fused".into(),
+        format!("{:.1}", t0 * us),
+        format!("{:.1}", t2 * us),
+        fmt_ratio(t0 / t2),
+    ]);
+
+    // Block-array vs separate arrays (the paper's 32³ cache experiment).
+    let fields = paper_test_fields(12);
+    let block = BlockField::from_fields(&fields);
+    let t0 = median_time(9, || {
+        std::hint::black_box(laplace_separate(std::hint::black_box(&fields)));
+    });
+    let t1 = median_time(9, || {
+        std::hint::black_box(laplace_block(std::hint::black_box(&block)));
+    });
+    table.add_row(vec![
+        "7-pt Laplace x12 fields: separate vs block".into(),
+        format!("{:.1}", t0 * us),
+        format!("{:.1}", t1 * us),
+        fmt_ratio(t0 / t1),
+    ]);
+
+    // Redundant-work elimination.
+    let (mm, nn) = (720, 360);
+    let arr: Vec<f64> = (0..mm * nn).map(|i| (i as f64 * 0.002).sin()).collect();
+    let t0 = median_time(9, || {
+        std::hint::black_box(weighted_update_naive(&arr, &arr, &arr, mm, nn, 0.01, 0.4));
+    });
+    let t1 = median_time(9, || {
+        std::hint::black_box(weighted_update_hoisted(&arr, &arr, &arr, mm, nn, 0.01, 0.4));
+    });
+    table.add_row(vec![
+        "longwave-style update: redundant vs hoisted".into(),
+        format!("{:.1}", t0 * us),
+        format!("{:.1}", t1 * us),
+        fmt_ratio(t0 / t1),
+    ]);
+
+    // Loop fission.
+    let n6 = 1 << 17;
+    let v: Vec<f64> = (0..n6).map(|i| (i as f64 * 0.004).cos()).collect();
+    let (mut o1, mut o2) = (vec![0.0; n6], vec![0.0; n6]);
+    let t0 = median_time(9, || {
+        six_array_fused(&v, &v, &v, &v, &v, &v, &mut o1, &mut o2);
+    });
+    let t1 = median_time(9, || {
+        six_array_fissioned(&v, &v, &v, &v, &v, &v, &mut o1, &mut o2);
+    });
+    table.add_row(vec![
+        "six-array kernel: fused vs fissioned".into(),
+        format!("{:.1}", t0 * us),
+        format!("{:.1}", t1 * us),
+        fmt_ratio(t0 / t1),
+    ]);
+
+    // The advection routine itself.
+    let grid = GridSpec::paper_9_layer();
+    let shape = AdvShape { ni: 144, nj: 90, nk: 9 };
+    let total = shape.ni * shape.nj * shape.nk;
+    let q: Vec<f64> = (0..total).map(|i| (i as f64 * 0.01).sin()).collect();
+    let u: Vec<f64> = (0..total).map(|i| 10.0 + (i as f64 * 0.02).cos()).collect();
+    let w: Vec<f64> = (0..total).map(|i| -(i as f64 * 0.03).sin()).collect();
+    let t0 = median_time(9, || {
+        std::hint::black_box(advect_naive(&q, &u, &w, shape, &grid, 0));
+    });
+    let t1 = median_time(9, || {
+        std::hint::black_box(advect_restructured(&q, &u, &w, shape, &grid, 0));
+    });
+    table.add_row(vec![
+        "advection 144x90x9: original vs restructured".into(),
+        format!("{:.1}", t0 * us),
+        format!("{:.1}", t1 * us),
+        fmt_ratio(t0 / t1),
+    ]);
+
+    println!("{table}");
+    println!("Paper (1996): block array 5x (Paragon) / 2.6x (T3D) on the Laplace");
+    println!("kernel but no win inside full advection; advection restructuring");
+    println!("-35% on a T3D node. On modern hardware the compiler already");
+    println!("performs most of these restructurings (LICM hoists the redundant");
+    println!("trig; caches are large and associative), so measured gaps are far");
+    println!("smaller — the reproducible part is the *negative* result: layout");
+    println!("changes that win on microkernels need not win in real routines.");
+}

@@ -1,0 +1,32 @@
+//! # ucla-agcm-repro — umbrella crate
+//!
+//! A reproduction of *Lou & Farrara, "Performance Analysis and Optimization
+//! on the UCLA Parallel Atmospheric General Circulation Model Code"*
+//! (SC 1996). This crate re-exports the workspace members so examples and
+//! integration tests can reach everything through one dependency:
+//!
+//! * [`mps`] — message-passing substrate (threads-as-ranks, collectives,
+//!   Cartesian meshes, tracing);
+//! * [`costmodel`] — Intel Paragon / Cray T3D / IBM SP-2 machine profiles
+//!   and the trace-driven execution-time simulator;
+//! * [`fft`] — from-scratch FFTs, DFT and convolution baselines;
+//! * [`grid`] — Arakawa C lat-lon grid, decomposition, halo exchange;
+//! * [`filtering`] — the three polar-filter implementations (convolution,
+//!   transpose FFT, load-balanced FFT);
+//! * [`physics`] — column physics emulation and load-balancing schemes 1-3;
+//! * [`dynamics`] — the finite-difference dynamical core;
+//! * [`agcm`] — the assembled model, timers and report formatting;
+//! * [`singlenode`] — the single-node optimization study.
+//!
+//! See `DESIGN.md` for the full system inventory and the per-experiment
+//! index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use agcm_core as agcm;
+pub use agcm_costmodel as costmodel;
+pub use agcm_dynamics as dynamics;
+pub use agcm_fft as fft;
+pub use agcm_filtering as filtering;
+pub use agcm_grid as grid;
+pub use agcm_mps as mps;
+pub use agcm_physics as physics;
+pub use agcm_singlenode as singlenode;

@@ -1,0 +1,87 @@
+//! End-to-end integration: the assembled model across crates.
+
+use ucla_agcm_repro::agcm::config::AgcmConfig;
+use ucla_agcm_repro::agcm::model::run_model;
+use ucla_agcm_repro::costmodel::machine::MachineProfile;
+use ucla_agcm_repro::costmodel::replay::replay;
+use ucla_agcm_repro::filtering::driver::FilterVariant;
+use ucla_agcm_repro::grid::latlon::GridSpec;
+
+fn small_grid() -> GridSpec {
+    GridSpec::new(48, 24, 3)
+}
+
+#[test]
+fn model_is_stable_and_traceable_for_every_filter_variant() {
+    for variant in FilterVariant::ALL {
+        let cfg = AgcmConfig::for_grid(small_grid(), 2, 2, variant).with_steps(2);
+        let run = run_model(cfg);
+        assert!(run.stable(), "{variant:?}");
+        // The trace must replay on every machine profile with positive,
+        // machine-ordered times.
+        let paragon = replay(&run.trace, &MachineProfile::paragon());
+        let t3d = replay(&run.trace, &MachineProfile::t3d());
+        assert!(paragon.total_time() > 0.0);
+        assert!(
+            t3d.total_time() < paragon.total_time(),
+            "{variant:?}: the T3D must be faster than the Paragon on the same trace"
+        );
+    }
+}
+
+#[test]
+fn lb_fft_beats_convolution_in_simulated_filter_time() {
+    // Tables 8-11's defining relation at integration level.
+    let mesh = (2usize, 4usize);
+    let measure = |variant| {
+        let cfg = AgcmConfig::for_grid(GridSpec::new(72, 46, 3), mesh.0, mesh.1, variant)
+            .with_steps(1);
+        let run = run_model(cfg);
+        replay(&run.trace, &MachineProfile::paragon()).phase_time("filter")
+    };
+    let conv = measure(FilterVariant::ConvolutionRing);
+    let fft = measure(FilterVariant::FftNoLb);
+    let lb = measure(FilterVariant::LbFft);
+    assert!(conv > fft, "convolution {conv} must exceed plain FFT {fft}");
+    assert!(fft > lb, "plain FFT {fft} must exceed LB-FFT {lb}");
+}
+
+#[test]
+fn more_processors_reduce_simulated_dynamics_time() {
+    let grid = GridSpec::new(72, 46, 3);
+    let time_at = |mesh: (usize, usize)| {
+        let cfg = AgcmConfig::for_grid(grid, mesh.0, mesh.1, FilterVariant::LbFft).with_steps(1);
+        let run = run_model(cfg);
+        replay(&run.trace, &MachineProfile::t3d()).phase_time("dynamics")
+    };
+    let t1 = time_at((1, 1));
+    let t4 = time_at((2, 2));
+    let t16 = time_at((4, 4));
+    assert!(t4 < t1 / 2.0, "4 nodes at least 2x: {t1} -> {t4}");
+    assert!(t16 < t4 / 1.5, "16 nodes keep scaling: {t4} -> {t16}");
+}
+
+#[test]
+fn physics_balancing_leaves_diagnostics_unchanged_and_helps_balance() {
+    let grid = GridSpec::new(72, 46, 9);
+    let base = AgcmConfig::for_grid(grid, 2, 4, FilterVariant::LbFft).with_steps(3);
+    let plain = run_model(base);
+    let balanced = run_model(base.with_physics_balancing());
+    // Same physical answer…
+    for (a, b) in plain.ranks.iter().zip(&balanced.ranks) {
+        assert!((a.max_wind - b.max_wind).abs() < 1e-9);
+    }
+    // …with better-distributed work from the second step on.
+    let before = plain.physics_imbalance(2);
+    let after = balanced.physics_imbalance(2);
+    assert!(after <= before, "balancing must not hurt: {before} -> {after}");
+}
+
+#[test]
+fn seconds_per_day_scale_with_timestep() {
+    let cfg = AgcmConfig::for_grid(small_grid(), 1, 1, FilterVariant::LbFft);
+    // Halving dt doubles steps/day.
+    let mut faster = cfg;
+    faster.dt = cfg.dt / 2.0;
+    assert!((faster.steps_per_day() - 2.0 * cfg.steps_per_day()).abs() < 1e-9);
+}

@@ -1,0 +1,181 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+use ucla_agcm_repro::fft::complex::Complex64;
+use ucla_agcm_repro::fft::convolution::{circular_convolve_direct, circular_convolve_fft};
+use ucla_agcm_repro::fft::plan::FftPlan;
+use ucla_agcm_repro::grid::decomp::block_partition;
+use ucla_agcm_repro::grid::field::{BlockField, Field3D};
+use ucla_agcm_repro::grid::history::{byte_reverse_elements, decode, encode, ByteOrder};
+use ucla_agcm_repro::physics::balance::scheme1::CyclicShuffle;
+use ucla_agcm_repro::physics::balance::scheme2::SortedGreedy;
+use ucla_agcm_repro::physics::balance::scheme3::PairwiseExchange;
+use ucla_agcm_repro::physics::balance::{apply_plan, BalanceScheme};
+use ucla_agcm_repro::physics::load::imbalance;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT round-trip is the identity for any signal and any size 1..=96.
+    #[test]
+    fn fft_roundtrip_identity(
+        re in prop::collection::vec(-1.0e3f64..1.0e3, 1..96),
+        im in prop::collection::vec(-1.0e3f64..1.0e3, 1..96),
+    ) {
+        let n = re.len().min(im.len());
+        let x: Vec<Complex64> = (0..n).map(|i| Complex64::new(re[i], im[i])).collect();
+        let plan = FftPlan::new(n);
+        let back = plan.inverse(&plan.forward(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    /// Parseval: the transform preserves energy (with the 1/N convention).
+    #[test]
+    fn fft_parseval(re in prop::collection::vec(-10.0f64..10.0, 2..80)) {
+        let n = re.len();
+        let x: Vec<Complex64> = re.iter().map(|&v| Complex64::from_re(v)).collect();
+        let plan = FftPlan::new(n);
+        let y = plan.forward(&x);
+        let te: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let fe: f64 = y.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((te - fe).abs() < 1e-6 * (1.0 + te));
+    }
+
+    /// The convolution theorem holds for arbitrary signals and kernels.
+    #[test]
+    fn convolution_theorem(
+        x in prop::collection::vec(-5.0f64..5.0, 4..48),
+        seed in 0u64..1000,
+    ) {
+        let n = x.len();
+        let kernel: Vec<f64> = (0..n)
+            .map(|i| (((i as u64 + seed) * 2654435761 % 1000) as f64 / 500.0) - 1.0)
+            .collect();
+        let plan = FftPlan::new(n);
+        let direct = circular_convolve_direct(&x, &kernel);
+        let fast = circular_convolve_fft(&plan, &x, &kernel);
+        for (a, b) in direct.iter().zip(&fast) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    /// block_partition tiles [0, n) exactly, with sizes within one.
+    #[test]
+    fn block_partition_tiles(n in 0usize..10_000, p in 1usize..64) {
+        let mut next = 0;
+        for idx in 0..p {
+            let (start, len) = block_partition(n, p, idx);
+            prop_assert_eq!(start, next);
+            prop_assert!(len >= n / p && len <= n / p + 1);
+            next = start + len;
+        }
+        prop_assert_eq!(next, n);
+    }
+
+    /// Every balance scheme conserves total load, never increases the
+    /// paper's imbalance metric, and plans no self-transfers.
+    #[test]
+    fn balance_schemes_conserve_and_improve(
+        loads in prop::collection::vec(0.0f64..1000.0, 2..40),
+    ) {
+        let total: f64 = loads.iter().sum();
+        prop_assume!(total > 1.0);
+        let schemes: Vec<Box<dyn BalanceScheme>> = vec![
+            Box::new(CyclicShuffle),
+            Box::new(SortedGreedy::default()),
+            Box::new(PairwiseExchange::default()),
+        ];
+        for scheme in schemes {
+            let mut after = loads.clone();
+            let plan = scheme.plan(&after);
+            for t in &plan {
+                prop_assert_ne!(t.from, t.to);
+                prop_assert!(t.amount >= 0.0);
+            }
+            apply_plan(&mut after, &plan);
+            let new_total: f64 = after.iter().sum();
+            prop_assert!((new_total - total).abs() < 1e-6 * total,
+                "{} conservation", scheme.name());
+            prop_assert!(imbalance(&after) <= imbalance(&loads) + 1e-9,
+                "{} must not worsen imbalance", scheme.name());
+            prop_assert!(after.iter().all(|&l| l >= -1e-9),
+                "{} must not drive a load negative", scheme.name());
+        }
+    }
+
+    /// Scheme 3 rounds converge: imbalance is non-increasing round over
+    /// round and drops below 15% within ten rounds.
+    #[test]
+    fn pairwise_exchange_converges(
+        loads in prop::collection::vec(1.0f64..1000.0, 4..64),
+    ) {
+        let scheme = PairwiseExchange::default();
+        let mut current = loads.clone();
+        let mut prev = imbalance(&current);
+        for _ in 0..10 {
+            let plan = scheme.plan(&current);
+            if plan.is_empty() {
+                break;
+            }
+            apply_plan(&mut current, &plan);
+            let now = imbalance(&current);
+            prop_assert!(now <= prev + 1e-9);
+            prev = now;
+        }
+        prop_assert!(prev < 0.15, "converged imbalance {prev}");
+    }
+
+    /// History records round-trip in both byte orders.
+    #[test]
+    fn history_roundtrip(
+        vals in prop::collection::vec(-1.0e6f64..1.0e6, 1..64),
+        big_endian in any::<bool>(),
+    ) {
+        let n = vals.len();
+        let mut f = Field3D::zeros(n, 1, 1);
+        f.as_mut_slice().copy_from_slice(&vals);
+        let order = if big_endian { ByteOrder::Big } else { ByteOrder::Little };
+        let rec = encode(&f, order);
+        let (back, detected) = decode(&rec).unwrap();
+        prop_assert_eq!(detected, order);
+        prop_assert_eq!(back.max_abs_diff(&f), 0.0);
+    }
+
+    /// Byte reversal is an involution for any element width.
+    #[test]
+    fn byte_reversal_involution(
+        data in prop::collection::vec(any::<u8>(), 0..256),
+        width in 1usize..16,
+    ) {
+        let mut d = data.clone();
+        d.truncate(data.len() / width * width);
+        let orig = d.clone();
+        byte_reverse_elements(&mut d, width);
+        byte_reverse_elements(&mut d, width);
+        prop_assert_eq!(d, orig);
+    }
+
+    /// Block-field interleaving round-trips any set of fields.
+    #[test]
+    fn block_field_roundtrip(
+        m in 1usize..6,
+        ni in 1usize..8,
+        nj in 1usize..8,
+        nk in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let fields: Vec<Field3D> = (0..m)
+            .map(|v| {
+                Field3D::from_fn(ni, nj, nk, |i, j, k| {
+                    ((i * 31 + j * 17 + k * 7 + v * 3 + seed as usize) as f64 * 0.37).sin()
+                })
+            })
+            .collect();
+        let back = BlockField::from_fields(&fields).to_fields();
+        for (a, b) in fields.iter().zip(&back) {
+            prop_assert_eq!(a.max_abs_diff(b), 0.0);
+        }
+    }
+}
