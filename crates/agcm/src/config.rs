@@ -25,6 +25,8 @@ pub struct AgcmConfig {
     pub balance_rounds: usize,
     /// Steps to run.
     pub steps: usize,
+    /// Checkpoint every this many steps in resilient runs (0 = never).
+    pub checkpoint_every: usize,
 }
 
 impl AgcmConfig {
@@ -55,6 +57,7 @@ impl AgcmConfig {
             balance_target: 0.06,
             balance_rounds: 2,
             steps: 2,
+            checkpoint_every: 0,
         }
     }
 
@@ -67,6 +70,12 @@ impl AgcmConfig {
     /// Builder-style: set the number of steps.
     pub fn with_steps(mut self, steps: usize) -> AgcmConfig {
         self.steps = steps;
+        self
+    }
+
+    /// Builder-style: checkpoint every `every` steps in resilient runs.
+    pub fn with_checkpointing(mut self, every: usize) -> AgcmConfig {
+        self.checkpoint_every = every;
         self
     }
 
@@ -91,7 +100,11 @@ mod tests {
         let cfg = AgcmConfig::paper(8, 30, FilterVariant::LbFft);
         assert_eq!(cfg.size(), 240);
         assert_eq!(cfg.grid.points(), 144 * 90 * 9);
-        assert!(cfg.dt > 60.0 && cfg.dt < 1200.0, "plausible AGCM timestep: {}", cfg.dt);
+        assert!(
+            cfg.dt > 60.0 && cfg.dt < 1200.0,
+            "plausible AGCM timestep: {}",
+            cfg.dt
+        );
         assert!(cfg.steps_per_day() > 50.0);
         assert!(!cfg.balance_physics);
     }
@@ -100,9 +113,11 @@ mod tests {
     fn builders() {
         let cfg = AgcmConfig::paper(4, 4, FilterVariant::ConvolutionRing)
             .with_physics_balancing()
-            .with_steps(5);
+            .with_steps(5)
+            .with_checkpointing(2);
         assert!(cfg.balance_physics);
         assert_eq!(cfg.steps, 5);
+        assert_eq!(cfg.checkpoint_every, 2);
     }
 
     #[test]

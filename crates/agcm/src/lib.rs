@@ -10,7 +10,8 @@
 //! * [`config`] — run configuration: grid, mesh, timestep, filter variant,
 //!   physics balancing;
 //! * [`model`] — the driver: spawn the mesh, step the model, collect the
-//!   execution trace and per-rank results;
+//!   execution trace and per-rank results; [`model::run_model_resilient`]
+//!   adds checkpoint/restart recovery on top (see `agcm-resilience`);
 //! * [`timers`] — wall-clock component timers (the measurement
 //!   infrastructure of Tables 1–3);
 //! * [`report`] — fixed-width table formatting for the `reproduce`
@@ -26,5 +27,7 @@ pub mod templates;
 pub mod timers;
 
 pub use config::AgcmConfig;
-pub use model::{run_model, ModelRun, RankOutcome};
+pub use model::{
+    run_model, run_model_resilient, ModelRun, RankOutcome, ResilienceOpts, ResilientRun,
+};
 pub use report::Table;

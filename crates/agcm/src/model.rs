@@ -10,17 +10,23 @@ use crate::config::AgcmConfig;
 use agcm_dynamics::core::{Dynamics, DynamicsConfig};
 use agcm_dynamics::state::ModelState;
 use agcm_grid::arakawa::Variable;
-use agcm_grid::decomp::Decomp;
+use agcm_grid::decomp::{Decomp, Subdomain};
+use agcm_mps::fault::FaultPlan;
 use agcm_mps::runtime::run_traced;
 use agcm_mps::topology::CartComm;
 use agcm_mps::trace::WorldTrace;
+use agcm_mps::Comm;
 use agcm_physics::balance::exec::run_balanced;
 use agcm_physics::balance::scheme3::PairwiseExchange;
 use agcm_physics::load::LoadTracker;
 use agcm_physics::step::PhysicsStep;
+use agcm_resilience::checkpoint::ModelCheckpoint;
+use agcm_resilience::coordinator::{write_coordinated, CheckpointStore};
+use agcm_resilience::metrics::ResilienceMetrics;
+use agcm_resilience::recovery::{run_recovered, AttemptFailure, RecoveryError, RecoveryOptions};
 
 /// Per-rank results of a model run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankOutcome {
     /// Measured physics load (flops) per step.
     pub physics_loads: Vec<f64>,
@@ -54,49 +60,87 @@ impl ModelRun {
     }
 }
 
+/// One rank's per-step machinery, shared by the plain and resilient
+/// drivers so the two cannot drift apart.
+struct StepContext<'a> {
+    cfg: &'a AgcmConfig,
+    cart: CartComm,
+    sub: Subdomain,
+    dynamics: Dynamics,
+    physics: PhysicsStep,
+    scheme: PairwiseExchange,
+}
+
+impl<'a> StepContext<'a> {
+    fn new(cfg: &'a AgcmConfig, decomp: Decomp, comm: &Comm) -> StepContext<'a> {
+        let sub = decomp.subdomain_of_rank(comm.rank());
+        StepContext {
+            cfg,
+            cart: CartComm::new(comm, cfg.mesh_lat, cfg.mesh_lon, (false, true)),
+            sub,
+            dynamics: Dynamics::new(
+                cfg.grid,
+                decomp,
+                DynamicsConfig::new(cfg.dt, Some(cfg.filter)),
+            ),
+            physics: PhysicsStep::new(cfg.grid, sub),
+            scheme: PairwiseExchange::default(),
+        }
+    }
+
+    /// Advance one step: Dynamics then Physics (Figure 1). Returns the
+    /// (performed, owned) physics loads.
+    fn step(
+        &self,
+        comm: &Comm,
+        state: &mut ModelState,
+        tracker: &LoadTracker,
+        step: u64,
+    ) -> (f64, f64) {
+        let cfg = self.cfg;
+        let t = step as f64 * cfg.dt;
+        comm.phase("dynamics", || self.dynamics.step(&self.cart, state));
+
+        comm.phase("physics", || {
+            // Scheme 3 needs a load estimate before it "can proceed":
+            // use the previous pass's *owned-column* load once
+            // available (the executed load is balanced by design and
+            // would mask the underlying imbalance).
+            let estimates = if cfg.balance_physics {
+                comm.phase("balance", || tracker.gather_estimates(comm))
+            } else {
+                None
+            };
+            let theta = &mut state.fields[Variable::Theta.index()];
+            match estimates {
+                Some(loads) => {
+                    let rounds =
+                        self.scheme
+                            .plan_rounds(&loads, cfg.balance_target, cfg.balance_rounds);
+                    let plan: Vec<_> = rounds.into_iter().flatten().collect();
+                    let br = run_balanced(comm, &cfg.grid, &self.sub, theta, t, &plan);
+                    (br.performed, br.owned)
+                }
+                None => {
+                    let l = self.physics.run_local(comm, theta, t);
+                    (l, l)
+                }
+            }
+        })
+    }
+}
+
 /// Run the model per `cfg`, spawning one thread per mesh node.
 pub fn run_model(cfg: AgcmConfig) -> ModelRun {
     let decomp = Decomp::new(cfg.grid, cfg.mesh_lat, cfg.mesh_lon);
     let (ranks, trace) = run_traced(cfg.size(), |comm| {
-        let cart = CartComm::new(comm, cfg.mesh_lat, cfg.mesh_lon, (false, true));
-        let sub = decomp.subdomain_of_rank(comm.rank());
-        let dynamics =
-            Dynamics::new(cfg.grid, decomp, DynamicsConfig::new(cfg.dt, Some(cfg.filter)));
-        let physics = PhysicsStep::new(cfg.grid, sub);
-        let mut state = ModelState::initial(cfg.grid, sub);
+        let ctx = StepContext::new(&cfg, decomp, comm);
+        let mut state = ModelState::initial(cfg.grid, ctx.sub);
         let mut tracker = LoadTracker::new();
         let mut physics_loads = Vec::with_capacity(cfg.steps);
-        let scheme = PairwiseExchange::default();
 
         for step in 0..cfg.steps {
-            let t = step as f64 * cfg.dt;
-            comm.phase("dynamics", || dynamics.step(&cart, &mut state));
-
-            let (performed, owned) = comm.phase("physics", || {
-                // Scheme 3 needs a load estimate before it "can proceed":
-                // use the previous pass's *owned-column* load once
-                // available (the executed load is balanced by design and
-                // would mask the underlying imbalance).
-                let estimates = if cfg.balance_physics {
-                    comm.phase("balance", || tracker.gather_estimates(comm))
-                } else {
-                    None
-                };
-                let theta = &mut state.fields[Variable::Theta.index()];
-                match estimates {
-                    Some(loads) => {
-                        let rounds =
-                            scheme.plan_rounds(&loads, cfg.balance_target, cfg.balance_rounds);
-                        let plan: Vec<_> = rounds.into_iter().flatten().collect();
-                        let br = run_balanced(comm, &cfg.grid, &sub, theta, t, &plan);
-                        (br.performed, br.owned)
-                    }
-                    None => {
-                        let l = physics.run_local(comm, theta, t);
-                        (l, l)
-                    }
-                }
-            });
+            let (performed, owned) = ctx.step(comm, &mut state, &tracker, step as u64);
             tracker.record(owned);
             physics_loads.push(performed);
         }
@@ -107,7 +151,152 @@ pub fn run_model(cfg: AgcmConfig) -> ModelRun {
             max_wind: state.max_wind(),
         }
     });
-    ModelRun { ranks, trace, config: cfg }
+    ModelRun {
+        ranks,
+        trace,
+        config: cfg,
+    }
+}
+
+/// Knobs for a resilient model run.
+#[derive(Debug, Clone)]
+pub struct ResilienceOpts {
+    /// Where checkpoints live.
+    pub store: CheckpointStore,
+    /// Restarts allowed after the first attempt.
+    pub max_restarts: usize,
+    /// Fault plan for the *first* attempt (a restart models the failed
+    /// node being replaced, so later attempts run fault-free).
+    pub plan: Option<FaultPlan>,
+}
+
+impl ResilienceOpts {
+    /// Checkpoints under `dir`, three restarts, no injected faults.
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> ResilienceOpts {
+        ResilienceOpts {
+            store: CheckpointStore::new(dir),
+            max_restarts: 3,
+            plan: None,
+        }
+    }
+
+    /// Builder-style: inject this fault plan on the first attempt.
+    pub fn with_plan(mut self, plan: FaultPlan) -> ResilienceOpts {
+        self.plan = Some(plan);
+        self
+    }
+}
+
+/// A completed resilient run.
+#[derive(Debug)]
+pub struct ResilientRun {
+    /// Outcomes in rank order (from the successful attempt).
+    pub ranks: Vec<RankOutcome>,
+    /// Attempts made (1 = no failure).
+    pub attempts: usize,
+    /// Failed attempts, in order.
+    pub failures: Vec<AttemptFailure>,
+    /// Injected-fault log per rank, merged across attempts (the run's
+    /// deterministic fault trace).
+    pub fault_events: Vec<Vec<agcm_mps::fault::FaultEvent>>,
+    /// Aggregated fault/recovery counters.
+    pub metrics: ResilienceMetrics,
+    /// The configuration that produced this run.
+    pub config: AgcmConfig,
+}
+
+/// Run the model with checkpoint/restart recovery.
+///
+/// Every `cfg.checkpoint_every` steps each rank writes its full model
+/// state — prognostic fields, physics-balancer memory, load series, step
+/// counter — as a shard, committed atomically by rank 0 (see
+/// `agcm_resilience::coordinator`). If a rank dies (e.g. killed by
+/// `opts.plan`), surviving ranks observe typed disconnects instead of
+/// panics, the attempt is abandoned, and the run restarts from the last
+/// committed checkpoint. The model is a deterministic function of
+/// (state, step), so a recovered run continues bit-identically with an
+/// uninterrupted one.
+pub fn run_model_resilient(
+    cfg: AgcmConfig,
+    opts: ResilienceOpts,
+) -> Result<ResilientRun, RecoveryError> {
+    let decomp = Decomp::new(cfg.grid, cfg.mesh_lat, cfg.mesh_lon);
+    let store = &opts.store;
+    let report = run_recovered(
+        cfg.size(),
+        RecoveryOptions {
+            max_restarts: opts.max_restarts,
+        },
+        store,
+        |attempt| {
+            if attempt == 0 {
+                opts.plan.clone()
+            } else {
+                None
+            }
+        },
+        |comm, resume| {
+            let ctx = StepContext::new(&cfg, decomp, comm);
+            let rank = comm.rank() as u32;
+            let (start, mut state, mut tracker, mut physics_loads) = match resume {
+                Some(step) => {
+                    let ckpt = store
+                        .load_shard(step, rank)
+                        .expect("restart requires a loadable committed shard");
+                    let mut state = ModelState::zeros(cfg.grid, ctx.sub);
+                    state.fields = ckpt.fields;
+                    let mut tracker = LoadTracker::new();
+                    if ckpt.scalars[0] != 0.0 {
+                        tracker.record(ckpt.scalars[1]);
+                    }
+                    (step, state, tracker, ckpt.series)
+                }
+                None => (
+                    0,
+                    ModelState::initial(cfg.grid, ctx.sub),
+                    LoadTracker::new(),
+                    Vec::with_capacity(cfg.steps),
+                ),
+            };
+
+            for step in start..cfg.steps as u64 {
+                comm.begin_step(step);
+                let (performed, owned) = ctx.step(comm, &mut state, &tracker, step);
+                tracker.record(owned);
+                physics_loads.push(performed);
+
+                if cfg.checkpoint_every > 0 && (step + 1) % cfg.checkpoint_every as u64 == 0 {
+                    let ckpt = ModelCheckpoint {
+                        rank,
+                        world: comm.size() as u32,
+                        step: step + 1,
+                        seeds: Vec::new(),
+                        scalars: match tracker.estimate() {
+                            Some(v) => vec![1.0, v],
+                            None => vec![0.0, 0.0],
+                        },
+                        series: physics_loads.clone(),
+                        fields: state.fields.clone(),
+                    };
+                    write_coordinated(comm, store, &ckpt).expect("checkpoint write must succeed");
+                }
+            }
+
+            RankOutcome {
+                physics_loads,
+                stable: !state.has_blown_up(),
+                max_wind: state.max_wind(),
+            }
+        },
+    )?;
+    Ok(ResilientRun {
+        ranks: report.results,
+        attempts: report.attempts,
+        failures: report.failures,
+        fault_events: report.fault_events,
+        metrics: report.metrics,
+        config: cfg,
+    })
 }
 
 #[cfg(test)]

@@ -89,7 +89,11 @@ impl Pipeline {
     /// An empty pipeline with the given timestep.
     pub fn new(dt: f64) -> Pipeline {
         assert!(dt > 0.0, "timestep must be positive");
-        Pipeline { components: Vec::new(), dt, steps_taken: 0 }
+        Pipeline {
+            components: Vec::new(),
+            dt,
+            steps_taken: 0,
+        }
     }
 
     /// Append a component (builder style).
@@ -159,7 +163,10 @@ mod tests {
         run(1, |c| {
             let cart = CartComm::new(c, 1, 1, (false, true));
             let mut state = ModelState::zeros(grid, decomp.subdomain(0, 0));
-            let mut p = Pipeline::new(60.0).with(Box::new(Counter { calls: 0, times: vec![] }));
+            let mut p = Pipeline::new(60.0).with(Box::new(Counter {
+                calls: 0,
+                times: vec![],
+            }));
             assert_eq!(p.len(), 1);
             assert!(!p.is_empty());
             p.run(&cart, &mut state, 3);

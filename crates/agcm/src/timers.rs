@@ -32,7 +32,10 @@ impl Timers {
     /// # Panics
     /// If the timer was not started.
     pub fn stop(&mut self, name: &'static str) {
-        let t0 = self.running.remove(name).unwrap_or_else(|| panic!("timer {name} not started"));
+        let t0 = self
+            .running
+            .remove(name)
+            .unwrap_or_else(|| panic!("timer {name} not started"));
         *self.acc.entry(name).or_insert(0.0) += t0.elapsed().as_secs_f64();
     }
 
@@ -64,10 +67,14 @@ mod tests {
     #[test]
     fn accumulates_across_invocations() {
         let mut t = Timers::new();
-        t.time("work", || std::thread::sleep(std::time::Duration::from_millis(5)));
+        t.time("work", || {
+            std::thread::sleep(std::time::Duration::from_millis(5))
+        });
         let first = t.seconds("work");
         assert!(first >= 0.004, "{first}");
-        t.time("work", || std::thread::sleep(std::time::Duration::from_millis(5)));
+        t.time("work", || {
+            std::thread::sleep(std::time::Duration::from_millis(5))
+        });
         assert!(t.seconds("work") > first);
     }
 
@@ -87,7 +94,9 @@ mod tests {
     fn sorted_order() {
         let mut t = Timers::new();
         t.time("fast", || ());
-        t.time("slow", || std::thread::sleep(std::time::Duration::from_millis(10)));
+        t.time("slow", || {
+            std::thread::sleep(std::time::Duration::from_millis(10))
+        });
         let order = t.sorted();
         assert_eq!(order[0].0, "slow");
     }

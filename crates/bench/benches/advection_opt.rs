@@ -18,8 +18,22 @@ fn inputs(shape: AdvShape) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
 fn bench_advection(c: &mut Criterion) {
     // The paper's grid and a larger one (cache pressure ablation).
     for (label, shape) in [
-        ("paper_144x90x9", AdvShape { ni: 144, nj: 90, nk: 9 }),
-        ("large_288x180x9", AdvShape { ni: 288, nj: 180, nk: 9 }),
+        (
+            "paper_144x90x9",
+            AdvShape {
+                ni: 144,
+                nj: 90,
+                nk: 9,
+            },
+        ),
+        (
+            "large_288x180x9",
+            AdvShape {
+                ni: 288,
+                nj: 180,
+                nk: 9,
+            },
+        ),
     ] {
         let grid = GridSpec::new(shape.ni, shape.nj, shape.nk);
         let (q, u, v) = inputs(shape);

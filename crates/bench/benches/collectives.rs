@@ -30,8 +30,9 @@ fn bench_collectives(c: &mut Criterion) {
     g.bench_function("alltoallv_4kB_each", |b| {
         b.iter(|| {
             run(8, |comm| {
-                let send: Vec<Payload> =
-                    (0..comm.size()).map(|_| Payload::F64(vec![1.0; 512])).collect();
+                let send: Vec<Payload> = (0..comm.size())
+                    .map(|_| Payload::F64(vec![1.0; 512]))
+                    .collect();
                 std::hint::black_box(comm.alltoallv(send));
             })
         })
@@ -44,7 +45,11 @@ fn bench_collectives(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
             b.iter(|| {
                 run(p, |comm| {
-                    let data = if comm.rank() == 0 { vec![42.0; 2048] } else { vec![] };
+                    let data = if comm.rank() == 0 {
+                        vec![42.0; 2048]
+                    } else {
+                        vec![]
+                    };
                     std::hint::black_box(comm.bcast_f64(0, &data));
                 })
             })

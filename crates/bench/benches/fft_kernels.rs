@@ -9,12 +9,15 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
 fn signal(n: usize) -> Vec<Complex64> {
-    (0..n).map(|j| Complex64::new((j as f64 * 0.7).sin(), (j as f64 * 0.3).cos())).collect()
+    (0..n)
+        .map(|j| Complex64::new((j as f64 * 0.7).sin(), (j as f64 * 0.3).cos()))
+        .collect()
 }
 
 fn bench_transforms(c: &mut Criterion) {
     let mut g = c.benchmark_group("transform_n144");
-    g.sample_size(20).measurement_time(Duration::from_millis(800));
+    g.sample_size(20)
+        .measurement_time(Duration::from_millis(800));
     let x = signal(144);
     let plan = FftPlan::new(144);
     g.bench_function("fft_mixed_radix", |b| {
@@ -26,7 +29,8 @@ fn bench_transforms(c: &mut Criterion) {
     g.finish();
 
     let mut g = c.benchmark_group("fft_scaling");
-    g.sample_size(20).measurement_time(Duration::from_millis(500));
+    g.sample_size(20)
+        .measurement_time(Duration::from_millis(500));
     for n in [36usize, 72, 144, 288] {
         let x = signal(n);
         let plan = FftPlan::new(n);
@@ -40,11 +44,14 @@ fn bench_transforms(c: &mut Criterion) {
 fn bench_filter_line(c: &mut Criterion) {
     // One filtered latitude line: the paper's Eq. (2) vs Eq. (1) evaluation.
     let mut g = c.benchmark_group("one_line_n144");
-    g.sample_size(20).measurement_time(Duration::from_millis(800));
+    g.sample_size(20)
+        .measurement_time(Duration::from_millis(800));
     let n = 144;
     let plan = FftPlan::new(n);
     let x: Vec<f64> = (0..n).map(|j| (j as f64 * 0.21).sin()).collect();
-    let kernel: Vec<f64> = (0..n).map(|j| ((j * j) as f64 * 0.01).cos() / n as f64).collect();
+    let kernel: Vec<f64> = (0..n)
+        .map(|j| ((j * j) as f64 * 0.01).cos() / n as f64)
+        .collect();
     g.bench_function("convolution_direct", |b| {
         b.iter(|| std::hint::black_box(circular_convolve_direct(&x, &kernel)))
     });

@@ -21,8 +21,7 @@ fn apply_variant(grid: GridSpec, mesh: (usize, usize), variant: FilterVariant) {
         let setup = FilterSetup::new(grid, decomp);
         let filter = PolarFilter::new(&setup, variant);
         let sub = decomp.subdomain_of_rank(comm.rank());
-        let mut fields: Vec<Field3D> =
-            globals.iter().map(|g| local_from_global(g, &sub)).collect();
+        let mut fields: Vec<Field3D> = globals.iter().map(|g| local_from_global(g, &sub)).collect();
         filter.apply(&setup, &cart, &mut fields);
     });
 }

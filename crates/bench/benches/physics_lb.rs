@@ -22,7 +22,8 @@ fn bench_planning(c: &mut Criterion) {
     // Scheme 1 plans O(P²) transfers, schemes 2-3 O(P): visible directly
     // in planning time at P = 240.
     let mut g = c.benchmark_group("plan_cost");
-    g.sample_size(20).measurement_time(Duration::from_millis(500));
+    g.sample_size(20)
+        .measurement_time(Duration::from_millis(500));
     for p in [64usize, 240] {
         let loads = synthetic_loads(p);
         g.bench_with_input(BenchmarkId::new("scheme1_cyclic", p), &p, |b, _| {

@@ -13,7 +13,8 @@ fn bench_pointwise(c: &mut Criterion) {
     let a: Vec<f64> = (0..m * n).map(|i| (i as f64 * 0.003).cos()).collect();
     let b_vec: Vec<f64> = (0..m).map(|i| 1.0 + (i as f64 * 0.01).sin()).collect();
     let mut g = c.benchmark_group("pointwise_multiply_512x512");
-    g.sample_size(15).measurement_time(Duration::from_millis(800));
+    g.sample_size(15)
+        .measurement_time(Duration::from_millis(800));
     g.bench_function("naive", |b| {
         b.iter(|| std::hint::black_box(pv_multiply_naive(&a, &b_vec, m, n)))
     });
@@ -34,12 +35,17 @@ fn bench_blas(c: &mut Criterion) {
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.001).sin()).collect();
     let mut y = vec![0.0; n];
     let mut g = c.benchmark_group("mini_blas_262144");
-    g.sample_size(15).measurement_time(Duration::from_millis(800));
-    g.bench_function("daxpy_loop", |b| b.iter(|| daxpy(1.5, &x, std::hint::black_box(&mut y))));
+    g.sample_size(15)
+        .measurement_time(Duration::from_millis(800));
+    g.bench_function("daxpy_loop", |b| {
+        b.iter(|| daxpy(1.5, &x, std::hint::black_box(&mut y)))
+    });
     g.bench_function("daxpy_unrolled", |b| {
         b.iter(|| daxpy_unrolled(1.5, &x, std::hint::black_box(&mut y)))
     });
-    g.bench_function("ddot_loop", |b| b.iter(|| std::hint::black_box(ddot(&x, &x))));
+    g.bench_function("ddot_loop", |b| {
+        b.iter(|| std::hint::black_box(ddot(&x, &x)))
+    });
     g.bench_function("ddot_unrolled", |b| {
         b.iter(|| std::hint::black_box(ddot_unrolled(&x, &x)))
     });

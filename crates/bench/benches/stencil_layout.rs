@@ -8,7 +8,11 @@ use std::time::Duration;
 
 fn fields(m: usize, n: usize) -> Vec<Field3D> {
     (0..m)
-        .map(|v| Field3D::from_fn(n, n, n, |i, j, k| ((i + 2 * j + 3 * k + 7 * v) as f64 * 0.13).sin()))
+        .map(|v| {
+            Field3D::from_fn(n, n, n, |i, j, k| {
+                ((i + 2 * j + 3 * k + 7 * v) as f64 * 0.13).sin()
+            })
+        })
         .collect()
 }
 

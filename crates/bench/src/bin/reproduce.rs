@@ -11,8 +11,8 @@
 //! real filtering work.
 
 use agcm_bench::harness::{
-    calibrate, day_times, filter_seconds_per_day, filter_trace, model_run,
-    physics_lb_simulation, time_median,
+    calibrate, day_times, filter_seconds_per_day, filter_trace, model_run, physics_lb_simulation,
+    time_median,
 };
 use agcm_bench::paper;
 use agcm_core::report::{fmt_pct, fmt_ratio, fmt_secs, Table};
@@ -56,11 +56,25 @@ fn figure1() {
     let machine = MachineProfile::paragon();
     let mut t = Table::new(
         "Figure 1 shares: paper vs measured",
-        &["Nodes", "Dyn/main paper", "Dyn/main ours", "Filt/Dyn paper", "Filt/Dyn ours"],
+        &[
+            "Nodes",
+            "Dyn/main paper",
+            "Dyn/main ours",
+            "Filt/Dyn paper",
+            "Filt/Dyn ours",
+        ],
     );
     for (mesh, paper_dyn, paper_filt) in [
-        ((4usize, 4usize), paper::figure1::DYNAMICS_SHARE_16, paper::figure1::FILTER_SHARE_16),
-        ((8, 30), paper::figure1::DYNAMICS_SHARE_240, paper::figure1::FILTER_SHARE_240),
+        (
+            (4usize, 4usize),
+            paper::figure1::DYNAMICS_SHARE_16,
+            paper::figure1::FILTER_SHARE_16,
+        ),
+        (
+            (8, 30),
+            paper::figure1::DYNAMICS_SHARE_240,
+            paper::figure1::FILTER_SHARE_240,
+        ),
     ] {
         let run = model_run(grid, mesh, FilterVariant::ConvolutionRing, 1);
         let times = day_times(&run, &machine);
@@ -82,7 +96,11 @@ fn tables_1_to_3() {
     // Calibrate the T3D against Table 6's single-node anchor so the load
     // *seconds* are on the paper's scale.
     let anchor = model_run(grid, (1, 1), FilterVariant::ConvolutionRing, 1);
-    let machine = calibrate(&MachineProfile::t3d(), &anchor, paper::TABLE6_T3D_OLD[0].dynamics);
+    let machine = calibrate(
+        &MachineProfile::t3d(),
+        &anchor,
+        paper::TABLE6_T3D_OLD[0].dynamics,
+    );
     let papers = [&paper::TABLE1_64, &paper::TABLE2_126, &paper::TABLE3_252];
     for (idx, (mesh, paper_rows)) in paper::LB_MESHES.iter().zip(papers).enumerate() {
         let stages = physics_lb_simulation(grid, *mesh, 6.0 * 3600.0, &machine);
@@ -94,7 +112,15 @@ fn tables_1_to_3() {
                 mesh.1,
                 mesh.0 * mesh.1
             ),
-            &["Code status", "Max(p)", "Min(p)", "Imb%(p)", "Max", "Min", "Imb%"],
+            &[
+                "Code status",
+                "Max(p)",
+                "Min(p)",
+                "Imb%(p)",
+                "Max",
+                "Min",
+                "Imb%",
+            ],
         );
         for (stage, prow) in stages.iter().zip(paper_rows.iter()) {
             t.add_row(vec![
@@ -118,10 +144,14 @@ fn tables_4_to_7() {
     let meshes = [(1usize, 1usize), (4, 4), (8, 8), (8, 30)];
 
     // One run per (mesh, variant); traces are machine-independent.
-    let runs_old: Vec<_> =
-        meshes.iter().map(|&m| model_run(grid, m, FilterVariant::ConvolutionRing, 1)).collect();
-    let runs_new: Vec<_> =
-        meshes.iter().map(|&m| model_run(grid, m, FilterVariant::LbFft, 1)).collect();
+    let runs_old: Vec<_> = meshes
+        .iter()
+        .map(|&m| model_run(grid, m, FilterVariant::ConvolutionRing, 1))
+        .collect();
+    let runs_new: Vec<_> = meshes
+        .iter()
+        .map(|&m| model_run(grid, m, FilterVariant::LbFft, 1))
+        .collect();
 
     // Calibrate each machine once, on the old-filter 1×1 Dynamics anchor.
     let paragon = calibrate(
@@ -129,18 +159,55 @@ fn tables_4_to_7() {
         &runs_old[0],
         paper::TABLE4_PARAGON_OLD[0].dynamics,
     );
-    let t3d = calibrate(&MachineProfile::t3d(), &runs_old[0], paper::TABLE6_T3D_OLD[0].dynamics);
+    let t3d = calibrate(
+        &MachineProfile::t3d(),
+        &runs_old[0],
+        paper::TABLE6_T3D_OLD[0].dynamics,
+    );
 
-    let specs: [(&str, &MachineProfile, &[paper::AgcmTimingRow; 4], &Vec<agcm_core::model::ModelRun>); 4] = [
-        ("Table 4: old filtering, Intel Paragon", &paragon, &paper::TABLE4_PARAGON_OLD, &runs_old),
-        ("Table 5: new filtering, Intel Paragon", &paragon, &paper::TABLE5_PARAGON_NEW, &runs_new),
-        ("Table 6: old filtering, Cray T3D", &t3d, &paper::TABLE6_T3D_OLD, &runs_old),
-        ("Table 7: new filtering, Cray T3D", &t3d, &paper::TABLE7_T3D_NEW, &runs_new),
+    let specs: [(
+        &str,
+        &MachineProfile,
+        &[paper::AgcmTimingRow; 4],
+        &Vec<agcm_core::model::ModelRun>,
+    ); 4] = [
+        (
+            "Table 4: old filtering, Intel Paragon",
+            &paragon,
+            &paper::TABLE4_PARAGON_OLD,
+            &runs_old,
+        ),
+        (
+            "Table 5: new filtering, Intel Paragon",
+            &paragon,
+            &paper::TABLE5_PARAGON_NEW,
+            &runs_new,
+        ),
+        (
+            "Table 6: old filtering, Cray T3D",
+            &t3d,
+            &paper::TABLE6_T3D_OLD,
+            &runs_old,
+        ),
+        (
+            "Table 7: new filtering, Cray T3D",
+            &t3d,
+            &paper::TABLE7_T3D_NEW,
+            &runs_new,
+        ),
     ];
     for (title, machine, paper_rows, runs) in specs {
         let mut t = Table::new(
             format!("{title} (paper | measured)"),
-            &["Node mesh", "Dyn(p)", "Spd(p)", "Tot(p)", "Dyn", "Spd", "Tot"],
+            &[
+                "Node mesh",
+                "Dyn(p)",
+                "Spd(p)",
+                "Tot(p)",
+                "Dyn",
+                "Spd",
+                "Tot",
+            ],
         );
         let base = day_times(&runs[0], machine).dynamics;
         for (run, prow) in runs.iter().zip(paper_rows.iter()) {
@@ -166,20 +233,55 @@ fn tables_8_to_11() {
     let grid15 = GridSpec::paper_15_layer();
     // Calibrate on the same anchor as Tables 4-7.
     let anchor = model_run(grid9, (1, 1), FilterVariant::ConvolutionRing, 1);
-    let paragon =
-        calibrate(&MachineProfile::paragon(), &anchor, paper::TABLE4_PARAGON_OLD[0].dynamics);
-    let t3d = calibrate(&MachineProfile::t3d(), &anchor, paper::TABLE6_T3D_OLD[0].dynamics);
+    let paragon = calibrate(
+        &MachineProfile::paragon(),
+        &anchor,
+        paper::TABLE4_PARAGON_OLD[0].dynamics,
+    );
+    let t3d = calibrate(
+        &MachineProfile::t3d(),
+        &anchor,
+        paper::TABLE6_T3D_OLD[0].dynamics,
+    );
 
-    let specs: [(&str, GridSpec, &MachineProfile, &[paper::FilterTimingRow; 5]); 4] = [
-        ("Table 8: Paragon, 9-layer", grid9, &paragon, &paper::TABLE8_PARAGON_9),
+    let specs: [(
+        &str,
+        GridSpec,
+        &MachineProfile,
+        &[paper::FilterTimingRow; 5],
+    ); 4] = [
+        (
+            "Table 8: Paragon, 9-layer",
+            grid9,
+            &paragon,
+            &paper::TABLE8_PARAGON_9,
+        ),
         ("Table 9: T3D, 9-layer", grid9, &t3d, &paper::TABLE9_T3D_9),
-        ("Table 10: Paragon, 15-layer", grid15, &paragon, &paper::TABLE10_PARAGON_15),
-        ("Table 11: T3D, 15-layer", grid15, &t3d, &paper::TABLE11_T3D_15),
+        (
+            "Table 10: Paragon, 15-layer",
+            grid15,
+            &paragon,
+            &paper::TABLE10_PARAGON_15,
+        ),
+        (
+            "Table 11: T3D, 15-layer",
+            grid15,
+            &t3d,
+            &paper::TABLE11_T3D_15,
+        ),
     ];
     for (title, grid, machine, paper_rows) in specs {
         let mut t = Table::new(
             format!("{title} (paper | measured)"),
-            &["Node mesh", "Conv(p)", "FFT(p)", "LB(p)", "Conv", "FFT", "LB-FFT"],
+            &[
+                "Node mesh",
+                "Conv(p)",
+                "FFT(p)",
+                "LB(p)",
+                "Conv",
+                "FFT",
+                "LB-FFT",
+            ],
         );
         for prow in paper_rows.iter() {
             let mesh = prow.mesh;
@@ -226,8 +328,16 @@ fn singlenode() {
         "Laplace stencil, 12 fields of 32x32x32",
         &["Layout", "seconds", "speed-up"],
     );
-    t.add_row(vec!["separate arrays".into(), format!("{t_sep:.4}"), "1.00".into()]);
-    t.add_row(vec!["block array".into(), format!("{t_blk:.4}"), fmt_ratio(t_sep / t_blk)]);
+    t.add_row(vec![
+        "separate arrays".into(),
+        format!("{t_sep:.4}"),
+        "1.00".into(),
+    ]);
+    t.add_row(vec![
+        "block array".into(),
+        format!("{t_blk:.4}"),
+        fmt_ratio(t_sep / t_blk),
+    ]);
     println!("{t}");
     println!(
         "paper: block array {}x faster on Paragon, {}x on T3D (1996 caches);\nmodern cache hierarchies shrink the gap — direction is the reproducible part.\n",
@@ -237,7 +347,11 @@ fn singlenode() {
 
     // Advection restructuring.
     let grid = GridSpec::paper_9_layer();
-    let shape = AdvShape { ni: 144, nj: 90, nk: 9 };
+    let shape = AdvShape {
+        ni: 144,
+        nj: 90,
+        nk: 9,
+    };
     let n = shape.ni * shape.nj * shape.nk;
     let q: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
     let u: Vec<f64> = (0..n).map(|i| 10.0 + (i as f64 * 0.02).cos()).collect();
@@ -248,8 +362,15 @@ fn singlenode() {
     let t_opt = time_median(7, || {
         std::hint::black_box(advect_restructured(&q, &u, &v, shape, &grid, 0));
     });
-    let mut t = Table::new("Advection routine, 144x90x9", &["Version", "seconds", "reduction"]);
-    t.add_row(vec!["original loops".into(), format!("{t_naive:.4}"), "-".into()]);
+    let mut t = Table::new(
+        "Advection routine, 144x90x9",
+        &["Version", "seconds", "reduction"],
+    );
+    t.add_row(vec![
+        "original loops".into(),
+        format!("{t_naive:.4}"),
+        "-".into(),
+    ]);
     t.add_row(vec![
         "restructured".into(),
         format!("{t_opt:.4}"),
@@ -268,9 +389,16 @@ fn summary() {
     let grid9 = GridSpec::paper_9_layer();
     let grid15 = GridSpec::paper_15_layer();
     let anchor = model_run(grid9, (1, 1), FilterVariant::ConvolutionRing, 1);
-    let paragon =
-        calibrate(&MachineProfile::paragon(), &anchor, paper::TABLE4_PARAGON_OLD[0].dynamics);
-    let t3d = calibrate(&MachineProfile::t3d(), &anchor, paper::TABLE6_T3D_OLD[0].dynamics);
+    let paragon = calibrate(
+        &MachineProfile::paragon(),
+        &anchor,
+        paper::TABLE4_PARAGON_OLD[0].dynamics,
+    );
+    let t3d = calibrate(
+        &MachineProfile::t3d(),
+        &anchor,
+        paper::TABLE6_T3D_OLD[0].dynamics,
+    );
 
     let filt = |grid, mesh, variant: FilterVariant, machine: &MachineProfile| {
         let (trace, dt) = filter_trace(grid, mesh, variant);

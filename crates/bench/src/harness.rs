@@ -36,7 +36,12 @@ pub struct DayTimes {
 }
 
 /// Run the full model and keep its trace.
-pub fn model_run(grid: GridSpec, mesh: (usize, usize), variant: FilterVariant, steps: usize) -> ModelRun {
+pub fn model_run(
+    grid: GridSpec,
+    mesh: (usize, usize),
+    variant: FilterVariant,
+    steps: usize,
+) -> ModelRun {
     let cfg = AgcmConfig::for_grid(grid, mesh.0, mesh.1, variant).with_steps(steps);
     run_model(cfg)
 }
@@ -49,7 +54,12 @@ pub fn day_times(run: &ModelRun, machine: &MachineProfile) -> DayTimes {
     let dynamics = r.phase_time("dynamics") * per_day;
     let physics = r.phase_time("physics") * per_day;
     let filter = r.phase_time("filter") * per_day;
-    DayTimes { dynamics, physics, filter, total: dynamics + physics }
+    DayTimes {
+        dynamics,
+        physics,
+        filter,
+        total: dynamics + physics,
+    }
 }
 
 /// Scale `machine`'s flop rate so that `anchor_run` (normally the 1×1
@@ -77,7 +87,11 @@ pub fn calibrate(
 /// Run one standalone filter application on a freshly initialized model
 /// state (the Tables 8–11 experiment) and return the trace plus the
 /// timestep used for per-day conversion.
-pub fn filter_trace(grid: GridSpec, mesh: (usize, usize), variant: FilterVariant) -> (WorldTrace, f64) {
+pub fn filter_trace(
+    grid: GridSpec,
+    mesh: (usize, usize),
+    variant: FilterVariant,
+) -> (WorldTrace, f64) {
     let decomp = Decomp::new(grid, mesh.0, mesh.1);
     let dt = AgcmConfig::for_grid(grid, mesh.0, mesh.1, variant).dt;
     let (_, trace) = run_traced(decomp.size(), |comm| {
@@ -110,7 +124,11 @@ pub struct LbStage {
 
 fn stage_of(loads: &[f64]) -> LbStage {
     let s = agcm_physics::load::summarize(loads);
-    LbStage { max: s.max, min: s.min, imbalance_pct: 100.0 * s.imbalance }
+    LbStage {
+        max: s.max,
+        min: s.min,
+        imbalance_pct: 100.0 * s.imbalance,
+    }
 }
 
 /// The Tables 1–3 experiment: predicted physics loads per rank on a mesh,
@@ -178,7 +196,11 @@ mod tests {
         let run = model_run(small_grid(), (1, 1), FilterVariant::ConvolutionRing, 1);
         let machine = calibrate(&MachineProfile::paragon(), &run, 8702.0);
         let times = day_times(&run, &machine);
-        assert!((times.dynamics - 8702.0).abs() < 1e-6 * 8702.0, "{}", times.dynamics);
+        assert!(
+            (times.dynamics - 8702.0).abs() < 1e-6 * 8702.0,
+            "{}",
+            times.dynamics
+        );
     }
 
     #[test]
@@ -194,8 +216,7 @@ mod tests {
 
     #[test]
     fn lb_simulation_improves_each_round() {
-        let stages =
-            physics_lb_simulation(small_grid(), (2, 2), 3600.0, &MachineProfile::t3d());
+        let stages = physics_lb_simulation(small_grid(), (2, 2), 3600.0, &MachineProfile::t3d());
         assert!(stages[0].imbalance_pct > stages[1].imbalance_pct);
         assert!(stages[1].imbalance_pct >= stages[2].imbalance_pct);
         assert!(stages[0].max >= stages[0].min);
@@ -203,7 +224,9 @@ mod tests {
 
     #[test]
     fn time_median_measures_something() {
-        let t = time_median(3, || std::thread::sleep(std::time::Duration::from_millis(2)));
+        let t = time_median(3, || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
         assert!(t >= 0.001);
     }
 }

@@ -19,34 +19,114 @@ pub struct AgcmTimingRow {
 
 /// Table 4: old (convolution) filtering, Intel Paragon, 2°×2.5°×9.
 pub const TABLE4_PARAGON_OLD: [AgcmTimingRow; 4] = [
-    AgcmTimingRow { mesh: (1, 1), dynamics: 8702.0, speedup: 1.0, total: 14010.0 },
-    AgcmTimingRow { mesh: (4, 4), dynamics: 848.5, speedup: 10.3, total: 1177.0 },
-    AgcmTimingRow { mesh: (8, 8), dynamics: 366.0, speedup: 23.8, total: 443.5 },
-    AgcmTimingRow { mesh: (8, 30), dynamics: 186.0, speedup: 46.8, total: 216.0 },
+    AgcmTimingRow {
+        mesh: (1, 1),
+        dynamics: 8702.0,
+        speedup: 1.0,
+        total: 14010.0,
+    },
+    AgcmTimingRow {
+        mesh: (4, 4),
+        dynamics: 848.5,
+        speedup: 10.3,
+        total: 1177.0,
+    },
+    AgcmTimingRow {
+        mesh: (8, 8),
+        dynamics: 366.0,
+        speedup: 23.8,
+        total: 443.5,
+    },
+    AgcmTimingRow {
+        mesh: (8, 30),
+        dynamics: 186.0,
+        speedup: 46.8,
+        total: 216.0,
+    },
 ];
 
 /// Table 5: new (load-balanced FFT) filtering, Intel Paragon.
 pub const TABLE5_PARAGON_NEW: [AgcmTimingRow; 4] = [
-    AgcmTimingRow { mesh: (1, 1), dynamics: 8075.0, speedup: 1.0, total: 11225.0 },
-    AgcmTimingRow { mesh: (4, 4), dynamics: 639.0, speedup: 12.6, total: 992.6 },
-    AgcmTimingRow { mesh: (8, 8), dynamics: 207.5, speedup: 38.9, total: 306.0 },
-    AgcmTimingRow { mesh: (8, 30), dynamics: 87.2, speedup: 92.6, total: 119.0 },
+    AgcmTimingRow {
+        mesh: (1, 1),
+        dynamics: 8075.0,
+        speedup: 1.0,
+        total: 11225.0,
+    },
+    AgcmTimingRow {
+        mesh: (4, 4),
+        dynamics: 639.0,
+        speedup: 12.6,
+        total: 992.6,
+    },
+    AgcmTimingRow {
+        mesh: (8, 8),
+        dynamics: 207.5,
+        speedup: 38.9,
+        total: 306.0,
+    },
+    AgcmTimingRow {
+        mesh: (8, 30),
+        dynamics: 87.2,
+        speedup: 92.6,
+        total: 119.0,
+    },
 ];
 
 /// Table 6: old filtering, Cray T3D.
 pub const TABLE6_T3D_OLD: [AgcmTimingRow; 4] = [
-    AgcmTimingRow { mesh: (1, 1), dynamics: 3480.0, speedup: 1.0, total: 5600.0 },
-    AgcmTimingRow { mesh: (4, 4), dynamics: 339.0, speedup: 11.3, total: 470.0 },
-    AgcmTimingRow { mesh: (8, 8), dynamics: 146.0, speedup: 26.3, total: 177.0 },
-    AgcmTimingRow { mesh: (8, 30), dynamics: 74.0, speedup: 51.9, total: 87.5 },
+    AgcmTimingRow {
+        mesh: (1, 1),
+        dynamics: 3480.0,
+        speedup: 1.0,
+        total: 5600.0,
+    },
+    AgcmTimingRow {
+        mesh: (4, 4),
+        dynamics: 339.0,
+        speedup: 11.3,
+        total: 470.0,
+    },
+    AgcmTimingRow {
+        mesh: (8, 8),
+        dynamics: 146.0,
+        speedup: 26.3,
+        total: 177.0,
+    },
+    AgcmTimingRow {
+        mesh: (8, 30),
+        dynamics: 74.0,
+        speedup: 51.9,
+        total: 87.5,
+    },
 ];
 
 /// Table 7: new filtering, Cray T3D.
 pub const TABLE7_T3D_NEW: [AgcmTimingRow; 4] = [
-    AgcmTimingRow { mesh: (1, 1), dynamics: 3230.0, speedup: 1.0, total: 4990.0 },
-    AgcmTimingRow { mesh: (4, 4), dynamics: 256.0, speedup: 12.6, total: 397.0 },
-    AgcmTimingRow { mesh: (8, 8), dynamics: 83.0, speedup: 38.9, total: 122.0 },
-    AgcmTimingRow { mesh: (8, 30), dynamics: 35.0, speedup: 92.3, total: 48.0 },
+    AgcmTimingRow {
+        mesh: (1, 1),
+        dynamics: 3230.0,
+        speedup: 1.0,
+        total: 4990.0,
+    },
+    AgcmTimingRow {
+        mesh: (4, 4),
+        dynamics: 256.0,
+        speedup: 12.6,
+        total: 397.0,
+    },
+    AgcmTimingRow {
+        mesh: (8, 8),
+        dynamics: 83.0,
+        speedup: 38.9,
+        total: 122.0,
+    },
+    AgcmTimingRow {
+        mesh: (8, 30),
+        dynamics: 35.0,
+        speedup: 92.3,
+        total: 48.0,
+    },
 ];
 
 /// One row of Tables 8–11: filtering s/simulated-day per variant.
@@ -67,38 +147,138 @@ pub const FILTER_MESHES: [(usize, usize); 5] = [(4, 4), (4, 8), (8, 8), (4, 30),
 
 /// Table 8: filtering times, Intel Paragon, 9-layer.
 pub const TABLE8_PARAGON_9: [FilterTimingRow; 5] = [
-    FilterTimingRow { mesh: (4, 4), convolution: 309.5, fft: 111.4, lb_fft: 87.7 },
-    FilterTimingRow { mesh: (4, 8), convolution: 240.0, fft: 88.0, lb_fft: 53.7 },
-    FilterTimingRow { mesh: (8, 8), convolution: 189.5, fft: 66.4, lb_fft: 38.2 },
-    FilterTimingRow { mesh: (4, 30), convolution: 99.6, fft: 43.7, lb_fft: 22.2 },
-    FilterTimingRow { mesh: (8, 30), convolution: 90.0, fft: 37.5, lb_fft: 18.5 },
+    FilterTimingRow {
+        mesh: (4, 4),
+        convolution: 309.5,
+        fft: 111.4,
+        lb_fft: 87.7,
+    },
+    FilterTimingRow {
+        mesh: (4, 8),
+        convolution: 240.0,
+        fft: 88.0,
+        lb_fft: 53.7,
+    },
+    FilterTimingRow {
+        mesh: (8, 8),
+        convolution: 189.5,
+        fft: 66.4,
+        lb_fft: 38.2,
+    },
+    FilterTimingRow {
+        mesh: (4, 30),
+        convolution: 99.6,
+        fft: 43.7,
+        lb_fft: 22.2,
+    },
+    FilterTimingRow {
+        mesh: (8, 30),
+        convolution: 90.0,
+        fft: 37.5,
+        lb_fft: 18.5,
+    },
 ];
 
 /// Table 9: filtering times, Cray T3D, 9-layer.
 pub const TABLE9_T3D_9: [FilterTimingRow; 5] = [
-    FilterTimingRow { mesh: (4, 4), convolution: 123.5, fft: 44.6, lb_fft: 35.1 },
-    FilterTimingRow { mesh: (4, 8), convolution: 96.0, fft: 35.2, lb_fft: 21.5 },
-    FilterTimingRow { mesh: (8, 8), convolution: 75.8, fft: 26.4, lb_fft: 15.3 },
-    FilterTimingRow { mesh: (4, 30), convolution: 39.6, fft: 17.5, lb_fft: 8.9 },
-    FilterTimingRow { mesh: (8, 30), convolution: 36.0, fft: 15.0, lb_fft: 7.4 },
+    FilterTimingRow {
+        mesh: (4, 4),
+        convolution: 123.5,
+        fft: 44.6,
+        lb_fft: 35.1,
+    },
+    FilterTimingRow {
+        mesh: (4, 8),
+        convolution: 96.0,
+        fft: 35.2,
+        lb_fft: 21.5,
+    },
+    FilterTimingRow {
+        mesh: (8, 8),
+        convolution: 75.8,
+        fft: 26.4,
+        lb_fft: 15.3,
+    },
+    FilterTimingRow {
+        mesh: (4, 30),
+        convolution: 39.6,
+        fft: 17.5,
+        lb_fft: 8.9,
+    },
+    FilterTimingRow {
+        mesh: (8, 30),
+        convolution: 36.0,
+        fft: 15.0,
+        lb_fft: 7.4,
+    },
 ];
 
 /// Table 10: filtering times, Intel Paragon, 15-layer.
 pub const TABLE10_PARAGON_15: [FilterTimingRow; 5] = [
-    FilterTimingRow { mesh: (4, 4), convolution: 802.0, fft: 304.0, lb_fft: 221.0 },
-    FilterTimingRow { mesh: (4, 8), convolution: 566.0, fft: 205.0, lb_fft: 118.0 },
-    FilterTimingRow { mesh: (8, 8), convolution: 422.0, fft: 150.0, lb_fft: 85.0 },
-    FilterTimingRow { mesh: (4, 30), convolution: 217.0, fft: 96.0, lb_fft: 49.0 },
-    FilterTimingRow { mesh: (8, 30), convolution: 188.0, fft: 81.0, lb_fft: 37.0 },
+    FilterTimingRow {
+        mesh: (4, 4),
+        convolution: 802.0,
+        fft: 304.0,
+        lb_fft: 221.0,
+    },
+    FilterTimingRow {
+        mesh: (4, 8),
+        convolution: 566.0,
+        fft: 205.0,
+        lb_fft: 118.0,
+    },
+    FilterTimingRow {
+        mesh: (8, 8),
+        convolution: 422.0,
+        fft: 150.0,
+        lb_fft: 85.0,
+    },
+    FilterTimingRow {
+        mesh: (4, 30),
+        convolution: 217.0,
+        fft: 96.0,
+        lb_fft: 49.0,
+    },
+    FilterTimingRow {
+        mesh: (8, 30),
+        convolution: 188.0,
+        fft: 81.0,
+        lb_fft: 37.0,
+    },
 ];
 
 /// Table 11: filtering times, Cray T3D, 15-layer.
 pub const TABLE11_T3D_15: [FilterTimingRow; 5] = [
-    FilterTimingRow { mesh: (4, 4), convolution: 320.0, fft: 121.0, lb_fft: 88.0 },
-    FilterTimingRow { mesh: (4, 8), convolution: 226.0, fft: 82.0, lb_fft: 47.0 },
-    FilterTimingRow { mesh: (8, 8), convolution: 168.0, fft: 60.0, lb_fft: 34.0 },
-    FilterTimingRow { mesh: (4, 30), convolution: 86.0, fft: 38.0, lb_fft: 19.0 },
-    FilterTimingRow { mesh: (8, 30), convolution: 75.0, fft: 32.0, lb_fft: 15.0 },
+    FilterTimingRow {
+        mesh: (4, 4),
+        convolution: 320.0,
+        fft: 121.0,
+        lb_fft: 88.0,
+    },
+    FilterTimingRow {
+        mesh: (4, 8),
+        convolution: 226.0,
+        fft: 82.0,
+        lb_fft: 47.0,
+    },
+    FilterTimingRow {
+        mesh: (8, 8),
+        convolution: 168.0,
+        fft: 60.0,
+        lb_fft: 34.0,
+    },
+    FilterTimingRow {
+        mesh: (4, 30),
+        convolution: 86.0,
+        fft: 38.0,
+        lb_fft: 19.0,
+    },
+    FilterTimingRow {
+        mesh: (8, 30),
+        convolution: 75.0,
+        fft: 32.0,
+        lb_fft: 15.0,
+    },
 ];
 
 /// One row of Tables 1–3: physics load-balancing simulation on the T3D.
@@ -116,25 +296,70 @@ pub struct LoadBalanceRow {
 
 /// Table 1: 8×8 = 64 nodes.
 pub const TABLE1_64: [LoadBalanceRow; 3] = [
-    LoadBalanceRow { stage: "Before load-balancing", max: 11.0, min: 4.9, imbalance_pct: 37.0 },
-    LoadBalanceRow { stage: "After first load-balancing", max: 7.7, min: 6.2, imbalance_pct: 9.0 },
-    LoadBalanceRow { stage: "After second load-balancing", max: 7.1, min: 6.3, imbalance_pct: 6.0 },
+    LoadBalanceRow {
+        stage: "Before load-balancing",
+        max: 11.0,
+        min: 4.9,
+        imbalance_pct: 37.0,
+    },
+    LoadBalanceRow {
+        stage: "After first load-balancing",
+        max: 7.7,
+        min: 6.2,
+        imbalance_pct: 9.0,
+    },
+    LoadBalanceRow {
+        stage: "After second load-balancing",
+        max: 7.1,
+        min: 6.3,
+        imbalance_pct: 6.0,
+    },
 ];
 
 /// Table 2: 9×14 = 126 nodes.
 // The paper really does report a min load of 3.14 seconds; it is not π.
 #[allow(clippy::approx_constant)]
 pub const TABLE2_126: [LoadBalanceRow; 3] = [
-    LoadBalanceRow { stage: "Before load-balancing", max: 5.2, min: 2.5, imbalance_pct: 35.0 },
-    LoadBalanceRow { stage: "After first load-balancing", max: 4.0, min: 3.14, imbalance_pct: 12.0 },
-    LoadBalanceRow { stage: "After second load-balancing", max: 3.52, min: 3.22, imbalance_pct: 5.0 },
+    LoadBalanceRow {
+        stage: "Before load-balancing",
+        max: 5.2,
+        min: 2.5,
+        imbalance_pct: 35.0,
+    },
+    LoadBalanceRow {
+        stage: "After first load-balancing",
+        max: 4.0,
+        min: 3.14,
+        imbalance_pct: 12.0,
+    },
+    LoadBalanceRow {
+        stage: "After second load-balancing",
+        max: 3.52,
+        min: 3.22,
+        imbalance_pct: 5.0,
+    },
 ];
 
 /// Table 3: 14×18 = 252 nodes.
 pub const TABLE3_252: [LoadBalanceRow; 3] = [
-    LoadBalanceRow { stage: "Before load-balancing", max: 3.34, min: 1.12, imbalance_pct: 48.0 },
-    LoadBalanceRow { stage: "After first load-balancing", max: 2.2, min: 1.7, imbalance_pct: 12.5 },
-    LoadBalanceRow { stage: "After second load-balancing", max: 1.92, min: 1.8, imbalance_pct: 6.0 },
+    LoadBalanceRow {
+        stage: "Before load-balancing",
+        max: 3.34,
+        min: 1.12,
+        imbalance_pct: 48.0,
+    },
+    LoadBalanceRow {
+        stage: "After first load-balancing",
+        max: 2.2,
+        min: 1.7,
+        imbalance_pct: 12.5,
+    },
+    LoadBalanceRow {
+        stage: "After second load-balancing",
+        max: 1.92,
+        min: 1.8,
+        imbalance_pct: 6.0,
+    },
 ];
 
 /// The node-mesh shapes of Tables 1–3.
@@ -183,8 +408,12 @@ mod tests {
     #[test]
     fn table_internal_consistency() {
         // Speed-ups in Tables 4-7 are relative to the 1×1 Dynamics row.
-        for table in [&TABLE4_PARAGON_OLD, &TABLE5_PARAGON_NEW, &TABLE6_T3D_OLD, &TABLE7_T3D_NEW]
-        {
+        for table in [
+            &TABLE4_PARAGON_OLD,
+            &TABLE5_PARAGON_NEW,
+            &TABLE6_T3D_OLD,
+            &TABLE7_T3D_NEW,
+        ] {
             let base = table[0].dynamics;
             for row in table.iter() {
                 let implied = base / row.dynamics;
@@ -202,7 +431,12 @@ mod tests {
 
     #[test]
     fn lb_fft_always_wins_in_paper_tables() {
-        for table in [&TABLE8_PARAGON_9, &TABLE9_T3D_9, &TABLE10_PARAGON_15, &TABLE11_T3D_15] {
+        for table in [
+            &TABLE8_PARAGON_9,
+            &TABLE9_T3D_9,
+            &TABLE10_PARAGON_15,
+            &TABLE11_T3D_15,
+        ] {
             for row in table.iter() {
                 assert!(row.lb_fft < row.fft);
                 assert!(row.fft < row.convolution);

@@ -39,28 +39,40 @@ impl CommCost {
 /// (paper §3.1, citing Wehner et al.).
 pub fn convolution_ring(n: usize, p: usize) -> CommCost {
     let (nf, pf) = (n as f64, p as f64);
-    CommCost { messages: pf * pf.log2().max(1.0), data_elements: nf * pf }
+    CommCost {
+        messages: pf * pf.log2().max(1.0),
+        data_elements: nf * pf,
+    }
 }
 
 /// Binary-tree convolution filtering: `O(2P)` messages,
 /// `O(N·P + N·logP)` elements (paper §3.1).
 pub fn convolution_tree(n: usize, p: usize) -> CommCost {
     let (nf, pf) = (n as f64, p as f64);
-    CommCost { messages: 2.0 * pf, data_elements: nf * pf + nf * pf.log2().max(1.0) }
+    CommCost {
+        messages: 2.0 * pf,
+        data_elements: nf * pf + nf * pf.log2().max(1.0),
+    }
 }
 
 /// Distributed parallel 1-D FFT across a processor row: `O(logP)` message
 /// rounds, `O(N·logN)` elements (paper §3.2, first approach).
 pub fn distributed_fft(n: usize, p: usize) -> CommCost {
     let (nf, pf) = (n as f64, p as f64);
-    CommCost { messages: pf.log2().max(1.0), data_elements: nf * nf.log2().max(1.0) }
+    CommCost {
+        messages: pf.log2().max(1.0),
+        data_elements: nf * nf.log2().max(1.0),
+    }
 }
 
 /// Transpose + local FFT (the paper's chosen second approach): `O(P²)`
 /// messages, `O(N)` elements.
 pub fn transpose_fft(n: usize, p: usize) -> CommCost {
     let (nf, pf) = (n as f64, p as f64);
-    CommCost { messages: pf * pf, data_elements: nf }
+    CommCost {
+        messages: pf * pf,
+        data_elements: nf,
+    }
 }
 
 /// Computational flop counts of the two filter formulations on an
@@ -126,7 +138,10 @@ mod tests {
 
     #[test]
     fn cost_time_model() {
-        let c = CommCost { messages: 10.0, data_elements: 1000.0 };
+        let c = CommCost {
+            messages: 10.0,
+            data_elements: 1000.0,
+        };
         // 10 × 1 ms + 8000 bytes / 1 MB/s = 0.01 + 0.008
         let t = c.time(1.0e-3, 1.0e6, 8.0);
         assert!((t - 0.018).abs() < 1e-12);

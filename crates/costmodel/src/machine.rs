@@ -8,10 +8,8 @@
 //! running ≈2.5× faster on a T3D node than a Paragon node. Latency and
 //! bandwidth are era-typical published figures.
 
-use serde::{Deserialize, Serialize};
-
 /// A linear (LogGP-flavoured) machine model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineProfile {
     /// Human-readable machine name.
     pub name: &'static str,
@@ -92,7 +90,10 @@ impl MachineProfile {
     /// a table against the paper's measured value.
     pub fn calibrated_to(&self, sim_flops: f64, target_seconds: f64) -> MachineProfile {
         assert!(sim_flops > 0.0 && target_seconds > 0.0);
-        MachineProfile { flops_per_sec: sim_flops / target_seconds, ..*self }
+        MachineProfile {
+            flops_per_sec: sim_flops / target_seconds,
+            ..*self
+        }
     }
 }
 

@@ -52,7 +52,11 @@ impl ReplayResult {
         if self.phase_times.is_empty() {
             return 0.0;
         }
-        let sum: f64 = self.phase_times.iter().map(|m| m.get(phase).copied().unwrap_or(0.0)).sum();
+        let sum: f64 = self
+            .phase_times
+            .iter()
+            .map(|m| m.get(phase).copied().unwrap_or(0.0))
+            .sum();
         sum / self.phase_times.len() as f64
     }
 
@@ -127,11 +131,14 @@ pub fn replay(trace: &WorldTrace, machine: &MachineProfile) -> ReplayResult {
                         state.clock += machine.send_time(bytes);
                         arrivals.insert((r, to, seq), state.clock + machine.latency_s);
                     }
-                    Event::Recv { from, bytes: _, seq } => {
+                    Event::Recv {
+                        from,
+                        bytes: _,
+                        seq,
+                    } => {
                         match arrivals.get(&(from, r, seq)) {
                             Some(&arrival) => {
-                                state.clock =
-                                    (state.clock + machine.recv_overhead_s).max(arrival);
+                                state.clock = (state.clock + machine.recv_overhead_s).max(arrival);
                             }
                             None => break, // blocked on an unsimulated send
                         }
@@ -140,10 +147,9 @@ pub fn replay(trace: &WorldTrace, machine: &MachineProfile) -> ReplayResult {
                         state.open_phases.push((name, state.clock));
                     }
                     Event::PhaseEnd(name) => {
-                        let (open_name, start) = state
-                            .open_phases
-                            .pop()
-                            .unwrap_or_else(|| panic!("PhaseEnd({name}) without begin on rank {r}"));
+                        let (open_name, start) = state.open_phases.pop().unwrap_or_else(|| {
+                            panic!("PhaseEnd({name}) without begin on rank {r}")
+                        });
                         assert_eq!(open_name, name, "mismatched phase nesting on rank {r}");
                         *state.phase_acc.entry(name).or_insert(0.0) += state.clock - start;
                     }
@@ -203,8 +209,19 @@ mod tests {
         // rank 1 receives immediately and must wait until 2.001 s.
         let trace = WorldTrace {
             ranks: vec![
-                vec![Event::Flops(1.0e6), Event::Send { to: 1, bytes: 1_000_000, seq: 0 }],
-                vec![Event::Recv { from: 0, bytes: 1_000_000, seq: 0 }],
+                vec![
+                    Event::Flops(1.0e6),
+                    Event::Send {
+                        to: 1,
+                        bytes: 1_000_000,
+                        seq: 0,
+                    },
+                ],
+                vec![Event::Recv {
+                    from: 0,
+                    bytes: 1_000_000,
+                    seq: 0,
+                }],
             ],
         };
         let r = replay(&trace, &machine());
@@ -218,8 +235,19 @@ mod tests {
         // is already there when it posts the receive.
         let trace = WorldTrace {
             ranks: vec![
-                vec![Event::Send { to: 1, bytes: 1000, seq: 0 }],
-                vec![Event::Flops(5.0e6), Event::Recv { from: 0, bytes: 1000, seq: 0 }],
+                vec![Event::Send {
+                    to: 1,
+                    bytes: 1000,
+                    seq: 0,
+                }],
+                vec![
+                    Event::Flops(5.0e6),
+                    Event::Recv {
+                        from: 0,
+                        bytes: 1000,
+                        seq: 0,
+                    },
+                ],
             ],
         };
         let r = replay(&trace, &machine());
@@ -232,11 +260,30 @@ mod tests {
         // sweeps regardless of processing order.
         let trace = WorldTrace {
             ranks: vec![
-                vec![Event::Recv { from: 2, bytes: 8, seq: 0 }],
-                vec![Event::Flops(3.0e6), Event::Send { to: 2, bytes: 8, seq: 0 }],
+                vec![Event::Recv {
+                    from: 2,
+                    bytes: 8,
+                    seq: 0,
+                }],
                 vec![
-                    Event::Recv { from: 1, bytes: 8, seq: 0 },
-                    Event::Send { to: 0, bytes: 8, seq: 0 },
+                    Event::Flops(3.0e6),
+                    Event::Send {
+                        to: 2,
+                        bytes: 8,
+                        seq: 0,
+                    },
+                ],
+                vec![
+                    Event::Recv {
+                        from: 1,
+                        bytes: 8,
+                        seq: 0,
+                    },
+                    Event::Send {
+                        to: 0,
+                        bytes: 8,
+                        seq: 0,
+                    },
                 ],
             ],
         };
@@ -317,7 +364,11 @@ mod tests {
     #[should_panic(expected = "no matching send")]
     fn missing_send_detected() {
         let trace = WorldTrace {
-            ranks: vec![vec![Event::Recv { from: 0, bytes: 8, seq: 99 }]],
+            ranks: vec![vec![Event::Recv {
+                from: 0,
+                bytes: 8,
+                seq: 99,
+            }]],
         };
         replay(&trace, &machine());
     }

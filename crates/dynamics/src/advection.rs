@@ -95,7 +95,8 @@ pub fn advect_naive(
                 // trig and divisions are re-derived per point.
                 let lat = -std::f64::consts::FRAC_PI_2
                     + ((j0 + j) as f64 + 0.5) * (std::f64::consts::PI / grid.n_lat as f64);
-                let dx = EARTH_RADIUS_M * lat.cos() * (2.0 * std::f64::consts::PI / grid.n_lon as f64);
+                let dx =
+                    EARTH_RADIUS_M * lat.cos() * (2.0 * std::f64::consts::PI / grid.n_lon as f64);
                 let dy = EARTH_RADIUS_M * (std::f64::consts::PI / grid.n_lat as f64);
                 let ip = shape.at((i + 1) % shape.ni, j, k);
                 let im = shape.at((i + shape.ni - 1) % shape.ni, j, k);
@@ -123,7 +124,10 @@ pub fn advect_restructured(
     grid: &GridSpec,
     j0: usize,
 ) -> Vec<f64> {
-    assert!(shape.ni >= 2, "boundary peeling needs at least two longitudes");
+    assert!(
+        shape.ni >= 2,
+        "boundary peeling needs at least two longitudes"
+    );
     let mut out = vec![0.0; shape.len()];
     let dlon = 2.0 * std::f64::consts::PI / grid.n_lon as f64;
     let dlat = std::f64::consts::PI / grid.n_lat as f64;
@@ -181,7 +185,11 @@ mod tests {
     use agcm_mps::topology::CartComm;
 
     fn shape() -> AdvShape {
-        AdvShape { ni: 24, nj: 16, nk: 3 }
+        AdvShape {
+            ni: 24,
+            nj: 16,
+            nk: 3,
+        }
     }
 
     fn test_fields(s: AdvShape) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
@@ -201,7 +209,11 @@ mod tests {
         let (q, u, v) = test_fields(s);
         let a = advect_naive(&q, &u, &v, s, &grid, 0);
         let b = advect_restructured(&q, &u, &v, s, &grid, 0);
-        let err = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
+        let err = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-13, "restructuring changed the answer by {err}");
     }
 

@@ -38,7 +38,11 @@ pub struct DynamicsConfig {
 impl DynamicsConfig {
     /// A configuration with the standard gravity and the chosen filter.
     pub fn new(dt: f64, filter: Option<FilterVariant>) -> DynamicsConfig {
-        DynamicsConfig { dt, gravity: GRAVITY, filter }
+        DynamicsConfig {
+            dt,
+            gravity: GRAVITY,
+            filter,
+        }
     }
 }
 
@@ -56,7 +60,12 @@ impl Dynamics {
     pub fn new(grid: GridSpec, decomp: Decomp, cfg: DynamicsConfig) -> Dynamics {
         let setup = FilterSetup::new(grid, decomp);
         let filter = cfg.filter.map(|v| PolarFilter::new(&setup, v));
-        Dynamics { grid, cfg, setup, filter }
+        Dynamics {
+            grid,
+            cfg,
+            setup,
+            filter,
+        }
     }
 
     /// The filter setup (shared bookkeeping).
@@ -70,7 +79,9 @@ impl Dynamics {
 
         // --- Spectral filtering. ------------------------------------------
         if let Some(filter) = &self.filter {
-            comm.phase("filter", || filter.apply(&self.setup, cart, &mut state.fields));
+            comm.phase("filter", || {
+                filter.apply(&self.setup, cart, &mut state.fields)
+            });
         }
 
         // --- Ghost-point exchange (communication phase). -------------------
@@ -174,7 +185,8 @@ pub fn global_mass(cart: &CartComm, state: &ModelState) -> f64 {
             }
         }
     }
-    cart.comm().allreduce_f64(agcm_mps::collectives::Op::Sum, &[local])[0]
+    cart.comm()
+        .allreduce_f64(agcm_mps::collectives::Op::Sum, &[local])[0]
 }
 
 #[cfg(test)]
@@ -204,7 +216,10 @@ mod tests {
             let mass1 = global_mass(&cart, &state);
             // Global diagnostics so every rank reports the same values.
             use agcm_mps::collectives::Op;
-            let blown = cart.comm().allreduce_i64(Op::Max, &[i64::from(state.has_blown_up())])[0] == 1;
+            let blown = cart
+                .comm()
+                .allreduce_i64(Op::Max, &[i64::from(state.has_blown_up())])[0]
+                == 1;
             let wind = cart.comm().allreduce_f64(Op::Max, &[state.max_wind()])[0];
             (blown, wind, mass0, mass1)
         })
@@ -252,7 +267,10 @@ mod tests {
         let unfiltered_bad = unfiltered
             .iter()
             .any(|(blown, wind, _, _)| *blown || *wind > 1.0e3);
-        assert!(unfiltered_bad, "unfiltered run should go unstable: {unfiltered:?}");
+        assert!(
+            unfiltered_bad,
+            "unfiltered run should go unstable: {unfiltered:?}"
+        );
         for (blown, wind, _, _) in &filtered {
             assert!(!blown, "filtered run must not blow up");
             assert!(*wind < 500.0, "filtered winds bounded: {wind}");

@@ -24,7 +24,10 @@ use agcm_mps::comm::Comm;
 pub fn thomas_solve(a: &[f64], b: &[f64], c: &[f64], d: &[f64]) -> Vec<f64> {
     let n = b.len();
     assert!(n > 0, "empty system");
-    assert!(a.len() == n && c.len() == n && d.len() == n, "inconsistent system sizes");
+    assert!(
+        a.len() == n && c.len() == n && d.len() == n,
+        "inconsistent system sizes"
+    );
     let mut cp = vec![0.0; n];
     let mut dp = vec![0.0; n];
     let mut pivot = b[0];
@@ -104,7 +107,12 @@ mod tests {
     #[test]
     fn solves_identity() {
         let n = 7;
-        let x = thomas_solve(&vec![0.0; n], &vec![1.0; n], &vec![0.0; n], &[1., 2., 3., 4., 5., 6., 7.]);
+        let x = thomas_solve(
+            &vec![0.0; n],
+            &vec![1.0; n],
+            &vec![0.0; n],
+            &[1., 2., 3., 4., 5., 6., 7.],
+        );
         assert_eq!(x, vec![1., 2., 3., 4., 5., 6., 7.]);
     }
 
@@ -137,15 +145,15 @@ mod tests {
             let mut f = Field3D::from_fn(4, 3, 9, |i, j, k| {
                 ((i + 2 * j) as f64 * 0.7).sin() + (k as f64 - 4.0).powi(2)
             });
-            let before: Vec<f64> =
-                (0..4).flat_map(|i| (0..3).map(move |j| (i, j))).map(|(i, j)| {
-                    f.column(i, j).iter().sum::<f64>()
-                }).collect();
+            let before: Vec<f64> = (0..4)
+                .flat_map(|i| (0..3).map(move |j| (i, j)))
+                .map(|(i, j)| f.column(i, j).iter().sum::<f64>())
+                .collect();
             implicit_vertical_diffusion(comm, &mut f, 5.0);
-            let after: Vec<f64> =
-                (0..4).flat_map(|i| (0..3).map(move |j| (i, j))).map(|(i, j)| {
-                    f.column(i, j).iter().sum::<f64>()
-                }).collect();
+            let after: Vec<f64> = (0..4)
+                .flat_map(|i| (0..3).map(move |j| (i, j)))
+                .map(|(i, j)| f.column(i, j).iter().sum::<f64>())
+                .collect();
             for (x, y) in before.iter().zip(&after) {
                 assert!((x - y).abs() < 1e-9, "column integral {x} -> {y}");
             }
@@ -166,8 +174,14 @@ mod tests {
             let v0 = var(&f);
             implicit_vertical_diffusion(comm, &mut f, 1000.0);
             let v1 = var(&f);
-            assert!(v1 < 0.01 * v0, "huge implicit step flattens the profile: {v0} -> {v1}");
-            assert!(f.as_slice().iter().all(|v| v.is_finite() && v.abs() <= 1.0 + 1e-9));
+            assert!(
+                v1 < 0.01 * v0,
+                "huge implicit step flattens the profile: {v0} -> {v1}"
+            );
+            assert!(f
+                .as_slice()
+                .iter()
+                .all(|v| v.is_finite() && v.abs() <= 1.0 + 1e-9));
         });
     }
 

@@ -48,20 +48,28 @@ impl ModelState {
                     // Zonal jet peaking mid-latitude, weak vertical shear.
                     let jet = 25.0 * (2.0 * lat).sin().powi(2) * (1.0 + 0.08 * k as f64);
                     // Thickness in approximate balance + planetary wave.
-                    let h = MEAN_THICKNESS
-                        - 600.0 * lat.sin().powi(2)
+                    let h = MEAN_THICKNESS - 600.0 * lat.sin().powi(2)
                         + 40.0 * (3.0 * lon).cos() * lat.cos();
                     // Short polar noise, the CFL offenders.
-                    let polar_noise =
-                        6.0 * (20.0 * lon).sin() * lat.sin().powi(4);
+                    let polar_noise = 6.0 * (20.0 * lon).sin() * lat.sin().powi(4);
                     s.field_mut(Variable::U).set(i, j, k, jet);
-                    s.field_mut(Variable::V).set(i, j, k, 0.5 * (5.0 * lon).sin() * lat.cos());
+                    s.field_mut(Variable::V)
+                        .set(i, j, k, 0.5 * (5.0 * lon).sin() * lat.cos());
                     s.field_mut(Variable::Theta).set(i, j, k, h + polar_noise);
-                    s.field_mut(Variable::Pressure).set(i, j, k, 1.0e5 - 10.0 * k as f64);
-                    s.field_mut(Variable::Humidity)
-                        .set(i, j, k, (0.02 * (-(lat / 0.5).powi(2)).exp()).max(1e-6));
-                    s.field_mut(Variable::Ozone)
-                        .set(i, j, k, 1.0e-6 * (1.0 + 0.3 * (2.0 * lon).sin()));
+                    s.field_mut(Variable::Pressure)
+                        .set(i, j, k, 1.0e5 - 10.0 * k as f64);
+                    s.field_mut(Variable::Humidity).set(
+                        i,
+                        j,
+                        k,
+                        (0.02 * (-(lat / 0.5).powi(2)).exp()).max(1e-6),
+                    );
+                    s.field_mut(Variable::Ozone).set(
+                        i,
+                        j,
+                        k,
+                        1.0e-6 * (1.0 + 0.3 * (2.0 * lon).sin()),
+                    );
                 }
             }
         }
@@ -92,7 +100,9 @@ impl ModelState {
 
     /// True if any field holds a non-finite value (instability detector).
     pub fn has_blown_up(&self) -> bool {
-        self.fields.iter().any(|f| f.as_slice().iter().any(|v| !v.is_finite()))
+        self.fields
+            .iter()
+            .any(|f| f.as_slice().iter().any(|v| !v.is_finite()))
     }
 }
 
@@ -109,7 +119,10 @@ mod tests {
         assert!(!s.has_blown_up());
         assert!(s.max_wind() > 10.0 && s.max_wind() < 100.0);
         let mean_h = s.local_mass() / (36.0 * 24.0 * 3.0);
-        assert!((mean_h - MEAN_THICKNESS).abs() < 1_000.0, "mean thickness {mean_h}");
+        assert!(
+            (mean_h - MEAN_THICKNESS).abs() < 1_000.0,
+            "mean thickness {mean_h}"
+        );
     }
 
     #[test]

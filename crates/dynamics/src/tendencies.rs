@@ -65,19 +65,23 @@ pub fn flux_divergence(
         let cosj = grid.latitude(jg).cos();
         let (ii, jj) = (i as isize, j as isize);
         // Zonal flux at cell faces, collocated average.
-        let fe = 0.5 * (h.get(ii, jj, k) * u.get(ii, jj, k) + h.get(ii + 1, jj, k) * u.get(ii + 1, jj, k));
-        let fw = 0.5 * (h.get(ii - 1, jj, k) * u.get(ii - 1, jj, k) + h.get(ii, jj, k) * u.get(ii, jj, k));
+        let fe = 0.5
+            * (h.get(ii, jj, k) * u.get(ii, jj, k) + h.get(ii + 1, jj, k) * u.get(ii + 1, jj, k));
+        let fw = 0.5
+            * (h.get(ii - 1, jj, k) * u.get(ii - 1, jj, k) + h.get(ii, jj, k) * u.get(ii, jj, k));
         // Meridional flux, cos-weighted; zero across a pole boundary.
         let gn = if jg + 1 >= grid.n_lat {
             0.0
         } else {
-            0.5 * (h.get(ii, jj, k) * v.get(ii, jj, k) + h.get(ii, jj + 1, k) * v.get(ii, jj + 1, k))
+            0.5 * (h.get(ii, jj, k) * v.get(ii, jj, k)
+                + h.get(ii, jj + 1, k) * v.get(ii, jj + 1, k))
                 * cos_half(jg as f64)
         };
         let gs = if jg == 0 {
             0.0
         } else {
-            0.5 * (h.get(ii, jj - 1, k) * v.get(ii, jj - 1, k) + h.get(ii, jj, k) * v.get(ii, jj, k))
+            0.5 * (h.get(ii, jj - 1, k) * v.get(ii, jj - 1, k)
+                + h.get(ii, jj, k) * v.get(ii, jj, k))
                 * cos_half(jg as f64 - 1.0)
         };
         ((fe - fw) / dlon + (gn - gs) / dlat) / (a * cosj)
@@ -122,7 +126,10 @@ mod tests {
         h
     }
 
-    fn exchanged(grid: &GridSpec, f: impl Fn(usize, usize, usize) -> f64 + Copy + Sync) -> HaloField {
+    fn exchanged(
+        grid: &GridSpec,
+        f: impl Fn(usize, usize, usize) -> f64 + Copy + Sync,
+    ) -> HaloField {
         let grid = *grid;
         run(1, move |c| {
             let cart = CartComm::new(c, 1, 1, (false, true));
@@ -157,8 +164,10 @@ mod tests {
                     / (3.0 * grid.dlon())
                     / (EARTH_RADIUS_M * cos);
                 let got = g.get(i, j, 0);
-                assert!((got - expect).abs() < 1e-9 * expect.abs().max(1e-9),
-                    "({i},{j}): {got} vs {expect}");
+                assert!(
+                    (got - expect).abs() < 1e-9 * expect.abs().max(1e-9),
+                    "({i},{j}): {got} vs {expect}"
+                );
             }
         }
     }
@@ -193,9 +202,15 @@ mod tests {
         // circle; meridional fluxes telescope pole to pole with zero flux
         // at the poles.
         let grid = GridSpec::new(24, 16, 1);
-        let h = exchanged(&grid, |i, j, _| 8000.0 + 50.0 * ((i + 2 * j) as f64 * 0.4).sin());
-        let u = exchanged(&grid, |i, j, _| 10.0 * ((i as f64 * 0.26).cos() + 0.1 * j as f64));
-        let v = exchanged(&grid, |i, j, _| 5.0 * ((j as f64 * 0.5).sin() + 0.2 * (i as f64).cos()));
+        let h = exchanged(&grid, |i, j, _| {
+            8000.0 + 50.0 * ((i + 2 * j) as f64 * 0.4).sin()
+        });
+        let u = exchanged(&grid, |i, j, _| {
+            10.0 * ((i as f64 * 0.26).cos() + 0.1 * j as f64)
+        });
+        let v = exchanged(&grid, |i, j, _| {
+            5.0 * ((j as f64 * 0.5).sin() + 0.2 * (i as f64).cos())
+        });
         let div = flux_divergence(&h, &u, &v, &grid, 0);
         let mut total = 0.0;
         let mut scale = 0.0;
@@ -206,7 +221,10 @@ mod tests {
                 scale += div.get(i, j, 0).abs() * cos;
             }
         }
-        assert!(total.abs() < 1e-12 * scale.max(1.0), "mass leak {total} (scale {scale})");
+        assert!(
+            total.abs() < 1e-12 * scale.max(1.0),
+            "mass leak {total} (scale {scale})"
+        );
     }
 
     #[test]
@@ -215,9 +233,8 @@ mod tests {
         // the single-rank result.
         let grid = GridSpec::new(16, 12, 1);
         let decomp = Decomp::new(grid, 2, 2);
-        let f = |i: usize, j: usize, _k: usize| {
-            ((i as f64) * 0.39).sin() + ((j as f64) * 0.52).cos()
-        };
+        let f =
+            |i: usize, j: usize, _k: usize| ((i as f64) * 0.39).sin() + ((j as f64) * 0.52).cos();
         let single = {
             let q = exchanged(&grid, f);
             grad_x(&q, &grid, 0)

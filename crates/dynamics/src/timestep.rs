@@ -53,7 +53,9 @@ pub fn max_stable_dt(grid: &GridSpec, c: f64, target: f64, filter_cutoff_deg: Op
             .filter(|&j| grid.latitude_deg(j).abs() < cut)
             .map(|j| grid.zonal_spacing_m(j))
             .fold(f64::INFINITY, f64::min),
-        None => (0..grid.n_lat).map(|j| grid.zonal_spacing_m(j)).fold(f64::INFINITY, f64::min),
+        None => (0..grid.n_lat)
+            .map(|j| grid.zonal_spacing_m(j))
+            .fold(f64::INFINITY, f64::min),
     };
     target * min_dx / c
 }

@@ -32,12 +32,18 @@ impl Complex64 {
 
     /// `e^{iθ} = cos θ + i sin θ`.
     pub fn expi(theta: f64) -> Complex64 {
-        Complex64 { re: theta.cos(), im: theta.sin() }
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     pub fn conj(self) -> Complex64 {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude.
@@ -52,14 +58,20 @@ impl Complex64 {
 
     /// Multiply by a real scalar.
     pub fn scale(self, s: f64) -> Complex64 {
-        Complex64 { re: self.re * s, im: self.im * s }
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
 impl Add for Complex64 {
     type Output = Complex64;
     fn add(self, o: Complex64) -> Complex64 {
-        Complex64 { re: self.re + o.re, im: self.im + o.im }
+        Complex64 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -73,7 +85,10 @@ impl AddAssign for Complex64 {
 impl Sub for Complex64 {
     type Output = Complex64;
     fn sub(self, o: Complex64) -> Complex64 {
-        Complex64 { re: self.re - o.re, im: self.im - o.im }
+        Complex64 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -103,7 +118,10 @@ impl MulAssign for Complex64 {
 impl Neg for Complex64 {
     type Output = Complex64;
     fn neg(self) -> Complex64 {
-        Complex64 { re: -self.re, im: -self.im }
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -111,7 +129,10 @@ impl Neg for Complex64 {
 /// the error metric used throughout the FFT tests.
 pub fn max_error(a: &[Complex64], b: &[Complex64]) -> f64 {
     assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]

@@ -69,11 +69,16 @@ mod tests {
     use super::*;
 
     fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     fn signal(n: usize) -> Vec<f64> {
-        (0..n).map(|j| (j as f64 * 0.31).sin() + 0.1 * j as f64).collect()
+        (0..n)
+            .map(|j| (j as f64 * 0.31).sin() + 0.1 * j as f64)
+            .collect()
     }
 
     #[test]
@@ -130,7 +135,11 @@ mod tests {
         let spectral = apply_spectral_multiplier(&plan, &x, &s_hat);
         let kernel = kernel_from_multiplier(&plan, &s_hat);
         let conv = circular_convolve_direct(&x, &kernel);
-        assert!(max_abs_diff(&spectral, &conv) < 1e-9, "{}", max_abs_diff(&spectral, &conv));
+        assert!(
+            max_abs_diff(&spectral, &conv) < 1e-9,
+            "{}",
+            max_abs_diff(&spectral, &conv)
+        );
     }
 
     #[test]

@@ -93,8 +93,9 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let x: Vec<Complex64> =
-            (0..17).map(|j| c((j as f64).sin(), (j as f64 * 0.3).cos())).collect();
+        let x: Vec<Complex64> = (0..17)
+            .map(|j| c((j as f64).sin(), (j as f64 * 0.3).cos()))
+            .collect();
         let back = idft(&dft(&x));
         assert!(max_error(&back, &x) < 1e-12);
     }

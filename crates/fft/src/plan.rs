@@ -80,9 +80,17 @@ impl FftPlan {
                 kernel[m - j] = chirp[j].conj();
             }
             fft_pow2_inplace(&mut kernel, -1.0);
-            Strategy::Bluestein { m, chirp, kernel_fft: kernel }
+            Strategy::Bluestein {
+                m,
+                chirp,
+                kernel_fft: kernel,
+            }
         };
-        FftPlan { n, twiddles, strategy }
+        FftPlan {
+            n,
+            twiddles,
+            strategy,
+        }
     }
 
     /// Transform size.
@@ -97,12 +105,21 @@ impl FftPlan {
 
     /// True if the plan uses the mixed-radix path (2/3/5-smooth size).
     pub fn is_smooth(&self) -> bool {
-        matches!(self.strategy, Strategy::MixedRadix { .. } | Strategy::Identity)
+        matches!(
+            self.strategy,
+            Strategy::MixedRadix { .. } | Strategy::Identity
+        )
     }
 
     /// Forward FFT: `X[k] = Σ_j x[j] e^{-2πi jk/n}`.
     pub fn forward(&self, x: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(x.len(), self.n, "input length {} != plan size {}", x.len(), self.n);
+        assert_eq!(
+            x.len(),
+            self.n,
+            "input length {} != plan size {}",
+            x.len(),
+            self.n
+        );
         match &self.strategy {
             Strategy::Identity => x.to_vec(),
             Strategy::MixedRadix { factors } => {
@@ -116,7 +133,13 @@ impl FftPlan {
 
     /// Inverse FFT including the 1/n factor.
     pub fn inverse(&self, x: &[Complex64]) -> Vec<Complex64> {
-        assert_eq!(x.len(), self.n, "input length {} != plan size {}", x.len(), self.n);
+        assert_eq!(
+            x.len(),
+            self.n,
+            "input length {} != plan size {}",
+            x.len(),
+            self.n
+        );
         let mut out = match &self.strategy {
             Strategy::Identity => x.to_vec(),
             Strategy::MixedRadix { factors } => {
@@ -167,7 +190,14 @@ impl FftPlan {
         // Sub-transforms of the r interleaved subsequences.
         for j in 0..r {
             let (_, tail) = x.split_at(j * stride);
-            self.mixed_radix(tail, &mut out[j * m..(j + 1) * m], m, stride * r, &factors[1..], inverse);
+            self.mixed_radix(
+                tail,
+                &mut out[j * m..(j + 1) * m],
+                m,
+                stride * r,
+                &factors[1..],
+                inverse,
+            );
         }
         // Combine: X[k + q·m] = Σ_j (w_n^{jk}·out_j[k]) · w_r^{jq}.
         // Safe in place: for a given k we first gather all out[j·m + k],
@@ -191,7 +221,12 @@ impl FftPlan {
 
     /// Bluestein chirp-z transform through the power-of-two engine.
     fn bluestein(&self, x: &[Complex64], inverse: bool) -> Vec<Complex64> {
-        let Strategy::Bluestein { m, chirp, kernel_fft } = &self.strategy else {
+        let Strategy::Bluestein {
+            m,
+            chirp,
+            kernel_fft,
+        } = &self.strategy
+        else {
             unreachable!("bluestein called on a non-Bluestein plan")
         };
         let n = self.n;
@@ -207,7 +242,9 @@ impl FftPlan {
         }
         fft_pow2_inplace(&mut a, 1.0);
         let inv_m = 1.0 / *m as f64;
-        (0..n).map(|k| (a[k] * take(chirp[k])).scale(inv_m)).collect()
+        (0..n)
+            .map(|k| (a[k] * take(chirp[k])).scale(inv_m))
+            .collect()
     }
 }
 
@@ -235,7 +272,9 @@ mod tests {
 
     #[test]
     fn matches_dft_smooth_sizes() {
-        for n in [1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 27, 30, 36, 45, 48, 60, 72, 144] {
+        for n in [
+            1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 27, 30, 36, 45, 48, 60, 72, 144,
+        ] {
             let plan = FftPlan::new(n);
             assert!(plan.is_smooth(), "n={n} should be smooth");
             let x = signal(n);

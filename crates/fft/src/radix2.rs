@@ -19,7 +19,10 @@ fn bit_reverse(x: usize, bits: u32) -> usize {
 /// If `x.len()` is not a power of two.
 pub fn fft_pow2_inplace(x: &mut [Complex64], sign: f64) {
     let n = x.len();
-    assert!(n.is_power_of_two(), "radix-2 FFT requires a power-of-two size, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "radix-2 FFT requires a power-of-two size, got {n}"
+    );
     if n <= 1 {
         return;
     }

@@ -22,7 +22,11 @@ pub fn rfft(plan: &FftPlan, x: &[f64]) -> Vec<Complex64> {
 /// transform back, returning the real signal.
 pub fn irfft(plan: &FftPlan, half: &[Complex64]) -> Vec<f64> {
     let n = plan.len();
-    assert_eq!(half.len(), n / 2 + 1, "half spectrum must have n/2+1 entries");
+    assert_eq!(
+        half.len(),
+        n / 2 + 1,
+        "half spectrum must have n/2+1 entries"
+    );
     let mut full = vec![Complex64::ZERO; n];
     full[..=n / 2].copy_from_slice(half);
     for k in n / 2 + 1..n {
@@ -42,7 +46,9 @@ mod tests {
     use super::*;
 
     fn signal(n: usize) -> Vec<f64> {
-        (0..n).map(|j| (j as f64 * 0.8).sin() - 0.3 * (j as f64 * 0.2).cos()).collect()
+        (0..n)
+            .map(|j| (j as f64 * 0.8).sin() - 0.3 * (j as f64 * 0.2).cos())
+            .collect()
     }
 
     #[test]
@@ -51,8 +57,11 @@ mod tests {
             let plan = FftPlan::new(n);
             let x = signal(n);
             let back = irfft(&plan, &rfft(&plan, &x));
-            let err: f64 =
-                x.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            let err: f64 = x
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
             assert!(err < 1e-10, "n={n}: err={err}");
         }
     }
@@ -63,8 +72,11 @@ mod tests {
             let plan = FftPlan::new(n);
             let x = signal(n);
             let back = irfft(&plan, &rfft(&plan, &x));
-            let err: f64 =
-                x.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            let err: f64 = x
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
             assert!(err < 1e-10, "n={n}: err={err}");
         }
     }

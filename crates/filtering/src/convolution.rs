@@ -166,9 +166,7 @@ impl ConvolutionFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::reference::{
-        filter_global, global_from_locals, local_from_global, synthetic_field,
-    };
+    use crate::reference::{filter_global, global_from_locals, local_from_global, synthetic_field};
     use agcm_grid::decomp::Decomp;
     use agcm_grid::latlon::GridSpec;
     use agcm_mps::runtime::{run, run_traced};
@@ -197,7 +195,10 @@ mod tests {
             let per_rank: Vec<Field3D> = locals.iter().map(|l| l[v].clone()).collect();
             let got = global_from_locals(&per_rank, &decomp);
             let err = got.max_abs_diff(&expect[v]);
-            assert!(err < 1e-8, "variable {v} differs from reference by {err} ({mode:?})");
+            assert!(
+                err < 1e-8,
+                "variable {v} differs from reference by {err} ({mode:?})"
+            );
         }
     }
 
@@ -255,7 +256,11 @@ mod tests {
                     .map(|v| local_from_global(&synthetic_field(&grid, v), &sub))
                     .collect();
                 if conv {
-                    ConvolutionFilter::new(&setup, ConvMode::Ring).apply(&setup, &cart, &mut fields);
+                    ConvolutionFilter::new(&setup, ConvMode::Ring).apply(
+                        &setup,
+                        &cart,
+                        &mut fields,
+                    );
                 } else {
                     crate::lb_fft::apply(&setup, &cart, &mut fields);
                 }

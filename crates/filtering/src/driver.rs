@@ -52,12 +52,8 @@ impl PolarFilter {
     /// convolution forms — the "setup" cost paid once per run).
     pub fn new(setup: &FilterSetup, variant: FilterVariant) -> PolarFilter {
         let conv = match variant {
-            FilterVariant::ConvolutionRing => {
-                Some(ConvolutionFilter::new(setup, ConvMode::Ring))
-            }
-            FilterVariant::ConvolutionTree => {
-                Some(ConvolutionFilter::new(setup, ConvMode::Tree))
-            }
+            FilterVariant::ConvolutionRing => Some(ConvolutionFilter::new(setup, ConvMode::Ring)),
+            FilterVariant::ConvolutionTree => Some(ConvolutionFilter::new(setup, ConvMode::Tree)),
             _ => None,
         };
         PolarFilter { variant, conv }
@@ -71,9 +67,11 @@ impl PolarFilter {
     /// Apply the full filtering step (both classes) to the local fields.
     pub fn apply(&self, setup: &FilterSetup, cart: &CartComm, fields: &mut [Field3D]) {
         match self.variant {
-            FilterVariant::ConvolutionRing | FilterVariant::ConvolutionTree => {
-                self.conv.as_ref().expect("prepared in new").apply(setup, cart, fields)
-            }
+            FilterVariant::ConvolutionRing | FilterVariant::ConvolutionTree => self
+                .conv
+                .as_ref()
+                .expect("prepared in new")
+                .apply(setup, cart, fields),
             FilterVariant::FftNoLb => crate::fft::apply(setup, cart, fields),
             FilterVariant::LbFft => crate::lb_fft::apply(setup, cart, fields),
         }
@@ -83,9 +81,7 @@ impl PolarFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::reference::{
-        filter_global, global_from_locals, local_from_global, synthetic_field,
-    };
+    use crate::reference::{filter_global, global_from_locals, local_from_global, synthetic_field};
     use agcm_grid::decomp::Decomp;
     use agcm_grid::latlon::GridSpec;
     use agcm_mps::runtime::run;

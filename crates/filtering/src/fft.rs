@@ -37,9 +37,7 @@ pub fn apply_kind(setup: &FilterSetup, cart: &CartComm, fields: &mut [Field3D], 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::reference::{
-        filter_global, global_from_locals, local_from_global, synthetic_field,
-    };
+    use crate::reference::{filter_global, global_from_locals, local_from_global, synthetic_field};
     use agcm_grid::decomp::Decomp;
     use agcm_grid::latlon::GridSpec;
     use agcm_mps::runtime::{run, run_traced};

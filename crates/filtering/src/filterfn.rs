@@ -46,12 +46,16 @@ impl FilterKind {
     /// `lat_rad` on an `n_lon`-point circle. Returns a damping factor in
     /// (0, 1]; wavenumber 0 (the zonal mean) is never damped.
     pub fn response(self, s: usize, n_lon: usize, lat_rad: f64) -> f64 {
-        assert!(s <= n_lon / 2, "wavenumber {s} beyond Nyquist for N={n_lon}");
+        assert!(
+            s <= n_lon / 2,
+            "wavenumber {s} beyond Nyquist for N={n_lon}"
+        );
         if s == 0 {
             return 1.0;
         }
         let cutoff = self.cutoff_deg().to_radians();
-        let ratio = lat_rad.cos().abs() / (cutoff.cos() * (std::f64::consts::PI * s as f64 / n_lon as f64).sin());
+        let ratio = lat_rad.cos().abs()
+            / (cutoff.cos() * (std::f64::consts::PI * s as f64 / n_lon as f64).sin());
         let base = ratio.min(1.0);
         match self {
             FilterKind::Strong => base * base,
@@ -132,7 +136,10 @@ mod tests {
         for s in [10, 36, 72] {
             let strong = FilterKind::Strong.response(s, 144, lat);
             let weak = FilterKind::Weak.response(s, 144, lat);
-            assert!(weak >= strong, "weak {weak} must damp less than strong {strong}");
+            assert!(
+                weak >= strong,
+                "weak {weak} must damp less than strong {strong}"
+            );
         }
     }
 
@@ -143,7 +150,10 @@ mod tests {
         assert_eq!(m.len(), 144);
         assert_eq!(m[0], 1.0);
         for k in 1..144 {
-            assert!((m[k] - m[144 - k]).abs() < 1e-15, "multiplier must be symmetric");
+            assert!(
+                (m[k] - m[144 - k]).abs() < 1e-15,
+                "multiplier must be symmetric"
+            );
         }
         // The polar row must damp its Nyquist mode hard.
         assert!(m[72] < 0.05, "polar Nyquist damping {}", m[72]);

@@ -30,9 +30,7 @@ pub fn apply_kind(setup: &FilterSetup, cart: &CartComm, fields: &mut [Field3D], 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::reference::{
-        filter_global, global_from_locals, local_from_global, synthetic_field,
-    };
+    use crate::reference::{filter_global, global_from_locals, local_from_global, synthetic_field};
     use agcm_grid::decomp::Decomp;
     use agcm_grid::latlon::GridSpec;
     use agcm_mps::runtime::{run, run_traced};
@@ -111,8 +109,10 @@ mod tests {
         let a = run_variant(true);
         let b = run_variant(false);
         for v in 0..6 {
-            let ga = global_from_locals(&a.iter().map(|l| l[v].clone()).collect::<Vec<_>>(), &decomp);
-            let gb = global_from_locals(&b.iter().map(|l| l[v].clone()).collect::<Vec<_>>(), &decomp);
+            let ga =
+                global_from_locals(&a.iter().map(|l| l[v].clone()).collect::<Vec<_>>(), &decomp);
+            let gb =
+                global_from_locals(&b.iter().map(|l| l[v].clone()).collect::<Vec<_>>(), &decomp);
             assert!(ga.max_abs_diff(&gb) < 1e-9);
         }
     }
@@ -134,6 +134,9 @@ mod tests {
             apply(&setup, &cart, &mut fields);
         });
         let imbalance = trace.flop_imbalance();
-        assert!(imbalance < 0.20, "flop imbalance {imbalance} should be small under LB");
+        assert!(
+            imbalance < 0.20,
+            "flop imbalance {imbalance} should be small under LB"
+        );
     }
 }

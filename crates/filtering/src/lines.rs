@@ -49,10 +49,14 @@ impl FilterSetup {
     /// Build the setup for a grid/decomposition with the standard variable
     /// classification from [`Variable`].
     pub fn new(grid: GridSpec, decomp: Decomp) -> FilterSetup {
-        let strong_vars: Vec<usize> =
-            Variable::strongly_filtered().iter().map(|v| v.index()).collect();
-        let weak_vars: Vec<usize> =
-            Variable::weakly_filtered().iter().map(|v| v.index()).collect();
+        let strong_vars: Vec<usize> = Variable::strongly_filtered()
+            .iter()
+            .map(|v| v.index())
+            .collect();
+        let weak_vars: Vec<usize> = Variable::weakly_filtered()
+            .iter()
+            .map(|v| v.index())
+            .collect();
         FilterSetup::with_vars(grid, decomp, strong_vars, weak_vars)
     }
 
@@ -66,7 +70,10 @@ impl FilterSetup {
         strong_vars: Vec<usize>,
         weak_vars: Vec<usize>,
     ) -> FilterSetup {
-        assert_eq!(grid, decomp.grid, "setup grid must match the decomposition grid");
+        assert_eq!(
+            grid, decomp.grid,
+            "setup grid must match the decomposition grid"
+        );
         let enumerate = |kind: FilterKind, vars: &[usize]| -> Vec<Line> {
             let lats = kind.filtered_lats(&grid);
             let mut lines = Vec::with_capacity(vars.len() * lats.len() * grid.n_lev);
@@ -155,7 +162,10 @@ impl FilterSetup {
         let lines = self.lines(kind);
         let mut per_row: HashMap<usize, Vec<usize>> = HashMap::new();
         for (idx, line) in lines.iter().enumerate() {
-            per_row.entry(self.decomp.row_of_lat(line.lat)).or_default().push(idx);
+            per_row
+                .entry(self.decomp.row_of_lat(line.lat))
+                .or_default()
+                .push(idx);
         }
         let mut owners = vec![0usize; lines.len()];
         let n_cols = self.decomp.mesh_lon;
@@ -206,7 +216,10 @@ mod tests {
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
         // Eq. (3): every processor gets ⌈ΣR/N⌉ (or one fewer).
-        assert!(max - min <= 1, "balanced counts must differ by at most 1: {counts:?}");
+        assert!(
+            max - min <= 1,
+            "balanced counts must differ by at most 1: {counts:?}"
+        );
         assert_eq!(max, s.lines(FilterKind::Strong).len().div_ceil(32));
     }
 
@@ -228,8 +241,15 @@ mod tests {
         let s = setup(8, 4);
         let row_counts = s.owner_counts(&s.row_local_owners(FilterKind::Strong));
         let lb_counts = s.owner_counts(&s.balanced_owners(FilterKind::Strong));
-        assert_eq!(row_counts.iter().copied().min().unwrap(), 0, "some ranks must be idle");
-        assert!(lb_counts.iter().copied().min().unwrap() > 0, "LB leaves nobody idle");
+        assert_eq!(
+            row_counts.iter().copied().min().unwrap(),
+            0,
+            "some ranks must be idle"
+        );
+        assert!(
+            lb_counts.iter().copied().min().unwrap() > 0,
+            "LB leaves nobody idle"
+        );
         let row_max = row_counts.iter().copied().max().unwrap();
         let lb_max = lb_counts.iter().copied().max().unwrap();
         assert!(
@@ -272,8 +292,8 @@ mod tests {
         let s = setup(2, 2);
         let lines = s.lines(FilterKind::Weak);
         // var-major, then lat, then lev.
-        assert!(lines.windows(2).all(|w| {
-            (w[0].var, w[0].lat, w[0].lev) < (w[1].var, w[1].lat, w[1].lev)
-        }));
+        assert!(lines
+            .windows(2)
+            .all(|w| { (w[0].var, w[0].lat, w[0].lev) < (w[1].var, w[1].lat, w[1].lev) }));
     }
 }

@@ -47,7 +47,9 @@ pub fn filter_global(setup: &FilterSetup, fields: &mut [Field3D]) {
 /// Extract the local subdomain of a global field.
 pub fn local_from_global(global: &Field3D, sub: &Subdomain) -> Field3D {
     let (_, _, nk) = global.shape();
-    Field3D::from_fn(sub.ni, sub.nj, nk, |i, j, k| global.get(sub.i0 + i, sub.j0 + j, k))
+    Field3D::from_fn(sub.ni, sub.nj, nk, |i, j, k| {
+        global.get(sub.i0 + i, sub.j0 + j, k)
+    })
 }
 
 /// Reassemble a global field from per-rank locals (rank-major order
@@ -58,7 +60,11 @@ pub fn global_from_locals(locals: &[Field3D], decomp: &Decomp) -> Field3D {
     let mut out = Field3D::zeros(g.n_lon, g.n_lat, g.n_lev);
     for (rank, local) in locals.iter().enumerate() {
         let sub = decomp.subdomain_of_rank(rank);
-        assert_eq!(local.shape(), (sub.ni, sub.nj, g.n_lev), "local shape mismatch at rank {rank}");
+        assert_eq!(
+            local.shape(),
+            (sub.ni, sub.nj, g.n_lev),
+            "local shape mismatch at rank {rank}"
+        );
         for k in 0..g.n_lev {
             for j in 0..sub.nj {
                 for i in 0..sub.ni {
@@ -107,7 +113,10 @@ mod tests {
         assert!((spec_before[0].re - spec_after[0].re).abs() < 1e-9);
         let hi_before: f64 = spec_before[48..].iter().map(|c| c.norm_sqr()).sum();
         let hi_after: f64 = spec_after[48..].iter().map(|c| c.norm_sqr()).sum();
-        assert!(hi_after < 0.05 * hi_before, "short waves {hi_before} -> {hi_after}");
+        assert!(
+            hi_after < 0.05 * hi_before,
+            "short waves {hi_before} -> {hi_after}"
+        );
     }
 
     #[test]
@@ -124,9 +133,19 @@ mod tests {
         // Applying twice must damp at least as much, never blow up.
         let g = grid();
         let mut once = synthetic_field(&g, 0);
-        filter_global_kind(&g, std::slice::from_mut(&mut once), FilterKind::Strong, &[0]);
+        filter_global_kind(
+            &g,
+            std::slice::from_mut(&mut once),
+            FilterKind::Strong,
+            &[0],
+        );
         let mut twice = once.clone();
-        filter_global_kind(&g, std::slice::from_mut(&mut twice), FilterKind::Strong, &[0]);
+        filter_global_kind(
+            &g,
+            std::slice::from_mut(&mut twice),
+            FilterKind::Strong,
+            &[0],
+        );
         let norm = |f: &Field3D| f.as_slice().iter().map(|v| v * v).sum::<f64>();
         assert!(norm(&twice) <= norm(&once) + 1e-9);
     }
@@ -155,7 +174,14 @@ mod tests {
         ];
         let untouched = fields[2].clone();
         filter_global(&setup, &mut fields);
-        assert_eq!(fields[2].max_abs_diff(&untouched), 0.0, "unclassified var must not change");
-        assert!(fields[0].max_abs_diff(&synthetic_field(&g, 0)) > 0.0, "strong var must change");
+        assert_eq!(
+            fields[2].max_abs_diff(&untouched),
+            0.0,
+            "unclassified var must not change"
+        );
+        assert!(
+            fields[0].max_abs_diff(&synthetic_field(&g, 0)) > 0.0,
+            "strong var must change"
+        );
     }
 }

@@ -75,14 +75,22 @@ impl Variable {
 
     /// Index into [`Variable::ALL`].
     pub fn index(self) -> usize {
-        Variable::ALL.iter().position(|&v| v == self).expect("variable is in ALL")
+        Variable::ALL
+            .iter()
+            .position(|&v| v == self)
+            .expect("variable is in ALL")
     }
 
     /// Variables subject to *strong* filtering (poles to 45°): the
     /// fast-wave variables — winds and pressure/temperature, whose
     /// inertia-gravity modes go unstable first.
     pub fn strongly_filtered() -> Vec<Variable> {
-        vec![Variable::U, Variable::V, Variable::Pressure, Variable::Theta]
+        vec![
+            Variable::U,
+            Variable::V,
+            Variable::Pressure,
+            Variable::Theta,
+        ]
     }
 
     /// Variables subject to *weak* filtering (poles to 60°): the slower

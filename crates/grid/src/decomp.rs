@@ -69,14 +69,21 @@ pub struct Decomp {
 impl Decomp {
     /// Create a decomposition; the mesh may not exceed the grid.
     pub fn new(grid: GridSpec, mesh_lat: usize, mesh_lon: usize) -> Decomp {
-        assert!(mesh_lat > 0 && mesh_lon > 0, "mesh dimensions must be positive");
+        assert!(
+            mesh_lat > 0 && mesh_lon > 0,
+            "mesh dimensions must be positive"
+        );
         assert!(
             mesh_lat <= grid.n_lat && mesh_lon <= grid.n_lon,
             "mesh {mesh_lat}x{mesh_lon} exceeds grid {}x{}",
             grid.n_lat,
             grid.n_lon
         );
-        Decomp { grid, mesh_lat, mesh_lon }
+        Decomp {
+            grid,
+            mesh_lat,
+            mesh_lon,
+        }
     }
 
     /// Total processors.

@@ -29,11 +29,21 @@ pub struct Field3D {
 impl Field3D {
     /// A zero-filled field.
     pub fn zeros(ni: usize, nj: usize, nk: usize) -> Field3D {
-        Field3D { ni, nj, nk, data: vec![0.0; ni * nj * nk] }
+        Field3D {
+            ni,
+            nj,
+            nk,
+            data: vec![0.0; ni * nj * nk],
+        }
     }
 
     /// A field initialized by `f(i, j, k)`.
-    pub fn from_fn(ni: usize, nj: usize, nk: usize, mut f: impl FnMut(usize, usize, usize) -> f64) -> Field3D {
+    pub fn from_fn(
+        ni: usize,
+        nj: usize,
+        nk: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Field3D {
         let mut data = Vec::with_capacity(ni * nj * nk);
         for k in 0..nk {
             for j in 0..nj {
@@ -62,8 +72,13 @@ impl Field3D {
 
     #[inline]
     fn offset(&self, i: usize, j: usize, k: usize) -> usize {
-        debug_assert!(i < self.ni && j < self.nj && k < self.nk,
-            "index ({i},{j},{k}) out of range for shape ({},{},{})", self.ni, self.nj, self.nk);
+        debug_assert!(
+            i < self.ni && j < self.nj && k < self.nk,
+            "index ({i},{j},{k}) out of range for shape ({},{},{})",
+            self.ni,
+            self.nj,
+            self.nk
+        );
         (k * self.nj + j) * self.ni + i
     }
 
@@ -143,7 +158,13 @@ pub struct BlockField {
 impl BlockField {
     /// A zero-filled block field of `m` variables.
     pub fn zeros(m: usize, ni: usize, nj: usize, nk: usize) -> BlockField {
-        BlockField { m, ni, nj, nk, data: vec![0.0; m * ni * nj * nk] }
+        BlockField {
+            m,
+            ni,
+            nj,
+            nk,
+            data: vec![0.0; m * ni * nj * nk],
+        }
     }
 
     /// Interleave `m` separate fields (all the same shape) into one block

@@ -39,8 +39,17 @@ impl HaloField {
     /// width `h`.
     pub fn zeros(ni: usize, nj: usize, nk: usize, h: usize) -> HaloField {
         assert!(h >= 1, "halo width must be at least 1");
-        assert!(ni >= h && nj >= h, "interior must be at least as wide as the halo");
-        HaloField { ni, nj, nk, h, data: vec![0.0; (ni + 2 * h) * (nj + 2 * h) * nk] }
+        assert!(
+            ni >= h && nj >= h,
+            "interior must be at least as wide as the halo"
+        );
+        HaloField {
+            ni,
+            nj,
+            nk,
+            h,
+            data: vec![0.0; (ni + 2 * h) * (nj + 2 * h) * nk],
+        }
     }
 
     /// Interior shape `(ni, nj, nk)`.
@@ -57,7 +66,11 @@ impl HaloField {
     fn offset(&self, i: isize, j: isize, k: usize) -> usize {
         let h = self.h as isize;
         debug_assert!(
-            i >= -h && i < self.ni as isize + h && j >= -h && j < self.nj as isize + h && k < self.nk,
+            i >= -h
+                && i < self.ni as isize + h
+                && j >= -h
+                && j < self.nj as isize + h
+                && k < self.nk,
             "halo index ({i},{j},{k}) out of range"
         );
         let pi = (i + h) as usize;
@@ -302,7 +315,11 @@ mod tests {
             for (ci, cj) in [(-1isize, -1isize), (2, -1), (-1, 2), (2, 2)] {
                 let gi = ((i0 as isize + ci).rem_euclid(glon as isize)) as usize;
                 let gj = (j0 as isize + cj).clamp(0, glat as isize - 1) as usize;
-                assert_eq!(f.get(ci, cj, 0), truth(gi, gj, 0), "corner ({ci},{cj}) on ({row},{col})");
+                assert_eq!(
+                    f.get(ci, cj, 0),
+                    truth(gi, gj, 0),
+                    "corner ({ci},{cj}) on ({row},{col})"
+                );
             }
         });
     }

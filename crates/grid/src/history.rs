@@ -46,7 +46,10 @@ impl fmt::Display for HistoryError {
             HistoryError::BadMagic(m) => write!(f, "bad magic bytes {m:?}"),
             HistoryError::BadEndianMarker(v) => write!(f, "unintelligible endian marker {v:#x}"),
             HistoryError::LengthMismatch { expected, found } => {
-                write!(f, "payload length mismatch: expected {expected} bytes, found {found}")
+                write!(
+                    f,
+                    "payload length mismatch: expected {expected} bytes, found {found}"
+                )
             }
         }
     }
@@ -121,7 +124,10 @@ pub fn decode(record: &[u8]) -> Result<(Field3D, ByteOrder), HistoryError> {
     let nk = read_u32(&mut buf) as usize;
     let expected = ni * nj * nk * 8;
     if buf.len() != expected {
-        return Err(HistoryError::LengthMismatch { expected, found: buf.len() });
+        return Err(HistoryError::LengthMismatch {
+            expected,
+            found: buf.len(),
+        });
     }
     let mut field = Field3D::zeros(ni.max(1), nj.max(1), nk.max(1));
     if ni * nj * nk > 0 {
@@ -139,7 +145,10 @@ pub fn decode(record: &[u8]) -> Result<(Field3D, ByteOrder), HistoryError> {
 /// Reverse the byte order of every `width`-byte element in place — the
 /// standalone swap routine, usable on raw payloads.
 pub fn byte_reverse_elements(data: &mut [u8], width: usize) {
-    assert!(width > 0 && data.len().is_multiple_of(width), "data must be a whole number of elements");
+    assert!(
+        width > 0 && data.len().is_multiple_of(width),
+        "data must be a whole number of elements"
+    );
     for chunk in data.chunks_mut(width) {
         chunk.reverse();
     }
@@ -150,7 +159,9 @@ mod tests {
     use super::*;
 
     fn sample_field() -> Field3D {
-        Field3D::from_fn(6, 5, 3, |i, j, k| (i as f64) + 0.25 * j as f64 - 3.5 * k as f64)
+        Field3D::from_fn(6, 5, 3, |i, j, k| {
+            (i as f64) + 0.25 * j as f64 - 3.5 * k as f64
+        })
     }
 
     #[test]
@@ -201,7 +212,10 @@ mod tests {
         let f = sample_field();
         let mut rec = encode(&f, ByteOrder::Little).to_vec();
         rec[4] = 0xFF;
-        assert!(matches!(decode(&rec), Err(HistoryError::BadEndianMarker(_))));
+        assert!(matches!(
+            decode(&rec),
+            Err(HistoryError::BadEndianMarker(_))
+        ));
     }
 
     #[test]
@@ -224,9 +238,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(HistoryError::Truncated.to_string(), "history record truncated");
-        assert!(HistoryError::LengthMismatch { expected: 8, found: 4 }
-            .to_string()
-            .contains("expected 8"));
+        assert_eq!(
+            HistoryError::Truncated.to_string(),
+            "history record truncated"
+        );
+        assert!(HistoryError::LengthMismatch {
+            expected: 8,
+            found: 4
+        }
+        .to_string()
+        .contains("expected 8"));
     }
 }

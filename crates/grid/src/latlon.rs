@@ -24,8 +24,15 @@ pub struct GridSpec {
 impl GridSpec {
     /// Construct an arbitrary grid.
     pub fn new(n_lon: usize, n_lat: usize, n_lev: usize) -> GridSpec {
-        assert!(n_lon > 0 && n_lat > 0 && n_lev > 0, "grid dimensions must be positive");
-        GridSpec { n_lon, n_lat, n_lev }
+        assert!(
+            n_lon > 0 && n_lat > 0 && n_lev > 0,
+            "grid dimensions must be positive"
+        );
+        GridSpec {
+            n_lon,
+            n_lat,
+            n_lev,
+        }
     }
 
     /// The paper's 2° × 2.5° × 9-layer grid: 144 × 90 × 9.
@@ -99,7 +106,9 @@ impl GridSpec {
     /// The *effective* stable timestep for the whole grid if no filtering
     /// is applied: limited by the most polar row.
     pub fn unfiltered_timestep(&self, c: f64) -> f64 {
-        (0..self.n_lat).map(|j| self.cfl_timestep(j, c)).fold(f64::INFINITY, f64::min)
+        (0..self.n_lat)
+            .map(|j| self.cfl_timestep(j, c))
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// The stable timestep when rows poleward of `|φ| ≥ cutoff_deg` are
@@ -117,7 +126,9 @@ impl GridSpec {
     /// for a given cutoff, e.g. 45° for strong + weak, 60° for weak-only
     /// regions — see `agcm-filtering::filterfn`).
     pub fn rows_poleward_of(&self, cutoff_deg: f64) -> Vec<usize> {
-        (0..self.n_lat).filter(|&j| self.latitude_deg(j).abs() >= cutoff_deg).collect()
+        (0..self.n_lat)
+            .filter(|&j| self.latitude_deg(j).abs() >= cutoff_deg)
+            .collect()
     }
 }
 
@@ -164,7 +175,9 @@ mod tests {
         let polar = g.zonal_spacing_m(0);
         assert!(polar < equator / 10.0, "polar {polar} vs equator {equator}");
         // cos(89°)/cos(1°) ≈ 0.0175
-        assert!((polar / equator - (89f64.to_radians().cos() / 1f64.to_radians().cos())).abs() < 1e-6);
+        assert!(
+            (polar / equator - (89f64.to_radians().cos() / 1f64.to_radians().cos())).abs() < 1e-6
+        );
     }
 
     #[test]
@@ -176,8 +189,10 @@ mod tests {
         let c = 300.0; // fast gravity-wave speed, m/s
         let dt_unfiltered = g.unfiltered_timestep(c);
         let dt_filtered = g.filtered_timestep(c, 45.0);
-        assert!(dt_filtered > 10.0 * dt_unfiltered,
-            "filtering should allow much larger steps: {dt_unfiltered} -> {dt_filtered}");
+        assert!(
+            dt_filtered > 10.0 * dt_unfiltered,
+            "filtering should allow much larger steps: {dt_unfiltered} -> {dt_filtered}"
+        );
     }
 
     #[test]

@@ -89,7 +89,10 @@ impl Comm {
     pub fn bcast(&self, root: usize, payload: Payload) -> Payload {
         let size = self.size();
         let rank = self.rank();
-        assert!(root < size, "bcast root {root} out of range for size {size}");
+        assert!(
+            root < size,
+            "bcast root {root} out of range for size {size}"
+        );
         if size == 1 {
             return payload;
         }
@@ -145,7 +148,10 @@ impl Comm {
     pub fn reduce_f64(&self, root: usize, op: Op, data: &[f64]) -> Option<Vec<f64>> {
         let size = self.size();
         let rank = self.rank();
-        assert!(root < size, "reduce root {root} out of range for size {size}");
+        assert!(
+            root < size,
+            "reduce root {root} out of range for size {size}"
+        );
         let vrank = (rank + size - root) % size;
         let mut acc = data.to_vec();
         let mut mask = 1usize;
@@ -173,7 +179,10 @@ impl Comm {
     pub fn reduce_i64(&self, root: usize, op: Op, data: &[i64]) -> Option<Vec<i64>> {
         let size = self.size();
         let rank = self.rank();
-        assert!(root < size, "reduce root {root} out of range for size {size}");
+        assert!(
+            root < size,
+            "reduce root {root} out of range for size {size}"
+        );
         let vrank = (rank + size - root) % size;
         let mut acc = data.to_vec();
         let mut mask = 1usize;
@@ -217,7 +226,10 @@ impl Comm {
     pub fn gather_f64(&self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
         let size = self.size();
         let rank = self.rank();
-        assert!(root < size, "gather root {root} out of range for size {size}");
+        assert!(
+            root < size,
+            "gather root {root} out of range for size {size}"
+        );
         if rank == root {
             let mut out: Vec<Vec<f64>> = vec![Vec::new(); size];
             out[root] = data.to_vec();
@@ -239,7 +251,10 @@ impl Comm {
     pub fn scatter_f64(&self, root: usize, data: Option<Vec<Vec<f64>>>) -> Vec<f64> {
         let size = self.size();
         let rank = self.rank();
-        assert!(root < size, "scatter root {root} out of range for size {size}");
+        assert!(
+            root < size,
+            "scatter root {root} out of range for size {size}"
+        );
         if rank == root {
             let mut bufs = data.expect("root must supply scatter buffers");
             assert_eq!(bufs.len(), size, "scatter needs one buffer per rank");
@@ -295,7 +310,10 @@ impl Comm {
             current = self.recv_internal(left, TAG_ALLGATHER).payload;
             blocks[from_idx] = Some(current.clone());
         }
-        blocks.into_iter().map(|b| b.expect("ring fills every block")).collect()
+        blocks
+            .into_iter()
+            .map(|b| b.expect("ring fills every block"))
+            .collect()
     }
 
     /// Personalized all-to-all: rank `i` passes `send[j]` for each rank `j`
@@ -314,7 +332,9 @@ impl Comm {
             self.send_internal(dst, TAG_ALLTOALL, payload);
             recv[src] = Some(self.recv_internal(src, TAG_ALLTOALL).payload);
         }
-        recv.into_iter().map(|b| b.expect("all-to-all fills every slot")).collect()
+        recv.into_iter()
+            .map(|b| b.expect("all-to-all fills every slot"))
+            .collect()
     }
 
     /// Inclusive prefix scan of float buffers (linear chain).
@@ -364,7 +384,11 @@ mod tests {
         for p in [1, 2, 3, 5, 8] {
             for root in 0..p {
                 let out = run(p, move |c| {
-                    let data = if c.rank() == root { vec![42.0, -1.0] } else { vec![] };
+                    let data = if c.rank() == root {
+                        vec![42.0, -1.0]
+                    } else {
+                        vec![]
+                    };
                     c.bcast_f64(root, &data)
                 });
                 for r in out {
@@ -444,7 +468,9 @@ mod tests {
 
     #[test]
     fn allgather_flat_concat() {
-        let out = run(4, |c| c.allgather_i64(&[c.rank() as i64, 100 + c.rank() as i64]));
+        let out = run(4, |c| {
+            c.allgather_i64(&[c.rank() as i64, 100 + c.rank() as i64])
+        });
         for r in out {
             assert_eq!(r, vec![0, 100, 1, 101, 2, 102, 3, 103]);
         }
@@ -470,7 +496,9 @@ mod tests {
                 .map(|j| Payload::I64(vec![(10 * c.rank() + j) as i64]))
                 .collect();
             let recv = c.alltoallv(send);
-            recv.into_iter().map(|p| p.into_i64()[0]).collect::<Vec<_>>()
+            recv.into_iter()
+                .map(|p| p.into_i64()[0])
+                .collect::<Vec<_>>()
         });
         for (j, r) in out.into_iter().enumerate() {
             let expect: Vec<i64> = (0..4).map(|i| (10 * i + j) as i64).collect();

@@ -9,13 +9,16 @@
 //! (source, destination, context) triple are non-overtaking. Sends are eager
 //! and never block.
 
+use crate::error::Error;
+use crate::fault::{CommAbort, FaultAction, FaultKill, FaultState};
 use crate::message::{Packet, Payload, WirePacket};
 use crate::trace::{Event, RankTrace};
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Wildcard source rank for [`Comm::recv`].
 pub const ANY_SRC: usize = usize::MAX;
@@ -26,9 +29,18 @@ pub const ANY_TAG: u64 = u64::MAX;
 /// this bit clear; [`Comm::send`] asserts this.
 pub(crate) const COLL_BIT: u64 = 1 << 63;
 
-/// Shared routing table: one eager channel per world rank.
+/// How long a blocked receive sleeps between liveness checks.
+const POLL_INTERVAL: Duration = Duration::from_millis(1);
+
+/// Shared routing table: one eager channel per world rank, plus liveness
+/// flags maintained by the runtime (a rank's flag drops when its thread
+/// exits, normally or by unwinding).
 pub(crate) struct World {
     pub(crate) senders: Vec<Sender<WirePacket>>,
+    pub(crate) alive: Vec<AtomicBool>,
+    /// True in fault-aware runs: recv failures raise a typed abort caught
+    /// by the runtime instead of an opaque panic.
+    pub(crate) faulty: bool,
 }
 
 /// Per-rank state shared by every communicator this rank derives.
@@ -41,6 +53,8 @@ pub(crate) struct RankShared {
     /// Per-destination send sequence numbers (for trace replay matching).
     send_seq: Vec<AtomicU64>,
     pub(crate) trace: Arc<RankTrace>,
+    /// Fault injector, present only in fault-aware runs.
+    pub(crate) fault: Option<Arc<FaultState>>,
 }
 
 impl RankShared {
@@ -49,6 +63,7 @@ impl RankShared {
         world_rank: usize,
         rx: Receiver<WirePacket>,
         trace: Arc<RankTrace>,
+        fault: Option<Arc<FaultState>>,
     ) -> Arc<Self> {
         let n = world.senders.len();
         Arc::new(RankShared {
@@ -58,6 +73,7 @@ impl RankShared {
             pending: Mutex::new(Vec::new()),
             send_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
             trace,
+            fault,
         })
     }
 }
@@ -78,7 +94,7 @@ pub struct Comm {
     split_counter: AtomicU64,
 }
 
-fn mix(a: u64, b: u64, c: u64) -> u64 {
+pub(crate) fn mix(a: u64, b: u64, c: u64) -> u64 {
     // SplitMix64-style avalanche over the three inputs.
     let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ c.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -119,7 +135,11 @@ impl Comm {
 
     /// World rank of communicator member `local`.
     pub fn world_rank_of(&self, local: usize) -> usize {
-        assert!(local < self.size(), "rank {local} out of range for size {}", self.size());
+        assert!(
+            local < self.size(),
+            "rank {local} out of range for size {}",
+            self.size()
+        );
         self.members[local]
     }
 
@@ -153,7 +173,11 @@ impl Comm {
     }
 
     pub(crate) fn send_internal(&self, dst: usize, tag: u64, payload: Payload) {
-        assert!(dst < self.size(), "send to rank {dst} out of range for size {}", self.size());
+        assert!(
+            dst < self.size(),
+            "send to rank {dst} out of range for size {}",
+            self.size()
+        );
         let world_dst = self.members[dst];
         let seq = self.shared.send_seq[world_dst].fetch_add(1, Ordering::Relaxed);
         self.shared.trace.record(Event::Send {
@@ -168,9 +192,39 @@ impl Comm {
             seq,
             payload,
         };
-        // Receiver lives as long as the scope; failure means a peer panicked,
-        // in which case the scope is already unwinding.
-        let _ = self.shared.world.senders[world_dst].send(pkt);
+        self.push_wire(world_dst, pkt);
+    }
+
+    /// Put a packet on the wire, letting the fault injector (if any) decide
+    /// its fate. Channel send failures are ignored: a missing receiver means
+    /// the peer is gone and the run is already unwinding or recovering.
+    fn push_wire(&self, world_dst: usize, pkt: WirePacket) {
+        let wire = &self.shared.world.senders[world_dst];
+        let Some(fault) = &self.shared.fault else {
+            let _ = wire.send(pkt);
+            return;
+        };
+        match fault.decide_send(self.shared.world_rank, world_dst, pkt.seq) {
+            FaultAction::Deliver => {
+                let _ = wire.send(pkt);
+            }
+            FaultAction::Drop => return,
+            FaultAction::Duplicate => {
+                let _ = wire.send(pkt.clone());
+                let _ = wire.send(pkt);
+            }
+            FaultAction::Delay => {
+                // Held until the next message to the same destination (or
+                // rank completion); nothing else to do now.
+                fault.hold(world_dst, pkt);
+                return;
+            }
+        }
+        // A message actually went out, so any packets held back for this
+        // destination are now out of order — release them behind it.
+        for held in fault.release_for(world_dst) {
+            let _ = wire.send(held);
+        }
     }
 
     fn matches(&self, pkt: &WirePacket, src: usize, tag: u64) -> bool {
@@ -190,30 +244,179 @@ impl Comm {
     /// Blocking receive of a message from `src` (or [`ANY_SRC`]) with `tag`
     /// (or [`ANY_TAG`]).
     pub fn recv(&self, src: usize, tag: u64) -> Packet {
-        assert!(tag == ANY_TAG || tag & COLL_BIT == 0, "user tags must leave bit 63 clear");
+        assert!(
+            tag == ANY_TAG || tag & COLL_BIT == 0,
+            "user tags must leave bit 63 clear"
+        );
         self.recv_internal(src, tag)
     }
 
     pub(crate) fn recv_internal(&self, src: usize, tag: u64) -> Packet {
-        if src != ANY_SRC {
-            assert!(src < self.size(), "recv from rank {src} out of range for size {}", self.size());
+        match self.recv_deadline(src, tag, None) {
+            Ok(pkt) => pkt,
+            Err(err) if self.shared.world.faulty => std::panic::panic_any(CommAbort(err)),
+            Err(err) => panic!("recv: {err} (a rank panicked?)"),
         }
-        loop {
-            {
-                let mut pending = self.shared.pending.lock();
-                if let Some(pos) = pending.iter().position(|p| self.matches(p, src, tag)) {
-                    let pkt = pending.remove(pos);
-                    return self.deliver(pkt);
-                }
+    }
+
+    /// Blocking receive returning a typed error instead of panicking when
+    /// the awaited peer dies before sending.
+    pub fn recv_result(&self, src: usize, tag: u64) -> Result<Packet, Error> {
+        assert!(
+            tag == ANY_TAG || tag & COLL_BIT == 0,
+            "user tags must leave bit 63 clear"
+        );
+        self.recv_deadline(src, tag, None)
+    }
+
+    /// Receive with a deadline: [`Error::Timeout`] if no matching message
+    /// arrives within `timeout`, [`Error::PeerDisconnected`] if the awaited
+    /// peer dies first.
+    pub fn recv_timeout(&self, src: usize, tag: u64, timeout: Duration) -> Result<Packet, Error> {
+        assert!(
+            tag == ANY_TAG || tag & COLL_BIT == 0,
+            "user tags must leave bit 63 clear"
+        );
+        self.recv_deadline(src, tag, Some(Instant::now() + timeout))
+    }
+
+    /// Non-blocking receive: `Ok(None)` if no matching message has arrived.
+    pub fn try_recv(&self, src: usize, tag: u64) -> Result<Option<Packet>, Error> {
+        assert!(
+            tag == ANY_TAG || tag & COLL_BIT == 0,
+            "user tags must leave bit 63 clear"
+        );
+        self.check_src(src);
+        if let Some(pkt) = self.match_pending(src, tag) {
+            return Ok(Some(pkt));
+        }
+        if let Some(pkt) = self.drain_rx(src, tag) {
+            return Ok(Some(pkt));
+        }
+        if let Some(dead) = self.starved(src) {
+            // Close the race between the peer's final send and its
+            // liveness flag dropping (see recv_deadline).
+            if let Some(pkt) = self.drain_rx(src, tag) {
+                return Ok(Some(pkt));
             }
-            match self.shared.rx.recv() {
+            return Err(Error::PeerDisconnected { world_rank: dead });
+        }
+        Ok(None)
+    }
+
+    /// Announce the start of model step `step` to the fault plane. In a
+    /// fault-aware run a planned kill fires here; otherwise this is a no-op.
+    pub fn begin_step(&self, step: u64) {
+        if let Some(fault) = &self.shared.fault {
+            if fault.should_kill(self.shared.world_rank, step) {
+                std::panic::panic_any(FaultKill { step });
+            }
+        }
+    }
+
+    fn check_src(&self, src: usize) {
+        if src != ANY_SRC {
+            assert!(
+                src < self.size(),
+                "recv from rank {src} out of range for size {}",
+                self.size()
+            );
+        }
+    }
+
+    /// Take the first matching packet already queued in `pending`.
+    fn match_pending(&self, src: usize, tag: u64) -> Option<Packet> {
+        let mut pending = self.shared.pending.lock();
+        let pos = pending.iter().position(|p| self.matches(p, src, tag))?;
+        let pkt = pending.remove(pos);
+        drop(pending);
+        Some(self.deliver(pkt))
+    }
+
+    /// Drain everything currently in the channel; return the first match
+    /// (later arrivals stay in the channel), queueing non-matches.
+    fn drain_rx(&self, src: usize, tag: u64) -> Option<Packet> {
+        loop {
+            match self.shared.rx.try_recv() {
                 Ok(pkt) => {
                     if self.matches(&pkt, src, tag) {
-                        return self.deliver(pkt);
+                        return Some(self.deliver(pkt));
                     }
                     self.shared.pending.lock().push(pkt);
                 }
-                Err(_) => panic!("recv: all peers disconnected (a rank panicked?)"),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return None,
+            }
+        }
+    }
+
+    /// If the receive on `src` can never complete because the awaited
+    /// peer(s) died, return the world rank of a dead peer.
+    fn starved(&self, src: usize) -> Option<usize> {
+        let alive = &self.shared.world.alive;
+        if src == ANY_SRC {
+            // Starved only once every *other* member is gone.
+            let mut dead = None;
+            for &w in self.members.iter() {
+                if w == self.shared.world_rank {
+                    continue;
+                }
+                if alive[w].load(Ordering::SeqCst) {
+                    return None;
+                }
+                dead = dead.or(Some(w));
+            }
+            dead
+        } else {
+            let w = self.members[src];
+            (w != self.shared.world_rank && !alive[w].load(Ordering::SeqCst)).then_some(w)
+        }
+    }
+
+    /// The receive core: pending queue, then channel, with bounded sleeps
+    /// between liveness checks so a dead peer surfaces as
+    /// [`Error::PeerDisconnected`] instead of a hang.
+    fn recv_deadline(
+        &self,
+        src: usize,
+        tag: u64,
+        deadline: Option<Instant>,
+    ) -> Result<Packet, Error> {
+        self.check_src(src);
+        loop {
+            if let Some(pkt) = self.match_pending(src, tag) {
+                return Ok(pkt);
+            }
+            if let Some(pkt) = self.drain_rx(src, tag) {
+                return Ok(pkt);
+            }
+            if let Some(dead) = self.starved(src) {
+                // A peer's final sends happen before its liveness flag
+                // drops, but may land after our drain above — look once
+                // more before declaring starvation.
+                if let Some(pkt) = self.drain_rx(src, tag) {
+                    return Ok(pkt);
+                }
+                return Err(Error::PeerDisconnected { world_rank: dead });
+            }
+            let wait = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(Error::Timeout);
+                    }
+                    (d - now).min(POLL_INTERVAL)
+                }
+                None => POLL_INTERVAL,
+            };
+            match self.shared.rx.recv_timeout(wait) {
+                Ok(pkt) => {
+                    if self.matches(&pkt, src, tag) {
+                        return Ok(self.deliver(pkt));
+                    }
+                    self.shared.pending.lock().push(pkt);
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return Err(Error::Disconnected),
             }
         }
     }
@@ -228,7 +431,12 @@ impl Comm {
             .world_to_local
             .get(&pkt.world_src)
             .expect("matched packet has a source in this communicator");
-        Packet { src, tag: pkt.tag, seq: pkt.seq, payload: pkt.payload }
+        Packet {
+            src,
+            tag: pkt.tag,
+            seq: pkt.seq,
+            payload: pkt.payload,
+        }
     }
 
     /// Receive and unwrap a float buffer.

@@ -11,6 +11,14 @@ use std::fmt;
 pub enum Error {
     /// A receive was attempted after every peer hung up (a rank panicked).
     Disconnected,
+    /// A receive was waiting on a peer that died (killed by fault injection,
+    /// panicked, or exited without sending the awaited message).
+    PeerDisconnected {
+        /// World rank of the dead peer.
+        world_rank: usize,
+    },
+    /// A timed receive expired without a matching message.
+    Timeout,
     /// A payload was interpreted as the wrong element type.
     PayloadType {
         /// The variant that was expected (e.g. `"F64"`).
@@ -38,14 +46,27 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Disconnected => write!(f, "all peers disconnected"),
+            Error::PeerDisconnected { world_rank } => {
+                write!(f, "peer world rank {world_rank} disconnected")
+            }
+            Error::Timeout => write!(f, "receive timed out"),
             Error::PayloadType { expected, found } => {
-                write!(f, "payload type mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "payload type mismatch: expected {expected}, found {found}"
+                )
             }
             Error::RankOutOfRange { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             Error::LengthMismatch { expected, found } => {
-                write!(f, "buffer length mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "buffer length mismatch: expected {expected}, found {found}"
+                )
             }
         }
     }
@@ -64,7 +85,16 @@ mod tests {
     fn display_formats() {
         assert_eq!(Error::Disconnected.to_string(), "all peers disconnected");
         assert_eq!(
-            Error::PayloadType { expected: "F64", found: "I64" }.to_string(),
+            Error::PeerDisconnected { world_rank: 3 }.to_string(),
+            "peer world rank 3 disconnected"
+        );
+        assert_eq!(Error::Timeout.to_string(), "receive timed out");
+        assert_eq!(
+            Error::PayloadType {
+                expected: "F64",
+                found: "I64"
+            }
+            .to_string(),
             "payload type mismatch: expected F64, found I64"
         );
         assert_eq!(
@@ -72,7 +102,11 @@ mod tests {
             "rank 9 out of range for communicator of size 4"
         );
         assert_eq!(
-            Error::LengthMismatch { expected: 3, found: 5 }.to_string(),
+            Error::LengthMismatch {
+                expected: 3,
+                found: 5
+            }
+            .to_string(),
             "buffer length mismatch: expected 3, found 5"
         );
     }

@@ -12,6 +12,10 @@
 //! * [`topology::CartComm`] builds the 2-D (latitude × longitude) processor
 //!   mesh used by the AGCM grid decomposition, with row/column
 //!   sub-communicators and periodic shifts;
+//! * a deterministic fault-injection plane ([`fault::FaultPlan`] +
+//!   [`runtime::run_with_faults`]) can drop, duplicate, delay or reorder
+//!   messages and kill ranks at chosen steps, for exercising the
+//!   checkpoint/restart machinery in `agcm-resilience`;
 //! * every rank records a [`trace::RankTrace`] of sends, receives and
 //!   floating-point work, which the `agcm-costmodel` crate replays against a
 //!   machine profile (Paragon / T3D / SP-2) to produce the paper's
@@ -38,6 +42,7 @@
 pub mod collectives;
 pub mod comm;
 pub mod error;
+pub mod fault;
 pub mod message;
 pub mod runtime;
 pub mod topology;
@@ -46,7 +51,8 @@ pub mod trace;
 pub use collectives::Op;
 pub use comm::{Comm, ANY_SRC, ANY_TAG};
 pub use error::{Error, Result};
+pub use fault::{FaultAction, FaultEvent, FaultPlan, KillSpec, TargetedFault};
 pub use message::{Packet, Payload};
-pub use runtime::{run, run_traced};
+pub use runtime::{run, run_traced, run_with_faults, FailureKind, FaultyRun};
 pub use topology::CartComm;
 pub use trace::{Event, WorldTrace};

@@ -103,7 +103,7 @@ pub struct Packet {
 }
 
 /// Internal wire format: addressed by world ranks and communicator context.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct WirePacket {
     pub world_src: usize,
     pub ctx: u64,

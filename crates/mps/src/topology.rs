@@ -39,7 +39,12 @@ impl CartComm {
             "mesh {rows}x{cols} does not match communicator size {}",
             comm.size()
         );
-        CartComm { comm: comm.dup(), rows, cols, periodic }
+        CartComm {
+            comm: comm.dup(),
+            rows,
+            cols,
+            periodic,
+        }
     }
 
     /// The underlying communicator.
@@ -65,7 +70,10 @@ impl CartComm {
 
     /// Rank at `(row, col)`.
     pub fn rank_of(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.rows && col < self.cols, "coords ({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "coords ({row},{col}) out of range"
+        );
         row * self.cols + col
     }
 
@@ -171,7 +179,8 @@ mod tests {
             let m = mesh_2x3(c);
             let (from, to) = m.shift(1, 1);
             let (from, to) = (from.unwrap(), to.unwrap());
-            m.comm().send(to, 9, Payload::I64(vec![m.comm().rank() as i64]));
+            m.comm()
+                .send(to, 9, Payload::I64(vec![m.comm().rank() as i64]));
             m.comm().recv_i64(from, 9)[0]
         });
         // rank layout: row-major 2x3; west of rank r (row-major) wraps in cols of 3

@@ -227,13 +227,29 @@ mod tests {
         let wt = WorldTrace {
             ranks: vec![
                 vec![
-                    Event::Send { to: 1, bytes: 80, seq: 0 },
+                    Event::Send {
+                        to: 1,
+                        bytes: 80,
+                        seq: 0,
+                    },
                     Event::Flops(100.0),
-                    Event::Recv { from: 1, bytes: 40, seq: 0 },
+                    Event::Recv {
+                        from: 1,
+                        bytes: 40,
+                        seq: 0,
+                    },
                 ],
                 vec![
-                    Event::Recv { from: 0, bytes: 80, seq: 0 },
-                    Event::Send { to: 0, bytes: 40, seq: 0 },
+                    Event::Recv {
+                        from: 0,
+                        bytes: 80,
+                        seq: 0,
+                    },
+                    Event::Send {
+                        to: 0,
+                        bytes: 40,
+                        seq: 0,
+                    },
                     Event::Flops(300.0),
                 ],
             ],
@@ -252,7 +268,9 @@ mod tests {
     #[test]
     fn empty_trace_imbalance_zero() {
         assert_eq!(WorldTrace::default().flop_imbalance(), 0.0);
-        let wt = WorldTrace { ranks: vec![vec![], vec![]] };
+        let wt = WorldTrace {
+            ranks: vec![vec![], vec![]],
+        };
         assert_eq!(wt.flop_imbalance(), 0.0);
     }
 

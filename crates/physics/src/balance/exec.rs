@@ -57,8 +57,7 @@ pub fn run_balanced(
             let mut shipped = 0.0;
             while shipped < tr.amount && cursor < sub.ni * sub.nj {
                 let (i, j) = (cursor % sub.ni, cursor / sub.ni);
-                let cost =
-                    column_cost(&cfg, grid, sub.i0 + i, sub.j0 + j, t).flops;
+                let cost = column_cost(&cfg, grid, sub.i0 + i, sub.j0 + j, t).flops;
                 delegated[slot].push((i, j));
                 taken[cursor] = true;
                 shipped += cost;
@@ -125,7 +124,10 @@ pub fn run_balanced(
             theta.set_column(i, j, &data[c * nk..(c + 1) * nk]);
         }
     }
-    BalancedRun { performed: flops, owned: local_own + delegated_cost }
+    BalancedRun {
+        performed: flops,
+        owned: local_own + delegated_cost,
+    }
 }
 
 #[cfg(test)]
@@ -140,8 +142,7 @@ mod tests {
 
     fn initial_theta(grid: &GridSpec, sub: &Subdomain) -> Field3D {
         Field3D::from_fn(sub.ni, sub.nj, grid.n_lev, |i, j, k| {
-            ((sub.i0 + i) as f64 * 0.3).sin() + ((sub.j0 + j) as f64 * 0.2).cos()
-                - 0.05 * k as f64
+            ((sub.i0 + i) as f64 * 0.3).sin() + ((sub.j0 + j) as f64 * 0.2).cos() - 0.05 * k as f64
         })
     }
 
@@ -163,9 +164,7 @@ mod tests {
             let mut theta = initial_theta(&grid, &sub);
             // All ranks compute the same plan from predicted loads.
             let loads: Vec<f64> = (0..decomp.size())
-                .map(|r| {
-                    PhysicsStep::new(grid, decomp.subdomain_of_rank(r)).predicted_load(t)
-                })
+                .map(|r| PhysicsStep::new(grid, decomp.subdomain_of_rank(r)).predicted_load(t))
                 .collect();
             let plan = PairwiseExchange::default().plan(&loads);
             run_balanced(c, &grid, &sub, &mut theta, t, &plan);
@@ -190,8 +189,7 @@ mod tests {
                 if balance {
                     let loads: Vec<f64> = (0..decomp.size())
                         .map(|r| {
-                            PhysicsStep::new(grid, decomp.subdomain_of_rank(r))
-                                .predicted_load(t)
+                            PhysicsStep::new(grid, decomp.subdomain_of_rank(r)).predicted_load(t)
                         })
                         .collect();
                     // Two rounds, as in Tables 1-3.
@@ -242,8 +240,16 @@ mod tests {
         let grid = GridSpec::new(24, 12, 3);
         let decomp = Decomp::new(grid, 2, 2);
         let plan = vec![
-            Transfer { from: 0, to: 1, amount: 5_000.0 },
-            Transfer { from: 1, to: 2, amount: 5_000.0 },
+            Transfer {
+                from: 0,
+                to: 1,
+                amount: 5_000.0,
+            },
+            Transfer {
+                from: 1,
+                to: 2,
+                amount: 5_000.0,
+            },
         ];
         let unbalanced = run(4, |c| {
             let sub = decomp.subdomain_of_rank(c.rank());

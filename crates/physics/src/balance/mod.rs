@@ -80,7 +80,18 @@ mod tests {
         let total: f64 = loads.iter().sum();
         apply_plan(
             &mut loads,
-            &[Transfer { from: 0, to: 3, amount: 25.0 }, Transfer { from: 2, to: 1, amount: 7.0 }],
+            &[
+                Transfer {
+                    from: 0,
+                    to: 3,
+                    amount: 25.0,
+                },
+                Transfer {
+                    from: 2,
+                    to: 1,
+                    amount: 7.0,
+                },
+            ],
         );
         assert_eq!(loads, vec![40.0, 31.0, 31.0, 40.0]);
         assert_eq!(loads.iter().sum::<f64>(), total);
@@ -97,6 +108,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "self-transfer")]
     fn self_transfer_rejected() {
-        apply_plan(&mut [1.0, 2.0], &[Transfer { from: 1, to: 1, amount: 0.5 }]);
+        apply_plan(
+            &mut [1.0, 2.0],
+            &[Transfer {
+                from: 1,
+                to: 1,
+                amount: 0.5,
+            }],
+        );
     }
 }

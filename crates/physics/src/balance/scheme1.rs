@@ -29,7 +29,11 @@ impl BalanceScheme for CyclicShuffle {
             }
             for to in 0..p {
                 if to != from {
-                    plan.push(Transfer { from, to, amount: piece });
+                    plan.push(Transfer {
+                        from,
+                        to,
+                        amount: piece,
+                    });
                 }
             }
         }

@@ -57,7 +57,11 @@ impl BalanceScheme for SortedGreedy {
         while d < donors.len() && r < receivers.len() {
             let give = quantize(donors[d].1.min(receivers[r].1), self.quantum);
             if give > 0.0 {
-                plan.push(Transfer { from: donors[d].0, to: receivers[r].0, amount: give });
+                plan.push(Transfer {
+                    from: donors[d].0,
+                    to: receivers[r].0,
+                    amount: give,
+                });
             }
             donors[d].1 -= give;
             receivers[r].1 -= give;
@@ -142,7 +146,14 @@ mod tests {
     fn two_ranks() {
         let mut loads = vec![10.0, 0.0];
         let plan = SortedGreedy::default().plan(&loads);
-        assert_eq!(plan, vec![Transfer { from: 0, to: 1, amount: 5.0 }]);
+        assert_eq!(
+            plan,
+            vec![Transfer {
+                from: 0,
+                to: 1,
+                amount: 5.0
+            }]
+        );
         apply_plan(&mut loads, &plan);
         assert_eq!(loads, vec![5.0, 5.0]);
     }

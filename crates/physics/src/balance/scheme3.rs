@@ -25,7 +25,10 @@ pub struct PairwiseExchange {
 
 impl Default for PairwiseExchange {
     fn default() -> Self {
-        PairwiseExchange { pair_tolerance: 0.0, quantum: 0.0 }
+        PairwiseExchange {
+            pair_tolerance: 0.0,
+            quantum: 0.0,
+        }
     }
 }
 
@@ -78,7 +81,11 @@ impl BalanceScheme for PairwiseExchange {
             if diff > self.pair_tolerance {
                 let amount = quantize(diff / 2.0, self.quantum);
                 if amount > 0.0 {
-                    plan.push(Transfer { from: hi, to: lo, amount });
+                    plan.push(Transfer {
+                        from: hi,
+                        to: lo,
+                        amount,
+                    });
                 }
             }
         }
@@ -97,12 +104,24 @@ mod tests {
         // (65,15) and (38,24): moves of 25 and 7 (Figure 6B) giving
         // 40/31/31/40.
         let mut loads = vec![65.0, 24.0, 38.0, 15.0];
-        let plan = PairwiseExchange { quantum: 1.0, ..Default::default() }.plan(&loads);
+        let plan = PairwiseExchange {
+            quantum: 1.0,
+            ..Default::default()
+        }
+        .plan(&loads);
         assert_eq!(
             plan,
             vec![
-                Transfer { from: 0, to: 3, amount: 25.0 },
-                Transfer { from: 2, to: 1, amount: 7.0 },
+                Transfer {
+                    from: 0,
+                    to: 3,
+                    amount: 25.0
+                },
+                Transfer {
+                    from: 2,
+                    to: 1,
+                    amount: 7.0
+                },
             ]
         );
         apply_plan(&mut loads, &plan);
@@ -114,7 +133,11 @@ mod tests {
         // Figure 6C/D: from 40/31/31/40 the second round moves 4 from each
         // 40 to a 31, ending at 36/35/35/36.
         let mut loads = vec![40.0, 31.0, 31.0, 40.0];
-        let plan = PairwiseExchange { quantum: 1.0, ..Default::default() }.plan(&loads);
+        let plan = PairwiseExchange {
+            quantum: 1.0,
+            ..Default::default()
+        }
+        .plan(&loads);
         apply_plan(&mut loads, &plan);
         let mut sorted = loads.clone();
         sorted.sort_by(f64::total_cmp);
@@ -145,8 +168,11 @@ mod tests {
     fn tolerance_suppresses_small_exchanges() {
         let loads = vec![10.0, 9.5, 9.0, 8.5];
         let strict = PairwiseExchange::default().plan(&loads);
-        let tolerant =
-            PairwiseExchange { pair_tolerance: 2.0, ..Default::default() }.plan(&loads);
+        let tolerant = PairwiseExchange {
+            pair_tolerance: 2.0,
+            ..Default::default()
+        }
+        .plan(&loads);
         assert!(!strict.is_empty());
         assert!(tolerant.is_empty(), "differences ≤ 2 must not move data");
     }
@@ -172,6 +198,13 @@ mod tests {
         let loads = vec![30.0, 20.0, 10.0];
         let plan = PairwiseExchange::default().plan(&loads);
         // Only the (30,10) pair exchanges; the median 20 is untouched.
-        assert_eq!(plan, vec![Transfer { from: 0, to: 2, amount: 10.0 }]);
+        assert_eq!(
+            plan,
+            vec![Transfer {
+                from: 0,
+                to: 2,
+                amount: 10.0
+            }]
+        );
     }
 }

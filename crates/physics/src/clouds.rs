@@ -30,7 +30,8 @@ pub fn cloud_fraction(lat: f64, lon: f64, t_seconds: f64) -> f64 {
     // storm tracks, drifting slowly eastward.
     let drift = 2.0 * std::f64::consts::PI * t_seconds / (10.0 * 86_400.0);
     let itcz = 0.35 * (-(lat / 0.15).powi(2)).exp();
-    let storm_tracks = 0.25 * (lat.abs() / 0.9 * std::f64::consts::PI).sin().max(0.0)
+    let storm_tracks = 0.25
+        * (lat.abs() / 0.9 * std::f64::consts::PI).sin().max(0.0)
         * (0.5 + 0.5 * (3.0 * lon - drift).sin());
     // Mesoscale variability: hash noise on a coarse lattice refreshed every
     // simulated hour.
@@ -84,7 +85,10 @@ mod tests {
         };
         let equator = avg_at(0.0);
         let subtropics = avg_at(25f64.to_radians());
-        assert!(equator > subtropics, "ITCZ {equator} vs subtropics {subtropics}");
+        assert!(
+            equator > subtropics,
+            "ITCZ {equator} vs subtropics {subtropics}"
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub fn instability(lat: f64, lon: f64, t_seconds: f64) -> f64 {
     let moisture = 0.8 * cloud_fraction(lat, lon, t_seconds);
     // Mesoscale trigger noise, refreshed every simulated half hour.
     let bucket = (t_seconds / 1800.0).floor() as i64;
-    let trigger = lattice_noise((lon * 40.0).floor() as i64, (lat * 40.0).floor() as i64, bucket);
+    let trigger = lattice_noise(
+        (lon * 40.0).floor() as i64,
+        (lat * 40.0).floor() as i64,
+        bucket,
+    );
     background * moisture * (0.4 + 1.2 * trigger)
 }
 
@@ -76,7 +80,10 @@ mod tests {
         };
         let tropics = avg_at(0.05);
         let midlat = avg_at(0.9);
-        assert!(tropics > 3.0 * midlat, "tropics {tropics} vs midlat {midlat}");
+        assert!(
+            tropics > 3.0 * midlat,
+            "tropics {tropics} vs midlat {midlat}"
+        );
     }
 
     #[test]
@@ -113,7 +120,10 @@ mod tests {
         let before: f64 = col.iter().sum();
         adjust(&mut col, 5);
         let after: f64 = col.iter().sum();
-        assert!((before - after).abs() < 1e-12, "mixing must conserve the total");
+        assert!(
+            (before - after).abs() < 1e-12,
+            "mixing must conserve the total"
+        );
     }
 
     #[test]

@@ -46,7 +46,12 @@ pub fn summarize(loads: &[f64]) -> LoadSummary {
     let max = loads.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let min = loads.iter().copied().fold(f64::INFINITY, f64::min);
     let avg = loads.iter().sum::<f64>() / loads.len() as f64;
-    LoadSummary { max, min, avg, imbalance: if avg == 0.0 { 0.0 } else { (max - avg) / avg } }
+    LoadSummary {
+        max,
+        min,
+        avg,
+        imbalance: if avg == 0.0 { 0.0 } else { (max - avg) / avg },
+    }
 }
 
 /// Per-rank memory of the previous pass's measured load.

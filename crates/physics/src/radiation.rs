@@ -142,7 +142,10 @@ mod tests {
             longwave(&mut col, 0.3);
         }
         let spread_after = col[8] - col[0];
-        assert!(spread_after < spread_before, "{spread_before} -> {spread_after}");
+        assert!(
+            spread_after < spread_before,
+            "{spread_before} -> {spread_after}"
+        );
     }
 
     #[test]
@@ -160,6 +163,9 @@ mod tests {
         let mean_before: f64 = col.iter().sum::<f64>() / 9.0;
         longwave(&mut col, 0.5);
         let mean_after: f64 = col.iter().sum::<f64>() / 9.0;
-        assert!((mean_before - mean_after).abs() < 1e-9, "exchange is pairwise-antisymmetric");
+        assert!(
+            (mean_before - mean_after).abs() < 1e-9,
+            "exchange is pairwise-antisymmetric"
+        );
     }
 }

@@ -28,7 +28,10 @@ pub struct PhysicsConfig {
 impl PhysicsConfig {
     /// Configuration matching a grid.
     pub fn for_grid(grid: &GridSpec) -> PhysicsConfig {
-        PhysicsConfig { n_lev: grid.n_lev, base_flops: 500.0 * grid.n_lev as f64 }
+        PhysicsConfig {
+            n_lev: grid.n_lev,
+            base_flops: 500.0 * grid.n_lev as f64,
+        }
     }
 }
 
@@ -55,7 +58,11 @@ pub fn column_cost(cfg: &PhysicsConfig, grid: &GridSpec, i: usize, j: usize, t: 
         flops += crate::radiation::SW_FLOPS_PER_LEVEL * k; // shortwave
     }
     flops += crate::convection::ADJ_FLOPS_PER_PAIR * (iters * (cfg.n_lev - 1)) as f64; // convection
-    ColumnCost { day, convection_iters: iters, flops }
+    ColumnCost {
+        day,
+        convection_iters: iters,
+        flops,
+    }
 }
 
 /// Execute the physics on one column profile in place; returns the flops
@@ -97,7 +104,11 @@ pub struct PhysicsStep {
 impl PhysicsStep {
     /// Driver for one rank.
     pub fn new(grid: GridSpec, sub: Subdomain) -> PhysicsStep {
-        PhysicsStep { cfg: PhysicsConfig::for_grid(&grid), grid, sub }
+        PhysicsStep {
+            cfg: PhysicsConfig::for_grid(&grid),
+            grid,
+            sub,
+        }
     }
 
     /// The configuration in use.
@@ -113,7 +124,11 @@ impl PhysicsStep {
     pub fn run_local(&self, comm: &Comm, theta: &mut Field3D, t: f64) -> f64 {
         let mut total = 0.0;
         let (ni, nj, _) = theta.shape();
-        assert_eq!((ni, nj), (self.sub.ni, self.sub.nj), "field must match the subdomain");
+        assert_eq!(
+            (ni, nj),
+            (self.sub.ni, self.sub.nj),
+            "field must match the subdomain"
+        );
         for j in 0..nj {
             for i in 0..ni {
                 let mut col = theta.column(i, j);
@@ -173,8 +188,9 @@ mod tests {
         // Scan a latitude circle at high latitude (no convection noise
         // there — instability is negligible poleward) and compare day/night.
         let j = 22; // near-polar row
-        let costs: Vec<ColumnCost> =
-            (0..g.n_lon).map(|i| column_cost(&cfg, &g, i, j, 0.0)).collect();
+        let costs: Vec<ColumnCost> = (0..g.n_lon)
+            .map(|i| column_cost(&cfg, &g, i, j, 0.0))
+            .collect();
         let day_avg: f64 = {
             let d: Vec<f64> = costs.iter().filter(|c| c.day).map(|c| c.flops).collect();
             d.iter().sum::<f64>() / d.len() as f64
@@ -191,7 +207,9 @@ mod tests {
         let g = grid();
         let cfg = PhysicsConfig::for_grid(&g);
         let row_cost = |j: usize| -> f64 {
-            (0..g.n_lon).map(|i| column_cost(&cfg, &g, i, j, 3600.0).flops).sum()
+            (0..g.n_lon)
+                .map(|i| column_cost(&cfg, &g, i, j, 3600.0).flops)
+                .sum()
         };
         let equator = row_cost(12);
         let midlat = row_cost(20);
@@ -205,9 +223,8 @@ mod tests {
         let (loads, trace) = run_traced(4, |c| {
             let sub = d.subdomain_of_rank(c.rank());
             let step = PhysicsStep::new(g, sub);
-            let mut theta = Field3D::from_fn(sub.ni, sub.nj, g.n_lev, |i, j, k| {
-                (i + j + k) as f64 * 0.01
-            });
+            let mut theta =
+                Field3D::from_fn(sub.ni, sub.nj, g.n_lev, |i, j, k| (i + j + k) as f64 * 0.01);
             step.run_local(c, &mut theta, 1800.0)
         });
         let stats = trace.stats();

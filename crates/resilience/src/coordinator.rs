@@ -1,0 +1,367 @@
+//! Coordinated checkpoint writing with an atomic commit protocol.
+//!
+//! Each rank writes its own shard; a checkpoint only counts once a `COMMIT`
+//! manifest exists in its step directory. The protocol:
+//!
+//! 1. every rank writes `rank_NNNN.agck.tmp` and renames it into place
+//!    (rename is atomic, so a shard is either absent or complete);
+//! 2. barrier — all shards are now durable;
+//! 3. rank 0 verifies the shard count, writes `COMMIT.tmp`, renames it to
+//!    `COMMIT` (the atomic commit point);
+//! 4. barrier — every rank knows the checkpoint committed.
+//!
+//! A crash between (1) and (3) leaves an uncommitted directory that restart
+//! ignores; recovery always resumes from the *latest committed* step.
+
+use crate::checkpoint::{CheckpointError, ModelCheckpoint};
+use agcm_grid::history::ByteOrder;
+use agcm_mps::Comm;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Errors from the checkpoint store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Filesystem failure, with context.
+    Io(String),
+    /// A shard failed to decode.
+    Format(CheckpointError),
+    /// A shard's metadata disagrees with what was asked for.
+    ShardMismatch {
+        /// What the caller expected (step, rank).
+        expected: (u64, u32),
+        /// What the shard recorded.
+        found: (u64, u32),
+    },
+    /// Commit was attempted with shards missing.
+    IncompleteCheckpoint {
+        /// Step being committed.
+        step: u64,
+        /// Shards present.
+        present: usize,
+        /// Shards required (world size).
+        required: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            StoreError::Format(e) => write!(f, "checkpoint format error: {e}"),
+            StoreError::ShardMismatch { expected, found } => write!(
+                f,
+                "shard mismatch: expected step {}/rank {}, found step {}/rank {}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            StoreError::IncompleteCheckpoint {
+                step,
+                present,
+                required,
+            } => write!(
+                f,
+                "refusing to commit step {step}: {present} of {required} shards present"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn io_err(ctx: &str, path: &Path, e: std::io::Error) -> StoreError {
+    StoreError::Io(format!("{ctx} {}: {e}", path.display()))
+}
+
+/// An on-disk checkpoint directory:
+/// `root/step_XXXXXXXX/{rank_NNNN.agck..., COMMIT}`.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    root: PathBuf,
+    order: ByteOrder,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `root`, writing native-flavoured little-endian
+    /// records.
+    pub fn new(root: impl Into<PathBuf>) -> CheckpointStore {
+        CheckpointStore {
+            root: root.into(),
+            order: ByteOrder::Little,
+        }
+    }
+
+    /// Override the byte order of written shards (reads auto-detect).
+    pub fn with_order(mut self, order: ByteOrder) -> CheckpointStore {
+        self.order = order;
+        self
+    }
+
+    /// Root directory of the store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn step_dir(&self, step: u64) -> PathBuf {
+        self.root.join(format!("step_{step:08}"))
+    }
+
+    fn shard_path(&self, step: u64, rank: u32) -> PathBuf {
+        self.step_dir(step).join(format!("rank_{rank:04}.agck"))
+    }
+
+    /// Write one rank's shard: tmp file, flush, atomic rename.
+    pub fn write_shard(&self, ckpt: &ModelCheckpoint) -> Result<(), StoreError> {
+        let dir = self.step_dir(ckpt.step);
+        fs::create_dir_all(&dir).map_err(|e| io_err("create", &dir, e))?;
+        let final_path = self.shard_path(ckpt.step, ckpt.rank);
+        let tmp = final_path.with_extension("agck.tmp");
+        let record = ckpt.encode(self.order);
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+            f.write_all(&record).map_err(|e| io_err("write", &tmp, e))?;
+            f.sync_all().map_err(|e| io_err("sync", &tmp, e))?;
+        }
+        fs::rename(&tmp, &final_path).map_err(|e| io_err("rename", &tmp, e))
+    }
+
+    /// Count the shards present for `step`.
+    pub fn shard_count(&self, step: u64) -> usize {
+        let Ok(entries) = fs::read_dir(self.step_dir(step)) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.starts_with("rank_") && name.ends_with(".agck")
+            })
+            .count()
+    }
+
+    /// Commit `step`: verify all `world` shards are in place, then publish
+    /// the `COMMIT` manifest with an atomic rename. Rank 0 only.
+    pub fn commit(&self, step: u64, world: u32) -> Result<(), StoreError> {
+        let present = self.shard_count(step);
+        if present != world as usize {
+            return Err(StoreError::IncompleteCheckpoint {
+                step,
+                present,
+                required: world as usize,
+            });
+        }
+        let dir = self.step_dir(step);
+        let tmp = dir.join("COMMIT.tmp");
+        let manifest = dir.join("COMMIT");
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+            writeln!(f, "step {step} world {world}").map_err(|e| io_err("write", &tmp, e))?;
+            f.sync_all().map_err(|e| io_err("sync", &tmp, e))?;
+        }
+        fs::rename(&tmp, &manifest).map_err(|e| io_err("rename", &tmp, e))
+    }
+
+    /// Steps with a published `COMMIT` manifest, ascending.
+    pub fn committed_steps(&self) -> Vec<u64> {
+        let Ok(entries) = fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        let mut steps: Vec<u64> = entries
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                let step: u64 = name.strip_prefix("step_")?.parse().ok()?;
+                e.path().join("COMMIT").exists().then_some(step)
+            })
+            .collect();
+        steps.sort_unstable();
+        steps
+    }
+
+    /// The most recent committed step, if any checkpoint has committed.
+    pub fn latest_committed(&self) -> Option<u64> {
+        self.committed_steps().into_iter().max()
+    }
+
+    /// Load one rank's shard of a committed step, verifying its checksum
+    /// and that it is the shard asked for.
+    pub fn load_shard(&self, step: u64, rank: u32) -> Result<ModelCheckpoint, StoreError> {
+        let path = self.shard_path(step, rank);
+        let record = fs::read(&path).map_err(|e| io_err("read", &path, e))?;
+        let (ckpt, _) = ModelCheckpoint::decode(&record).map_err(StoreError::Format)?;
+        if ckpt.step != step || ckpt.rank != rank {
+            return Err(StoreError::ShardMismatch {
+                expected: (step, rank),
+                found: (ckpt.step, ckpt.rank),
+            });
+        }
+        Ok(ckpt)
+    }
+
+    /// Drop every *committed* checkpoint older than `keep` steps back from
+    /// the newest, returning the steps removed. Uncommitted (partial)
+    /// directories are left for inspection.
+    pub fn prune(&self, keep: usize) -> Vec<u64> {
+        let steps = self.committed_steps();
+        if steps.len() <= keep {
+            return Vec::new();
+        }
+        let cut = steps.len() - keep;
+        let removed: Vec<u64> = steps[..cut].to_vec();
+        for &step in &removed {
+            let _ = fs::remove_dir_all(self.step_dir(step));
+        }
+        removed
+    }
+}
+
+/// Collectively write and commit one checkpoint: every rank of `comm`
+/// calls this with its own shard (all sharing the same `step`).
+pub fn write_coordinated(
+    comm: &Comm,
+    store: &CheckpointStore,
+    ckpt: &ModelCheckpoint,
+) -> Result<(), StoreError> {
+    let result = store.write_shard(ckpt);
+    // Barrier even on error: peers must not commit a checkpoint this rank
+    // failed to join. The error is returned after the collective completes;
+    // commit refuses if the shard count is short.
+    comm.barrier();
+    result?;
+    let commit_result = if comm.rank() == 0 {
+        store.commit(ckpt.step, ckpt.world)
+    } else {
+        Ok(())
+    };
+    comm.barrier();
+    commit_result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agcm_grid::field::Field3D;
+    use agcm_mps::runtime::run;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Unique scratch directory per test (no external tempdir crate).
+    fn scratch(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("agcm-resilience-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn shard(step: u64, rank: u32, world: u32) -> ModelCheckpoint {
+        ModelCheckpoint {
+            rank,
+            world,
+            step,
+            seeds: vec![rank as u64],
+            scalars: vec![],
+            series: vec![step as f64],
+            fields: vec![Field3D::from_fn(3, 2, 1, |i, j, _| {
+                (rank as usize + i * j) as f64
+            })],
+        }
+    }
+
+    #[test]
+    fn uncommitted_checkpoint_is_invisible() {
+        let store = CheckpointStore::new(scratch("uncommitted"));
+        store.write_shard(&shard(5, 0, 2)).unwrap();
+        store.write_shard(&shard(5, 1, 2)).unwrap();
+        assert_eq!(store.latest_committed(), None);
+        store.commit(5, 2).unwrap();
+        assert_eq!(store.latest_committed(), Some(5));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn commit_refuses_missing_shards() {
+        let store = CheckpointStore::new(scratch("missing"));
+        store.write_shard(&shard(3, 0, 4)).unwrap();
+        assert_eq!(
+            store.commit(3, 4),
+            Err(StoreError::IncompleteCheckpoint {
+                step: 3,
+                present: 1,
+                required: 4
+            })
+        );
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn load_roundtrips_and_checks_identity() {
+        let store = CheckpointStore::new(scratch("load"));
+        let original = shard(9, 1, 2);
+        store.write_shard(&original).unwrap();
+        assert_eq!(store.load_shard(9, 1).unwrap(), original);
+        assert!(matches!(store.load_shard(9, 0), Err(StoreError::Io(_))));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn latest_committed_picks_newest() {
+        let store = CheckpointStore::new(scratch("latest"));
+        for step in [2u64, 7, 4] {
+            store.write_shard(&shard(step, 0, 1)).unwrap();
+            store.commit(step, 1).unwrap();
+        }
+        // A newer but uncommitted step must be ignored.
+        store.write_shard(&shard(11, 0, 1)).unwrap();
+        assert_eq!(store.committed_steps(), vec![2, 4, 7]);
+        assert_eq!(store.latest_committed(), Some(7));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn prune_keeps_newest_committed() {
+        let store = CheckpointStore::new(scratch("prune"));
+        for step in [1u64, 2, 3, 4] {
+            store.write_shard(&shard(step, 0, 1)).unwrap();
+            store.commit(step, 1).unwrap();
+        }
+        assert_eq!(store.prune(2), vec![1, 2]);
+        assert_eq!(store.committed_steps(), vec![3, 4]);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupt_shard_fails_to_load() {
+        let store = CheckpointStore::new(scratch("corrupt"));
+        store.write_shard(&shard(1, 0, 1)).unwrap();
+        let path = store.shard_path(1, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.load_shard(1, 0),
+            Err(StoreError::Format(CheckpointError::ChecksumMismatch { .. }))
+        ));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn coordinated_write_commits_across_ranks() {
+        let store = CheckpointStore::new(scratch("coordinated"));
+        let s = &store;
+        run(4, |c| {
+            let ckpt = shard(6, c.rank() as u32, 4);
+            write_coordinated(c, s, &ckpt).unwrap();
+        });
+        assert_eq!(s.latest_committed(), Some(6));
+        assert_eq!(s.shard_count(6), 4);
+        for rank in 0..4 {
+            assert_eq!(s.load_shard(6, rank).unwrap().rank, rank);
+        }
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

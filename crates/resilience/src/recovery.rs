@@ -1,0 +1,260 @@
+//! Restart-from-last-checkpoint recovery driver.
+//!
+//! [`run_recovered`] wraps [`agcm_mps::run_with_faults`] in an attempt
+//! loop: each attempt looks up the latest committed checkpoint and passes
+//! the resume step into the model body; if any rank fails (planned kill,
+//! or a communication abort cascading from a dead peer) the attempt is
+//! recorded and the run restarts from the last committed step. Because the
+//! model is a deterministic function of (state, step), a restarted run
+//! continues bit-identically with an uninterrupted one.
+
+use crate::coordinator::{CheckpointStore, StoreError};
+use crate::metrics::ResilienceMetrics;
+use agcm_mps::fault::{FaultEvent, FaultPlan};
+use agcm_mps::runtime::{run_with_faults, FailureKind};
+use agcm_mps::Comm;
+use std::fmt;
+
+/// Knobs for the recovery loop.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryOptions {
+    /// Maximum number of restarts after the first attempt.
+    pub max_restarts: usize,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> RecoveryOptions {
+        RecoveryOptions { max_restarts: 3 }
+    }
+}
+
+/// One failed attempt, for the run report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptFailure {
+    /// Attempt index (0 = first run).
+    pub attempt: usize,
+    /// Step the attempt resumed from (`None` = cold start).
+    pub resumed_from: Option<u64>,
+    /// The ranks that failed, and how.
+    pub failed_ranks: Vec<(usize, FailureKind)>,
+}
+
+/// Outcome of a recovered run.
+#[derive(Debug)]
+pub struct RunReport<R> {
+    /// Per-rank results of the successful attempt, in rank order.
+    pub results: Vec<R>,
+    /// Total attempts made (1 = no restart was needed).
+    pub attempts: usize,
+    /// The failed attempts, in order.
+    pub failures: Vec<AttemptFailure>,
+    /// Injected-fault log per rank, merged across attempts.
+    pub fault_events: Vec<Vec<FaultEvent>>,
+    /// Aggregated counters.
+    pub metrics: ResilienceMetrics,
+}
+
+/// Why a recovered run gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// Every allowed attempt failed.
+    RestartsExhausted {
+        /// Attempts made.
+        attempts: usize,
+        /// The failure record of each attempt.
+        failures: Vec<AttemptFailure>,
+    },
+    /// The checkpoint store itself failed.
+    Store(StoreError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::RestartsExhausted { attempts, .. } => {
+                write!(f, "recovery gave up after {attempts} failed attempts")
+            }
+            RecoveryError::Store(e) => write!(f, "recovery aborted by store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Run `body` on `n` ranks with restart-based recovery.
+///
+/// `plan_for(attempt)` supplies the fault plan for each attempt — typically
+/// a plan with a kill for attempt 0 and `None` afterwards (the "node was
+/// replaced" scenario). `body` receives the communicator and the resume
+/// step (`None` on a cold start); it is responsible for loading its shard
+/// from the store and for writing checkpoints as it goes.
+pub fn run_recovered<R, F, P>(
+    n: usize,
+    opts: RecoveryOptions,
+    store: &CheckpointStore,
+    mut plan_for: P,
+    body: F,
+) -> Result<RunReport<R>, RecoveryError>
+where
+    F: Fn(&Comm, Option<u64>) -> R + Sync,
+    R: Send,
+    P: FnMut(usize) -> Option<FaultPlan>,
+{
+    let mut failures: Vec<AttemptFailure> = Vec::new();
+    let mut merged_events: Vec<Vec<FaultEvent>> = (0..n).map(|_| Vec::new()).collect();
+    for attempt in 0..=opts.max_restarts {
+        let resume = store.latest_committed();
+        let out = run_with_faults(n, plan_for(attempt), |c| body(c, resume));
+        for (merged, events) in merged_events.iter_mut().zip(&out.fault_events) {
+            merged.extend(events.iter().copied());
+        }
+        if out.all_ok() {
+            let metrics = ResilienceMetrics::tally(attempt + 1, &failures, &merged_events);
+            return Ok(RunReport {
+                results: out.into_results(),
+                attempts: attempt + 1,
+                failures,
+                fault_events: merged_events,
+                metrics,
+            });
+        }
+        failures.push(AttemptFailure {
+            attempt,
+            resumed_from: resume,
+            failed_ranks: out.failures(),
+        });
+    }
+    Err(RecoveryError::RestartsExhausted {
+        attempts: opts.max_restarts + 1,
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::ModelCheckpoint;
+    use crate::coordinator::write_coordinated;
+    use agcm_grid::field::Field3D;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("agcm-recovery-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A toy iterative "model": per-rank counter advanced one per step,
+    /// checkpointed every other step.
+    fn toy_model(c: &Comm, resume: Option<u64>, store: &CheckpointStore, steps: u64) -> f64 {
+        let world = c.size() as u32;
+        let rank = c.rank() as u32;
+        let (start, mut value) = match resume {
+            Some(step) => {
+                let ckpt = store.load_shard(step, rank).unwrap();
+                (step, ckpt.scalars[0])
+            }
+            None => (0, rank as f64),
+        };
+        for step in start..steps {
+            c.begin_step(step);
+            value = value * 1.000_1 + 1.0;
+            if (step + 1) % 2 == 0 {
+                let ckpt = ModelCheckpoint {
+                    rank,
+                    world,
+                    step: step + 1,
+                    seeds: vec![],
+                    scalars: vec![value],
+                    series: vec![],
+                    fields: vec![Field3D::zeros(1, 1, 1)],
+                };
+                write_coordinated(c, store, &ckpt).unwrap();
+            }
+        }
+        value
+    }
+
+    #[test]
+    fn no_faults_single_attempt() {
+        let store = CheckpointStore::new(scratch("clean"));
+        let report = run_recovered(
+            2,
+            RecoveryOptions::default(),
+            &store,
+            |_| None,
+            |c, resume| toy_model(c, resume, &store, 6),
+        )
+        .unwrap();
+        assert_eq!(report.attempts, 1);
+        assert!(report.failures.is_empty());
+        assert_eq!(report.metrics.restarts, 0);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn killed_rank_recovers_bit_identically() {
+        // Baseline: uninterrupted run.
+        let baseline_store = CheckpointStore::new(scratch("baseline"));
+        let baseline = run_recovered(
+            3,
+            RecoveryOptions::default(),
+            &baseline_store,
+            |_| None,
+            |c, r| toy_model(c, r, &baseline_store, 9),
+        )
+        .unwrap();
+
+        // Faulted: rank 1 dies at step 5 on the first attempt.
+        let store = CheckpointStore::new(scratch("killed"));
+        let report = run_recovered(
+            3,
+            RecoveryOptions::default(),
+            &store,
+            |attempt| (attempt == 0).then(|| FaultPlan::seeded(1).with_kill(1, 5)),
+            |c, r| toy_model(c, r, &store, 9),
+        )
+        .unwrap();
+
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].resumed_from, None);
+        assert!(report.failures[0]
+            .failed_ranks
+            .iter()
+            .any(|(r, k)| *r == 1 && *k == FailureKind::Killed { step: 5 }));
+        // The kill fired after the step-4 checkpoint committed.
+        assert_eq!(report.metrics.ranks_killed, 1);
+        // Bit-identical continuation: the recovered run's results equal the
+        // uninterrupted run's, exactly.
+        assert_eq!(report.results, baseline.results);
+        let _ = std::fs::remove_dir_all(store.root());
+        let _ = std::fs::remove_dir_all(baseline_store.root());
+    }
+
+    #[test]
+    fn unrecoverable_kill_exhausts_restarts() {
+        let store = CheckpointStore::new(scratch("exhaust"));
+        // The same rank dies at the same step on *every* attempt.
+        let err = run_recovered(
+            2,
+            RecoveryOptions { max_restarts: 2 },
+            &store,
+            |_| Some(FaultPlan::seeded(0).with_kill(0, 1)),
+            |c, r| toy_model(c, r, &store, 4),
+        )
+        .unwrap_err();
+        match err {
+            RecoveryError::RestartsExhausted { attempts, failures } => {
+                assert_eq!(attempts, 3);
+                assert_eq!(failures.len(), 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

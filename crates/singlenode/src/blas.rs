@@ -120,7 +120,10 @@ mod tests {
             let y = v(n, 0.23);
             let a = ddot(&x, &y);
             let b = ddot_unrolled(&x, &y);
-            assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()), "n={n}: {a} vs {b}");
+            assert!(
+                (a - b).abs() <= 1e-12 * (1.0 + a.abs()),
+                "n={n}: {a} vs {b}"
+            );
         }
     }
 

@@ -88,7 +88,9 @@ mod tests {
         for m in [1, 3, 8, 12] {
             let fields: Vec<Field3D> = (0..m)
                 .map(|v| {
-                    Field3D::from_fn(10, 9, 8, |i, j, k| ((i * 31 + j * 17 + k * 7 + v) as f64).sin())
+                    Field3D::from_fn(10, 9, 8, |i, j, k| {
+                        ((i * 31 + j * 17 + k * 7 + v) as f64).sin()
+                    })
                 })
                 .collect();
             let sep = laplace_separate(&fields);
@@ -102,7 +104,9 @@ mod tests {
 
     #[test]
     fn laplacian_of_linear_field_is_zero() {
-        let f = vec![Field3D::from_fn(8, 8, 8, |i, j, k| (i + 2 * j + 3 * k) as f64)];
+        let f = vec![Field3D::from_fn(8, 8, 8, |i, j, k| {
+            (i + 2 * j + 3 * k) as f64
+        })];
         let out = laplace_separate(&f);
         for k in 1..7 {
             for j in 1..7 {

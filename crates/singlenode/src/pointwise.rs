@@ -69,8 +69,15 @@ pub fn pv_multiply_fused(a: &[f64], b: &[f64], m: usize, n: usize) -> Vec<f64> {
 /// `m`: `(a₁b₁, …, a_m b_m, a_{m+1} b₁, …)`.
 pub fn cyclic_multiply(a: &[f64], b: &[f64]) -> Vec<f64> {
     assert!(!b.is_empty(), "b must be non-empty");
-    assert_eq!(a.len() % b.len(), 0, "n must be divisible by m (paper Eq. 4)");
-    a.iter().enumerate().map(|(i, &av)| av * b[i % b.len()]).collect()
+    assert_eq!(
+        a.len() % b.len(),
+        0,
+        "n must be divisible by m (paper Eq. 4)"
+    );
+    a.iter()
+        .enumerate()
+        .map(|(i, &av)| av * b[i % b.len()])
+        .collect()
 }
 
 #[cfg(test)]
@@ -88,7 +95,11 @@ mod tests {
         for (m, n) in [(1, 1), (4, 3), (7, 5), (32, 32), (33, 9)] {
             let (a, b) = slab(m, n);
             let naive = pv_multiply_naive(&a, &b, m, n);
-            assert_eq!(pv_multiply_unrolled(&a, &b, m, n), naive, "unrolled m={m} n={n}");
+            assert_eq!(
+                pv_multiply_unrolled(&a, &b, m, n),
+                naive,
+                "unrolled m={m} n={n}"
+            );
             assert_eq!(pv_multiply_fused(&a, &b, m, n), naive, "fused m={m} n={n}");
         }
     }

@@ -27,10 +27,16 @@ fn main() {
     );
     let schemes: Vec<(String, Box<dyn BalanceScheme>)> = vec![
         ("1: cyclic shuffle (Fig. 4)".into(), Box::new(CyclicShuffle)),
-        ("2: sorted greedy (Fig. 5)".into(), Box::new(SortedGreedy { quantum: 1.0 })),
+        (
+            "2: sorted greedy (Fig. 5)".into(),
+            Box::new(SortedGreedy { quantum: 1.0 }),
+        ),
         (
             "3: pairwise exchange (Fig. 6)".into(),
-            Box::new(PairwiseExchange { quantum: 1.0, ..Default::default() }),
+            Box::new(PairwiseExchange {
+                quantum: 1.0,
+                ..Default::default()
+            }),
         ),
     ];
     for (name, scheme) in schemes {
@@ -47,11 +53,17 @@ fn main() {
     println!("{t}");
     println!("Scheme 3 after a second round (paper Figure 6D):");
     let mut loads = initial.clone();
-    let scheme = PairwiseExchange { quantum: 1.0, ..Default::default() };
+    let scheme = PairwiseExchange {
+        quantum: 1.0,
+        ..Default::default()
+    };
     for round in 1..=2 {
         let plan = scheme.plan(&loads);
         apply_plan(&mut loads, &plan);
-        println!("  round {round}: {loads:?}  (imbalance {:.0}%)", imbalance(&loads) * 100.0);
+        println!(
+            "  round {round}: {loads:?}  (imbalance {:.0}%)",
+            imbalance(&loads) * 100.0
+        );
     }
 
     // --- Tables 1-3 in miniature: real predicted physics loads. ----------

@@ -16,10 +16,10 @@
 use ucla_agcm_repro::agcm::report::Table;
 use ucla_agcm_repro::dynamics::timestep::{max_stable_dt, signal_speed};
 use ucla_agcm_repro::filtering::driver::FilterVariant;
+use ucla_agcm_repro::filtering::driver::PolarFilter;
 use ucla_agcm_repro::filtering::filterfn::FilterKind;
 use ucla_agcm_repro::filtering::lines::FilterSetup;
 use ucla_agcm_repro::filtering::reference::{local_from_global, synthetic_field};
-use ucla_agcm_repro::filtering::driver::PolarFilter;
 use ucla_agcm_repro::grid::decomp::Decomp;
 use ucla_agcm_repro::grid::field::Field3D;
 use ucla_agcm_repro::grid::latlon::GridSpec;
@@ -59,8 +59,14 @@ fn main() {
         &["Assignment", "min", "max", "idle ranks"],
     );
     for (name, owners) in [
-        ("row-local (no load balance)", setup.row_local_owners(FilterKind::Strong)),
-        ("balanced, paper Eq. (3)", setup.balanced_owners(FilterKind::Strong)),
+        (
+            "row-local (no load balance)",
+            setup.row_local_owners(FilterKind::Strong),
+        ),
+        (
+            "balanced, paper Eq. (3)",
+            setup.balanced_owners(FilterKind::Strong),
+        ),
     ] {
         let counts = setup.owner_counts(&owners);
         t.add_row(vec![
@@ -79,7 +85,13 @@ fn main() {
     let globals: Vec<Field3D> = (0..6).map(|v| synthetic_field(&grid, v)).collect();
     let mut t = Table::new(
         "Measured per application (traced run)",
-        &["Variant", "total messages", "total MB", "total Mflops", "flop imbalance"],
+        &[
+            "Variant",
+            "total messages",
+            "total MB",
+            "total Mflops",
+            "flop imbalance",
+        ],
     );
     for variant in [
         FilterVariant::ConvolutionRing,

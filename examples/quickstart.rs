@@ -28,9 +28,19 @@ fn main() {
 
     let mut table = Table::new(
         "Component times per simulated day (trace replay)",
-        &["Machine", "Dynamics (s)", "  of which filter", "Physics (s)", "Physics imbalance"],
+        &[
+            "Machine",
+            "Dynamics (s)",
+            "  of which filter",
+            "Physics (s)",
+            "Physics imbalance",
+        ],
     );
-    for machine in [MachineProfile::paragon(), MachineProfile::t3d(), MachineProfile::sp2()] {
+    for machine in [
+        MachineProfile::paragon(),
+        MachineProfile::t3d(),
+        MachineProfile::sp2(),
+    ] {
         let r = replay(&run.trace, &machine);
         let per_day = cfg.steps_per_day() / cfg.steps as f64;
         table.add_row(vec![
@@ -47,5 +57,8 @@ fn main() {
         "Physics load imbalance at the last step (paper metric): {}",
         fmt_pct(run.physics_imbalance(cfg.steps - 1))
     );
-    println!("Max wind in the final state: {:.1} m/s", run.ranks[0].max_wind);
+    println!(
+        "Max wind in the final state: {:.1} m/s",
+        run.ranks[0].max_wind
+    );
 }

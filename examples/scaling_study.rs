@@ -12,20 +12,26 @@
 //! `--full` uses the paper's 144×90×9 grid and meshes up to 8×30 = 240
 //! ranks (a few minutes); the default is a reduced configuration.
 
+use ucla_agcm_repro::agcm::config::AgcmConfig;
+use ucla_agcm_repro::agcm::model::run_model;
 use ucla_agcm_repro::agcm::report::{fmt_ratio, fmt_secs, Table};
 use ucla_agcm_repro::costmodel::machine::MachineProfile;
 use ucla_agcm_repro::costmodel::replay::replay;
 use ucla_agcm_repro::filtering::driver::FilterVariant;
 use ucla_agcm_repro::grid::latlon::GridSpec;
-use ucla_agcm_repro::agcm::config::AgcmConfig;
-use ucla_agcm_repro::agcm::model::run_model;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let (grid, meshes): (GridSpec, Vec<(usize, usize)>) = if full {
-        (GridSpec::paper_9_layer(), vec![(1, 1), (4, 4), (8, 8), (8, 30)])
+        (
+            GridSpec::paper_9_layer(),
+            vec![(1, 1), (4, 4), (8, 8), (8, 30)],
+        )
     } else {
-        (GridSpec::new(72, 46, 9), vec![(1, 1), (2, 2), (4, 4), (4, 8)])
+        (
+            GridSpec::new(72, 46, 9),
+            vec![(1, 1), (2, 2), (4, 4), (4, 8)],
+        )
     };
     println!(
         "Scaling study on a {}x{}x{} grid ({} mode)\n",
@@ -37,12 +43,21 @@ fn main() {
 
     for machine in [MachineProfile::paragon(), MachineProfile::t3d()] {
         for (label, variant) in [
-            ("old (convolution) filtering", FilterVariant::ConvolutionRing),
+            (
+                "old (convolution) filtering",
+                FilterVariant::ConvolutionRing,
+            ),
             ("new (load-balanced FFT) filtering", FilterVariant::LbFft),
         ] {
             let mut table = Table::new(
                 format!("{} — {label}", machine.name),
-                &["Node mesh", "Dynamics s/day", "Speed-up", "Efficiency", "Total s/day"],
+                &[
+                    "Node mesh",
+                    "Dynamics s/day",
+                    "Speed-up",
+                    "Efficiency",
+                    "Total s/day",
+                ],
             );
             let mut base_dyn = None;
             for &mesh in &meshes {

@@ -143,7 +143,11 @@ fn main() {
 
     // The advection routine itself.
     let grid = GridSpec::paper_9_layer();
-    let shape = AdvShape { ni: 144, nj: 90, nk: 9 };
+    let shape = AdvShape {
+        ni: 144,
+        nj: 90,
+        nk: 9,
+    };
     let total = shape.ni * shape.nj * shape.nk;
     let q: Vec<f64> = (0..total).map(|i| (i as f64 * 0.01).sin()).collect();
     let u: Vec<f64> = (0..total).map(|i| 10.0 + (i as f64 * 0.02).cos()).collect();

@@ -1,0 +1,265 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset used by the workspace: an owned immutable byte
+//! buffer ([`Bytes`]), a growable builder ([`BytesMut`]), a reading cursor
+//! trait ([`Buf`], implemented for `&[u8]`), and a writing trait
+//! ([`BufMut`], implemented for `BytesMut` and `Vec<u8>`). Numeric getters
+//! and putters exist in both big-endian (default, matching the real crate)
+//! and `_le` little-endian forms. Getters panic when the buffer is too
+//! short, exactly like the real crate's `Buf`.
+
+use std::ops::Deref;
+
+/// An owned, immutable byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Wrap a vector without copying.
+    pub fn from_vec(data: Vec<u8>) -> Bytes {
+        Bytes { data }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data }
+    }
+}
+
+/// A growable byte buffer for building messages.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Reading cursor over a byte source. Implemented for `&[u8]`: each getter
+/// consumes from the front of the slice.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Copy `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Read a little-endian u32.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Read a little-endian u64.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a big-endian f64.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+
+    /// Read a little-endian f64.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.len() >= dst.len(),
+            "buffer underflow: {} < {}",
+            self.len(),
+            dst.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Writing sink for building byte buffers.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a little-endian u32.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a big-endian f64.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a little-endian f64.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_numeric() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u32_le(7);
+        b.put_f64(1.5);
+        b.put_f64_le(-2.25);
+        b.put_u8(9);
+        let frozen = b.freeze();
+        let mut cur: &[u8] = &frozen;
+        assert_eq!(cur.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u32_le(), 7);
+        assert_eq!(cur.get_f64(), 1.5);
+        assert_eq!(cur.get_f64_le(), -2.25);
+        assert_eq!(cur.get_u8(), 9);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn copy_to_slice_advances() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut cur: &[u8] = &data;
+        let mut head = [0u8; 2];
+        cur.copy_to_slice(&mut head);
+        assert_eq!(head, [1, 2]);
+        assert_eq!(cur, &[3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut cur: &[u8] = &[1, 2];
+        cur.get_u32();
+    }
+
+    #[test]
+    fn endianness_is_real() {
+        let mut v = Vec::new();
+        v.put_u32(0x0102_0304);
+        assert_eq!(v, vec![1, 2, 3, 4]);
+        let mut v2 = Vec::new();
+        v2.put_u32_le(0x0102_0304);
+        assert_eq!(v2, vec![4, 3, 2, 1]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The real criterion crate cannot be fetched in this build environment, so
+//! this crate implements the API subset the bench suite uses — benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — over a simple wall-clock
+//! harness: each benchmark is warmed up briefly, then timed for
+//! `sample_size` samples and reported as median ns/iter on stdout. No
+//! statistics machinery, no HTML reports; enough to run `cargo bench` and
+//! compare orders of magnitude.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `body`, collecting one duration per sample.
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        // Warm-up, and measure a single call to pick an iteration count
+        // that keeps each sample ≥ ~1ms without running forever.
+        let t0 = Instant::now();
+        std::hint::black_box(body());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(body());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    fn report(&mut self, group: &str, name: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{name}: no samples");
+            return;
+        }
+        self.samples.sort();
+        let median = self.samples[self.samples.len() / 2];
+        println!(
+            "{group}/{name}: median {} ns/iter ({} samples)",
+            median.as_nanos(),
+            self.samples.len()
+        );
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes runs from
+    /// `sample_size` alone.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: impl fmt::Display, mut body: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        body(&mut b);
+        b.report(&self.name, &id.to_string());
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        body(&mut b, input);
+        b.report(&self.name, &id.to_string());
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run a benchmark outside any group.
+    pub fn bench_function(&mut self, name: impl fmt::Display, body: impl FnMut(&mut Bencher)) {
+        self.benchmark_group("bench").bench_function(name, body);
+    }
+}
+
+/// Re-export for closures that used `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declare a group-runner function that invokes each target benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).measurement_time(Duration::from_millis(1));
+        g.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        g.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, tiny);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

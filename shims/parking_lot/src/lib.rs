@@ -1,0 +1,109 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Provides the `Mutex` API subset the workspace uses — `lock()` returning a
+//! guard directly (no poison `Result`) — implemented over `std::sync::Mutex`
+//! with poison errors swallowed, which matches parking_lot's behaviour of
+//! not poisoning on panic.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A mutual-exclusion primitive whose `lock` never returns an error.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    guard: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex and return its value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available. Ignores poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            guard: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_lock() {
+            Ok(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+            Err(_) => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(*m.lock(), vec![1, 2, 3]);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let m = Mutex::new(5);
+        assert!(format!("{m:?}").contains('5'));
+    }
+}

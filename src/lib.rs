@@ -16,6 +16,8 @@
 //! * [`physics`] — column physics emulation and load-balancing schemes 1-3;
 //! * [`dynamics`] — the finite-difference dynamical core;
 //! * [`agcm`] — the assembled model, timers and report formatting;
+//! * [`resilience`] — checkpoint/restart and fault recovery (paired with
+//!   the deterministic fault-injection plane in [`mps::fault`]);
 //! * [`singlenode`] — the single-node optimization study.
 //!
 //! See `DESIGN.md` for the full system inventory and the per-experiment
@@ -29,4 +31,5 @@ pub use agcm_filtering as filtering;
 pub use agcm_grid as grid;
 pub use agcm_mps as mps;
 pub use agcm_physics as physics;
+pub use agcm_resilience as resilience;
 pub use agcm_singlenode as singlenode;

@@ -34,8 +34,8 @@ fn lb_fft_beats_convolution_in_simulated_filter_time() {
     // Tables 8-11's defining relation at integration level.
     let mesh = (2usize, 4usize);
     let measure = |variant| {
-        let cfg = AgcmConfig::for_grid(GridSpec::new(72, 46, 3), mesh.0, mesh.1, variant)
-            .with_steps(1);
+        let cfg =
+            AgcmConfig::for_grid(GridSpec::new(72, 46, 3), mesh.0, mesh.1, variant).with_steps(1);
         let run = run_model(cfg);
         replay(&run.trace, &MachineProfile::paragon()).phase_time("filter")
     };
@@ -74,7 +74,10 @@ fn physics_balancing_leaves_diagnostics_unchanged_and_helps_balance() {
     // …with better-distributed work from the second step on.
     let before = plain.physics_imbalance(2);
     let after = balanced.physics_imbalance(2);
-    assert!(after <= before, "balancing must not hurt: {before} -> {after}");
+    assert!(
+        after <= before,
+        "balancing must not hurt: {before} -> {after}"
+    );
 }
 
 #[test]

@@ -31,14 +31,16 @@ fn parallel(
         let setup = FilterSetup::new(grid, decomp);
         let filter = PolarFilter::new(&setup, variant);
         let sub = decomp.subdomain_of_rank(comm.rank());
-        let mut fields: Vec<Field3D> =
-            globals.iter().map(|g| local_from_global(g, &sub)).collect();
+        let mut fields: Vec<Field3D> = globals.iter().map(|g| local_from_global(g, &sub)).collect();
         filter.apply(&setup, &cart, &mut fields);
         fields
     });
     (0..globals.len())
         .map(|v| {
-            global_from_locals(&locals.iter().map(|l| l[v].clone()).collect::<Vec<_>>(), &decomp)
+            global_from_locals(
+                &locals.iter().map(|l| l[v].clone()).collect::<Vec<_>>(),
+                &decomp,
+            )
         })
         .collect()
 }
@@ -83,7 +85,10 @@ fn filtering_is_a_projection_near_idempotent() {
     let once = parallel(grid, (2, 2), FilterVariant::LbFft, &globals);
     let twice = parallel(grid, (2, 2), FilterVariant::LbFft, &once);
     let norm = |fs: &[Field3D]| -> f64 {
-        fs.iter().flat_map(|f| f.as_slice().iter()).map(|v| v * v).sum()
+        fs.iter()
+            .flat_map(|f| f.as_slice().iter())
+            .map(|v| v * v)
+            .sum()
     };
     assert!(norm(&twice) <= norm(&once) + 1e-9);
 }

@@ -1,6 +1,10 @@
 //! Property-based tests on the core data structures and invariants.
+//!
+//! The proptest crate is unavailable in this offline build environment, so
+//! these properties are exercised with a seeded SplitMix64 generator: every
+//! property runs 64 randomized cases, fully deterministic across runs, with
+//! the failing seed printed by the assertion message.
 
-use proptest::prelude::*;
 use ucla_agcm_repro::fft::complex::Complex64;
 use ucla_agcm_repro::fft::convolution::{circular_convolve_direct, circular_convolve_fft};
 use ucla_agcm_repro::fft::plan::FftPlan;
@@ -13,75 +17,134 @@ use ucla_agcm_repro::physics::balance::scheme3::PairwiseExchange;
 use ucla_agcm_repro::physics::balance::{apply_plan, BalanceScheme};
 use ucla_agcm_repro::physics::load::imbalance;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// FFT round-trip is the identity for any signal and any size 1..=96.
-    #[test]
-    fn fft_roundtrip_identity(
-        re in prop::collection::vec(-1.0e3f64..1.0e3, 1..96),
-        im in prop::collection::vec(-1.0e3f64..1.0e3, 1..96),
-    ) {
-        let n = re.len().min(im.len());
-        let x: Vec<Complex64> = (0..n).map(|i| Complex64::new(re[i], im[i])).collect();
+/// SplitMix64: tiny, seedable, deterministic.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in [lo, hi).
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+
+    /// Uniform integer in [lo, hi).
+    fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    fn vec_f64(&mut self, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..len).map(|_| self.range_f64(lo, hi)).collect()
+    }
+}
+
+#[test]
+fn fft_roundtrip_identity() {
+    // FFT round-trip is the identity for any signal and any size 1..=96.
+    for case in 0..CASES {
+        let mut rng = Rng::new(case);
+        let n = rng.range_usize(1, 96);
+        let x: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.range_f64(-1.0e3, 1.0e3), rng.range_f64(-1.0e3, 1.0e3)))
+            .collect();
         let plan = FftPlan::new(n);
         let back = plan.inverse(&plan.forward(&x));
         for (a, b) in x.iter().zip(&back) {
-            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + a.abs()));
+            assert!(
+                (*a - *b).abs() < 1e-6 * (1.0 + a.abs()),
+                "case {case}, n {n}"
+            );
         }
     }
+}
 
-    /// Parseval: the transform preserves energy (with the 1/N convention).
-    #[test]
-    fn fft_parseval(re in prop::collection::vec(-10.0f64..10.0, 2..80)) {
-        let n = re.len();
-        let x: Vec<Complex64> = re.iter().map(|&v| Complex64::from_re(v)).collect();
+#[test]
+fn fft_parseval() {
+    // Parseval: the transform preserves energy (with the 1/N convention).
+    for case in 0..CASES {
+        let mut rng = Rng::new(1000 + case);
+        let n = rng.range_usize(2, 80);
+        let x: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::from_re(rng.range_f64(-10.0, 10.0)))
+            .collect();
         let plan = FftPlan::new(n);
         let y = plan.forward(&x);
         let te: f64 = x.iter().map(|c| c.norm_sqr()).sum();
         let fe: f64 = y.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
-        prop_assert!((te - fe).abs() < 1e-6 * (1.0 + te));
+        assert!(
+            (te - fe).abs() < 1e-6 * (1.0 + te),
+            "case {case}, n {n}: {te} vs {fe}"
+        );
     }
+}
 
-    /// The convolution theorem holds for arbitrary signals and kernels.
-    #[test]
-    fn convolution_theorem(
-        x in prop::collection::vec(-5.0f64..5.0, 4..48),
-        seed in 0u64..1000,
-    ) {
-        let n = x.len();
-        let kernel: Vec<f64> = (0..n)
-            .map(|i| (((i as u64 + seed) * 2654435761 % 1000) as f64 / 500.0) - 1.0)
-            .collect();
+#[test]
+fn convolution_theorem() {
+    // The convolution theorem holds for arbitrary signals and kernels.
+    for case in 0..CASES {
+        let mut rng = Rng::new(2000 + case);
+        let n = rng.range_usize(4, 48);
+        let x = rng.vec_f64(n, -5.0, 5.0);
+        let kernel = rng.vec_f64(n, -1.0, 1.0);
         let plan = FftPlan::new(n);
         let direct = circular_convolve_direct(&x, &kernel);
         let fast = circular_convolve_fft(&plan, &x, &kernel);
         for (a, b) in direct.iter().zip(&fast) {
-            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "case {case}, n {n}");
         }
     }
+}
 
-    /// block_partition tiles [0, n) exactly, with sizes within one.
-    #[test]
-    fn block_partition_tiles(n in 0usize..10_000, p in 1usize..64) {
+#[test]
+fn block_partition_tiles() {
+    // block_partition tiles [0, n) exactly, with sizes within one.
+    for case in 0..CASES {
+        let mut rng = Rng::new(3000 + case);
+        let n = rng.range_usize(0, 10_000);
+        let p = rng.range_usize(1, 64);
         let mut next = 0;
         for idx in 0..p {
             let (start, len) = block_partition(n, p, idx);
-            prop_assert_eq!(start, next);
-            prop_assert!(len >= n / p && len <= n / p + 1);
+            assert_eq!(start, next, "case {case}: n {n}, p {p}");
+            assert!(
+                len >= n / p && len <= n / p + 1,
+                "case {case}: n {n}, p {p}"
+            );
             next = start + len;
         }
-        prop_assert_eq!(next, n);
+        assert_eq!(next, n, "case {case}: n {n}, p {p}");
     }
+}
 
-    /// Every balance scheme conserves total load, never increases the
-    /// paper's imbalance metric, and plans no self-transfers.
-    #[test]
-    fn balance_schemes_conserve_and_improve(
-        loads in prop::collection::vec(0.0f64..1000.0, 2..40),
-    ) {
+#[test]
+fn balance_schemes_conserve_and_improve() {
+    // Every balance scheme conserves total load, never increases the
+    // paper's imbalance metric, and plans no self-transfers.
+    for case in 0..CASES {
+        let mut rng = Rng::new(4000 + case);
+        let p = rng.range_usize(2, 40);
+        let loads = rng.vec_f64(p, 0.0, 1000.0);
         let total: f64 = loads.iter().sum();
-        prop_assume!(total > 1.0);
+        if total <= 1.0 {
+            continue;
+        }
         let schemes: Vec<Box<dyn BalanceScheme>> = vec![
             Box::new(CyclicShuffle),
             Box::new(SortedGreedy::default()),
@@ -91,26 +154,42 @@ proptest! {
             let mut after = loads.clone();
             let plan = scheme.plan(&after);
             for t in &plan {
-                prop_assert_ne!(t.from, t.to);
-                prop_assert!(t.amount >= 0.0);
+                assert_ne!(t.from, t.to, "case {case}: {} self-transfer", scheme.name());
+                assert!(
+                    t.amount >= 0.0,
+                    "case {case}: {} negative amount",
+                    scheme.name()
+                );
             }
             apply_plan(&mut after, &plan);
             let new_total: f64 = after.iter().sum();
-            prop_assert!((new_total - total).abs() < 1e-6 * total,
-                "{} conservation", scheme.name());
-            prop_assert!(imbalance(&after) <= imbalance(&loads) + 1e-9,
-                "{} must not worsen imbalance", scheme.name());
-            prop_assert!(after.iter().all(|&l| l >= -1e-9),
-                "{} must not drive a load negative", scheme.name());
+            assert!(
+                (new_total - total).abs() < 1e-6 * total,
+                "case {case}: {} conservation",
+                scheme.name()
+            );
+            assert!(
+                imbalance(&after) <= imbalance(&loads) + 1e-9,
+                "case {case}: {} must not worsen imbalance",
+                scheme.name()
+            );
+            assert!(
+                after.iter().all(|&l| l >= -1e-9),
+                "case {case}: {} must not drive a load negative",
+                scheme.name()
+            );
         }
     }
+}
 
-    /// Scheme 3 rounds converge: imbalance is non-increasing round over
-    /// round and drops below 15% within ten rounds.
-    #[test]
-    fn pairwise_exchange_converges(
-        loads in prop::collection::vec(1.0f64..1000.0, 4..64),
-    ) {
+#[test]
+fn pairwise_exchange_converges() {
+    // Scheme 3 rounds converge: imbalance is non-increasing round over
+    // round and drops below 15% within ten rounds.
+    for case in 0..CASES {
+        let mut rng = Rng::new(5000 + case);
+        let p = rng.range_usize(4, 64);
+        let loads = rng.vec_f64(p, 1.0, 1000.0);
         let scheme = PairwiseExchange::default();
         let mut current = loads.clone();
         let mut prev = imbalance(&current);
@@ -121,61 +200,75 @@ proptest! {
             }
             apply_plan(&mut current, &plan);
             let now = imbalance(&current);
-            prop_assert!(now <= prev + 1e-9);
+            assert!(
+                now <= prev + 1e-9,
+                "case {case}: round must not worsen imbalance"
+            );
             prev = now;
         }
-        prop_assert!(prev < 0.15, "converged imbalance {prev}");
+        assert!(prev < 0.15, "case {case}: converged imbalance {prev}");
     }
+}
 
-    /// History records round-trip in both byte orders.
-    #[test]
-    fn history_roundtrip(
-        vals in prop::collection::vec(-1.0e6f64..1.0e6, 1..64),
-        big_endian in any::<bool>(),
-    ) {
-        let n = vals.len();
+#[test]
+fn history_roundtrip() {
+    // History records round-trip in both byte orders.
+    for case in 0..CASES {
+        let mut rng = Rng::new(6000 + case);
+        let n = rng.range_usize(1, 64);
+        let vals = rng.vec_f64(n, -1.0e6, 1.0e6);
         let mut f = Field3D::zeros(n, 1, 1);
         f.as_mut_slice().copy_from_slice(&vals);
-        let order = if big_endian { ByteOrder::Big } else { ByteOrder::Little };
+        let order = if rng.next_u64().is_multiple_of(2) {
+            ByteOrder::Big
+        } else {
+            ByteOrder::Little
+        };
         let rec = encode(&f, order);
         let (back, detected) = decode(&rec).unwrap();
-        prop_assert_eq!(detected, order);
-        prop_assert_eq!(back.max_abs_diff(&f), 0.0);
+        assert_eq!(detected, order, "case {case}");
+        assert_eq!(back.max_abs_diff(&f), 0.0, "case {case}");
     }
+}
 
-    /// Byte reversal is an involution for any element width.
-    #[test]
-    fn byte_reversal_involution(
-        data in prop::collection::vec(any::<u8>(), 0..256),
-        width in 1usize..16,
-    ) {
-        let mut d = data.clone();
-        d.truncate(data.len() / width * width);
+#[test]
+fn byte_reversal_involution() {
+    // Byte reversal is an involution for any element width.
+    for case in 0..CASES {
+        let mut rng = Rng::new(7000 + case);
+        let len = rng.range_usize(0, 256);
+        let width = rng.range_usize(1, 16);
+        let mut d: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        d.truncate(len / width * width);
         let orig = d.clone();
         byte_reverse_elements(&mut d, width);
         byte_reverse_elements(&mut d, width);
-        prop_assert_eq!(d, orig);
+        assert_eq!(d, orig, "case {case}: width {width}");
     }
+}
 
-    /// Block-field interleaving round-trips any set of fields.
-    #[test]
-    fn block_field_roundtrip(
-        m in 1usize..6,
-        ni in 1usize..8,
-        nj in 1usize..8,
-        nk in 1usize..4,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn block_field_roundtrip() {
+    // Block-field interleaving round-trips any set of fields.
+    for case in 0..CASES {
+        let mut rng = Rng::new(8000 + case);
+        let m = rng.range_usize(1, 6);
+        let (ni, nj, nk) = (
+            rng.range_usize(1, 8),
+            rng.range_usize(1, 8),
+            rng.range_usize(1, 4),
+        );
+        let seed = rng.next_u64() as usize % 1000;
         let fields: Vec<Field3D> = (0..m)
             .map(|v| {
                 Field3D::from_fn(ni, nj, nk, |i, j, k| {
-                    ((i * 31 + j * 17 + k * 7 + v * 3 + seed as usize) as f64 * 0.37).sin()
+                    ((i * 31 + j * 17 + k * 7 + v * 3 + seed) as f64 * 0.37).sin()
                 })
             })
             .collect();
         let back = BlockField::from_fields(&fields).to_fields();
         for (a, b) in fields.iter().zip(&back) {
-            prop_assert_eq!(a.max_abs_diff(b), 0.0);
+            assert_eq!(a.max_abs_diff(b), 0.0, "case {case}");
         }
     }
 }

@@ -68,7 +68,10 @@ fn trace_replay_reflects_message_volume() {
     };
     let small = timed(8 * 64);
     let large = timed(8 * 1024 * 1024);
-    assert!(large > 10.0 * small, "bandwidth term must dominate: {small} vs {large}");
+    assert!(
+        large > 10.0 * small,
+        "bandwidth term must dominate: {small} vs {large}"
+    );
 }
 
 #[test]
