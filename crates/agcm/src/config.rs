@@ -1,7 +1,7 @@
 //! Run configuration.
 
 use agcm_dynamics::timestep::{max_stable_dt, signal_speed};
-use agcm_filtering::driver::FilterVariant;
+use agcm_filtering::driver::{FilterOrganization, FilterVariant};
 use agcm_grid::latlon::GridSpec;
 
 /// Configuration of one AGCM run.
@@ -17,6 +17,10 @@ pub struct AgcmConfig {
     pub dt: f64,
     /// Polar filter implementation.
     pub filter: FilterVariant,
+    /// Variable organization of the FFT filter variants: aggregated
+    /// (production, one redistribute pass per filter class) or
+    /// per-variable (paper-faithful Tables 8–11 organization).
+    pub filter_organization: FilterOrganization,
     /// Whether the Physics component load-balances (scheme 3).
     pub balance_physics: bool,
     /// Physics balancing: target imbalance fraction.
@@ -53,6 +57,7 @@ impl AgcmConfig {
             mesh_lon,
             dt,
             filter,
+            filter_organization: FilterOrganization::default(),
             balance_physics: false,
             balance_target: 0.06,
             balance_rounds: 2,
@@ -64,6 +69,13 @@ impl AgcmConfig {
     /// Builder-style: enable physics load balancing.
     pub fn with_physics_balancing(mut self) -> AgcmConfig {
         self.balance_physics = true;
+        self
+    }
+
+    /// Builder-style: run the FFT filter one variable at a time, as the
+    /// original code was organized (for paper-faithful comparisons).
+    pub fn with_per_variable_filtering(mut self) -> AgcmConfig {
+        self.filter_organization = FilterOrganization::PerVariable;
         self
     }
 

@@ -81,7 +81,8 @@ impl<'a> StepContext<'a> {
             dynamics: Dynamics::new(
                 cfg.grid,
                 decomp,
-                DynamicsConfig::new(cfg.dt, Some(cfg.filter)),
+                DynamicsConfig::new(cfg.dt, Some(cfg.filter))
+                    .with_filter_organization(cfg.filter_organization),
             ),
             physics: PhysicsStep::new(cfg.grid, sub),
             scheme: PairwiseExchange::default(),

@@ -1,8 +1,14 @@
 //! Regenerate every table and figure of Lou & Farrara (SC'96).
 //!
 //! ```text
-//! reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary]
+//! reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter]
 //! ```
+//!
+//! `bench-filter` is the filter fast-path regression benchmark: it times
+//! the batched real-input filtering kernel against the original per-line
+//! complex path and counts redistribute messages per filtered step, then
+//! writes the numbers to `BENCH_filter.json` for machine-readable
+//! before/after tracking.
 //!
 //! Each table prints the paper-reported values next to the model-measured
 //! ones. Absolute agreement is not expected (the substrate is a simulator,
@@ -11,14 +17,17 @@
 //! real filtering work.
 
 use agcm_bench::harness::{
-    calibrate, day_times, filter_seconds_per_day, filter_trace, model_run, physics_lb_simulation,
-    time_median,
+    calibrate, day_times, filter_seconds_per_day, filter_trace, filter_trace_organized, model_run,
+    physics_lb_simulation, time_median,
 };
 use agcm_bench::paper;
 use agcm_core::report::{fmt_pct, fmt_ratio, fmt_secs, Table};
 use agcm_costmodel::machine::MachineProfile;
 use agcm_dynamics::advection::{advect_naive, advect_restructured, AdvShape};
-use agcm_filtering::driver::FilterVariant;
+use agcm_fft::batch::filter_lines_flat;
+use agcm_fft::convolution::apply_spectral_multiplier;
+use agcm_fft::plan::FftPlan;
+use agcm_filtering::driver::{FilterOrganization, FilterVariant};
 use agcm_grid::field::BlockField;
 use agcm_grid::latlon::GridSpec;
 use agcm_singlenode::blockarray::{laplace_block, laplace_separate, paper_test_fields};
@@ -32,6 +41,7 @@ fn main() {
         "tables8to11" => tables_8_to_11(),
         "singlenode" => singlenode(),
         "summary" => summary(),
+        "bench-filter" => bench_filter(),
         "all" => {
             figure1();
             tables_1_to_3();
@@ -39,10 +49,11 @@ fn main() {
             tables_8_to_11();
             singlenode();
             summary();
+            bench_filter();
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary]");
+            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter]");
             std::process::exit(2);
         }
     }
@@ -381,6 +392,100 @@ fn singlenode() {
         "paper: restructuring reduced advection time by ~{} on one T3D node.\n",
         fmt_pct(paper::claims::ADVECTION_REDUCTION)
     );
+}
+
+/// Filter fast-path regression benchmark: the batched, allocation-free
+/// real-input kernel vs the original per-line complex path on the paper's
+/// 144-point longitude circles, plus redistribute messages per filtered
+/// step under the aggregated vs per-variable organizations. Results go to
+/// stdout and to `BENCH_filter.json` (committed, for before/after
+/// tracking).
+fn bench_filter() {
+    println!("\n=== Filter fast path: batched real vs per-line complex (n=144) ===\n");
+    let n = 144usize;
+    // One strongly-filtered polar latitude in the 9-layer configuration
+    // moves 4 variables × 9 levels = 36 lines.
+    let batch = 36usize;
+    let plan = FftPlan::new(n);
+    let mult: Vec<f64> = (0..n)
+        .map(|k| {
+            let s = k.min(n - k) as f64 / (n as f64 / 2.0);
+            1.0 / (1.0 + 8.0 * s * s)
+        })
+        .collect();
+    let base: Vec<f64> = (0..batch * n)
+        .map(|j| (j as f64 * 0.37).sin() + 0.3 * (j as f64 * 0.11).cos())
+        .collect();
+
+    let reps = 31;
+    let mut buf = base.clone();
+    let t_complex = time_median(reps, || {
+        for line in buf.chunks_mut(n) {
+            let out = apply_spectral_multiplier(&plan, line, &mult);
+            line.copy_from_slice(&out);
+        }
+    });
+    let mut buf = base.clone();
+    let mut ws = plan.workspace();
+    let t_batched = time_median(reps, || {
+        filter_lines_flat(&plan, &mut buf, &mult, &mut ws);
+    });
+    let ns_per_line = |t: f64| t * 1e9 / batch as f64;
+    let lines_per_sec = |t: f64| batch as f64 / t;
+    let speedup = t_complex / t_batched;
+
+    let mut t = Table::new(
+        format!("Kernel, {batch} lines of n={n}"),
+        &["Path", "ns/line", "lines/s", "speed-up"],
+    );
+    t.add_row(vec![
+        "per-line complex (original)".into(),
+        format!("{:.0}", ns_per_line(t_complex)),
+        format!("{:.0}", lines_per_sec(t_complex)),
+        "1.00".into(),
+    ]);
+    t.add_row(vec![
+        "batched real (production)".into(),
+        format!("{:.0}", ns_per_line(t_batched)),
+        format!("{:.0}", lines_per_sec(t_batched)),
+        fmt_ratio(speedup),
+    ]);
+    println!("{t}");
+
+    // Messages per filtered step: the aggregated organization moves all
+    // variables of a filter class in one redistribute pass. Single-row
+    // mesh: every variable's source rows coincide, so chunks of different
+    // variables travelling between the same rank pair actually merge
+    // (on multi-row meshes the balanced owner blocks can align with rank
+    // boundaries and the counts tie).
+    let grid = GridSpec::paper_9_layer();
+    let mesh = (1usize, 6usize);
+    let variant = FilterVariant::LbFft;
+    let (agg, _) = filter_trace_organized(grid, mesh, variant, FilterOrganization::Aggregated);
+    let (per, _) = filter_trace_organized(grid, mesh, variant, FilterOrganization::PerVariable);
+    println!(
+        "Messages per filtered step ({variant:?}, {}x{} mesh): aggregated {} vs per-variable {}\n",
+        mesh.0,
+        mesh.1,
+        agg.total_messages(),
+        per.total_messages()
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"filter_fast_path\",\n  \"n_lon\": {n},\n  \"batch_lines\": {batch},\n  \"per_line_complex\": {{\n    \"ns_per_line\": {:.1},\n    \"lines_per_sec\": {:.1}\n  }},\n  \"batched_real\": {{\n    \"ns_per_line\": {:.1},\n    \"lines_per_sec\": {:.1}\n  }},\n  \"kernel_speedup\": {:.2},\n  \"messages_per_filtered_step\": {{\n    \"variant\": \"{variant:?}\",\n    \"mesh\": \"{}x{}\",\n    \"aggregated\": {},\n    \"per_variable\": {}\n  }}\n}}\n",
+        ns_per_line(t_complex),
+        lines_per_sec(t_complex),
+        ns_per_line(t_batched),
+        lines_per_sec(t_batched),
+        speedup,
+        mesh.0,
+        mesh.1,
+        agg.total_messages(),
+        per.total_messages(),
+    );
+    std::fs::write("BENCH_filter.json", &json)
+        .unwrap_or_else(|e| eprintln!("could not write BENCH_filter.json: {e}"));
+    println!("wrote BENCH_filter.json");
 }
 
 /// §4 headline claims, checked against the measured tables.

@@ -11,7 +11,7 @@ use agcm_core::model::{run_model, ModelRun};
 use agcm_costmodel::machine::MachineProfile;
 use agcm_costmodel::replay::{replay, ReplayResult};
 use agcm_dynamics::state::ModelState;
-use agcm_filtering::driver::{FilterVariant, PolarFilter};
+use agcm_filtering::driver::{FilterOrganization, FilterVariant, PolarFilter};
 use agcm_filtering::lines::FilterSetup;
 use agcm_grid::decomp::Decomp;
 use agcm_grid::latlon::GridSpec;
@@ -92,12 +92,25 @@ pub fn filter_trace(
     mesh: (usize, usize),
     variant: FilterVariant,
 ) -> (WorldTrace, f64) {
+    filter_trace_organized(grid, mesh, variant, FilterOrganization::default())
+}
+
+/// [`filter_trace`] with an explicit variable organization — aggregated
+/// (production) or per-variable (the paper's original one-variable-at-a-
+/// time organization, for Tables 8–11 fidelity and the message-count
+/// regression benchmark).
+pub fn filter_trace_organized(
+    grid: GridSpec,
+    mesh: (usize, usize),
+    variant: FilterVariant,
+    organization: FilterOrganization,
+) -> (WorldTrace, f64) {
     let decomp = Decomp::new(grid, mesh.0, mesh.1);
     let dt = AgcmConfig::for_grid(grid, mesh.0, mesh.1, variant).dt;
     let (_, trace) = run_traced(decomp.size(), |comm| {
         let cart = CartComm::new(comm, mesh.0, mesh.1, (false, true));
         let setup = FilterSetup::new(grid, decomp);
-        let filter = PolarFilter::new(&setup, variant);
+        let filter = PolarFilter::with_organization(&setup, variant, organization);
         let mut state = ModelState::initial(grid, decomp.subdomain_of_rank(comm.rank()));
         comm.phase("filter", || filter.apply(&setup, &cart, &mut state.fields));
     });

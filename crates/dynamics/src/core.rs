@@ -15,7 +15,7 @@ use crate::advection::upwind_tendency;
 use crate::state::ModelState;
 use crate::tendencies::{coriolis_param, flops, flux_divergence, grad_x, grad_y};
 use crate::timestep::GRAVITY;
-use agcm_filtering::driver::{FilterVariant, PolarFilter};
+use agcm_filtering::driver::{FilterOrganization, FilterVariant, PolarFilter};
 use agcm_filtering::lines::FilterSetup;
 use agcm_grid::arakawa::Variable;
 use agcm_grid::decomp::Decomp;
@@ -33,16 +33,27 @@ pub struct DynamicsConfig {
     /// Polar filter variant, or `None` to run unfiltered (unstable unless
     /// `dt` respects the polar CFL limit).
     pub filter: Option<FilterVariant>,
+    /// Variable organization of the FFT filter variants (aggregated by
+    /// default; per-variable for paper-faithful comparison runs).
+    pub filter_organization: FilterOrganization,
 }
 
 impl DynamicsConfig {
-    /// A configuration with the standard gravity and the chosen filter.
+    /// A configuration with the standard gravity and the chosen filter
+    /// (aggregated organization).
     pub fn new(dt: f64, filter: Option<FilterVariant>) -> DynamicsConfig {
         DynamicsConfig {
             dt,
             gravity: GRAVITY,
             filter,
+            filter_organization: FilterOrganization::default(),
         }
+    }
+
+    /// Override the filter's variable organization.
+    pub fn with_filter_organization(mut self, organization: FilterOrganization) -> DynamicsConfig {
+        self.filter_organization = organization;
+        self
     }
 }
 
@@ -59,7 +70,9 @@ impl Dynamics {
     /// once-per-run bookkeeping).
     pub fn new(grid: GridSpec, decomp: Decomp, cfg: DynamicsConfig) -> Dynamics {
         let setup = FilterSetup::new(grid, decomp);
-        let filter = cfg.filter.map(|v| PolarFilter::new(&setup, v));
+        let filter = cfg
+            .filter
+            .map(|v| PolarFilter::with_organization(&setup, v, cfg.filter_organization));
         Dynamics {
             grid,
             cfg,

@@ -13,12 +13,18 @@
 //!   fallback for arbitrary sizes;
 //! * [`real`] — real-signal helpers (half-spectrum packing);
 //! * [`convolution`] — direct circular convolution and its FFT equivalent;
-//! * [`ops`] — operation-count estimators used by the execution tracer.
+//! * [`ops`] — operation-count estimators used by the execution tracer;
+//! * [`workspace`] — reusable scratch so the iterative executor entry
+//!   points ([`plan::FftPlan::forward_into`] / `inverse_into`) allocate
+//!   nothing per transform;
+//! * [`batch`] — batched real-line filtering: two real lines packed per
+//!   complex transform, one spectral-multiplier pass over many lines.
 //!
 //! Vendor FFT libraries (which the paper used on whole latitude lines after
 //! the transpose) are replaced by [`plan::FftPlan`], per the substitution
 //! table in `DESIGN.md`.
 
+pub mod batch;
 pub mod complex;
 pub mod convolution;
 pub mod dft;
@@ -26,6 +32,8 @@ pub mod ops;
 pub mod plan;
 pub mod radix2;
 pub mod real;
+pub mod workspace;
 
 pub use complex::Complex64;
-pub use plan::FftPlan;
+pub use plan::{shared_plan, FftPlan};
+pub use workspace::FftWorkspace;

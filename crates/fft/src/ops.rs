@@ -31,6 +31,25 @@ pub fn elementwise_flops(n: usize) -> f64 {
     n as f64
 }
 
+/// Flops for filtering **two** real lines through the pair-packed path
+/// (`agcm_fft::batch::filter_pair`): one forward + one inverse complex
+/// transform shared by both lines, plus the pointwise multiplier (2 flops
+/// per complex bin) and the pack/unpack traffic.
+pub fn pair_filter_flops(n: usize) -> f64 {
+    2.0 * fft_flops(n) + 4.0 * n as f64
+}
+
+/// Flops for filtering one real line through the half-size real transform
+/// (`agcm_fft::batch::filter_line`, even n): two complex transforms of
+/// size n/2 plus the O(n) untangle/retangle and multiplier passes.
+pub fn real_filter_flops(n: usize) -> f64 {
+    if n.is_multiple_of(2) && n >= 2 {
+        2.0 * fft_flops(n / 2) + 8.0 * n as f64
+    } else {
+        spectral_filter_flops(n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +76,16 @@ mod tests {
     fn spectral_filter_counts_both_transforms() {
         let n = 64;
         assert_eq!(spectral_filter_flops(n), 2.0 * fft_flops(n) + 128.0);
+    }
+
+    #[test]
+    fn batched_paths_are_cheaper_per_line() {
+        let n = 144;
+        // Two lines per pair transform: under half the per-line cost each.
+        assert!(pair_filter_flops(n) / 2.0 < spectral_filter_flops(n) * 0.75);
+        // Half-size real path beats the full complex path for one line.
+        assert!(real_filter_flops(n) < spectral_filter_flops(n));
+        // Odd sizes fall back to the complex cost.
+        assert_eq!(real_filter_flops(45), spectral_filter_flops(45));
     }
 }

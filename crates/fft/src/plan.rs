@@ -6,9 +6,23 @@
 //! N = 144 longitudes (2⁴·3²), which the mixed-radix path handles natively;
 //! arbitrary sizes fall back to Bluestein's algorithm so the filter works
 //! for any resolution.
+//!
+//! Two executors share each plan:
+//!
+//! * [`FftPlan::forward`] / [`FftPlan::inverse`] — the original recursive
+//!   decimation-in-time evaluation, allocating its output. Kept as the
+//!   reference the iterative path is tested against.
+//! * [`FftPlan::forward_into`] / [`FftPlan::inverse_into`] — an iterative
+//!   Stockham (self-sorting) evaluation over precomputed per-stage twiddle
+//!   tables, in place, with all scratch provided by a reusable
+//!   [`FftWorkspace`]: **zero heap allocations per transform**. This is the
+//!   production path of the batched filter engine.
 
 use crate::complex::Complex64;
 use crate::radix2::fft_pow2_inplace;
+use crate::workspace::FftWorkspace;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Factor `n` into the supported radices (2, 3, 5), largest first.
 /// Returns `None` if a different prime remains.
@@ -28,11 +42,45 @@ pub fn smooth_factors(mut n: usize) -> Option<Vec<usize>> {
     }
 }
 
+/// The radix schedule of the iterative executor: pairs of 2s fuse into
+/// radix-4 butterflies (fewer stages, fewer twiddle loads), then the odd
+/// 2 if any, then 3s, then 5s.
+fn stage_factors(factors: &[usize]) -> Vec<usize> {
+    let twos = factors.iter().filter(|&&r| r == 2).count();
+    let mut out = Vec::with_capacity(factors.len());
+    out.extend(std::iter::repeat_n(4, twos / 2));
+    if twos % 2 == 1 {
+        out.push(2);
+    }
+    out.extend(factors.iter().copied().filter(|&r| r == 3));
+    out.extend(factors.iter().copied().filter(|&r| r == 5));
+    out
+}
+
+/// One Stockham stage: a radix-`r` butterfly pass over the whole signal.
+struct Stage {
+    /// Butterfly radix.
+    r: usize,
+    /// Sub-transform count at this stage (`n_cur / r`).
+    m: usize,
+    /// Stride: product of the radices of all earlier stages.
+    s: usize,
+    /// Twiddles `ω_{n_cur}^{p·v}`, laid out `[p·r + v]` (forward sign;
+    /// conjugated on the fly for inverses).
+    tw: Vec<Complex64>,
+    /// Radix roots `ω_r^{u·v}` (`r²` entries) for the generic butterfly;
+    /// empty for the hardcoded radices 2/3/4.
+    roots: Vec<Complex64>,
+}
+
 enum Strategy {
     /// Size 1: identity.
     Identity,
     /// 2/3/5-smooth mixed-radix Cooley-Tukey.
-    MixedRadix { factors: Vec<usize> },
+    MixedRadix {
+        factors: Vec<usize>,
+        stages: Vec<Stage>,
+    },
     /// Bluestein chirp-z via a padded power-of-two convolution.
     Bluestein {
         /// Padded convolution size (power of two ≥ 2n−1).
@@ -50,11 +98,18 @@ pub struct FftPlan {
     /// Forward twiddle table: `w[t] = e^{-2πi t/n}`.
     twiddles: Vec<Complex64>,
     strategy: Strategy,
+    /// Half-size plan for the even-`n` real-signal fast path
+    /// (`crate::real::rfft_into`); built one level deep only.
+    half: Option<Box<FftPlan>>,
 }
 
 impl FftPlan {
     /// Build a plan for size `n`.
     pub fn new(n: usize) -> FftPlan {
+        FftPlan::build(n, true)
+    }
+
+    fn build(n: usize, with_half: bool) -> FftPlan {
         assert!(n > 0, "FFT size must be positive");
         let twiddles: Vec<Complex64> = (0..n)
             .map(|t| Complex64::expi(-2.0 * std::f64::consts::PI * t as f64 / n as f64))
@@ -62,7 +117,15 @@ impl FftPlan {
         let strategy = if n == 1 {
             Strategy::Identity
         } else if let Some(factors) = smooth_factors(n) {
-            Strategy::MixedRadix { factors }
+            // The recursive combine gathers one slot per radix point from a
+            // fixed-size array; a larger factor would silently read
+            // truncated state, so the invariant is enforced at build time.
+            assert!(
+                factors.iter().all(|&r| r <= RECURSIVE_MAX_RADIX),
+                "mixed-radix factor exceeds the executor slot capacity {RECURSIVE_MAX_RADIX}: {factors:?}"
+            );
+            let stages = build_stages(n, &twiddles, &stage_factors(&factors));
+            Strategy::MixedRadix { factors, stages }
         } else {
             // Bluestein: x[j]·c[j] convolved with conj-chirp, c[j]=e^{-iπj²/n}.
             let m = (2 * n - 1).next_power_of_two();
@@ -86,10 +149,16 @@ impl FftPlan {
                 kernel_fft: kernel,
             }
         };
+        let half = if with_half && n >= 2 && n.is_multiple_of(2) {
+            Some(Box::new(FftPlan::build(n / 2, false)))
+        } else {
+            None
+        };
         FftPlan {
             n,
             twiddles,
             strategy,
+            half,
         }
     }
 
@@ -111,6 +180,41 @@ impl FftPlan {
         )
     }
 
+    /// The half-size plan used by the even-`n` real fast path, if any.
+    pub(crate) fn half(&self) -> Option<&FftPlan> {
+        self.half.as_deref()
+    }
+
+    /// Scratch (ping-pong / convolution) length the iterative executor
+    /// needs for this plan.
+    pub(crate) fn scratch_len(&self) -> usize {
+        match &self.strategy {
+            Strategy::Identity => 0,
+            Strategy::MixedRadix { .. } => self.n,
+            Strategy::Bluestein { m, .. } => *m,
+        }
+    }
+
+    /// Largest butterfly radix of the iterative schedule (slot-buffer size
+    /// for the generic path).
+    pub(crate) fn max_radix(&self) -> usize {
+        match &self.strategy {
+            Strategy::MixedRadix { stages, .. } => stages.iter().map(|st| st.r).max().unwrap_or(1),
+            _ => 1,
+        }
+    }
+
+    /// A workspace pre-sized for this plan (and its real-path half plan),
+    /// so even the first `*_into` call allocates nothing.
+    pub fn workspace(&self) -> FftWorkspace {
+        let mut ws = FftWorkspace::new();
+        ws.reserve_for(self);
+        if let Some(h) = self.half() {
+            ws.reserve_for(h);
+        }
+        ws
+    }
+
     /// Forward FFT: `X[k] = Σ_j x[j] e^{-2πi jk/n}`.
     pub fn forward(&self, x: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(
@@ -122,7 +226,7 @@ impl FftPlan {
         );
         match &self.strategy {
             Strategy::Identity => x.to_vec(),
-            Strategy::MixedRadix { factors } => {
+            Strategy::MixedRadix { factors, .. } => {
                 let mut out = vec![Complex64::ZERO; self.n];
                 self.mixed_radix(x, &mut out, self.n, 1, factors, false);
                 out
@@ -142,7 +246,7 @@ impl FftPlan {
         );
         let mut out = match &self.strategy {
             Strategy::Identity => x.to_vec(),
-            Strategy::MixedRadix { factors } => {
+            Strategy::MixedRadix { factors, .. } => {
                 let mut out = vec![Complex64::ZERO; self.n];
                 self.mixed_radix(x, &mut out, self.n, 1, factors, true);
                 out
@@ -154,6 +258,74 @@ impl FftPlan {
             *v = v.scale(inv);
         }
         out
+    }
+
+    /// In-place forward FFT through the iterative executor; all scratch
+    /// comes from `ws`, so no heap allocation happens here (after `ws` has
+    /// seen this plan once).
+    pub fn forward_into(&self, buf: &mut [Complex64], ws: &mut FftWorkspace) {
+        assert_eq!(
+            buf.len(),
+            self.n,
+            "buffer length {} != plan size {}",
+            buf.len(),
+            self.n
+        );
+        match &self.strategy {
+            Strategy::Identity => {}
+            Strategy::MixedRadix { .. } => self.stockham(buf, ws, false),
+            Strategy::Bluestein { .. } => self.bluestein_into(buf, ws, false),
+        }
+    }
+
+    /// In-place inverse FFT (including the 1/n factor) through the
+    /// iterative executor; allocation-free like [`FftPlan::forward_into`].
+    pub fn inverse_into(&self, buf: &mut [Complex64], ws: &mut FftWorkspace) {
+        assert_eq!(
+            buf.len(),
+            self.n,
+            "buffer length {} != plan size {}",
+            buf.len(),
+            self.n
+        );
+        match &self.strategy {
+            Strategy::Identity => {}
+            Strategy::MixedRadix { .. } => self.stockham(buf, ws, true),
+            Strategy::Bluestein { .. } => self.bluestein_into(buf, ws, true),
+        }
+        let inv = 1.0 / self.n as f64;
+        for v in buf.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+
+    /// The iterative Stockham (self-sorting) mixed-radix evaluation:
+    /// ping-pong between `buf` and the workspace scratch, one precomputed
+    /// stage per radix, output in natural order with no permutation pass.
+    fn stockham(&self, buf: &mut [Complex64], ws: &mut FftWorkspace, inverse: bool) {
+        let Strategy::MixedRadix { stages, .. } = &self.strategy else {
+            unreachable!("stockham called on a non-mixed-radix plan")
+        };
+        let (scratch, slots) = ws.stage_buffers(self);
+        let mut in_buf = true;
+        for st in stages {
+            if in_buf {
+                stage_apply(st, buf, scratch, slots, inverse);
+            } else {
+                stage_apply(st, scratch, buf, slots, inverse);
+            }
+            in_buf = !in_buf;
+        }
+        if !in_buf {
+            buf.copy_from_slice(&scratch[..self.n]);
+        }
+    }
+
+    /// Forward twiddle `e^{-2πi t/n}` (used by the real-signal fast path
+    /// to split/merge half-size spectra).
+    #[inline]
+    pub(crate) fn twiddle(&self, t: usize) -> Complex64 {
+        self.twiddles[t % self.n]
     }
 
     /// Twiddle lookup: `e^{∓2πi t/n}` (conjugated for the inverse).
@@ -203,7 +375,7 @@ impl FftPlan {
         // Safe in place: for a given k we first gather all out[j·m + k],
         // then write exactly those positions.
         let full = self.n / n; // twiddle step: w_n = (w_N)^{N/n}
-        let mut a = [Complex64::ZERO; 8];
+        let mut a = [Complex64::ZERO; RECURSIVE_MAX_RADIX];
         for k in 0..m {
             for (j, slot) in a.iter_mut().enumerate().take(r) {
                 *slot = out[j * m + k] * self.w(full * j * k, inverse);
@@ -221,6 +393,51 @@ impl FftPlan {
 
     /// Bluestein chirp-z transform through the power-of-two engine.
     fn bluestein(&self, x: &[Complex64], inverse: bool) -> Vec<Complex64> {
+        let Strategy::Bluestein { m, .. } = &self.strategy else {
+            unreachable!("bluestein called on a non-Bluestein plan")
+        };
+        let mut a = vec![Complex64::ZERO; *m];
+        let mut out = vec![Complex64::ZERO; self.n];
+        self.bluestein_convolve(x, &mut a, &mut out, inverse);
+        out
+    }
+
+    /// Bluestein through workspace scratch: in-place on `buf`, zero
+    /// allocations.
+    fn bluestein_into(&self, buf: &mut [Complex64], ws: &mut FftWorkspace, inverse: bool) {
+        let (scratch, _) = ws.stage_buffers(self);
+        scratch.fill(Complex64::ZERO);
+        let Strategy::Bluestein {
+            chirp, kernel_fft, ..
+        } = &self.strategy
+        else {
+            unreachable!("bluestein_into called on a non-Bluestein plan")
+        };
+        let take = |c: Complex64| if inverse { c.conj() } else { c };
+        for j in 0..self.n {
+            scratch[j] = buf[j] * take(chirp[j]);
+        }
+        fft_pow2_inplace(scratch, -1.0);
+        for (av, &kv) in scratch.iter_mut().zip(kernel_fft.iter()) {
+            let k = if inverse { kv.conj() } else { kv };
+            *av *= k;
+        }
+        fft_pow2_inplace(scratch, 1.0);
+        let inv_m = 1.0 / scratch.len() as f64;
+        for k in 0..self.n {
+            buf[k] = (scratch[k] * take(chirp[k])).scale(inv_m);
+        }
+    }
+
+    /// Shared Bluestein body: seed `a` (length m, zeroed), convolve, write
+    /// the de-chirped result into `out`.
+    fn bluestein_convolve(
+        &self,
+        x: &[Complex64],
+        a: &mut [Complex64],
+        out: &mut [Complex64],
+        inverse: bool,
+    ) {
         let Strategy::Bluestein {
             m,
             chirp,
@@ -231,21 +448,149 @@ impl FftPlan {
         };
         let n = self.n;
         let take = |c: Complex64| if inverse { c.conj() } else { c };
-        let mut a = vec![Complex64::ZERO; *m];
         for j in 0..n {
             a[j] = x[j] * take(chirp[j]);
         }
-        fft_pow2_inplace(&mut a, -1.0);
+        fft_pow2_inplace(a, -1.0);
         for (av, &kv) in a.iter_mut().zip(kernel_fft.iter()) {
             let k = if inverse { kv.conj() } else { kv };
             *av *= k;
         }
-        fft_pow2_inplace(&mut a, 1.0);
+        fft_pow2_inplace(a, 1.0);
         let inv_m = 1.0 / *m as f64;
-        (0..n)
-            .map(|k| (a[k] * take(chirp[k])).scale(inv_m))
-            .collect()
+        for k in 0..n {
+            out[k] = (a[k] * take(chirp[k])).scale(inv_m);
+        }
     }
+}
+
+/// Slot-array capacity of the recursive combine; enforced at plan build so
+/// an over-large radix can never silently read truncated state.
+const RECURSIVE_MAX_RADIX: usize = 8;
+
+/// Precompute the Stockham stages. Stage twiddles are drawn from the same
+/// global table the recursive executor uses, so both paths see identical
+/// twiddle values.
+fn build_stages(n: usize, twiddles: &[Complex64], factors: &[usize]) -> Vec<Stage> {
+    let mut stages = Vec::with_capacity(factors.len());
+    let mut n_cur = n;
+    let mut s = 1usize;
+    for &r in factors {
+        let m = n_cur / r;
+        let full = n / n_cur; // ω_{n_cur} = (ω_N)^{N/n_cur}
+        let mut tw = Vec::with_capacity(m * r);
+        for p in 0..m {
+            for v in 0..r {
+                tw.push(twiddles[(full * p * v) % n]);
+            }
+        }
+        let roots = if r <= 4 {
+            Vec::new()
+        } else {
+            let mut roots = Vec::with_capacity(r * r);
+            for u in 0..r {
+                for v in 0..r {
+                    // ω_r^{uv} = ω_N^{(N/r)·(uv mod r)}
+                    roots.push(twiddles[(n / r) * ((u * v) % r)]);
+                }
+            }
+            roots
+        };
+        stages.push(Stage { r, m, s, tw, roots });
+        n_cur = m;
+        s *= r;
+    }
+    debug_assert_eq!(n_cur, 1);
+    stages
+}
+
+#[inline]
+fn tw_of(c: Complex64, inverse: bool) -> Complex64 {
+    if inverse {
+        c.conj()
+    } else {
+        c
+    }
+}
+
+/// Multiply by ±i: `i·c = (−im, re)`.
+#[inline]
+fn rot90(c: Complex64) -> Complex64 {
+    Complex64::new(-c.im, c.re)
+}
+
+/// One Stockham decimation-in-frequency pass:
+/// `dst[q + s(rp + v)] = ω_{n_cur}^{pv} · Σ_u src[q + s(p + mu)] ω_r^{uv}`.
+fn stage_apply(
+    st: &Stage,
+    src: &[Complex64],
+    dst: &mut [Complex64],
+    slots: &mut [Complex64],
+    inverse: bool,
+) {
+    let (r, m, s) = (st.r, st.m, st.s);
+    // Butterfly sign: forward uses e^{-iθ} roots, inverse their conjugates.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    for p in 0..m {
+        let twp = &st.tw[p * r..p * r + r];
+        for q in 0..s {
+            let at = |u: usize| src[q + s * (p + m * u)];
+            let base = q + s * r * p;
+            match r {
+                2 => {
+                    let (a, b) = (at(0), at(1));
+                    dst[base] = a + b;
+                    dst[base + s] = (a - b) * tw_of(twp[1], inverse);
+                }
+                3 => {
+                    let (a0, a1, a2) = (at(0), at(1), at(2));
+                    let sum = a1 + a2;
+                    let t = a0 - sum.scale(0.5);
+                    // ±i·sin(2π/3)·(a1−a2)
+                    let e = rot90(a1 - a2).scale(sign * SIN_2PI_3);
+                    dst[base] = a0 + sum;
+                    dst[base + s] = (t + e) * tw_of(twp[1], inverse);
+                    dst[base + 2 * s] = (t - e) * tw_of(twp[2], inverse);
+                }
+                4 => {
+                    let (a0, a1, a2, a3) = (at(0), at(1), at(2), at(3));
+                    let (b0, b1) = (a0 + a2, a0 - a2);
+                    let (b2, b3) = (a1 + a3, a1 - a3);
+                    let jb3 = rot90(b3).scale(sign);
+                    dst[base] = b0 + b2;
+                    dst[base + s] = (b1 + jb3) * tw_of(twp[1], inverse);
+                    dst[base + 2 * s] = (b0 - b2) * tw_of(twp[2], inverse);
+                    dst[base + 3 * s] = (b1 - jb3) * tw_of(twp[3], inverse);
+                }
+                _ => {
+                    for (u, slot) in slots.iter_mut().enumerate().take(r) {
+                        *slot = at(u);
+                    }
+                    for v in 0..r {
+                        let mut acc = Complex64::ZERO;
+                        for (u, &au) in slots.iter().enumerate().take(r) {
+                            acc += au * tw_of(st.roots[u * r + v], inverse);
+                        }
+                        dst[base + v * s] = acc * tw_of(twp[v], inverse);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// sin(2π/3) = √3/2, the radix-3 butterfly constant.
+const SIN_2PI_3: f64 = 0.866_025_403_784_438_6;
+
+/// Process-wide plan cache: one shared [`FftPlan`] per transform size.
+///
+/// Plan construction is the paper's once-per-run setup cost; sharing plans
+/// across filter setups, benches and tests keeps it truly once-per-size.
+pub fn shared_plan(n: usize) -> Arc<FftPlan> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("plan cache poisoned");
+    Arc::clone(map.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))))
 }
 
 #[cfg(test)]
@@ -271,6 +616,14 @@ mod tests {
     }
 
     #[test]
+    fn stage_schedule_fuses_twos() {
+        assert_eq!(stage_factors(&[3, 3, 2, 2, 2, 2]), vec![4, 4, 3, 3]);
+        assert_eq!(stage_factors(&[2, 2, 2]), vec![4, 2]);
+        assert_eq!(stage_factors(&[5, 3, 2]), vec![2, 3, 5]);
+        assert_eq!(stage_factors(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
     fn matches_dft_smooth_sizes() {
         for n in [
             1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 27, 30, 36, 45, 48, 60, 72, 144,
@@ -284,6 +637,45 @@ mod tests {
     }
 
     #[test]
+    fn iterative_matches_dft_smooth_sizes() {
+        for n in [1, 2, 3, 4, 5, 6, 9, 12, 20, 30, 45, 48, 72, 144] {
+            let plan = FftPlan::new(n);
+            let mut ws = plan.workspace();
+            let x = signal(n);
+            let mut buf = x.clone();
+            plan.forward_into(&mut buf, &mut ws);
+            let err = max_error(&buf, &dft(&x));
+            assert!(err < 1e-9 * (n.max(4)) as f64, "n={n}: err={err}");
+        }
+    }
+
+    #[test]
+    fn iterative_inverse_matches_idft() {
+        for n in [12, 144, 13, 90, 25] {
+            let plan = FftPlan::new(n);
+            let mut ws = plan.workspace();
+            let x = signal(n);
+            let mut buf = x.clone();
+            plan.inverse_into(&mut buf, &mut ws);
+            let err = max_error(&buf, &idft(&x));
+            assert!(err < 1e-9 * n as f64, "n={n}: err={err}");
+        }
+    }
+
+    #[test]
+    fn iterative_roundtrip_reuses_workspace() {
+        let plan = FftPlan::new(144);
+        let mut ws = plan.workspace();
+        let x = signal(144);
+        let mut buf = x.clone();
+        for _ in 0..3 {
+            plan.forward_into(&mut buf, &mut ws);
+            plan.inverse_into(&mut buf, &mut ws);
+        }
+        assert!(max_error(&buf, &x) < 1e-10);
+    }
+
+    #[test]
     fn matches_dft_bluestein_sizes() {
         for n in [7, 11, 13, 17, 23, 37, 97, 101] {
             let plan = FftPlan::new(n);
@@ -291,6 +683,20 @@ mod tests {
             let x = signal(n);
             let err = max_error(&plan.forward(&x), &dft(&x));
             assert!(err < 1e-8 * n as f64, "n={n}: err={err}");
+        }
+    }
+
+    #[test]
+    fn bluestein_into_is_bitwise_identical_to_forward() {
+        // Both entry points run the same arithmetic in the same order, so
+        // the results must agree exactly, not just to rounding error.
+        for n in [7, 23, 97] {
+            let plan = FftPlan::new(n);
+            let mut ws = plan.workspace();
+            let x = signal(n);
+            let mut buf = x.clone();
+            plan.forward_into(&mut buf, &mut ws);
+            assert_eq!(buf, plan.forward(&x), "n={n}");
         }
     }
 
@@ -331,8 +737,25 @@ mod tests {
     }
 
     #[test]
+    fn shared_plan_caches_by_size() {
+        let a = shared_plan(144);
+        let b = shared_plan(144);
+        assert!(Arc::ptr_eq(&a, &b), "same size must share one plan");
+        assert_eq!(shared_plan(72).len(), 72);
+    }
+
+    #[test]
     #[should_panic(expected = "input length")]
     fn wrong_length_rejected() {
         FftPlan::new(8).forward(&signal(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn into_wrong_length_rejected() {
+        let plan = FftPlan::new(8);
+        let mut ws = plan.workspace();
+        let mut buf = signal(7);
+        plan.forward_into(&mut buf, &mut ws);
     }
 }

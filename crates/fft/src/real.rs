@@ -4,35 +4,130 @@
 //! wavenumbers 0..=N/2 are independent. These helpers move between a real
 //! signal and its half-spectrum, which is what the filter response S(s,φ)
 //! of the paper is defined over (wavenumbers s = 1..M in Eq. (1)).
+//!
+//! Two tiers are provided:
+//!
+//! * [`rfft_into`] / [`irfft_into`] — the allocation-free fast path. For
+//!   even sizes a length-n real transform is evaluated as **one length-n/2
+//!   complex transform** (even samples in the real lane, odd samples in the
+//!   imaginary lane) plus an O(n) untangle pass — roughly half the work of
+//!   transforming the zero-padded complex signal. Odd sizes fall back to
+//!   the full complex transform, still through reusable workspace buffers.
+//! * [`rfft`] / [`irfft`] — convenience wrappers that allocate their
+//!   outputs (and a transient workspace) and delegate to the fast path.
 
 use crate::complex::Complex64;
 use crate::plan::FftPlan;
+use crate::workspace::FftWorkspace;
 
 /// Forward transform of a real signal; returns the half spectrum
 /// `X[0..=n/2]` (length `n/2 + 1`).
 pub fn rfft(plan: &FftPlan, x: &[f64]) -> Vec<Complex64> {
-    let n = plan.len();
-    assert_eq!(x.len(), n);
-    let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
-    let full = plan.forward(&xc);
-    full[..=n / 2].to_vec()
+    let mut out = vec![Complex64::ZERO; plan.len() / 2 + 1];
+    let mut ws = FftWorkspace::new();
+    rfft_into(plan, x, &mut out, &mut ws);
+    out
 }
 
 /// Inverse of [`rfft`]: rebuild the full conjugate-symmetric spectrum and
 /// transform back, returning the real signal.
 pub fn irfft(plan: &FftPlan, half: &[Complex64]) -> Vec<f64> {
+    let mut out = vec![0.0; plan.len()];
+    let mut ws = FftWorkspace::new();
+    irfft_into(plan, half, &mut out, &mut ws);
+    out
+}
+
+/// Allocation-free forward transform of a real signal into its half
+/// spectrum `out[0..=n/2]`.
+///
+/// Even sizes run one complex transform of size n/2 on the packed signal
+/// `z[j] = x[2j] + i·x[2j+1]` and untangle the even/odd spectra:
+/// `X[k] = E[k] + w^k·O[k]`, `X[m−k] = conj(E[k] − w^k·O[k])` with
+/// `w = e^{-2πi/n}`, `m = n/2`.
+pub fn rfft_into(plan: &FftPlan, x: &[f64], out: &mut [Complex64], ws: &mut FftWorkspace) {
     let n = plan.len();
+    assert_eq!(x.len(), n);
+    assert_eq!(
+        out.len(),
+        n / 2 + 1,
+        "half spectrum must have n/2+1 entries"
+    );
+    if let Some(half) = plan.half() {
+        let m = n / 2;
+        ws.with_line(m, |buf, ws| {
+            for (j, slot) in buf.iter_mut().enumerate() {
+                *slot = Complex64::new(x[2 * j], x[2 * j + 1]);
+            }
+            half.forward_into(buf, ws);
+            for k in 0..=m / 2 {
+                let zk = buf[k];
+                let zmk = buf[(m - k) % m];
+                // E[k] = (Z[k] + conj(Z[m−k]))/2, O[k] = (Z[k] − conj(Z[m−k]))/(2i)
+                let e = (zk + zmk.conj()).scale(0.5);
+                let d = (zk - zmk.conj()).scale(0.5);
+                let o = Complex64::new(d.im, -d.re);
+                let wo = plan.twiddle(k) * o;
+                out[k] = e + wo;
+                out[m - k] = (e - wo).conj();
+            }
+        });
+    } else {
+        ws.with_line(n, |buf, ws| {
+            for (slot, &v) in buf.iter_mut().zip(x) {
+                *slot = Complex64::from_re(v);
+            }
+            plan.forward_into(buf, ws);
+            out.copy_from_slice(&buf[..=n / 2]);
+        });
+    }
+}
+
+/// Allocation-free inverse of [`rfft_into`]: half spectrum
+/// `half[0..=n/2]` back to the real signal `out[0..n]`.
+pub fn irfft_into(plan: &FftPlan, half: &[Complex64], out: &mut [f64], ws: &mut FftWorkspace) {
+    let n = plan.len();
+    assert_eq!(out.len(), n);
     assert_eq!(
         half.len(),
         n / 2 + 1,
         "half spectrum must have n/2+1 entries"
     );
-    let mut full = vec![Complex64::ZERO; n];
-    full[..=n / 2].copy_from_slice(half);
-    for k in n / 2 + 1..n {
-        full[k] = half[n - k].conj();
+    if let Some(hp) = plan.half() {
+        let m = n / 2;
+        ws.with_line(m, |buf, ws| {
+            for k in 0..=m / 2 {
+                let hk = half[k];
+                let hmk = half[m - k];
+                // E[k] = (X[k] + conj(X[m−k]))/2, O[k] = (X[k] − conj(X[m−k]))/2 · w^{−k}
+                let e = (hk + hmk.conj()).scale(0.5);
+                let d = (hk - hmk.conj()).scale(0.5);
+                let o = d * plan.twiddle(k).conj();
+                // Z[k] = E[k] + i·O[k]
+                buf[k] = Complex64::new(e.re - o.im, e.im + o.re);
+                if k != 0 && m - k != k {
+                    // Z[m−k] = conj(E[k]) + i·conj(O[k])
+                    buf[m - k] = Complex64::new(e.re + o.im, o.re - e.im);
+                }
+            }
+            hp.inverse_into(buf, ws);
+            for (j, z) in buf.iter().enumerate() {
+                out[2 * j] = z.re;
+                out[2 * j + 1] = z.im;
+            }
+        });
+    } else {
+        ws.with_line(n, |buf, ws| {
+            buf[..=n / 2].copy_from_slice(half);
+            for k in n / 2 + 1..n {
+                buf[k] = half[n - k].conj();
+            }
+            plan.inverse_into(buf, ws);
+            for (slot, z) in out.iter_mut().zip(buf.iter()) {
+                *slot = z.re;
+            }
+        });
     }
-    plan.inverse(&full).into_iter().map(|c| c.re).collect()
 }
 
 /// Number of independent wavenumbers of a length-`n` real signal,
@@ -78,6 +173,46 @@ mod tests {
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0, f64::max);
             assert!(err < 1e-10, "n={n}: err={err}");
+        }
+    }
+
+    #[test]
+    fn half_size_path_matches_full_transform() {
+        // The packed-even/odd untangle must agree with the plain full
+        // complex transform of the real signal, bin by bin.
+        for n in [2, 4, 6, 10, 12, 14, 48, 144, 146] {
+            let plan = FftPlan::new(n);
+            let mut ws = plan.workspace();
+            let x = signal(n);
+            let mut half = vec![Complex64::ZERO; n / 2 + 1];
+            rfft_into(&plan, &x, &mut half, &mut ws);
+            let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
+            let full = plan.forward(&xc);
+            for k in 0..=n / 2 {
+                let d = half[k] - full[k];
+                assert!(d.abs() < 1e-10 * n as f64, "n={n} k={k}: {}", d.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn into_roundtrip_reuses_workspace() {
+        for n in [12, 144, 45, 97] {
+            let plan = FftPlan::new(n);
+            let mut ws = plan.workspace();
+            let x = signal(n);
+            let mut half = vec![Complex64::ZERO; n / 2 + 1];
+            let mut back = vec![0.0; n];
+            for _ in 0..3 {
+                rfft_into(&plan, &x, &mut half, &mut ws);
+                irfft_into(&plan, &half, &mut back, &mut ws);
+            }
+            let err: f64 = x
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-9, "n={n}: err={err}");
         }
     }
 

@@ -1,0 +1,71 @@
+//! Satellite property test: the iterative workspace executor
+//! (`forward_into`/`inverse_into`) must agree with the original recursive
+//! executor (`forward`/`inverse`) to ≤1e-12 across every size 1..=96 plus
+//! the production longitude count 144 — covering mixed-radix schedules of
+//! every shape and the Bluestein fallback (where the two entry points run
+//! the identical arithmetic, so they agree exactly).
+
+use agcm_fft::{Complex64, FftPlan};
+
+fn signal(n: usize, seed: u64) -> Vec<Complex64> {
+    // Simple deterministic LCG so every size gets a distinct dense signal.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            };
+            Complex64::new(next(), next())
+        })
+        .collect()
+}
+
+fn max_diff(a: &[Complex64], b: &[Complex64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn iterative_executor_matches_recursive_all_sizes() {
+    let sizes: Vec<usize> = (1..=96).chain([144]).collect();
+    for &n in &sizes {
+        let plan = FftPlan::new(n);
+        let mut ws = plan.workspace();
+        for seed in 0..3u64 {
+            let x = signal(n, seed * 1000 + n as u64);
+
+            let expect_fwd = plan.forward(&x);
+            let mut got = x.clone();
+            plan.forward_into(&mut got, &mut ws);
+            let err = max_diff(&got, &expect_fwd);
+            assert!(err <= 1e-12, "forward n={n} seed={seed}: err={err:e}");
+
+            let expect_inv = plan.inverse(&x);
+            let mut got = x.clone();
+            plan.inverse_into(&mut got, &mut ws);
+            let err = max_diff(&got, &expect_inv);
+            assert!(err <= 1e-12, "inverse n={n} seed={seed}: err={err:e}");
+        }
+    }
+}
+
+#[test]
+fn shared_workspace_across_sizes_is_safe() {
+    // One workspace serving interleaved sizes must not cross-contaminate.
+    let mut ws = agcm_fft::FftWorkspace::new();
+    for &n in &[144usize, 7, 96, 13, 1, 90] {
+        let plan = FftPlan::new(n);
+        let x = signal(n, n as u64);
+        let mut got = x.clone();
+        plan.forward_into(&mut got, &mut ws);
+        assert!(
+            max_diff(&got, &plan.forward(&x)) <= 1e-12,
+            "n={n} after mixed-size reuse"
+        );
+    }
+}

@@ -4,9 +4,25 @@
 //! the comparison across variants is the paper's Tables 8–11.
 
 use crate::convolution::{ConvMode, ConvolutionFilter};
+use crate::engine::FilterScratch;
 use crate::lines::FilterSetup;
 use agcm_grid::field::Field3D;
 use agcm_mps::topology::CartComm;
+use std::cell::RefCell;
+
+/// How the FFT variants move variables through the redistribute engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterOrganization {
+    /// One redistribute pass per filter class moves **all** its variables
+    /// — at most one forward + one backward message per rank pair per
+    /// class. The production organization (§3.3: "all weakly filtered
+    /// variables are filtered concurrently…").
+    #[default]
+    Aggregated,
+    /// One redistribute pass per variable, as the original code was
+    /// organized — kept for paper-faithful Tables 8–11 comparison runs.
+    PerVariable,
+}
 
 /// Which polar-filter implementation to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,24 +60,50 @@ impl FilterVariant {
 /// A ready-to-apply filter: variant plus any precomputed state.
 pub struct PolarFilter {
     variant: FilterVariant,
+    organization: FilterOrganization,
     conv: Option<ConvolutionFilter>,
+    /// Reusable engine buffers, kept across timesteps so the filter stops
+    /// allocating on its hot path. `RefCell`: `apply` takes `&self` (the
+    /// filter is logically immutable) and each rank owns its own filter.
+    scratch: RefCell<FilterScratch>,
 }
 
 impl PolarFilter {
     /// Prepare the chosen variant (kernel precomputation for the
-    /// convolution forms — the "setup" cost paid once per run).
+    /// convolution forms — the "setup" cost paid once per run) with the
+    /// default aggregated organization.
     pub fn new(setup: &FilterSetup, variant: FilterVariant) -> PolarFilter {
+        PolarFilter::with_organization(setup, variant, FilterOrganization::default())
+    }
+
+    /// Prepare the chosen variant with an explicit organization (only the
+    /// FFT variants distinguish them; the convolution forms ignore it).
+    pub fn with_organization(
+        setup: &FilterSetup,
+        variant: FilterVariant,
+        organization: FilterOrganization,
+    ) -> PolarFilter {
         let conv = match variant {
             FilterVariant::ConvolutionRing => Some(ConvolutionFilter::new(setup, ConvMode::Ring)),
             FilterVariant::ConvolutionTree => Some(ConvolutionFilter::new(setup, ConvMode::Tree)),
             _ => None,
         };
-        PolarFilter { variant, conv }
+        PolarFilter {
+            variant,
+            organization,
+            conv,
+            scratch: RefCell::new(FilterScratch::new()),
+        }
     }
 
     /// The variant this filter runs.
     pub fn variant(&self) -> FilterVariant {
         self.variant
+    }
+
+    /// The variable organization of the FFT variants.
+    pub fn organization(&self) -> FilterOrganization {
+        self.organization
     }
 
     /// Apply the full filtering step (both classes) to the local fields.
@@ -72,8 +114,20 @@ impl PolarFilter {
                 .as_ref()
                 .expect("prepared in new")
                 .apply(setup, cart, fields),
-            FilterVariant::FftNoLb => crate::fft::apply(setup, cart, fields),
-            FilterVariant::LbFft => crate::lb_fft::apply(setup, cart, fields),
+            FilterVariant::FftNoLb => crate::fft::apply_with(
+                setup,
+                cart,
+                fields,
+                self.organization,
+                &mut self.scratch.borrow_mut(),
+            ),
+            FilterVariant::LbFft => crate::lb_fft::apply_with(
+                setup,
+                cart,
+                fields,
+                self.organization,
+                &mut self.scratch.borrow_mut(),
+            ),
         }
     }
 }

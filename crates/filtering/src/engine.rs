@@ -11,8 +11,11 @@
 //!    the row-local special case). Chunks a rank assigns to itself move by
 //!    local copy.
 //! 2. **Local filtering** — the assignee reassembles complete longitude
-//!    lines, applies the spectral multiplier through the shared FFT plan,
-//!    and records the flop count.
+//!    lines back to back in one contiguous buffer, groups them by latitude
+//!    (one spectral multiplier per latitude), and filters them through the
+//!    batched FFT engine: two real lines per complex transform, the odd
+//!    tail through the half-size real transform, all scratch reused from a
+//!    [`FilterScratch`].
 //! 3. **Inverse movement** — filtered lines are split back into the
 //!    original chunks and returned; "inverse data movements … restore the
 //!    data layout which existed prior to the filtering."
@@ -20,18 +23,74 @@
 //! Packing order is the canonical line order on both sides, so no indices
 //! travel with the data — the set-up bookkeeping makes the streams
 //! self-describing.
+//!
+//! With `only_var: None` (the production organization) one pass moves
+//! *every* variable of a filter class, so a filtered step costs at most one
+//! forward and one backward message per communicating rank pair per class —
+//! the aggregation the paper's §3.3 reorganization allows. `Some(var)`
+//! reproduces the original one-variable-at-a-time organization for the
+//! paper-faithful runs.
 
 use crate::filterfn::FilterKind;
 use crate::lines::FilterSetup;
-use agcm_fft::convolution::apply_spectral_multiplier;
-use agcm_fft::ops::spectral_filter_flops;
+use agcm_fft::batch::filter_lines;
+use agcm_fft::ops::{pair_filter_flops, real_filter_flops};
+use agcm_fft::FftWorkspace;
 use agcm_grid::field::Field3D;
 use agcm_mps::message::Payload;
 use agcm_mps::topology::CartComm;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 const TAG_FWD: u64 = 401;
 const TAG_BWD: u64 = 402;
+
+/// Reusable per-rank state of the redistribute engine.
+///
+/// Everything the engine needs across timesteps lives here — FFT
+/// workspace, line-assembly buffer, receive staging, pack cursors — so a
+/// long simulation stops paying the allocator on the filter's critical
+/// path. Buffers grow to the high-water mark on the first filtered step
+/// and are reused verbatim afterwards. (Outgoing message buffers are the
+/// one exception: the transport takes ownership of each sent `Vec`, so
+/// those are built fresh per send.)
+#[derive(Default)]
+pub struct FilterScratch {
+    /// Workspace for the allocation-free FFT executor.
+    ws: FftWorkspace,
+    /// Complete owned lines, back to back in canonical line order.
+    assembled: Vec<f64>,
+    /// Latitude of each assembled line (parallel to the chunks of
+    /// `assembled`).
+    lats: Vec<usize>,
+    /// Receive staging, indexed by source rank.
+    bufs: Vec<Vec<f64>>,
+    /// Return-path staging, indexed by owner rank.
+    ret_bufs: Vec<Vec<f64>>,
+    /// Per-rank consumption cursors (reset per phase).
+    cursors: Vec<usize>,
+}
+
+impl FilterScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> FilterScratch {
+        FilterScratch::default()
+    }
+
+    fn reset(&mut self, p: usize) {
+        self.assembled.clear();
+        self.lats.clear();
+        self.bufs.iter_mut().for_each(Vec::clear);
+        self.bufs.resize(p, Vec::new());
+        self.ret_bufs.iter_mut().for_each(Vec::clear);
+        self.ret_bufs.resize(p, Vec::new());
+        self.cursors.clear();
+        self.cursors.resize(p, 0);
+    }
+
+    fn reset_cursors(&mut self) {
+        self.cursors.iter_mut().for_each(|c| *c = 0);
+    }
+}
 
 /// Run one filter class through the redistribute/filter/restore engine.
 ///
@@ -47,6 +106,7 @@ pub(crate) fn redistribute_filter(
     kind: FilterKind,
     owners: &[usize],
     only_var: Option<usize>,
+    scratch: &mut FilterScratch,
 ) {
     let comm = cart.comm();
     let p = comm.size();
@@ -59,8 +119,11 @@ pub(crate) fn redistribute_filter(
     let mesh_lon = setup.decomp.mesh_lon;
     let selected = |var: usize| only_var.is_none_or(|v| v == var);
     let holds = |lat: usize| sub.lats().contains(&lat);
+    scratch.reset(p);
 
     // --- Phase 1: forward movement (skip empty pairs, self by copy). -----
+    // Send buffers are freshly allocated: `Payload::F64` hands the Vec to
+    // the transport, which owns it until the receiver drains it.
     let mut send: Vec<Vec<f64>> = vec![Vec::new(); p];
     for (idx, line) in lines.iter().enumerate() {
         if selected(line.var) && holds(line.lat) {
@@ -68,8 +131,7 @@ pub(crate) fn redistribute_filter(
             send[owners[idx]].extend_from_slice(&row);
         }
     }
-    let mut bufs: Vec<Vec<f64>> = vec![Vec::new(); p];
-    bufs[rank] = std::mem::take(&mut send[rank]);
+    scratch.bufs[rank] = std::mem::take(&mut send[rank]);
     for (dst, buf) in send.into_iter().enumerate() {
         if dst != rank && !buf.is_empty() {
             comm.send(dst, TAG_FWD, Payload::F64(buf));
@@ -88,45 +150,64 @@ pub(crate) fn redistribute_filter(
     }
     for &src in &fwd_sources {
         if src != rank {
-            bufs[src] = comm.recv_f64(src, TAG_FWD);
+            scratch.bufs[src] = comm.recv_f64(src, TAG_FWD);
         }
     }
 
-    // --- Phase 2: assemble, filter, count the work. ----------------------
-    let mut cursors = vec![0usize; p];
-    let mut filtered: Vec<(usize, Vec<f64>)> = Vec::new();
-    let mut flops = 0.0;
+    // --- Phase 2: assemble contiguously, batch-filter per latitude. ------
     for (idx, line) in lines.iter().enumerate() {
         if owners[idx] != rank || !selected(line.var) {
             continue;
         }
         let src_row = setup.decomp.row_of_lat(line.lat);
-        let mut full = vec![0.0; n_lon];
+        let start = scratch.assembled.len();
+        scratch.assembled.resize(start + n_lon, 0.0);
         for c in 0..mesh_lon {
             let src = src_row * mesh_lon + c;
             let (i0, ni) = setup.col_chunk(c);
-            full[i0..i0 + ni].copy_from_slice(&bufs[src][cursors[src]..cursors[src] + ni]);
-            cursors[src] += ni;
+            let cur = scratch.cursors[src];
+            scratch.assembled[start + i0..start + i0 + ni]
+                .copy_from_slice(&scratch.bufs[src][cur..cur + ni]);
+            scratch.cursors[src] += ni;
         }
-        let mult = setup.multiplier(kind, line.lat);
-        let out = apply_spectral_multiplier(&setup.fft, &full, mult);
-        flops += spectral_filter_flops(n_lon);
-        filtered.push((idx, out));
+        scratch.lats.push(line.lat);
+    }
+    // All lines at one latitude share one multiplier, so they batch into
+    // pair-packed transforms (two lines per FFT; the odd line goes through
+    // the half-size real transform).
+    let mut groups: BTreeMap<usize, Vec<&mut [f64]>> = BTreeMap::new();
+    for (chunk, &lat) in scratch
+        .assembled
+        .chunks_exact_mut(n_lon)
+        .zip(scratch.lats.iter())
+    {
+        groups.entry(lat).or_default().push(chunk);
+    }
+    let mut flops = 0.0;
+    for (lat, mut rows) in groups {
+        let mult = setup.multiplier(kind, lat);
+        let (pairs, tail) = (rows.len() / 2, rows.len() % 2);
+        filter_lines(&setup.fft, &mut rows, mult, &mut scratch.ws);
+        flops += pairs as f64 * pair_filter_flops(n_lon) + tail as f64 * real_filter_flops(n_lon);
     }
     comm.record_flops(flops);
 
     // --- Phase 3: inverse movement (same sparsity, reversed). ------------
     let mut back: Vec<Vec<f64>> = vec![Vec::new(); p];
-    for (idx, out) in &filtered {
-        let line = lines[*idx];
+    let mut assembled_pos = 0;
+    for (idx, line) in lines.iter().enumerate() {
+        if owners[idx] != rank || !selected(line.var) {
+            continue;
+        }
+        let out = &scratch.assembled[assembled_pos..assembled_pos + n_lon];
+        assembled_pos += n_lon;
         let dst_row = setup.decomp.row_of_lat(line.lat);
         for c in 0..mesh_lon {
             let (i0, ni) = setup.col_chunk(c);
             back[dst_row * mesh_lon + c].extend_from_slice(&out[i0..i0 + ni]);
         }
     }
-    let mut ret_bufs: Vec<Vec<f64>> = vec![Vec::new(); p];
-    ret_bufs[rank] = std::mem::take(&mut back[rank]);
+    scratch.ret_bufs[rank] = std::mem::take(&mut back[rank]);
     for (dst, buf) in back.into_iter().enumerate() {
         if dst != rank && !buf.is_empty() {
             comm.send(dst, TAG_BWD, Payload::F64(buf));
@@ -142,20 +223,21 @@ pub(crate) fn redistribute_filter(
     }
     for &src in &bwd_sources {
         if src != rank {
-            ret_bufs[src] = comm.recv_f64(src, TAG_BWD);
+            scratch.ret_bufs[src] = comm.recv_f64(src, TAG_BWD);
         }
     }
-    let mut cursors = vec![0usize; p];
+    scratch.reset_cursors();
     for (idx, line) in lines.iter().enumerate() {
         if selected(line.var) && holds(line.lat) {
             let o = owners[idx];
-            let chunk = &ret_bufs[o][cursors[o]..cursors[o] + sub.ni];
+            let cur = scratch.cursors[o];
+            let chunk = &scratch.ret_bufs[o][cur..cur + sub.ni];
             fields[line.var].set_row(line.lat - sub.j0, line.lev, chunk);
-            cursors[o] += sub.ni;
+            scratch.cursors[o] += sub.ni;
         }
     }
     // Every returned byte must have been consumed.
-    for (o, buf) in ret_bufs.iter().enumerate() {
-        debug_assert_eq!(cursors[o], buf.len(), "stray data from owner {o}");
+    for (o, buf) in scratch.ret_bufs.iter().enumerate() {
+        debug_assert_eq!(scratch.cursors[o], buf.len(), "stray data from owner {o}");
     }
 }

@@ -8,23 +8,61 @@
 //! variables are filtered concurrently, as are all strongly filtered
 //! variables" — each class moves in a single collective exchange.
 
-use crate::engine::redistribute_filter;
+use crate::driver::FilterOrganization;
+use crate::engine::{redistribute_filter, FilterScratch};
 use crate::filterfn::FilterKind;
 use crate::lines::FilterSetup;
 use agcm_grid::field::Field3D;
 use agcm_mps::topology::CartComm;
 
-/// Apply both filter classes with globally load-balanced FFT filtering.
+/// Apply both filter classes with globally load-balanced FFT filtering
+/// (aggregated organization, transient scratch).
 pub fn apply(setup: &FilterSetup, cart: &CartComm, fields: &mut [Field3D]) {
+    let mut scratch = FilterScratch::new();
+    apply_with(
+        setup,
+        cart,
+        fields,
+        FilterOrganization::Aggregated,
+        &mut scratch,
+    );
+}
+
+/// Apply both filter classes with an explicit organization and reusable
+/// scratch (the driver's entry point).
+pub fn apply_with(
+    setup: &FilterSetup,
+    cart: &CartComm,
+    fields: &mut [Field3D],
+    organization: FilterOrganization,
+    scratch: &mut FilterScratch,
+) {
     for kind in [FilterKind::Strong, FilterKind::Weak] {
-        apply_kind(setup, cart, fields, kind);
+        apply_kind(setup, cart, fields, kind, organization, scratch);
     }
 }
 
-/// Apply one filter class, all of its variables concurrently.
-pub fn apply_kind(setup: &FilterSetup, cart: &CartComm, fields: &mut [Field3D], kind: FilterKind) {
+/// Apply one filter class: all variables concurrently (default), or one
+/// pass per variable (the pre-reorganization layout, for comparison runs).
+pub fn apply_kind(
+    setup: &FilterSetup,
+    cart: &CartComm,
+    fields: &mut [Field3D],
+    kind: FilterKind,
+    organization: FilterOrganization,
+    scratch: &mut FilterScratch,
+) {
     let owners = setup.balanced_owners(kind);
-    redistribute_filter(setup, cart, fields, kind, &owners, None);
+    match organization {
+        FilterOrganization::Aggregated => {
+            redistribute_filter(setup, cart, fields, kind, &owners, None, scratch);
+        }
+        FilterOrganization::PerVariable => {
+            for &var in setup.vars(kind) {
+                redistribute_filter(setup, cart, fields, kind, &owners, Some(var), scratch);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

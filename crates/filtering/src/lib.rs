@@ -26,13 +26,14 @@
 
 pub mod convolution;
 pub mod driver;
-pub(crate) mod engine;
+pub mod engine;
 pub mod fft;
 pub mod filterfn;
 pub mod lb_fft;
 pub mod lines;
 pub mod reference;
 
-pub use driver::{FilterVariant, PolarFilter};
+pub use driver::{FilterOrganization, FilterVariant, PolarFilter};
+pub use engine::FilterScratch;
 pub use filterfn::FilterKind;
 pub use lines::{FilterSetup, Line};

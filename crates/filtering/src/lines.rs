@@ -11,11 +11,12 @@
 //! problem size."
 
 use crate::filterfn::FilterKind;
-use agcm_fft::FftPlan;
+use agcm_fft::{shared_plan, FftPlan};
 use agcm_grid::arakawa::Variable;
 use agcm_grid::decomp::{block_partition, Decomp};
 use agcm_grid::latlon::GridSpec;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One filterable line: variable × latitude × level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,8 +42,11 @@ pub struct FilterSetup {
     strong_lines: Vec<Line>,
     weak_lines: Vec<Line>,
     multipliers: HashMap<(FilterKind, usize), Vec<f64>>,
-    /// FFT plan for whole longitude lines.
-    pub fft: FftPlan,
+    /// FFT plan for whole longitude lines, shared through the process-wide
+    /// per-size plan cache (every rank and every setup of one run reuses
+    /// the same plan — the paper's once-per-run setup cost, done once per
+    /// *process*).
+    pub fft: Arc<FftPlan>,
 }
 
 impl FilterSetup {
@@ -102,7 +106,7 @@ impl FilterSetup {
             strong_lines,
             weak_lines,
             multipliers,
-            fft: FftPlan::new(grid.n_lon),
+            fft: shared_plan(grid.n_lon),
         }
     }
 

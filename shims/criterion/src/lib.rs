@@ -8,6 +8,10 @@
 //! `sample_size` samples and reported as median ns/iter on stdout. No
 //! statistics machinery, no HTML reports; enough to run `cargo bench` and
 //! compare orders of magnitude.
+//!
+//! Like the real crate, `cargo bench -- --test` runs every benchmark body
+//! exactly once without timing — a smoke mode for CI that proves the
+//! benches still compile and run without paying for measurements.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -43,11 +47,17 @@ impl fmt::Display for BenchmarkId {
 pub struct Bencher {
     samples: Vec<Duration>,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
-    /// Time `body`, collecting one duration per sample.
+    /// Time `body`, collecting one duration per sample. In `--test` smoke
+    /// mode the body runs exactly once, untimed.
     pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        if self.test_mode {
+            std::hint::black_box(body());
+            return;
+        }
         // Warm-up, and measure a single call to pick an iteration count
         // that keeps each sample ≥ ~1ms without running forever.
         let t0 = Instant::now();
@@ -64,6 +74,10 @@ impl Bencher {
     }
 
     fn report(&mut self, group: &str, name: &str) {
+        if self.test_mode {
+            println!("{group}/{name}: ok (test mode, 1 iteration)");
+            return;
+        }
         if self.samples.is_empty() {
             println!("{group}/{name}: no samples");
             return;
@@ -82,6 +96,7 @@ impl Bencher {
 pub struct BenchmarkGroup {
     name: String,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup {
@@ -102,6 +117,7 @@ impl BenchmarkGroup {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
         };
         body(&mut b);
         b.report(&self.name, &id.to_string());
@@ -117,6 +133,7 @@ impl BenchmarkGroup {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
         };
         body(&mut b, input);
         b.report(&self.name, &id.to_string());
@@ -127,15 +144,33 @@ impl BenchmarkGroup {
 }
 
 /// Top-level benchmark driver.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// `--test` anywhere on the command line (as `cargo bench -- --test`
+    /// passes it) switches every benchmark to single-iteration smoke mode.
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
 
 impl Criterion {
+    /// Force smoke mode regardless of the command line (used in tests).
+    pub fn with_test_mode(mut self, on: bool) -> Criterion {
+        self.test_mode = on;
+        self
+    }
+
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 10,
+            test_mode: self.test_mode,
         }
     }
 
@@ -188,6 +223,16 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion::default().with_test_mode(true);
+        let mut g = c.benchmark_group("smoke");
+        let mut calls = 0u32;
+        g.bench_function("once", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 1, "--test mode must run the body exactly once");
     }
 
     #[test]
