@@ -90,8 +90,19 @@ impl<'a> StepContext<'a> {
     }
 
     /// Advance one step: Dynamics then Physics (Figure 1). Returns the
-    /// (performed, owned) physics loads.
+    /// (performed, owned) physics loads. The whole step is wrapped in a
+    /// `"step"` phase so telemetry can slice the trace per timestep.
     fn step(
+        &self,
+        comm: &Comm,
+        state: &mut ModelState,
+        tracker: &LoadTracker,
+        step: u64,
+    ) -> (f64, f64) {
+        comm.phase("step", || self.step_body(comm, state, tracker, step))
+    }
+
+    fn step_body(
         &self,
         comm: &Comm,
         state: &mut ModelState,
@@ -152,6 +163,8 @@ pub fn run_model(cfg: AgcmConfig) -> ModelRun {
             max_wind: state.max_wind(),
         }
     });
+    // With no sink installed this is a single atomic load.
+    agcm_telemetry::telemetry().observe_trace(&trace, None);
     ModelRun {
         ranks,
         trace,
@@ -202,6 +215,8 @@ pub struct ResilientRun {
     pub fault_events: Vec<Vec<agcm_mps::fault::FaultEvent>>,
     /// Aggregated fault/recovery counters.
     pub metrics: ResilienceMetrics,
+    /// Execution trace of the successful attempt.
+    pub trace: WorldTrace,
     /// The configuration that produced this run.
     pub config: AgcmConfig,
 }
@@ -290,12 +305,21 @@ pub fn run_model_resilient(
             }
         },
     )?;
+    agcm_telemetry::telemetry().observe_trace(
+        &report.trace,
+        Some(agcm_telemetry::ResilienceCounters {
+            attempts: report.attempts as u64,
+            failures: report.failures.len() as u64,
+            fault_events: report.fault_events.iter().map(|e| e.len() as u64).sum(),
+        }),
+    );
     Ok(ResilientRun {
         ranks: report.results,
         attempts: report.attempts,
         failures: report.failures,
         fault_events: report.fault_events,
         metrics: report.metrics,
+        trace: report.trace,
         config: cfg,
     })
 }
@@ -333,6 +357,7 @@ mod tests {
                     .filter(|e| matches!(e, Event::PhaseBegin(n) if *n == name))
                     .count()
             };
+            assert_eq!(count("step"), 3);
             assert_eq!(count("dynamics"), 3);
             assert_eq!(count("physics"), 3);
             assert_eq!(count("filter"), 3);

@@ -22,9 +22,14 @@ impl Timers {
         Timers::default()
     }
 
-    /// Start (or restart) the named timer.
+    /// Start (or restart) the named timer. Starting a timer that is
+    /// already running first accumulates the elapsed interval — a missed
+    /// `stop` loses the gap between the two calls, never the time the
+    /// timer was observably running.
     pub fn start(&mut self, name: &'static str) {
-        self.running.insert(name, Instant::now());
+        if let Some(t0) = self.running.insert(name, Instant::now()) {
+            *self.acc.entry(name).or_insert(0.0) += t0.elapsed().as_secs_f64();
+        }
     }
 
     /// Stop the named timer, accumulating elapsed seconds.
@@ -105,5 +110,18 @@ mod tests {
     #[should_panic(expected = "not started")]
     fn stop_without_start_panics() {
         Timers::new().stop("ghost");
+    }
+
+    #[test]
+    fn restart_accumulates_instead_of_discarding() {
+        let mut t = Timers::new();
+        t.start("work");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        // Restart without stop: the first interval must not be lost.
+        t.start("work");
+        assert!(t.seconds("work") >= 0.004, "{}", t.seconds("work"));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        t.stop("work");
+        assert!(t.seconds("work") >= 0.008, "{}", t.seconds("work"));
     }
 }

@@ -1,0 +1,99 @@
+//! End-to-end telemetry wiring: install a memory sink, run the model, and
+//! check that per-step and per-run records arrive with the right shape —
+//! including the acceptance criterion that the run summary's flop
+//! imbalance agrees with `WorldTrace::flop_imbalance` to 1e-9. Global
+//! telemetry installs once per process, so this file is a single test.
+
+use agcm_core::config::AgcmConfig;
+use agcm_core::model::{run_model, run_model_resilient, ResilienceOpts};
+use agcm_costmodel::machine::MachineProfile;
+use agcm_filtering::driver::FilterVariant;
+use agcm_grid::latlon::GridSpec;
+use agcm_telemetry::{install, MemorySink};
+use std::sync::Arc;
+
+#[test]
+fn model_runs_feed_the_installed_sink() {
+    let sink = Arc::new(MemorySink::new());
+    assert!(install(sink.clone(), MachineProfile::t3d()));
+    // Second install loses (first wins).
+    assert!(!install(
+        Arc::new(MemorySink::new()),
+        MachineProfile::paragon()
+    ));
+
+    let cfg =
+        AgcmConfig::for_grid(GridSpec::new(48, 24, 3), 2, 2, FilterVariant::LbFft).with_steps(3);
+    let run = run_model(cfg);
+    assert!(run.stable());
+
+    // Three step records and one run record.
+    let steps = sink.steps();
+    let runs = sink.runs();
+    assert_eq!(steps.len(), 3);
+    assert_eq!(runs.len(), 1);
+    let summary = &runs[0];
+    assert_eq!(summary.ranks, 4);
+    assert_eq!(summary.steps, 3);
+    assert!(summary.resilience.is_none());
+
+    // Acceptance criterion: summary imbalance == trace imbalance to 1e-9.
+    assert!(
+        (summary.flop_imbalance - run.trace.flop_imbalance()).abs() < 1e-9,
+        "{} vs {}",
+        summary.flop_imbalance,
+        run.trace.flop_imbalance()
+    );
+
+    // Steps carry the component phases with positive virtual time.
+    for step in &steps {
+        assert!(step.virt_seconds > 0.0);
+        for phase in ["dynamics", "physics", "filter"] {
+            let (_, secs) = step
+                .phase_seconds
+                .iter()
+                .find(|(n, _)| *n == phase)
+                .unwrap_or_else(|| panic!("step {} lacks phase {phase}", step.step));
+            assert!(*secs > 0.0, "{phase}");
+        }
+        assert_eq!(step.flops.len(), 4);
+        assert!(step.flop_imbalance >= 0.0);
+    }
+
+    // Per-phase flop imbalance in the summary covers the component phases.
+    for phase in ["dynamics", "physics"] {
+        assert!(
+            summary
+                .phase_flop_imbalance
+                .iter()
+                .any(|(n, _)| *n == phase),
+            "summary lacks {phase}"
+        );
+    }
+
+    // Collective counters flowed through from the substrate.
+    assert!(
+        !summary.collectives.is_empty(),
+        "model run uses collectives (load estimates, reductions)"
+    );
+
+    // A resilient run attaches resilience counters to its summary.
+    let dir = std::env::temp_dir().join(format!("agcm-telemetry-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let res = run_model_resilient(
+        AgcmConfig::for_grid(GridSpec::new(48, 24, 3), 2, 2, FilterVariant::LbFft)
+            .with_steps(2)
+            .with_checkpointing(1),
+        ResilienceOpts::new(&dir),
+    )
+    .unwrap();
+    assert_eq!(res.attempts, 1);
+    let runs = sink.runs();
+    assert_eq!(runs.len(), 2);
+    let resilient_summary = &runs[1];
+    let counters = resilient_summary.resilience.expect("resilience counters");
+    assert_eq!(counters.attempts, 1);
+    assert_eq!(counters.failures, 0);
+    assert!((resilient_summary.flop_imbalance - res.trace.flop_imbalance()).abs() < 1e-9);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of Lou & Farrara (SC'96).
 //!
 //! ```text
-//! reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter]
+//! reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|trace|bench-check]
 //! ```
 //!
 //! `bench-filter` is the filter fast-path regression benchmark: it times
@@ -9,6 +9,15 @@
 //! complex path and counts redistribute messages per filtered step, then
 //! writes the numbers to `BENCH_filter.json` for machine-readable
 //! before/after tracking.
+//!
+//! `trace` runs a short instrumented model and emits `trace.json` (Chrome
+//! trace-event format — open at <https://ui.perfetto.dev>) plus
+//! `metrics.jsonl` (one structured record per step and per run), then
+//! validates both artifacts and exits non-zero if they are malformed.
+//!
+//! `bench-check` re-times the filter kernel and compares against the
+//! committed `BENCH_filter.json`, failing on a >25% speedup regression
+//! (tolerance override: `AGCM_BENCH_TOLERANCE`).
 //!
 //! Each table prints the paper-reported values next to the model-measured
 //! ones. Absolute agreement is not expected (the substrate is a simulator,
@@ -42,6 +51,8 @@ fn main() {
         "singlenode" => singlenode(),
         "summary" => summary(),
         "bench-filter" => bench_filter(),
+        "trace" => trace(),
+        "bench-check" => bench_check(),
         "all" => {
             figure1();
             tables_1_to_3();
@@ -53,7 +64,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter]");
+            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|trace|bench-check]");
             std::process::exit(2);
         }
     }
@@ -402,34 +413,7 @@ fn singlenode() {
 /// tracking).
 fn bench_filter() {
     println!("\n=== Filter fast path: batched real vs per-line complex (n=144) ===\n");
-    let n = 144usize;
-    // One strongly-filtered polar latitude in the 9-layer configuration
-    // moves 4 variables × 9 levels = 36 lines.
-    let batch = 36usize;
-    let plan = FftPlan::new(n);
-    let mult: Vec<f64> = (0..n)
-        .map(|k| {
-            let s = k.min(n - k) as f64 / (n as f64 / 2.0);
-            1.0 / (1.0 + 8.0 * s * s)
-        })
-        .collect();
-    let base: Vec<f64> = (0..batch * n)
-        .map(|j| (j as f64 * 0.37).sin() + 0.3 * (j as f64 * 0.11).cos())
-        .collect();
-
-    let reps = 31;
-    let mut buf = base.clone();
-    let t_complex = time_median(reps, || {
-        for line in buf.chunks_mut(n) {
-            let out = apply_spectral_multiplier(&plan, line, &mult);
-            line.copy_from_slice(&out);
-        }
-    });
-    let mut buf = base.clone();
-    let mut ws = plan.workspace();
-    let t_batched = time_median(reps, || {
-        filter_lines_flat(&plan, &mut buf, &mult, &mut ws);
-    });
+    let (n, batch, t_complex, t_batched) = measure_filter_kernel();
     let ns_per_line = |t: f64| t * 1e9 / batch as f64;
     let lines_per_sec = |t: f64| batch as f64 / t;
     let speedup = t_complex / t_batched;
@@ -486,6 +470,252 @@ fn bench_filter() {
     std::fs::write("BENCH_filter.json", &json)
         .unwrap_or_else(|e| eprintln!("could not write BENCH_filter.json: {e}"));
     println!("wrote BENCH_filter.json");
+}
+
+/// Time the filter kernel both ways. Shared by `bench-filter` (which
+/// reports and records) and `bench-check` (which compares against the
+/// committed record). Returns `(n, batch, t_complex, t_batched)`.
+fn measure_filter_kernel() -> (usize, usize, f64, f64) {
+    let n = 144usize;
+    // One strongly-filtered polar latitude in the 9-layer configuration
+    // moves 4 variables × 9 levels = 36 lines.
+    let batch = 36usize;
+    let plan = FftPlan::new(n);
+    let mult: Vec<f64> = (0..n)
+        .map(|k| {
+            let s = k.min(n - k) as f64 / (n as f64 / 2.0);
+            1.0 / (1.0 + 8.0 * s * s)
+        })
+        .collect();
+    let base: Vec<f64> = (0..batch * n)
+        .map(|j| (j as f64 * 0.37).sin() + 0.3 * (j as f64 * 0.11).cos())
+        .collect();
+
+    let reps = 31;
+    let mut buf = base.clone();
+    let t_complex = time_median(reps, || {
+        for line in buf.chunks_mut(n) {
+            let out = apply_spectral_multiplier(&plan, line, &mult);
+            line.copy_from_slice(&out);
+        }
+    });
+    let mut buf = base.clone();
+    let mut ws = plan.workspace();
+    let t_batched = time_median(reps, || {
+        filter_lines_flat(&plan, &mut buf, &mult, &mut ws);
+    });
+    (n, batch, t_complex, t_batched)
+}
+
+/// `trace`: run a short instrumented model with a file sink installed,
+/// export the per-rank timeline as Chrome trace-event JSON, print the
+/// per-phase load table, and validate both artifacts before exiting.
+fn trace() {
+    use agcm_core::model::run_model;
+    use agcm_core::AgcmConfig;
+    use agcm_telemetry::json::Value;
+    use agcm_telemetry::{chrome, FileSink, RunMetrics, Timeline};
+
+    println!("\n=== Instrumented run: trace.json + metrics.jsonl ===\n");
+    let machine = MachineProfile::t3d();
+    let sink = match FileSink::create("metrics.jsonl") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("could not create metrics.jsonl: {e}");
+            std::process::exit(1);
+        }
+    };
+    assert!(
+        agcm_telemetry::install(std::sync::Arc::new(sink), machine),
+        "telemetry was already installed in this process"
+    );
+
+    // A reduced grid keeps the artifact small while exercising every phase:
+    // dynamics, both filter redistributions, and balanced physics.
+    let cfg = AgcmConfig::for_grid(GridSpec::new(48, 24, 3), 2, 2, FilterVariant::LbFft)
+        .with_steps(3)
+        .with_physics_balancing();
+    let run = run_model(cfg);
+
+    let timeline = match Timeline::from_trace(&run.trace, &machine) {
+        Ok(t) => t,
+        Err(faults) => {
+            eprintln!("trace has unbalanced phase events: {faults:?}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = chrome::write_chrome_trace("trace.json", &timeline) {
+        eprintln!("could not write trace.json: {e}");
+        std::process::exit(1);
+    }
+    let metrics = RunMetrics::from_timeline(&run.trace, &timeline);
+
+    let mut t = Table::new(
+        format!(
+            "Per-phase load, {} ranks x {} steps (virtual T3D seconds)",
+            metrics.summary.ranks, metrics.summary.steps
+        ),
+        &["Phase", "max seconds", "flop imbalance"],
+    );
+    for (name, secs) in &metrics.summary.phase_seconds {
+        let imb = metrics
+            .summary
+            .phase_flop_imbalance
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |(_, v)| *v);
+        t.add_row(vec![name.to_string(), format!("{secs:.6}"), fmt_pct(imb)]);
+    }
+    println!("{t}");
+
+    // --- Validate the artifacts we just wrote. ---------------------------
+    let mut ok = true;
+
+    let text = std::fs::read_to_string("trace.json").unwrap_or_default();
+    match Value::parse(&text) {
+        Ok(doc) => {
+            let events = doc
+                .get("traceEvents")
+                .and_then(Value::as_arr)
+                .unwrap_or(&[]);
+            let mut complete = 0usize;
+            let mut virtual_tracks: Vec<usize> = Vec::new();
+            for ev in events {
+                if ev.get("ph").and_then(Value::as_str) != Some("X") {
+                    continue;
+                }
+                complete += 1;
+                for key in ["ts", "dur", "pid", "tid"] {
+                    if ev.get(key).and_then(Value::as_f64).is_none() {
+                        eprintln!("trace.json: complete event lacks numeric '{key}'");
+                        ok = false;
+                    }
+                }
+                if ev.get("pid").and_then(Value::as_f64) == Some(chrome::VIRTUAL_PID as f64) {
+                    let tid = ev.get("tid").and_then(Value::as_f64).unwrap_or(-1.0) as usize;
+                    if !virtual_tracks.contains(&tid) {
+                        virtual_tracks.push(tid);
+                    }
+                }
+            }
+            if complete == 0 {
+                eprintln!("trace.json: no complete ('X') events");
+                ok = false;
+            }
+            if virtual_tracks.len() != run.trace.size() {
+                eprintln!(
+                    "trace.json: {} virtual tracks for {} ranks",
+                    virtual_tracks.len(),
+                    run.trace.size()
+                );
+                ok = false;
+            }
+            println!(
+                "trace.json: {complete} spans on {} rank tracks (open at https://ui.perfetto.dev)",
+                virtual_tracks.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("trace.json is not valid JSON: {e:?}");
+            ok = false;
+        }
+    }
+
+    let text = std::fs::read_to_string("metrics.jsonl").unwrap_or_default();
+    let mut step_records = 0usize;
+    let mut run_imbalance = None;
+    for line in text.lines() {
+        match Value::parse(line) {
+            Ok(rec) => match rec.get("kind").and_then(Value::as_str) {
+                Some("step") => step_records += 1,
+                Some("run") => {
+                    run_imbalance = rec.get("flop_imbalance").and_then(Value::as_f64);
+                }
+                _ => {
+                    eprintln!("metrics.jsonl: record without a known 'kind'");
+                    ok = false;
+                }
+            },
+            Err(e) => {
+                eprintln!("metrics.jsonl: unparseable line: {e:?}");
+                ok = false;
+            }
+        }
+    }
+    if step_records != cfg.steps {
+        eprintln!(
+            "metrics.jsonl: {step_records} step records for {} steps",
+            cfg.steps
+        );
+        ok = false;
+    }
+    match run_imbalance {
+        Some(imb) if (imb - run.trace.flop_imbalance()).abs() < 1e-9 => {
+            println!(
+                "metrics.jsonl: {step_records} step records; run flop imbalance {} matches the trace",
+                fmt_pct(imb)
+            );
+        }
+        Some(imb) => {
+            eprintln!(
+                "metrics.jsonl: run flop_imbalance {imb} disagrees with trace {}",
+                run.trace.flop_imbalance()
+            );
+            ok = false;
+        }
+        None => {
+            eprintln!("metrics.jsonl: no run record");
+            ok = false;
+        }
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("wrote trace.json and metrics.jsonl (validated)");
+}
+
+/// `bench-check`: re-time the filter kernel and fail when the measured
+/// speedup falls more than the tolerance below the committed
+/// `BENCH_filter.json` value.
+fn bench_check() {
+    use agcm_telemetry::json::Value;
+
+    println!("\n=== Filter kernel regression check vs BENCH_filter.json ===\n");
+    let committed = match std::fs::read_to_string("BENCH_filter.json") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("could not read BENCH_filter.json (run `reproduce bench-filter` first): {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(committed_speedup) = Value::parse(&committed)
+        .ok()
+        .and_then(|v| v.get("kernel_speedup").and_then(Value::as_f64))
+    else {
+        eprintln!("BENCH_filter.json has no numeric 'kernel_speedup'");
+        std::process::exit(1);
+    };
+
+    let (_, _, t_complex, t_batched) = measure_filter_kernel();
+    let speedup = t_complex / t_batched;
+    let tolerance = std::env::var("AGCM_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|t| *t >= 1.0)
+        .unwrap_or(1.25);
+    let floor = committed_speedup / tolerance;
+    println!(
+        "committed {committed_speedup:.2}x, measured {speedup:.2}x, floor {floor:.2}x (tolerance {tolerance:.2})"
+    );
+    if speedup < floor {
+        eprintln!(
+            "FAIL: batched-kernel speedup regressed by more than {:.0}%",
+            (tolerance - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("OK: kernel speedup within tolerance");
 }
 
 /// §4 headline claims, checked against the measured tables.

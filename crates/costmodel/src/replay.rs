@@ -197,6 +197,7 @@ mod tests {
     fn pure_compute() {
         let trace = WorldTrace {
             ranks: vec![vec![Event::Flops(2.0e6)], vec![Event::Flops(0.5e6)]],
+            ..Default::default()
         };
         let r = replay(&trace, &machine());
         assert_eq!(r.finish_times, vec![2.0, 0.5]);
@@ -223,6 +224,7 @@ mod tests {
                     seq: 0,
                 }],
             ],
+            ..Default::default()
         };
         let r = replay(&trace, &machine());
         assert!((r.finish_times[0] - 2.0).abs() < 1e-12);
@@ -249,6 +251,7 @@ mod tests {
                     },
                 ],
             ],
+            ..Default::default()
         };
         let r = replay(&trace, &machine());
         assert!((r.finish_times[1] - 5.0).abs() < 1e-12);
@@ -286,6 +289,7 @@ mod tests {
                     },
                 ],
             ],
+            ..Default::default()
         };
         let r = replay(&trace, &machine());
         // Chain: 3 s compute + two hops of (8e-6 + 1e-3) each.
@@ -314,6 +318,7 @@ mod tests {
                     Event::PhaseEnd("physics"),
                 ],
             ],
+            ..Default::default()
         };
         let r = replay(&trace, &machine());
         assert_eq!(r.phase_time("dynamics"), 2.0);
@@ -338,6 +343,7 @@ mod tests {
                 Event::PhaseEnd("inner"),
                 Event::PhaseEnd("outer"),
             ]],
+            ..Default::default()
         };
         let r = replay(&trace, &machine());
         assert_eq!(r.phase_time("inner"), 2.0);
@@ -355,6 +361,7 @@ mod tests {
                 Event::Flops(1.5e6),
                 Event::PhaseEnd("filter"),
             ]],
+            ..Default::default()
         };
         let r = replay(&trace, &machine());
         assert_eq!(r.phase_time("filter"), 2.5);
@@ -369,6 +376,7 @@ mod tests {
                 bytes: 8,
                 seq: 99,
             }]],
+            ..Default::default()
         };
         replay(&trace, &machine());
     }

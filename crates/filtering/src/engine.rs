@@ -124,6 +124,7 @@ pub(crate) fn redistribute_filter(
     // --- Phase 1: forward movement (skip empty pairs, self by copy). -----
     // Send buffers are freshly allocated: `Payload::F64` hands the Vec to
     // the transport, which owns it until the receiver drains it.
+    comm.phase_begin("redist_fwd");
     let mut send: Vec<Vec<f64>> = vec![Vec::new(); p];
     for (idx, line) in lines.iter().enumerate() {
         if selected(line.var) && holds(line.lat) {
@@ -154,7 +155,10 @@ pub(crate) fn redistribute_filter(
         }
     }
 
+    comm.phase_end("redist_fwd");
+
     // --- Phase 2: assemble contiguously, batch-filter per latitude. ------
+    comm.phase_begin("filter_local");
     for (idx, line) in lines.iter().enumerate() {
         if owners[idx] != rank || !selected(line.var) {
             continue;
@@ -191,8 +195,13 @@ pub(crate) fn redistribute_filter(
         flops += pairs as f64 * pair_filter_flops(n_lon) + tail as f64 * real_filter_flops(n_lon);
     }
     comm.record_flops(flops);
+    agcm_telemetry::registry()
+        .counter("filter.lines_filtered")
+        .add(scratch.lats.len() as u64);
+    comm.phase_end("filter_local");
 
     // --- Phase 3: inverse movement (same sparsity, reversed). ------------
+    comm.phase_begin("redist_bwd");
     let mut back: Vec<Vec<f64>> = vec![Vec::new(); p];
     let mut assembled_pos = 0;
     for (idx, line) in lines.iter().enumerate() {
@@ -240,4 +249,5 @@ pub(crate) fn redistribute_filter(
     for (o, buf) in scratch.ret_bufs.iter().enumerate() {
         debug_assert_eq!(scratch.cursors[o], buf.len(), "stray data from owner {o}");
     }
+    comm.phase_end("redist_bwd");
 }

@@ -72,6 +72,7 @@ impl Comm {
     /// Dissemination barrier: ⌈log₂P⌉ rounds, each rank sends one empty
     /// message per round.
     pub fn barrier(&self) {
+        self.record_collective("barrier");
         let size = self.size();
         let rank = self.rank();
         let mut step = 1;
@@ -87,6 +88,7 @@ impl Comm {
     /// Binomial-tree broadcast from `root`. The root passes the payload;
     /// every rank (including the root) gets a copy back.
     pub fn bcast(&self, root: usize, payload: Payload) -> Payload {
+        self.record_collective("bcast");
         let size = self.size();
         let rank = self.rank();
         assert!(
@@ -146,6 +148,7 @@ impl Comm {
     /// Binomial-tree reduction of float buffers to `root`.
     /// Returns `Some(result)` on the root, `None` elsewhere.
     pub fn reduce_f64(&self, root: usize, op: Op, data: &[f64]) -> Option<Vec<f64>> {
+        self.record_collective("reduce");
         let size = self.size();
         let rank = self.rank();
         assert!(
@@ -177,6 +180,7 @@ impl Comm {
 
     /// Binomial-tree reduction of integer buffers to `root`.
     pub fn reduce_i64(&self, root: usize, op: Op, data: &[i64]) -> Option<Vec<i64>> {
+        self.record_collective("reduce");
         let size = self.size();
         let rank = self.rank();
         assert!(
@@ -224,6 +228,7 @@ impl Comm {
     /// Gather variable-length float buffers to `root`. Returns
     /// `Some(per-rank buffers)` on the root, `None` elsewhere.
     pub fn gather_f64(&self, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        self.record_collective("gather");
         let size = self.size();
         let rank = self.rank();
         assert!(
@@ -249,6 +254,7 @@ impl Comm {
     /// Scatter per-rank float buffers from `root`. The root passes one
     /// buffer per rank; everyone gets their own back.
     pub fn scatter_f64(&self, root: usize, data: Option<Vec<Vec<f64>>>) -> Vec<f64> {
+        self.record_collective("scatter");
         let size = self.size();
         let rank = self.rank();
         assert!(
@@ -297,6 +303,7 @@ impl Comm {
 
     /// Ring allgather keeping per-rank payload boundaries.
     pub fn allgather_ring(&self, mine: Payload) -> Vec<Payload> {
+        self.record_collective("allgather");
         let size = self.size();
         let rank = self.rank();
         let right = (rank + 1) % size;
@@ -320,6 +327,7 @@ impl Comm {
     /// and receives what every rank addressed to it, indexed by source.
     /// This is the transpose primitive: P−1 messages per rank.
     pub fn alltoallv(&self, mut send: Vec<Payload>) -> Vec<Payload> {
+        self.record_collective("alltoallv");
         let size = self.size();
         let rank = self.rank();
         assert_eq!(send.len(), size, "alltoallv needs one payload per rank");
@@ -339,6 +347,7 @@ impl Comm {
 
     /// Inclusive prefix scan of float buffers (linear chain).
     pub fn scan_f64(&self, op: Op, data: &[f64]) -> Vec<f64> {
+        self.record_collective("scan");
         let rank = self.rank();
         let size = self.size();
         let mut acc = data.to_vec();

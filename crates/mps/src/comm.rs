@@ -148,6 +148,11 @@ impl Comm {
         self.shared.trace.record_flops(flops);
     }
 
+    /// Count one call of the named collective primitive in the trace.
+    pub(crate) fn record_collective(&self, name: &'static str) {
+        self.shared.trace.record_collective(name);
+    }
+
     /// Mark the beginning of a named phase in the trace.
     pub fn phase_begin(&self, name: &'static str) {
         self.shared.trace.record(Event::PhaseBegin(name));

@@ -55,4 +55,4 @@ pub use fault::{FaultAction, FaultEvent, FaultPlan, KillSpec, TargetedFault};
 pub use message::{Packet, Payload};
 pub use runtime::{run, run_traced, run_with_faults, FailureKind, FaultyRun};
 pub use topology::CartComm;
-pub use trace::{Event, WorldTrace};
+pub use trace::{Event, PhaseFault, PhaseFaultKind, WorldTrace};

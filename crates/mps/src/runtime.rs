@@ -117,7 +117,12 @@ where
         alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
         faulty,
     });
-    let traces: Vec<Arc<RankTrace>> = (0..n).map(|_| RankTrace::new(tracing)).collect();
+    // One epoch for the whole world, so wall-clock stamps are comparable
+    // across ranks.
+    let epoch = std::time::Instant::now();
+    let traces: Vec<Arc<RankTrace>> = (0..n)
+        .map(|_| RankTrace::with_epoch(tracing, epoch))
+        .collect();
     let faults: Vec<Option<Arc<FaultState>>> = (0..n)
         .map(|_| plan.as_ref().map(|p| FaultState::new(Arc::clone(p))))
         .collect();
@@ -182,6 +187,8 @@ where
             .collect(),
         trace: WorldTrace {
             ranks: traces.iter().map(|t| t.take()).collect(),
+            walls: traces.iter().map(|t| t.take_walls()).collect(),
+            collectives: traces.iter().map(|t| t.take_collectives()).collect(),
         },
         fault_events: faults
             .iter()

@@ -6,15 +6,28 @@
 //! sends, how many bytes move, how much floating-point work each rank does,
 //! and in what order. This module records exactly that, per rank, as a flat
 //! event list. The `agcm-costmodel` crate replays these traces against a
-//! calibrated machine profile to produce simulated seconds.
+//! calibrated machine profile to produce simulated seconds, and the
+//! `agcm-telemetry` crate turns them into span timelines and structured
+//! run metrics.
 //!
 //! Flop counts are *recorded by the algorithms themselves* (the kernels know
 //! their operation counts); the tracer just accumulates them, so the replay
 //! reflects real load imbalance, not an analytic guess.
+//!
+//! Besides the event list, a trace carries two sidecars:
+//!
+//! * **wall-clock stamps** — every phase event is stamped with seconds
+//!   since a world-shared epoch, so a timeline viewer can show *this*
+//!   machine's real phase spans next to the cost-model's virtual ones;
+//! * **collective counters** — one counter per collective primitive
+//!   (barrier, bcast, …), cheap enough to keep even where full event
+//!   recording would be noise.
 
 use parking_lot::Mutex;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One traced event on a rank.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,19 +58,55 @@ pub enum Event {
     PhaseEnd(&'static str),
 }
 
+impl Event {
+    /// Whether this is a [`Event::PhaseBegin`] or [`Event::PhaseEnd`].
+    pub fn is_phase(&self) -> bool {
+        matches!(self, Event::PhaseBegin(_) | Event::PhaseEnd(_))
+    }
+}
+
 /// Per-rank trace storage. Shared (via `Arc`) by every communicator a rank
 /// derives, so sub-communicator traffic lands in the same stream.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RankTrace {
     events: Mutex<Vec<Event>>,
+    /// Wall-clock stamp (seconds since `epoch`) of each phase event, in
+    /// the order the phase events appear in `events`.
+    phase_walls: Mutex<Vec<f64>>,
+    /// Per-primitive collective call counts, keyed by static name.
+    collectives: Mutex<Vec<(&'static str, u64)>>,
+    /// Shared time origin — the same `Instant` across all ranks of a
+    /// world, so stamps are comparable between ranks.
+    epoch: Instant,
     enabled: AtomicBool,
+}
+
+impl Default for RankTrace {
+    fn default() -> RankTrace {
+        RankTrace {
+            events: Mutex::new(Vec::new()),
+            phase_walls: Mutex::new(Vec::new()),
+            collectives: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+            enabled: AtomicBool::new(false),
+        }
+    }
 }
 
 impl RankTrace {
     /// A new trace; recording is off until [`RankTrace::set_enabled`].
     pub fn new(enabled: bool) -> Arc<Self> {
+        RankTrace::with_epoch(enabled, Instant::now())
+    }
+
+    /// A new trace stamping wall clocks relative to `epoch` (the runtime
+    /// passes one shared epoch to every rank of a world).
+    pub fn with_epoch(enabled: bool, epoch: Instant) -> Arc<Self> {
         Arc::new(RankTrace {
             events: Mutex::new(Vec::new()),
+            phase_walls: Mutex::new(Vec::new()),
+            collectives: Mutex::new(Vec::new()),
+            epoch,
             enabled: AtomicBool::new(enabled),
         })
     }
@@ -72,9 +121,15 @@ impl RankTrace {
         self.enabled.store(on, Ordering::Relaxed);
     }
 
-    /// Append an event if recording is enabled.
+    /// Append an event if recording is enabled. Phase events are also
+    /// wall-clock stamped.
     pub fn record(&self, ev: Event) {
         if self.enabled() {
+            if ev.is_phase() {
+                self.phase_walls
+                    .lock()
+                    .push(self.epoch.elapsed().as_secs_f64());
+            }
             self.events.lock().push(ev);
         }
     }
@@ -93,6 +148,19 @@ impl RankTrace {
         }
     }
 
+    /// Count one call of the named collective primitive. The set of
+    /// primitives is small, so a linear scan beats a map here.
+    pub fn record_collective(&self, name: &'static str) {
+        if !self.enabled() {
+            return;
+        }
+        let mut counts = self.collectives.lock();
+        match counts.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((name, 1)),
+        }
+    }
+
     /// Snapshot the event list.
     pub fn events(&self) -> Vec<Event> {
         self.events.lock().clone()
@@ -101,6 +169,16 @@ impl RankTrace {
     /// Drain the event list (used by the runtime when a rank finishes).
     pub fn take(&self) -> Vec<Event> {
         std::mem::take(&mut *self.events.lock())
+    }
+
+    /// Drain the wall-clock stamps of the phase events.
+    pub fn take_walls(&self) -> Vec<f64> {
+        std::mem::take(&mut *self.phase_walls.lock())
+    }
+
+    /// Drain the collective counters.
+    pub fn take_collectives(&self) -> Vec<(&'static str, u64)> {
+        std::mem::take(&mut *self.collectives.lock())
     }
 }
 
@@ -119,14 +197,78 @@ pub struct RankStats {
     pub flops: f64,
 }
 
-/// The complete trace of a traced run: one event stream per world rank.
+/// A malformed phase stream found by [`WorldTrace::validate_phases`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseFault {
+    /// The rank whose stream is malformed.
+    pub rank: usize,
+    /// The phase name involved.
+    pub name: &'static str,
+    /// What is wrong.
+    pub kind: PhaseFaultKind,
+}
+
+/// The ways a phase stream can be malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhaseFaultKind {
+    /// A `PhaseEnd` arrived with no open phase at all.
+    UnmatchedEnd,
+    /// A `PhaseEnd` named a phase other than the innermost open one.
+    MismatchedEnd {
+        /// The innermost open phase at that point.
+        open: &'static str,
+    },
+    /// A `PhaseBegin` was never closed by the end of the stream.
+    UnclosedBegin,
+}
+
+impl fmt::Display for PhaseFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            PhaseFaultKind::UnmatchedEnd => write!(
+                f,
+                "rank {}: PhaseEnd({:?}) with no open phase",
+                self.rank, self.name
+            ),
+            PhaseFaultKind::MismatchedEnd { open } => write!(
+                f,
+                "rank {}: PhaseEnd({:?}) while {:?} is the innermost open phase",
+                self.rank, self.name, open
+            ),
+            PhaseFaultKind::UnclosedBegin => write!(
+                f,
+                "rank {}: PhaseBegin({:?}) never closed",
+                self.rank, self.name
+            ),
+        }
+    }
+}
+
+/// The complete trace of a traced run: one event stream per world rank,
+/// plus the wall-clock stamps of the phase events and the collective call
+/// counters.
 #[derive(Debug, Clone, Default)]
 pub struct WorldTrace {
     /// `ranks[r]` is the event stream of world rank `r`.
     pub ranks: Vec<Vec<Event>>,
+    /// `walls[r][i]` is the wall-clock stamp (seconds since the shared
+    /// epoch) of the `i`-th *phase* event in `ranks[r]`. Empty when the
+    /// trace was built by hand rather than recorded.
+    pub walls: Vec<Vec<f64>>,
+    /// `collectives[r]` counts collective primitive calls on rank `r`.
+    pub collectives: Vec<Vec<(&'static str, u64)>>,
 }
 
 impl WorldTrace {
+    /// A trace from bare event streams (no wall stamps, no collective
+    /// counters) — the hand-built form used by tests and replays.
+    pub fn from_ranks(ranks: Vec<Vec<Event>>) -> WorldTrace {
+        WorldTrace {
+            ranks,
+            ..WorldTrace::default()
+        }
+    }
+
     /// Number of ranks traced.
     pub fn size(&self) -> usize {
         self.ranks.len()
@@ -187,6 +329,49 @@ impl WorldTrace {
         let max = stats.iter().map(|s| s.flops).fold(0.0, f64::max);
         (max - avg) / avg
     }
+
+    /// Check every rank's phase events for balance: each `PhaseEnd` must
+    /// close the innermost open `PhaseBegin` of the same name, and every
+    /// `PhaseBegin` must eventually be closed. Returns every fault found
+    /// (scanning continues past the first so a corrupt trace reports all
+    /// its problems at once).
+    pub fn validate_phases(&self) -> Result<(), Vec<PhaseFault>> {
+        let mut faults = Vec::new();
+        for (rank, evs) in self.ranks.iter().enumerate() {
+            let mut open: Vec<&'static str> = Vec::new();
+            for ev in evs {
+                match ev {
+                    Event::PhaseBegin(name) => open.push(name),
+                    Event::PhaseEnd(name) => match open.pop() {
+                        Some(top) if top == *name => {}
+                        Some(top) => faults.push(PhaseFault {
+                            rank,
+                            name,
+                            kind: PhaseFaultKind::MismatchedEnd { open: top },
+                        }),
+                        None => faults.push(PhaseFault {
+                            rank,
+                            name,
+                            kind: PhaseFaultKind::UnmatchedEnd,
+                        }),
+                    },
+                    _ => {}
+                }
+            }
+            for name in open {
+                faults.push(PhaseFault {
+                    rank,
+                    name,
+                    kind: PhaseFaultKind::UnclosedBegin,
+                });
+            }
+        }
+        if faults.is_empty() {
+            Ok(())
+        } else {
+            Err(faults)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -198,7 +383,10 @@ mod tests {
         let t = RankTrace::new(false);
         t.record(Event::Flops(10.0));
         t.record_flops(5.0);
+        t.record_collective("barrier");
         assert!(t.events().is_empty());
+        assert!(t.take_walls().is_empty());
+        assert!(t.take_collectives().is_empty());
     }
 
     #[test]
@@ -223,37 +411,57 @@ mod tests {
     }
 
     #[test]
+    fn phase_events_get_wall_stamps() {
+        let t = RankTrace::new(true);
+        t.record(Event::PhaseBegin("a"));
+        t.record_flops(1.0); // not a phase event, not stamped
+        t.record(Event::PhaseEnd("a"));
+        let walls = t.take_walls();
+        assert_eq!(walls.len(), 2);
+        assert!(walls[0] <= walls[1]);
+    }
+
+    #[test]
+    fn collective_counts_accumulate() {
+        let t = RankTrace::new(true);
+        t.record_collective("barrier");
+        t.record_collective("bcast");
+        t.record_collective("barrier");
+        let mut counts = t.take_collectives();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![("barrier", 2), ("bcast", 1)]);
+    }
+
+    #[test]
     fn stats_aggregation() {
-        let wt = WorldTrace {
-            ranks: vec![
-                vec![
-                    Event::Send {
-                        to: 1,
-                        bytes: 80,
-                        seq: 0,
-                    },
-                    Event::Flops(100.0),
-                    Event::Recv {
-                        from: 1,
-                        bytes: 40,
-                        seq: 0,
-                    },
-                ],
-                vec![
-                    Event::Recv {
-                        from: 0,
-                        bytes: 80,
-                        seq: 0,
-                    },
-                    Event::Send {
-                        to: 0,
-                        bytes: 40,
-                        seq: 0,
-                    },
-                    Event::Flops(300.0),
-                ],
+        let wt = WorldTrace::from_ranks(vec![
+            vec![
+                Event::Send {
+                    to: 1,
+                    bytes: 80,
+                    seq: 0,
+                },
+                Event::Flops(100.0),
+                Event::Recv {
+                    from: 1,
+                    bytes: 40,
+                    seq: 0,
+                },
             ],
-        };
+            vec![
+                Event::Recv {
+                    from: 0,
+                    bytes: 80,
+                    seq: 0,
+                },
+                Event::Send {
+                    to: 0,
+                    bytes: 40,
+                    seq: 0,
+                },
+                Event::Flops(300.0),
+            ],
+        ]);
         let s = wt.stats();
         assert_eq!(s[0].sends, 1);
         assert_eq!(s[0].bytes_sent, 80);
@@ -268,9 +476,7 @@ mod tests {
     #[test]
     fn empty_trace_imbalance_zero() {
         assert_eq!(WorldTrace::default().flop_imbalance(), 0.0);
-        let wt = WorldTrace {
-            ranks: vec![vec![], vec![]],
-        };
+        let wt = WorldTrace::from_ranks(vec![vec![], vec![]]);
         assert_eq!(wt.flop_imbalance(), 0.0);
     }
 
@@ -280,5 +486,59 @@ mod tests {
         t.record_flops(1.0);
         assert_eq!(t.take().len(), 1);
         assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_balanced_nesting() {
+        let wt = WorldTrace::from_ranks(vec![vec![
+            Event::PhaseBegin("outer"),
+            Event::PhaseBegin("inner"),
+            Event::Flops(1.0),
+            Event::PhaseEnd("inner"),
+            Event::PhaseEnd("outer"),
+        ]]);
+        assert!(wt.validate_phases().is_ok());
+    }
+
+    #[test]
+    fn validate_reports_unmatched_end() {
+        let wt = WorldTrace::from_ranks(vec![vec![], vec![Event::PhaseEnd("ghost")]]);
+        let faults = wt.validate_phases().unwrap_err();
+        assert_eq!(
+            faults,
+            vec![PhaseFault {
+                rank: 1,
+                name: "ghost",
+                kind: PhaseFaultKind::UnmatchedEnd,
+            }]
+        );
+        assert!(faults[0].to_string().contains("no open phase"));
+    }
+
+    #[test]
+    fn validate_reports_mismatched_end() {
+        let wt = WorldTrace::from_ranks(vec![vec![
+            Event::PhaseBegin("a"),
+            Event::PhaseBegin("b"),
+            Event::PhaseEnd("a"), // closes "a" while "b" is innermost
+        ]]);
+        let faults = wt.validate_phases().unwrap_err();
+        // One mismatched end, and "b" stays open ("a" was popped for it).
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].kind, PhaseFaultKind::MismatchedEnd { open: "b" });
+        assert_eq!(faults[1].kind, PhaseFaultKind::UnclosedBegin);
+        assert_eq!(faults[1].name, "a");
+    }
+
+    #[test]
+    fn validate_reports_unclosed_begin() {
+        let wt = WorldTrace::from_ranks(vec![vec![
+            Event::PhaseBegin("left-open"),
+            Event::Flops(1.0),
+        ]]);
+        let faults = wt.validate_phases().unwrap_err();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].kind, PhaseFaultKind::UnclosedBegin);
+        assert_eq!(faults[0].name, "left-open");
     }
 }

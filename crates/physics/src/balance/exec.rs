@@ -124,6 +124,11 @@ pub fn run_balanced(
             theta.set_column(i, j, &data[c * nk..(c + 1) * nk]);
         }
     }
+    let registry = agcm_telemetry::registry();
+    registry.counter("physics.balanced_passes").inc();
+    registry
+        .counter("physics.columns_delegated")
+        .add(delegated.iter().map(|d| d.len() as u64).sum());
     BalancedRun {
         performed: flops,
         owned: local_own + delegated_cost,

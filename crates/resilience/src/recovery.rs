@@ -12,6 +12,7 @@ use crate::coordinator::{CheckpointStore, StoreError};
 use crate::metrics::ResilienceMetrics;
 use agcm_mps::fault::{FaultEvent, FaultPlan};
 use agcm_mps::runtime::{run_with_faults, FailureKind};
+use agcm_mps::trace::WorldTrace;
 use agcm_mps::Comm;
 use std::fmt;
 
@@ -52,6 +53,9 @@ pub struct RunReport<R> {
     pub fault_events: Vec<Vec<FaultEvent>>,
     /// Aggregated counters.
     pub metrics: ResilienceMetrics,
+    /// Execution trace of the *successful* attempt (failed attempts die
+    /// mid-phase, so their streams are not comparable).
+    pub trace: WorldTrace,
 }
 
 /// Why a recovered run gave up.
@@ -104,18 +108,20 @@ where
     let mut merged_events: Vec<Vec<FaultEvent>> = (0..n).map(|_| Vec::new()).collect();
     for attempt in 0..=opts.max_restarts {
         let resume = store.latest_committed();
-        let out = run_with_faults(n, plan_for(attempt), |c| body(c, resume));
+        let mut out = run_with_faults(n, plan_for(attempt), |c| body(c, resume));
         for (merged, events) in merged_events.iter_mut().zip(&out.fault_events) {
             merged.extend(events.iter().copied());
         }
         if out.all_ok() {
             let metrics = ResilienceMetrics::tally(attempt + 1, &failures, &merged_events);
+            let trace = std::mem::take(&mut out.trace);
             return Ok(RunReport {
                 results: out.into_results(),
                 attempts: attempt + 1,
                 failures,
                 fault_events: merged_events,
                 metrics,
+                trace,
             });
         }
         failures.push(AttemptFailure {

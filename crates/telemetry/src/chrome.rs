@@ -1,0 +1,190 @@
+//! Chrome trace-event export.
+//!
+//! Serializes a [`Timeline`] in the Chrome trace-event JSON format, which
+//! Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing` load
+//! directly. Layout:
+//!
+//! * **process 1 — "virtual (cost model)"**: one track (tid) per rank,
+//!   spans positioned at cost-model virtual time. This is the paper's
+//!   machine view: what the run looks like on a calibrated Paragon/T3D.
+//! * **process 2 — "wall clock"**: the same spans at real wall time on
+//!   the machine that recorded the trace, present when the trace carries
+//!   wall stamps.
+//!
+//! All spans are "complete" events (`ph:"X"`) with microsecond `ts`/`dur`,
+//! plus `M`-phase metadata records naming processes and threads.
+
+use crate::json::Value;
+use crate::timeline::Timeline;
+use std::io;
+use std::path::Path;
+
+/// Process id of the virtual (cost-model) timeline.
+pub const VIRTUAL_PID: usize = 1;
+/// Process id of the wall-clock timeline.
+pub const WALL_PID: usize = 2;
+
+fn metadata(name: &str, pid: usize, tid: usize, value: &str) -> Value {
+    Value::obj(vec![
+        ("name", Value::Str(name.into())),
+        ("ph", Value::Str("M".into())),
+        ("pid", Value::Num(pid as f64)),
+        ("tid", Value::Num(tid as f64)),
+        ("args", Value::obj(vec![("name", Value::Str(value.into()))])),
+    ])
+}
+
+fn complete(name: &str, pid: usize, tid: usize, ts_us: f64, dur_us: f64) -> Value {
+    Value::obj(vec![
+        ("name", Value::Str(name.into())),
+        ("cat", Value::Str("phase".into())),
+        ("ph", Value::Str("X".into())),
+        ("ts", Value::Num(ts_us)),
+        ("dur", Value::Num(dur_us)),
+        ("pid", Value::Num(pid as f64)),
+        ("tid", Value::Num(tid as f64)),
+    ])
+}
+
+/// Build the trace document: `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+pub fn to_chrome_json(timeline: &Timeline) -> Value {
+    let n_ranks = timeline.finish_times.len();
+    let has_walls = timeline
+        .spans
+        .iter()
+        .any(|s| s.wall_start.is_some() && s.wall_end.is_some());
+
+    let mut events = Vec::new();
+    events.push(metadata(
+        "process_name",
+        VIRTUAL_PID,
+        0,
+        "virtual (cost model)",
+    ));
+    for rank in 0..n_ranks {
+        events.push(metadata(
+            "thread_name",
+            VIRTUAL_PID,
+            rank,
+            &format!("rank {rank}"),
+        ));
+    }
+    if has_walls {
+        events.push(metadata("process_name", WALL_PID, 0, "wall clock"));
+        for rank in 0..n_ranks {
+            events.push(metadata(
+                "thread_name",
+                WALL_PID,
+                rank,
+                &format!("rank {rank}"),
+            ));
+        }
+    }
+
+    for span in &timeline.spans {
+        events.push(complete(
+            span.name,
+            VIRTUAL_PID,
+            span.rank,
+            span.virt_start * 1.0e6,
+            span.virt_duration() * 1.0e6,
+        ));
+        if let (Some(w0), Some(w1)) = (span.wall_start, span.wall_end) {
+            events.push(complete(
+                span.name,
+                WALL_PID,
+                span.rank,
+                w0 * 1.0e6,
+                (w1 - w0) * 1.0e6,
+            ));
+        }
+    }
+
+    Value::obj(vec![
+        ("traceEvents", Value::Arr(events)),
+        ("displayTimeUnit", Value::Str("ms".into())),
+    ])
+}
+
+/// Write the trace document to `path` (e.g. `trace.json`).
+pub fn write_chrome_trace(path: impl AsRef<Path>, timeline: &Timeline) -> io::Result<()> {
+    std::fs::write(path, to_chrome_json(timeline).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agcm_costmodel::machine::MachineProfile;
+    use agcm_mps::trace::{Event, WorldTrace};
+
+    fn machine() -> MachineProfile {
+        MachineProfile {
+            name: "test",
+            flops_per_sec: 1.0e6,
+            latency_s: 1.0e-3,
+            bytes_per_sec: 1.0e6,
+            send_overhead_s: 0.0,
+            recv_overhead_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn exports_one_track_per_rank() {
+        let trace = WorldTrace::from_ranks(vec![
+            vec![
+                Event::PhaseBegin("dynamics"),
+                Event::Flops(1.0e6),
+                Event::PhaseEnd("dynamics"),
+            ],
+            vec![
+                Event::PhaseBegin("dynamics"),
+                Event::Flops(2.0e6),
+                Event::PhaseEnd("dynamics"),
+            ],
+        ]);
+        let tl = Timeline::from_trace(&trace, &machine()).unwrap();
+        let doc = to_chrome_json(&tl);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 process_name + 2 thread_name + 2 complete events.
+        assert_eq!(events.len(), 5);
+        let spans: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        let tids: Vec<f64> = spans
+            .iter()
+            .map(|e| e.get("tid").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(tids, vec![0.0, 1.0]);
+        // Rank 1's dynamics runs 2 virtual seconds = 2e6 µs.
+        assert_eq!(spans[1].get("dur").unwrap().as_f64(), Some(2.0e6));
+    }
+
+    #[test]
+    fn wall_track_appears_only_with_stamps() {
+        let mut trace = WorldTrace::from_ranks(vec![vec![
+            Event::PhaseBegin("step"),
+            Event::PhaseEnd("step"),
+        ]]);
+        let tl = Timeline::from_trace(&trace, &machine()).unwrap();
+        let doc = to_chrome_json(&tl);
+        let text = doc.to_string();
+        assert!(!text.contains("wall clock"));
+
+        trace.walls = vec![vec![0.5, 1.0]];
+        let tl = Timeline::from_trace(&trace, &machine()).unwrap();
+        let doc = to_chrome_json(&tl);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let wall_spans: Vec<&Value> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").unwrap().as_str() == Some("X")
+                    && e.get("pid").unwrap().as_f64() == Some(WALL_PID as f64)
+            })
+            .collect();
+        assert_eq!(wall_spans.len(), 1);
+        assert_eq!(wall_spans[0].get("ts").unwrap().as_f64(), Some(0.5e6));
+        assert_eq!(wall_spans[0].get("dur").unwrap().as_f64(), Some(0.5e6));
+    }
+}

@@ -1,0 +1,323 @@
+//! Span timelines from phase events.
+//!
+//! `agcm-costmodel`'s replay answers "how many seconds does each phase
+//! cost?"; this module answers "*when* does each phase run on each rank?".
+//! It re-runs the same co-routine sweep — per-rank virtual clocks, receives
+//! blocking on the matching send's simulated arrival — but instead of
+//! accumulating per-phase totals it emits one [`Span`] per
+//! `PhaseBegin`/`PhaseEnd` pair, with virtual start/end timestamps. When
+//! the trace carries wall-clock stamps (recorded runs do), each span also
+//! carries the real start/end on *this* machine, so a timeline viewer can
+//! show both tracks side by side.
+
+use agcm_costmodel::machine::MachineProfile;
+use agcm_mps::trace::{Event, PhaseFault, WorldTrace};
+use std::collections::HashMap;
+
+/// One phase execution on one rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// World rank the span ran on.
+    pub rank: usize,
+    /// Phase name.
+    pub name: &'static str,
+    /// Nesting depth (0 = outermost).
+    pub depth: usize,
+    /// Virtual (cost-model) start time, seconds.
+    pub virt_start: f64,
+    /// Virtual (cost-model) end time, seconds.
+    pub virt_end: f64,
+    /// Wall-clock start (seconds since the run epoch), when recorded.
+    pub wall_start: Option<f64>,
+    /// Wall-clock end (seconds since the run epoch), when recorded.
+    pub wall_end: Option<f64>,
+    /// Index of the `PhaseBegin` event in the rank's stream.
+    pub begin_event: usize,
+    /// Index of the matching `PhaseEnd` event in the rank's stream.
+    pub end_event: usize,
+}
+
+impl Span {
+    /// Virtual duration, seconds.
+    pub fn virt_duration(&self) -> f64 {
+        self.virt_end - self.virt_start
+    }
+
+    /// Whether `other` is strictly nested inside this span (same rank,
+    /// event range contained).
+    pub fn contains(&self, other: &Span) -> bool {
+        self.rank == other.rank
+            && self.begin_event < other.begin_event
+            && other.end_event < self.end_event
+    }
+}
+
+/// All spans of a run, plus per-rank virtual finish times.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Spans sorted by `(rank, begin_event)`.
+    pub spans: Vec<Span>,
+    /// Virtual finish time of each rank.
+    pub finish_times: Vec<f64>,
+}
+
+struct RankState<'a> {
+    events: &'a [Event],
+    walls: Option<&'a [f64]>,
+    next: usize,
+    clock: f64,
+    /// Running index over *phase* events, for the wall-stamp sidecar.
+    phase_seq: usize,
+    /// Open phases: (name, virtual start, wall start, begin event index).
+    open: Vec<(&'static str, f64, Option<f64>, usize)>,
+}
+
+impl Timeline {
+    /// Build the timeline by replaying `trace` against `machine`.
+    ///
+    /// Validates phase balance first and reports every fault instead of
+    /// panicking mid-replay.
+    pub fn from_trace(
+        trace: &WorldTrace,
+        machine: &MachineProfile,
+    ) -> Result<Timeline, Vec<PhaseFault>> {
+        trace.validate_phases()?;
+        let n = trace.size();
+        let mut states: Vec<RankState> = (0..n)
+            .map(|r| RankState {
+                events: &trace.ranks[r],
+                walls: trace.walls.get(r).map(|w| w.as_slice()),
+                next: 0,
+                clock: 0.0,
+                phase_seq: 0,
+                open: Vec::new(),
+            })
+            .collect();
+        let mut arrivals: HashMap<(usize, usize, u64), f64> = HashMap::new();
+        let mut spans: Vec<Span> = Vec::new();
+
+        loop {
+            let mut progressed = false;
+            let mut all_done = true;
+            #[allow(clippy::needless_range_loop)] // index drives multiple buffers
+            for r in 0..n {
+                loop {
+                    let state = &mut states[r];
+                    let Some(ev) = state.events.get(state.next) else {
+                        break;
+                    };
+                    match *ev {
+                        Event::Flops(f) => state.clock += machine.compute_time(f),
+                        Event::Send { to, bytes, seq } => {
+                            state.clock += machine.send_time(bytes);
+                            arrivals.insert((r, to, seq), state.clock + machine.latency_s);
+                        }
+                        Event::Recv { from, seq, .. } => match arrivals.get(&(from, r, seq)) {
+                            Some(&arrival) => {
+                                state.clock = (state.clock + machine.recv_overhead_s).max(arrival);
+                            }
+                            None => break, // blocked on an unsimulated send
+                        },
+                        Event::PhaseBegin(name) => {
+                            let wall = state.walls.and_then(|w| w.get(state.phase_seq)).copied();
+                            state.phase_seq += 1;
+                            state.open.push((name, state.clock, wall, state.next));
+                        }
+                        Event::PhaseEnd(_) => {
+                            let wall = state.walls.and_then(|w| w.get(state.phase_seq)).copied();
+                            state.phase_seq += 1;
+                            // validate_phases guarantees balance.
+                            let (name, virt_start, wall_start, begin_event) =
+                                state.open.pop().unwrap();
+                            spans.push(Span {
+                                rank: r,
+                                name,
+                                depth: state.open.len(),
+                                virt_start,
+                                virt_end: state.clock,
+                                wall_start,
+                                wall_end: wall,
+                                begin_event,
+                                end_event: state.next,
+                            });
+                        }
+                    }
+                    state.next += 1;
+                    progressed = true;
+                }
+                if states[r].next < states[r].events.len() {
+                    all_done = false;
+                }
+            }
+            if all_done {
+                break;
+            }
+            assert!(
+                progressed,
+                "timeline replay deadlock: a receive has no matching send in the trace"
+            );
+        }
+
+        spans.sort_by_key(|s| (s.rank, s.begin_event));
+        Ok(Timeline {
+            spans,
+            finish_times: states.iter().map(|s| s.clock).collect(),
+        })
+    }
+
+    /// The slowest rank's virtual finish time.
+    pub fn total_time(&self) -> f64 {
+        self.finish_times.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Spans on one rank, in begin order.
+    pub fn rank_spans(&self, rank: usize) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.rank == rank)
+    }
+
+    /// Per-rank accumulated virtual seconds inside each named phase
+    /// (inclusive of nested phases) — matches the costmodel's
+    /// `ReplayResult::phase_times` accounting.
+    pub fn phase_seconds_per_rank(&self) -> Vec<HashMap<&'static str, f64>> {
+        let n = self.finish_times.len();
+        let mut acc: Vec<HashMap<&'static str, f64>> = vec![HashMap::new(); n];
+        for s in &self.spans {
+            *acc[s.rank].entry(s.name).or_insert(0.0) += s.virt_duration();
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineProfile {
+        MachineProfile {
+            name: "test",
+            flops_per_sec: 1.0e6,
+            latency_s: 1.0e-3,
+            bytes_per_sec: 1.0e6,
+            send_overhead_s: 0.0,
+            recv_overhead_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn spans_get_virtual_timestamps() {
+        let trace = WorldTrace::from_ranks(vec![vec![
+            Event::PhaseBegin("dynamics"),
+            Event::Flops(2.0e6),
+            Event::PhaseEnd("dynamics"),
+            Event::PhaseBegin("physics"),
+            Event::Flops(1.0e6),
+            Event::PhaseEnd("physics"),
+        ]]);
+        let tl = Timeline::from_trace(&trace, &machine()).unwrap();
+        assert_eq!(tl.spans.len(), 2);
+        let d = &tl.spans[0];
+        assert_eq!(
+            (d.name, d.virt_start, d.virt_end, d.depth),
+            ("dynamics", 0.0, 2.0, 0)
+        );
+        let p = &tl.spans[1];
+        assert_eq!((p.name, p.virt_start, p.virt_end), ("physics", 2.0, 3.0));
+        assert_eq!(tl.total_time(), 3.0);
+    }
+
+    #[test]
+    fn nested_spans_have_depth_and_containment() {
+        let trace = WorldTrace::from_ranks(vec![vec![
+            Event::PhaseBegin("outer"),
+            Event::Flops(1.0e6),
+            Event::PhaseBegin("inner"),
+            Event::Flops(2.0e6),
+            Event::PhaseEnd("inner"),
+            Event::PhaseEnd("outer"),
+        ]]);
+        let tl = Timeline::from_trace(&trace, &machine()).unwrap();
+        let outer = tl.spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = tl.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(outer.contains(inner));
+        assert!(!inner.contains(outer));
+        assert!(outer.virt_start <= inner.virt_start && inner.virt_end <= outer.virt_end);
+    }
+
+    #[test]
+    fn communication_shifts_spans() {
+        // Rank 1's phase cannot end before rank 0's send arrives.
+        let trace = WorldTrace::from_ranks(vec![
+            vec![
+                Event::Flops(1.0e6),
+                Event::Send {
+                    to: 1,
+                    bytes: 1_000_000,
+                    seq: 0,
+                },
+            ],
+            vec![
+                Event::PhaseBegin("halo"),
+                Event::Recv {
+                    from: 0,
+                    bytes: 1_000_000,
+                    seq: 0,
+                },
+                Event::PhaseEnd("halo"),
+            ],
+        ]);
+        let tl = Timeline::from_trace(&trace, &machine()).unwrap();
+        let halo = &tl.spans[0];
+        assert_eq!(halo.rank, 1);
+        assert!((halo.virt_end - 2.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_stamps_flow_into_spans() {
+        let mut trace = WorldTrace::from_ranks(vec![vec![
+            Event::PhaseBegin("step"),
+            Event::PhaseEnd("step"),
+        ]]);
+        trace.walls = vec![vec![0.25, 0.75]];
+        let tl = Timeline::from_trace(&trace, &machine()).unwrap();
+        assert_eq!(tl.spans[0].wall_start, Some(0.25));
+        assert_eq!(tl.spans[0].wall_end, Some(0.75));
+    }
+
+    #[test]
+    fn unbalanced_trace_is_rejected() {
+        let trace = WorldTrace::from_ranks(vec![vec![Event::PhaseEnd("ghost")]]);
+        assert!(Timeline::from_trace(&trace, &machine()).is_err());
+    }
+
+    #[test]
+    fn phase_seconds_match_costmodel_accounting() {
+        let trace = WorldTrace::from_ranks(vec![
+            vec![
+                Event::PhaseBegin("filter"),
+                Event::Flops(1.0e6),
+                Event::PhaseEnd("filter"),
+                Event::PhaseBegin("filter"),
+                Event::Flops(1.5e6),
+                Event::PhaseEnd("filter"),
+            ],
+            vec![
+                Event::PhaseBegin("filter"),
+                Event::Flops(0.5e6),
+                Event::PhaseEnd("filter"),
+            ],
+        ]);
+        let tl = Timeline::from_trace(&trace, &machine()).unwrap();
+        let replay = agcm_costmodel::replay::replay(&trace, &machine());
+        let per_rank = tl.phase_seconds_per_rank();
+        for (r, rank_phases) in per_rank.iter().enumerate() {
+            let ours = rank_phases.get("filter").copied().unwrap_or(0.0);
+            let theirs = replay.phase_times[r].get("filter").copied().unwrap_or(0.0);
+            assert!(
+                (ours - theirs).abs() < 1e-12,
+                "rank {r}: {ours} vs {theirs}"
+            );
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Golden-file test for the Chrome trace exporter: the emitted JSON is
+//! byte-stable, parses with the crate's own parser, carries the fields the
+//! trace-event format requires (`ph`/`ts`/`dur`/`pid`/`tid`), and
+//! round-trips parse → serialize → parse unchanged.
+
+use agcm_costmodel::machine::MachineProfile;
+use agcm_mps::trace::{Event, WorldTrace};
+use agcm_telemetry::chrome::{to_chrome_json, VIRTUAL_PID, WALL_PID};
+use agcm_telemetry::json::Value;
+use agcm_telemetry::timeline::Timeline;
+
+const GOLDEN: &str = include_str!("golden/trace_small.json");
+
+/// The exact machine used to generate the golden file: round numbers so
+/// every virtual timestamp is exact in f64.
+fn golden_machine() -> MachineProfile {
+    MachineProfile {
+        name: "golden",
+        flops_per_sec: 1.0e6,
+        latency_s: 1.0e-3,
+        bytes_per_sec: 1.0e6,
+        send_overhead_s: 0.0,
+        recv_overhead_s: 0.0,
+    }
+}
+
+/// The exact trace behind the golden file: two ranks, one step each with
+/// nested dynamics/filter phases, one message, and wall stamps.
+fn golden_trace() -> WorldTrace {
+    let mut trace = WorldTrace::from_ranks(vec![
+        vec![
+            Event::PhaseBegin("step"),
+            Event::PhaseBegin("dynamics"),
+            Event::Flops(2.0e6),
+            Event::Send {
+                to: 1,
+                bytes: 1000,
+                seq: 0,
+            },
+            Event::PhaseEnd("dynamics"),
+            Event::PhaseBegin("filter"),
+            Event::Flops(1.0e6),
+            Event::PhaseEnd("filter"),
+            Event::PhaseEnd("step"),
+        ],
+        vec![
+            Event::PhaseBegin("step"),
+            Event::PhaseBegin("dynamics"),
+            Event::Flops(1.0e6),
+            Event::Recv {
+                from: 0,
+                bytes: 1000,
+                seq: 0,
+            },
+            Event::PhaseEnd("dynamics"),
+            Event::PhaseEnd("step"),
+        ],
+    ]);
+    trace.walls = vec![
+        vec![0.0, 0.001, 0.005, 0.006, 0.009, 0.010],
+        vec![0.0005, 0.0015, 0.0075, 0.0085],
+    ];
+    trace
+}
+
+#[test]
+fn golden_file_is_reproduced_exactly() {
+    let timeline = Timeline::from_trace(&golden_trace(), &golden_machine()).unwrap();
+    let text = to_chrome_json(&timeline).to_string();
+    assert_eq!(
+        text,
+        GOLDEN.trim_end(),
+        "Chrome trace output drifted from tests/golden/trace_small.json; \
+         if the change is intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn golden_file_parses_and_round_trips() {
+    let doc = Value::parse(GOLDEN.trim_end()).expect("golden trace must parse");
+    // Round-trip: parse → serialize → parse is a fixed point.
+    let text = doc.to_string();
+    assert_eq!(Value::parse(&text).unwrap(), doc);
+    assert_eq!(text, GOLDEN.trim_end());
+
+    let events = doc
+        .get("traceEvents")
+        .expect("traceEvents array")
+        .as_arr()
+        .unwrap();
+    assert!(!events.is_empty());
+
+    let mut complete = 0;
+    let mut wall = 0;
+    for ev in events {
+        let ph = ev.get("ph").expect("every event has ph").as_str().unwrap();
+        let pid = ev
+            .get("pid")
+            .expect("every event has pid")
+            .as_f64()
+            .unwrap();
+        let tid = ev
+            .get("tid")
+            .expect("every event has tid")
+            .as_f64()
+            .unwrap();
+        assert!((0.0..2.0).contains(&tid), "tid is a rank: {tid}");
+        match ph {
+            "X" => {
+                complete += 1;
+                let ts = ev
+                    .get("ts")
+                    .expect("complete events have ts")
+                    .as_f64()
+                    .unwrap();
+                let dur = ev
+                    .get("dur")
+                    .expect("complete events have dur")
+                    .as_f64()
+                    .unwrap();
+                assert!(ts >= 0.0 && dur >= 0.0, "ts={ts} dur={dur}");
+                assert!(ev.get("name").unwrap().as_str().is_some());
+                if pid == WALL_PID as f64 {
+                    wall += 1;
+                } else {
+                    assert_eq!(pid, VIRTUAL_PID as f64);
+                }
+            }
+            "M" => {
+                assert!(ev.get("args").unwrap().get("name").is_some());
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    // 5 spans on each timeline (3 on rank 0, 2 on rank 1), both tracks.
+    assert_eq!(complete, 10);
+    assert_eq!(wall, 5);
+}
+
+#[test]
+fn virtual_timestamps_reflect_the_cost_model() {
+    let timeline = Timeline::from_trace(&golden_trace(), &golden_machine()).unwrap();
+    let doc = to_chrome_json(&timeline);
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    // Rank 1's dynamics span ends when the 1000-byte message arrives:
+    // max(compute 1 s, send done 2.001 s + latency 0.001 s) = 2.002 s.
+    let r1_dyn = events
+        .iter()
+        .find(|e| {
+            e.get("ph").unwrap().as_str() == Some("X")
+                && e.get("pid").unwrap().as_f64() == Some(VIRTUAL_PID as f64)
+                && e.get("tid").unwrap().as_f64() == Some(1.0)
+                && e.get("name").unwrap().as_str() == Some("dynamics")
+        })
+        .unwrap();
+    let ts = r1_dyn.get("ts").unwrap().as_f64().unwrap();
+    let dur = r1_dyn.get("dur").unwrap().as_f64().unwrap();
+    assert!((ts + dur - 2.002e6).abs() < 1e-6, "end = {}", ts + dur);
+}

@@ -18,7 +18,9 @@
 //! * [`agcm`] — the assembled model, timers and report formatting;
 //! * [`resilience`] — checkpoint/restart and fault recovery (paired with
 //!   the deterministic fault-injection plane in [`mps::fault`]);
-//! * [`singlenode`] — the single-node optimization study.
+//! * [`singlenode`] — the single-node optimization study;
+//! * [`telemetry`] — metrics registry, per-rank span timelines, Perfetto
+//!   (Chrome trace-event) export and structured per-step/per-run records.
 //!
 //! See `DESIGN.md` for the full system inventory and the per-experiment
 //! index, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -33,3 +35,4 @@ pub use agcm_mps as mps;
 pub use agcm_physics as physics;
 pub use agcm_resilience as resilience;
 pub use agcm_singlenode as singlenode;
+pub use agcm_telemetry as telemetry;
