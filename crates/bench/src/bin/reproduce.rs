@@ -52,6 +52,7 @@ fn main() {
         "summary" => summary(),
         "bench-filter" => bench_filter(),
         "trace" => trace(),
+        "analyze" => analyze(),
         "bench-check" => bench_check(),
         "all" => {
             figure1();
@@ -64,7 +65,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|trace|bench-check]");
+            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|trace|analyze|bench-check]");
             std::process::exit(2);
         }
     }
@@ -673,6 +674,56 @@ fn trace() {
         std::process::exit(1);
     }
     println!("wrote trace.json and metrics.jsonl (validated)");
+}
+
+/// `analyze`: the trace-analysis report — per-phase scaling, wait states,
+/// communication matrices vs closed forms, critical path — written to
+/// `analysis.json` plus a flow-event Perfetto trace `trace_analyzed.json`.
+/// Exits non-zero on phase faults or any failed invariant check.
+fn analyze() {
+    use agcm_bench::analyze::run_analysis;
+    use agcm_telemetry::chrome;
+
+    println!("\n=== Trace analysis: analysis.json + trace_analyzed.json ===\n");
+    let machine = MachineProfile::t3d();
+    let report = match run_analysis(&machine) {
+        Ok(r) => r,
+        Err(faults) => {
+            eprintln!("trace has unbalanced phase events:");
+            for f in faults {
+                eprintln!("  {f:?}");
+            }
+            std::process::exit(1);
+        }
+    };
+    for t in &report.tables {
+        println!("{t}");
+    }
+    for c in &report.checks {
+        println!(
+            "check {}: {} ({})",
+            c.name,
+            if c.ok { "ok" } else { "VIOLATED" },
+            c.detail
+        );
+    }
+
+    if let Err(e) = std::fs::write("analysis.json", format!("{}\n", report.doc)) {
+        eprintln!("could not write analysis.json: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = chrome::write_chrome_trace_analyzed("trace_analyzed.json", &report.smoke) {
+        eprintln!("could not write trace_analyzed.json: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote analysis.json and trace_analyzed.json ({} flows on the smoke run)",
+        report.smoke.flows.len()
+    );
+    if !report.all_ok() {
+        eprintln!("one or more analysis checks failed");
+        std::process::exit(1);
+    }
 }
 
 /// `bench-check`: re-time the filter kernel and fail when the measured

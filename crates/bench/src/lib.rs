@@ -11,5 +11,6 @@
 //! * `benches/` — Criterion microbenchmarks for the single-node study and
 //!   the kernel-level comparisons.
 
+pub mod analyze;
 pub mod harness;
 pub mod paper;

@@ -75,6 +75,22 @@ pub fn transpose_fft(n: usize, p: usize) -> CommCost {
     }
 }
 
+/// Exact traced message count of the implemented transpose-FFT filter.
+///
+/// [`transpose_fft`] gives the paper's asymptotic `O(P²)`; this is the
+/// count the redistribute engine actually produces, which a communication
+/// matrix built from a real trace must match *exactly*: in each
+/// redistribute pass every ordered pair of the `p` participating ranks
+/// exchanges one message forward (line chunks to the owner) and one
+/// backward (filtered chunks home), while self-chunks move by local copy
+/// and send nothing — `2·passes·p·(p−1)` messages for `passes`
+/// redistribute passes (the aggregated production engine runs one pass per
+/// filter-strength class).
+pub fn transpose_fft_messages_exact(p: usize, passes: usize) -> f64 {
+    let pf = p as f64;
+    2.0 * passes as f64 * pf * (pf - 1.0)
+}
+
 /// Computational flop counts of the two filter formulations on an
 /// `n × m × k` grid (paper §3.1): convolution `O(N²·M·K)`, FFT
 /// `O(N·logN·M·K)`.
@@ -145,6 +161,21 @@ mod tests {
         // 10 × 1 ms + 8000 bytes / 1 MB/s = 0.01 + 0.008
         let t = c.time(1.0e-3, 1.0e6, 8.0);
         assert!((t - 0.018).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_transpose_count_tracks_the_asymptotic() {
+        // 2 passes × 2 directions ⇒ the exact count approaches 4·P² from
+        // below as P grows; it stays Θ(P²) like the closed form.
+        for p in [2usize, 6, 8, 30] {
+            let exact = transpose_fft_messages_exact(p, 2);
+            let asymptotic = transpose_fft(144, p).messages;
+            assert_eq!(exact, (2 * 2 * p * (p - 1)) as f64);
+            assert!(exact < 4.0 * asymptotic);
+            assert!(exact >= 2.0 * asymptotic, "p={p}: {exact} vs {asymptotic}");
+        }
+        // Degenerate single-rank transpose is all local copies.
+        assert_eq!(transpose_fft_messages_exact(1, 2), 0.0);
     }
 
     #[test]

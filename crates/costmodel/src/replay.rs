@@ -84,19 +84,62 @@ impl ReplayResult {
     }
 }
 
+/// Virtual start/end timestamps of one traced event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventTiming {
+    /// Clock when the rank begins processing the event (s).
+    pub start: f64,
+    /// Clock when the event completes (s).
+    ///
+    /// Phase markers are instantaneous (`end == start`); a receive bound
+    /// by its matching send ends exactly at that send's arrival time.
+    pub end: f64,
+}
+
+impl EventTiming {
+    /// `end − start`.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Per-event virtual timestamps for a whole trace — the replay hook the
+/// analysis layer (wait states, critical paths, flow arrows) builds on.
+///
+/// Events on one rank are contiguous: each event starts exactly where the
+/// previous one ended, and the first event starts at 0. All simulated
+/// stalls therefore live *inside* receive events, which is what makes
+/// wait-state decomposition (`busy + wait = finish`) exact.
+#[derive(Debug, Clone, Default)]
+pub struct EventSchedule {
+    /// `times[r][i]` is the virtual timing of `trace.ranks[r][i]`.
+    pub times: Vec<Vec<EventTiming>>,
+    /// Virtual finish time of each rank (s).
+    pub finish_times: Vec<f64>,
+}
+
+impl EventSchedule {
+    /// Wall-clock of the simulated run: the slowest rank.
+    pub fn makespan(&self) -> f64 {
+        self.finish_times.iter().copied().fold(0.0, f64::max)
+    }
+}
+
 struct RankState<'a> {
     events: &'a [Event],
     next: usize,
     clock: f64,
-    /// Stack of open phases: (name, start clock, time spent in inner phases
-    /// is *not* subtracted — phases accumulate inclusively, as timers in
-    /// the original code would).
-    open_phases: Vec<(&'static str, f64)>,
-    phase_acc: HashMap<&'static str, f64>,
+    times: Vec<EventTiming>,
 }
 
-/// Replay `trace` against `machine`, producing simulated times.
-pub fn replay(trace: &WorldTrace, machine: &MachineProfile) -> ReplayResult {
+/// Replay `trace` against `machine` and record when every single event
+/// starts and ends on the virtual clocks.
+///
+/// Same co-routine sweep as [`replay`] (which is implemented on top of
+/// this): a rank blocks when it reaches a receive whose matching send has
+/// not been simulated yet and resumes on a later sweep; a sweep that
+/// advances nothing while work remains panics on the corrupt trace.
+pub fn schedule(trace: &WorldTrace, machine: &MachineProfile) -> EventSchedule {
     let n = trace.size();
     let mut states: Vec<RankState> = trace
         .ranks
@@ -105,8 +148,7 @@ pub fn replay(trace: &WorldTrace, machine: &MachineProfile) -> ReplayResult {
             events: evs,
             next: 0,
             clock: 0.0,
-            open_phases: Vec::new(),
-            phase_acc: HashMap::new(),
+            times: Vec::with_capacity(evs.len()),
         })
         .collect();
     // arrival[(src, dst, seq)] = virtual arrival time.
@@ -123,6 +165,7 @@ pub fn replay(trace: &WorldTrace, machine: &MachineProfile) -> ReplayResult {
                 let Some(ev) = state.events.get(state.next) else {
                     break;
                 };
+                let start = state.clock;
                 match *ev {
                     Event::Flops(f) => {
                         state.clock += machine.compute_time(f);
@@ -143,17 +186,13 @@ pub fn replay(trace: &WorldTrace, machine: &MachineProfile) -> ReplayResult {
                             None => break, // blocked on an unsimulated send
                         }
                     }
-                    Event::PhaseBegin(name) => {
-                        state.open_phases.push((name, state.clock));
-                    }
-                    Event::PhaseEnd(name) => {
-                        let (open_name, start) = state.open_phases.pop().unwrap_or_else(|| {
-                            panic!("PhaseEnd({name}) without begin on rank {r}")
-                        });
-                        assert_eq!(open_name, name, "mismatched phase nesting on rank {r}");
-                        *state.phase_acc.entry(name).or_insert(0.0) += state.clock - start;
-                    }
+                    // Phase markers are instantaneous.
+                    Event::PhaseBegin(_) | Event::PhaseEnd(_) => {}
                 }
+                state.times.push(EventTiming {
+                    start,
+                    end: state.clock,
+                });
                 state.next += 1;
                 progressed = true;
             }
@@ -170,9 +209,45 @@ pub fn replay(trace: &WorldTrace, machine: &MachineProfile) -> ReplayResult {
         );
     }
 
-    ReplayResult {
+    EventSchedule {
         finish_times: states.iter().map(|s| s.clock).collect(),
-        phase_times: states.into_iter().map(|s| s.phase_acc).collect(),
+        times: states.into_iter().map(|s| s.times).collect(),
+    }
+}
+
+/// Replay `trace` against `machine`, producing simulated times.
+pub fn replay(trace: &WorldTrace, machine: &MachineProfile) -> ReplayResult {
+    let sched = schedule(trace, machine);
+    let phase_times = trace
+        .ranks
+        .iter()
+        .enumerate()
+        .map(|(r, evs)| {
+            let mut open: Vec<(&'static str, f64)> = Vec::new();
+            let mut acc: HashMap<&'static str, f64> = HashMap::new();
+            for (i, ev) in evs.iter().enumerate() {
+                match *ev {
+                    Event::PhaseBegin(name) => open.push((name, sched.times[r][i].end)),
+                    Event::PhaseEnd(name) => {
+                        let (open_name, start) = open.pop().unwrap_or_else(|| {
+                            panic!("PhaseEnd({name}) without begin on rank {r}")
+                        });
+                        assert_eq!(open_name, name, "mismatched phase nesting on rank {r}");
+                        // Inner phases are *not* subtracted — phases
+                        // accumulate inclusively, as timers in the original
+                        // code would.
+                        *acc.entry(name).or_insert(0.0) += sched.times[r][i].end - start;
+                    }
+                    _ => {}
+                }
+            }
+            acc
+        })
+        .collect();
+
+    ReplayResult {
+        finish_times: sched.finish_times,
+        phase_times,
     }
 }
 
@@ -386,5 +461,128 @@ mod tests {
         let r = replay(&WorldTrace::default(), &machine());
         assert_eq!(r.total_time(), 0.0);
         assert_eq!(r.phase_time("anything"), 0.0);
+    }
+
+    #[test]
+    fn schedule_exposes_per_event_timestamps() {
+        let trace = WorldTrace {
+            ranks: vec![
+                vec![
+                    Event::Flops(1.0e6),
+                    Event::Send {
+                        to: 1,
+                        bytes: 1_000_000,
+                        seq: 0,
+                    },
+                ],
+                vec![
+                    Event::PhaseBegin("halo"),
+                    Event::Recv {
+                        from: 0,
+                        bytes: 1_000_000,
+                        seq: 0,
+                    },
+                    Event::PhaseEnd("halo"),
+                ],
+            ],
+            ..Default::default()
+        };
+        let s = schedule(&trace, &machine());
+        // Rank 0: compute [0,1], send occupancy [1,2].
+        assert_eq!(
+            s.times[0][0],
+            EventTiming {
+                start: 0.0,
+                end: 1.0
+            }
+        );
+        assert_eq!(
+            s.times[0][1],
+            EventTiming {
+                start: 1.0,
+                end: 2.0
+            }
+        );
+        // Rank 1: instantaneous phase marker, then a receive that posts at
+        // 0 and is bound by the arrival at 2.001.
+        assert_eq!(
+            s.times[1][0],
+            EventTiming {
+                start: 0.0,
+                end: 0.0
+            }
+        );
+        assert_eq!(s.times[1][1].start, 0.0);
+        assert!((s.times[1][1].end - 2.001).abs() < 1e-12);
+        assert_eq!(s.times[1][2].duration(), 0.0);
+        assert!((s.makespan() - 2.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_events_are_contiguous_per_rank() {
+        let trace = WorldTrace {
+            ranks: vec![
+                vec![
+                    Event::PhaseBegin("a"),
+                    Event::Flops(0.5e6),
+                    Event::Send {
+                        to: 1,
+                        bytes: 100,
+                        seq: 0,
+                    },
+                    Event::PhaseEnd("a"),
+                ],
+                vec![
+                    Event::Flops(2.0e6),
+                    Event::Recv {
+                        from: 0,
+                        bytes: 100,
+                        seq: 0,
+                    },
+                ],
+            ],
+            ..Default::default()
+        };
+        let s = schedule(&trace, &machine());
+        for (r, times) in s.times.iter().enumerate() {
+            assert_eq!(times.len(), trace.ranks[r].len());
+            assert_eq!(times[0].start, 0.0);
+            for w in times.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "rank {r} has a gap");
+            }
+            assert_eq!(times.last().unwrap().end, s.finish_times[r]);
+        }
+    }
+
+    #[test]
+    fn replay_matches_schedule_finish_times() {
+        let trace = WorldTrace {
+            ranks: vec![
+                vec![
+                    Event::PhaseBegin("p"),
+                    Event::Flops(1.0e6),
+                    Event::Send {
+                        to: 1,
+                        bytes: 64,
+                        seq: 0,
+                    },
+                    Event::PhaseEnd("p"),
+                ],
+                vec![
+                    Event::PhaseBegin("p"),
+                    Event::Recv {
+                        from: 0,
+                        bytes: 64,
+                        seq: 0,
+                    },
+                    Event::PhaseEnd("p"),
+                ],
+            ],
+            ..Default::default()
+        };
+        let r = replay(&trace, &machine());
+        let s = schedule(&trace, &machine());
+        assert_eq!(r.finish_times, s.finish_times);
+        assert_eq!(r.total_time(), s.makespan());
     }
 }

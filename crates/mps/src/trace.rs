@@ -24,6 +24,7 @@
 //!   recording would be noise.
 
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -197,6 +198,29 @@ pub struct RankStats {
     pub flops: f64,
 }
 
+/// A matched send/receive pair in a [`WorldTrace`].
+///
+/// The substrate stamps every send with a per-`(src, dst)` sequence number
+/// and delivers it unchanged, so `(src, dst, seq)` identifies one message
+/// end-to-end. The event indices point into `ranks[src]` / `ranks[dst]`,
+/// which is what the analysis layer needs to look the pair up in a replay
+/// schedule (per-event virtual timestamps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessagePair {
+    /// Sending world rank.
+    pub src: usize,
+    /// Receiving world rank.
+    pub dst: usize,
+    /// Per-`(src, dst)` send sequence number.
+    pub seq: u64,
+    /// Wire size in bytes.
+    pub bytes: usize,
+    /// Index of the `Send` event in `ranks[src]`.
+    pub send_event: usize,
+    /// Index of the `Recv` event in `ranks[dst]`.
+    pub recv_event: usize,
+}
+
 /// A malformed phase stream found by [`WorldTrace::validate_phases`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseFault {
@@ -328,6 +352,68 @@ impl WorldTrace {
         }
         let max = stats.iter().map(|s| s.flops).fold(0.0, f64::max);
         (max - avg) / avg
+    }
+
+    /// Match every `Recv` event with its `Send` by `(src, dst, seq)`.
+    ///
+    /// Pairs are returned grouped by receiving rank, in receive order —
+    /// the order a per-rank wait-state scan wants them in. Sends that were
+    /// never received (and receives with no recorded send, which a replay
+    /// would reject anyway) are simply absent; [`Self::unmatched_messages`]
+    /// counts them.
+    pub fn message_pairs(&self) -> Vec<MessagePair> {
+        let sends = self.send_index();
+        let mut pairs = Vec::new();
+        for (dst, evs) in self.ranks.iter().enumerate() {
+            for (i, ev) in evs.iter().enumerate() {
+                if let Event::Recv { from, bytes, seq } = *ev {
+                    if let Some(&send_event) = sends.get(&(from, dst, seq)) {
+                        pairs.push(MessagePair {
+                            src: from,
+                            dst,
+                            seq,
+                            bytes,
+                            send_event,
+                            recv_event: i,
+                        });
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// `(sends with no matching recv, recvs with no matching send)` — both
+    /// zero on a complete trace of a clean run.
+    pub fn unmatched_messages(&self) -> (usize, usize) {
+        let sends = self.send_index();
+        let mut matched = 0usize;
+        let mut orphan_recvs = 0usize;
+        for (dst, evs) in self.ranks.iter().enumerate() {
+            for ev in evs {
+                if let Event::Recv { from, seq, .. } = *ev {
+                    if sends.contains_key(&(from, dst, seq)) {
+                        matched += 1;
+                    } else {
+                        orphan_recvs += 1;
+                    }
+                }
+            }
+        }
+        (sends.len() - matched, orphan_recvs)
+    }
+
+    /// Index of every `Send` event by `(src, dst, seq)`.
+    fn send_index(&self) -> HashMap<(usize, usize, u64), usize> {
+        let mut sends = HashMap::new();
+        for (src, evs) in self.ranks.iter().enumerate() {
+            for (i, ev) in evs.iter().enumerate() {
+                if let Event::Send { to, seq, .. } = *ev {
+                    sends.insert((src, to, seq), i);
+                }
+            }
+        }
+        sends
     }
 
     /// Check every rank's phase events for balance: each `PhaseEnd` must
@@ -486,6 +572,83 @@ mod tests {
         t.record_flops(1.0);
         assert_eq!(t.take().len(), 1);
         assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn message_pairs_match_by_src_dst_seq() {
+        let wt = WorldTrace::from_ranks(vec![
+            vec![
+                Event::Send {
+                    to: 1,
+                    bytes: 8,
+                    seq: 0,
+                },
+                Event::Send {
+                    to: 1,
+                    bytes: 16,
+                    seq: 1,
+                },
+                Event::Recv {
+                    from: 1,
+                    bytes: 24,
+                    seq: 0,
+                },
+            ],
+            vec![
+                Event::Send {
+                    to: 0,
+                    bytes: 24,
+                    seq: 0,
+                },
+                // Receive out of order relative to the sends.
+                Event::Recv {
+                    from: 0,
+                    bytes: 16,
+                    seq: 1,
+                },
+                Event::Recv {
+                    from: 0,
+                    bytes: 8,
+                    seq: 0,
+                },
+            ],
+        ]);
+        let pairs = wt.message_pairs();
+        assert_eq!(pairs.len(), 3);
+        // Grouped by receiving rank, in receive order.
+        assert_eq!(
+            pairs[0],
+            MessagePair {
+                src: 1,
+                dst: 0,
+                seq: 0,
+                bytes: 24,
+                send_event: 0,
+                recv_event: 2,
+            }
+        );
+        assert_eq!((pairs[1].src, pairs[1].seq, pairs[1].bytes), (0, 1, 16));
+        assert_eq!(pairs[1].send_event, 1);
+        assert_eq!((pairs[2].src, pairs[2].seq, pairs[2].send_event), (0, 0, 0));
+        assert_eq!(wt.unmatched_messages(), (0, 0));
+    }
+
+    #[test]
+    fn unmatched_messages_counted() {
+        let wt = WorldTrace::from_ranks(vec![
+            vec![Event::Send {
+                to: 1,
+                bytes: 8,
+                seq: 0,
+            }],
+            vec![Event::Recv {
+                from: 0,
+                bytes: 8,
+                seq: 7, // no such send
+            }],
+        ]);
+        assert!(wt.message_pairs().is_empty());
+        assert_eq!(wt.unmatched_messages(), (1, 1));
     }
 
     #[test]

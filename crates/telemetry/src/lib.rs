@@ -11,7 +11,15 @@
 //!   events, with cost-model *virtual* timestamps and (when recorded)
 //!   wall-clock timestamps;
 //! * [`chrome`] — export of those timelines as Chrome trace-event JSON,
-//!   loadable in Perfetto (one track per rank);
+//!   loadable in Perfetto (one track per rank), with flow arrows for every
+//!   matched message, counter tracks, and a critical-path track when
+//!   exported from a [`TraceAnalysis`];
+//! * [`analysis`] — trace analysis proper: matched message flows, wait-state
+//!   detection (late-sender / buffered time per rank and per phase), and the
+//!   [`analyze`] one-call bundle;
+//! * [`commmatrix`] — per src→dst communication matrices with phase slicing;
+//! * [`critical`] — critical-path extraction through the rank×event span
+//!   graph (program order + message edges);
 //! * [`run`] — structured per-step and per-run metrics
 //!   ([`run::StepMetrics`] / [`run::RunSummary`]) serialized as JSON lines;
 //! * [`sink`] — the [`TelemetrySink`] trait with null, in-memory and file
@@ -27,13 +35,19 @@
 //! derive virtual time. [`Telemetry::observe_trace`] is the single entry
 //! point the model calls at end of run.
 
+pub mod analysis;
 pub mod chrome;
+pub mod commmatrix;
+pub mod critical;
 pub mod json;
 pub mod metrics;
 pub mod run;
 pub mod sink;
 pub mod timeline;
 
+pub use analysis::{analyze, MessageFlow, RankWait, TraceAnalysis, WaitReport};
+pub use commmatrix::{CommCell, CommMatrix};
+pub use critical::{CriticalPath, CriticalSegment, SegmentKind};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use run::{ResilienceCounters, RunMetrics, RunSummary, StepMetrics};
 pub use sink::{FileSink, MemorySink, NullSink, TelemetrySink};

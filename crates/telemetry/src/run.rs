@@ -78,6 +78,15 @@ pub struct RunSummary {
     pub phase_flop_imbalance: Vec<(&'static str, f64)>,
     /// Total collective-primitive calls across ranks, sorted by name.
     pub collectives: Vec<(String, u64)>,
+    /// Per-rank late-sender wait seconds (see
+    /// [`WaitReport`](crate::analysis::WaitReport)). Empty when the
+    /// metrics were derived without a machine profile
+    /// ([`RunMetrics::from_timeline`]).
+    pub wait_seconds: Vec<f64>,
+    /// `(max − avg) / avg` of per-rank idle time (wait + end-of-run tail)
+    /// — the idle-side analogue of `flop_imbalance`. 0 when derived
+    /// without a machine profile.
+    pub idle_imbalance: f64,
     /// Resilience counters, when the run went through the recovery driver.
     pub resilience: Option<ResilienceCounters>,
 }
@@ -104,6 +113,8 @@ impl Default for RunSummary {
             phase_seconds: Vec::new(),
             phase_flop_imbalance: Vec::new(),
             collectives: Vec::new(),
+            wait_seconds: Vec::new(),
+            idle_imbalance: 0.0,
             resilience: None,
         }
     }
@@ -190,7 +201,14 @@ impl RunMetrics {
         machine: &MachineProfile,
     ) -> Result<RunMetrics, Vec<PhaseFault>> {
         let timeline = Timeline::from_trace(trace, machine)?;
-        Ok(RunMetrics::from_timeline(trace, &timeline))
+        let mut metrics = RunMetrics::from_timeline(trace, &timeline);
+        // Machine-dependent wait analysis (the timeline already validated
+        // the phase stream).
+        let waits =
+            crate::analysis::WaitReport::from_trace(trace, machine).expect("trace validated above");
+        metrics.summary.wait_seconds = waits.ranks.iter().map(|r| r.wait).collect();
+        metrics.summary.idle_imbalance = waits.idle_imbalance();
+        Ok(metrics)
     }
 
     /// Derive all metrics from a trace and its already-built timeline.
@@ -305,6 +323,8 @@ impl RunMetrics {
             phase_seconds: per_phase(&rank_phase_secs, |v| v.iter().copied().fold(0.0, f64::max)),
             phase_flop_imbalance: per_phase(&rank_phase_flops, imbalance),
             collectives,
+            wait_seconds: Vec::new(),
+            idle_imbalance: 0.0,
             resilience: None,
         };
 
@@ -382,6 +402,11 @@ impl RunSummary {
                         .collect(),
                 ),
             ),
+            (
+                "wait_seconds",
+                Value::Arr(self.wait_seconds.iter().map(|&w| Value::Num(w)).collect()),
+            ),
+            ("idle_imbalance", Value::Num(self.idle_imbalance)),
         ];
         if let Some(res) = &self.resilience {
             pairs.push((
@@ -517,6 +542,44 @@ mod tests {
             m.summary.collectives,
             vec![("barrier".to_string(), 4), ("bcast".to_string(), 1)]
         );
+    }
+
+    #[test]
+    fn wait_metrics_flow_into_the_summary() {
+        // Rank 1 stalls ~3 s on rank 0's late send.
+        let trace = WorldTrace::from_ranks(vec![
+            vec![
+                Event::PhaseBegin("step"),
+                Event::Flops(3.0e6),
+                Event::Send {
+                    to: 1,
+                    bytes: 1000,
+                    seq: 0,
+                },
+                Event::PhaseEnd("step"),
+            ],
+            vec![
+                Event::PhaseBegin("step"),
+                Event::Recv {
+                    from: 0,
+                    bytes: 1000,
+                    seq: 0,
+                },
+                Event::PhaseEnd("step"),
+            ],
+        ]);
+        let m = RunMetrics::from_trace(&trace, &machine()).unwrap();
+        assert_eq!(m.summary.wait_seconds.len(), 2);
+        assert_eq!(m.summary.wait_seconds[0], 0.0);
+        assert!(m.summary.wait_seconds[1] > 2.9);
+        assert!(m.summary.idle_imbalance > 0.0);
+        let json = m.summary.to_json().to_string();
+        let parsed = Value::parse(&json).unwrap();
+        assert_eq!(
+            parsed.get("wait_seconds").unwrap().as_arr().unwrap().len(),
+            2
+        );
+        assert!(parsed.get("idle_imbalance").unwrap().as_f64().unwrap() > 0.0);
     }
 
     #[test]

@@ -2,15 +2,15 @@
 //!
 //! `agcm-costmodel`'s replay answers "how many seconds does each phase
 //! cost?"; this module answers "*when* does each phase run on each rank?".
-//! It re-runs the same co-routine sweep — per-rank virtual clocks, receives
-//! blocking on the matching send's simulated arrival — but instead of
-//! accumulating per-phase totals it emits one [`Span`] per
-//! `PhaseBegin`/`PhaseEnd` pair, with virtual start/end timestamps. When
-//! the trace carries wall-clock stamps (recorded runs do), each span also
-//! carries the real start/end on *this* machine, so a timeline viewer can
-//! show both tracks side by side.
+//! It takes the replay's per-event [`EventSchedule`] — per-rank virtual
+//! clocks, receives bound by the matching send's simulated arrival — and
+//! folds it into one [`Span`] per `PhaseBegin`/`PhaseEnd` pair, with
+//! virtual start/end timestamps. When the trace carries wall-clock stamps
+//! (recorded runs do), each span also carries the real start/end on *this*
+//! machine, so a timeline viewer can show both tracks side by side.
 
 use agcm_costmodel::machine::MachineProfile;
+use agcm_costmodel::replay::{schedule, EventSchedule};
 use agcm_mps::trace::{Event, PhaseFault, WorldTrace};
 use std::collections::HashMap;
 
@@ -61,17 +61,6 @@ pub struct Timeline {
     pub finish_times: Vec<f64>,
 }
 
-struct RankState<'a> {
-    events: &'a [Event],
-    walls: Option<&'a [f64]>,
-    next: usize,
-    clock: f64,
-    /// Running index over *phase* events, for the wall-stamp sidecar.
-    phase_seq: usize,
-    /// Open phases: (name, virtual start, wall start, begin event index).
-    open: Vec<(&'static str, f64, Option<f64>, usize)>,
-}
-
 impl Timeline {
     /// Build the timeline by replaying `trace` against `machine`.
     ///
@@ -82,87 +71,53 @@ impl Timeline {
         machine: &MachineProfile,
     ) -> Result<Timeline, Vec<PhaseFault>> {
         trace.validate_phases()?;
-        let n = trace.size();
-        let mut states: Vec<RankState> = (0..n)
-            .map(|r| RankState {
-                events: &trace.ranks[r],
-                walls: trace.walls.get(r).map(|w| w.as_slice()),
-                next: 0,
-                clock: 0.0,
-                phase_seq: 0,
-                open: Vec::new(),
-            })
-            .collect();
-        let mut arrivals: HashMap<(usize, usize, u64), f64> = HashMap::new();
-        let mut spans: Vec<Span> = Vec::new();
+        Ok(Timeline::from_schedule(trace, &schedule(trace, machine)))
+    }
 
-        loop {
-            let mut progressed = false;
-            let mut all_done = true;
-            #[allow(clippy::needless_range_loop)] // index drives multiple buffers
-            for r in 0..n {
-                loop {
-                    let state = &mut states[r];
-                    let Some(ev) = state.events.get(state.next) else {
-                        break;
-                    };
-                    match *ev {
-                        Event::Flops(f) => state.clock += machine.compute_time(f),
-                        Event::Send { to, bytes, seq } => {
-                            state.clock += machine.send_time(bytes);
-                            arrivals.insert((r, to, seq), state.clock + machine.latency_s);
-                        }
-                        Event::Recv { from, seq, .. } => match arrivals.get(&(from, r, seq)) {
-                            Some(&arrival) => {
-                                state.clock = (state.clock + machine.recv_overhead_s).max(arrival);
-                            }
-                            None => break, // blocked on an unsimulated send
-                        },
-                        Event::PhaseBegin(name) => {
-                            let wall = state.walls.and_then(|w| w.get(state.phase_seq)).copied();
-                            state.phase_seq += 1;
-                            state.open.push((name, state.clock, wall, state.next));
-                        }
-                        Event::PhaseEnd(_) => {
-                            let wall = state.walls.and_then(|w| w.get(state.phase_seq)).copied();
-                            state.phase_seq += 1;
-                            // validate_phases guarantees balance.
-                            let (name, virt_start, wall_start, begin_event) =
-                                state.open.pop().unwrap();
-                            spans.push(Span {
-                                rank: r,
-                                name,
-                                depth: state.open.len(),
-                                virt_start,
-                                virt_end: state.clock,
-                                wall_start,
-                                wall_end: wall,
-                                begin_event,
-                                end_event: state.next,
-                            });
-                        }
+    /// Build the timeline from an already-computed replay schedule. The
+    /// trace must be phase-balanced (see [`WorldTrace::validate_phases`]).
+    pub fn from_schedule(trace: &WorldTrace, sched: &EventSchedule) -> Timeline {
+        let mut spans: Vec<Span> = Vec::new();
+        for (r, evs) in trace.ranks.iter().enumerate() {
+            let walls = trace.walls.get(r).map(|w| w.as_slice());
+            // Running index over *phase* events, for the wall-stamp sidecar.
+            let mut phase_seq = 0usize;
+            // Open phases: (name, virtual start, wall start, begin event index).
+            let mut open: Vec<(&'static str, f64, Option<f64>, usize)> = Vec::new();
+            for (i, ev) in evs.iter().enumerate() {
+                match *ev {
+                    Event::PhaseBegin(name) => {
+                        let wall = walls.and_then(|w| w.get(phase_seq)).copied();
+                        phase_seq += 1;
+                        open.push((name, sched.times[r][i].end, wall, i));
                     }
-                    state.next += 1;
-                    progressed = true;
-                }
-                if states[r].next < states[r].events.len() {
-                    all_done = false;
+                    Event::PhaseEnd(_) => {
+                        let wall = walls.and_then(|w| w.get(phase_seq)).copied();
+                        phase_seq += 1;
+                        // validate_phases guarantees balance.
+                        let (name, virt_start, wall_start, begin_event) = open.pop().unwrap();
+                        spans.push(Span {
+                            rank: r,
+                            name,
+                            depth: open.len(),
+                            virt_start,
+                            virt_end: sched.times[r][i].end,
+                            wall_start,
+                            wall_end: wall,
+                            begin_event,
+                            end_event: i,
+                        });
+                    }
+                    _ => {}
                 }
             }
-            if all_done {
-                break;
-            }
-            assert!(
-                progressed,
-                "timeline replay deadlock: a receive has no matching send in the trace"
-            );
         }
 
         spans.sort_by_key(|s| (s.rank, s.begin_event));
-        Ok(Timeline {
+        Timeline {
             spans,
-            finish_times: states.iter().map(|s| s.clock).collect(),
-        })
+            finish_times: sched.finish_times.clone(),
+        }
     }
 
     /// The slowest rank's virtual finish time.

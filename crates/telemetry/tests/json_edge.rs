@@ -1,0 +1,108 @@
+//! Edge-case tests for `agcm_telemetry::json`: non-finite floats, deeply
+//! nested documents, and duplicate object keys. These are the shapes real
+//! telemetry hits — NaN from a 0/0 imbalance on an idle rank, deep nesting
+//! from recursive phase structure — and must never produce invalid JSON.
+
+use agcm_telemetry::json::Value;
+
+#[test]
+fn non_finite_numbers_serialize_as_null_everywhere() {
+    // Top level.
+    assert_eq!(Value::Num(f64::NAN).to_string(), "null");
+    assert_eq!(Value::Num(f64::INFINITY).to_string(), "null");
+    assert_eq!(Value::Num(f64::NEG_INFINITY).to_string(), "null");
+
+    // Inside arrays: neighbours unaffected.
+    let arr = Value::Arr(vec![
+        Value::Num(1.0),
+        Value::Num(f64::NAN),
+        Value::Num(f64::NEG_INFINITY),
+        Value::Num(2.5),
+    ]);
+    assert_eq!(arr.to_string(), "[1,null,null,2.5]");
+
+    // Inside objects: the key survives, the value degrades to null.
+    let obj = Value::obj(vec![
+        ("ok", Value::Num(3.0)),
+        ("imbalance", Value::Num(f64::NAN)),
+    ]);
+    assert_eq!(obj.to_string(), "{\"ok\":3,\"imbalance\":null}");
+
+    // And the round trip parses back as real null.
+    let back = Value::parse(&obj.to_string()).unwrap();
+    assert!(matches!(back.get("imbalance"), Some(Value::Null)));
+    assert_eq!(back.get("ok").unwrap().as_f64(), Some(3.0));
+}
+
+#[test]
+fn negative_zero_and_tiny_magnitudes_stay_finite() {
+    // Adjacent edge: values near the finite/non-finite border must not be
+    // nulled. MIN_POSITIVE and MAX are finite and round-trip.
+    for v in [f64::MIN_POSITIVE, f64::MAX, -0.0, 5e-324] {
+        let text = Value::Num(v).to_string();
+        assert_ne!(text, "null", "{v} must serialize as a number");
+        let back = Value::parse(&text).unwrap();
+        assert_eq!(back.as_f64(), Some(v), "{v} must round-trip");
+    }
+}
+
+#[test]
+fn deeply_nested_arrays_round_trip() {
+    // 200 levels of [[[...[42]...]]] — enough to catch accidental O(depth²)
+    // blowups or recursion limits well below realistic document depth.
+    const DEPTH: usize = 200;
+    let mut v = Value::Num(42.0);
+    for _ in 0..DEPTH {
+        v = Value::Arr(vec![v]);
+    }
+    let text = v.to_string();
+    assert!(text.starts_with("[[[") && text.ends_with("]]]"));
+    let parsed = Value::parse(&text).unwrap();
+    assert_eq!(parsed, v);
+
+    // Unwrap all the way back down.
+    let mut cur = &parsed;
+    for _ in 0..DEPTH {
+        cur = &cur.as_arr().unwrap()[0];
+    }
+    assert_eq!(cur.as_f64(), Some(42.0));
+}
+
+#[test]
+fn deeply_nested_objects_round_trip() {
+    const DEPTH: usize = 100;
+    let mut v = Value::Str("leaf".to_string());
+    for _ in 0..DEPTH {
+        v = Value::obj(vec![("k", v)]);
+    }
+    let parsed = Value::parse(&v.to_string()).unwrap();
+    let mut cur = &parsed;
+    for _ in 0..DEPTH {
+        cur = cur.get("k").unwrap();
+    }
+    assert_eq!(cur.as_str(), Some("leaf"));
+}
+
+#[test]
+fn duplicate_keys_are_kept_and_get_returns_the_first() {
+    let parsed = Value::parse("{\"a\":1,\"b\":2,\"a\":3}").unwrap();
+    // All pairs preserved in input order — the parser does not silently
+    // drop or overwrite duplicates.
+    let pairs = parsed.as_obj().unwrap();
+    assert_eq!(pairs.len(), 3);
+    assert_eq!(pairs[0].0, "a");
+    assert_eq!(pairs[0].1.as_f64(), Some(1.0));
+    assert_eq!(pairs[2].0, "a");
+    assert_eq!(pairs[2].1.as_f64(), Some(3.0));
+    // Lookup is first-wins, and re-serialization preserves the duplicates.
+    assert_eq!(parsed.get("a").unwrap().as_f64(), Some(1.0));
+    assert_eq!(parsed.to_string(), "{\"a\":1,\"b\":2,\"a\":3}");
+}
+
+#[test]
+fn duplicate_keys_nested_inside_arrays() {
+    let parsed = Value::parse("[{\"x\":true,\"x\":false}]").unwrap();
+    let inner = &parsed.as_arr().unwrap()[0];
+    assert_eq!(inner.as_obj().unwrap().len(), 2);
+    assert!(matches!(inner.get("x"), Some(Value::Bool(true))));
+}

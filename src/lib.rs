@@ -20,7 +20,10 @@
 //!   the deterministic fault-injection plane in [`mps::fault`]);
 //! * [`singlenode`] — the single-node optimization study;
 //! * [`telemetry`] — metrics registry, per-rank span timelines, Perfetto
-//!   (Chrome trace-event) export and structured per-step/per-run records.
+//!   (Chrome trace-event) export with message-flow arrows, structured
+//!   per-step/per-run records, and the trace-analysis engine
+//!   (communication matrices, wait-state detection, critical-path
+//!   extraction — `telemetry::analysis`).
 //!
 //! See `DESIGN.md` for the full system inventory and the per-experiment
 //! index, and `EXPERIMENTS.md` for paper-vs-measured results.
