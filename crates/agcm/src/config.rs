@@ -3,6 +3,59 @@
 use agcm_dynamics::timestep::{max_stable_dt, signal_speed};
 use agcm_filtering::driver::{FilterOrganization, FilterVariant};
 use agcm_grid::latlon::GridSpec;
+use std::fmt;
+
+/// Why a configuration cannot be run. Produced by
+/// [`AgcmConfig::validate`]; degenerate configs surface here as typed
+/// errors instead of assertion panics deep inside `mps::run` or the grid
+/// decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The processor mesh has zero extent (no ranks to run on).
+    ZeroRanks {
+        /// Processors along latitude.
+        mesh_lat: usize,
+        /// Processors along longitude.
+        mesh_lon: usize,
+    },
+    /// The run would take no steps.
+    ZeroSteps,
+    /// The processor mesh is larger than the grid it decomposes: some
+    /// rank would own an empty subdomain.
+    MeshExceedsGrid {
+        /// Processors along latitude.
+        mesh_lat: usize,
+        /// Processors along longitude.
+        mesh_lon: usize,
+        /// Grid rows (latitudes).
+        n_lat: usize,
+        /// Grid columns (longitudes).
+        n_lon: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroRanks { mesh_lat, mesh_lon } => {
+                write!(f, "mesh {mesh_lat}x{mesh_lon} has zero ranks")
+            }
+            ConfigError::ZeroSteps => write!(f, "run has zero steps"),
+            ConfigError::MeshExceedsGrid {
+                mesh_lat,
+                mesh_lon,
+                n_lat,
+                n_lon,
+            } => write!(
+                f,
+                "mesh {mesh_lat}x{mesh_lon} exceeds grid {n_lat}x{n_lon}: \
+                 some rank would own an empty subdomain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of one AGCM run.
 #[derive(Debug, Clone, Copy)]
@@ -91,6 +144,31 @@ impl AgcmConfig {
         self
     }
 
+    /// Check the configuration is runnable: a non-empty mesh, at least
+    /// one step, and a mesh no larger than the grid (mirroring the
+    /// invariants `Decomp::new` and `mps::run` would otherwise assert
+    /// deep inside a spawned world).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.mesh_lat == 0 || self.mesh_lon == 0 {
+            return Err(ConfigError::ZeroRanks {
+                mesh_lat: self.mesh_lat,
+                mesh_lon: self.mesh_lon,
+            });
+        }
+        if self.steps == 0 {
+            return Err(ConfigError::ZeroSteps);
+        }
+        if self.mesh_lat > self.grid.n_lat || self.mesh_lon > self.grid.n_lon {
+            return Err(ConfigError::MeshExceedsGrid {
+                mesh_lat: self.mesh_lat,
+                mesh_lon: self.mesh_lon,
+                n_lat: self.grid.n_lat,
+                n_lon: self.grid.n_lon,
+            });
+        }
+        Ok(())
+    }
+
     /// Total processors.
     pub fn size(&self) -> usize {
         self.mesh_lat * self.mesh_lon
@@ -130,6 +208,51 @@ mod tests {
         assert!(cfg.balance_physics);
         assert_eq!(cfg.steps, 5);
         assert_eq!(cfg.checkpoint_every, 2);
+    }
+
+    #[test]
+    fn valid_config_validates() {
+        assert_eq!(
+            AgcmConfig::paper(8, 30, FilterVariant::LbFft).validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn zero_mesh_dimension_is_zero_ranks() {
+        let mut cfg = AgcmConfig::paper(2, 2, FilterVariant::LbFft);
+        cfg.mesh_lon = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroRanks {
+                mesh_lat: 2,
+                mesh_lon: 0,
+            })
+        );
+        cfg.mesh_lon = 2;
+        cfg.mesh_lat = 0;
+        assert!(matches!(cfg.validate(), Err(ConfigError::ZeroRanks { .. })));
+    }
+
+    #[test]
+    fn zero_steps_rejected() {
+        let cfg = AgcmConfig::paper(2, 2, FilterVariant::LbFft).with_steps(0);
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroSteps));
+    }
+
+    #[test]
+    fn mesh_larger_than_grid_rejected() {
+        // 48x24 grid (n_lon x n_lat): 25 mesh rows exceed 24 latitudes.
+        let cfg = AgcmConfig::for_grid(GridSpec::new(48, 24, 3), 25, 2, FilterVariant::LbFft);
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::MeshExceedsGrid {
+                mesh_lat: 25,
+                mesh_lon: 2,
+                n_lat: 24,
+                n_lon: 48,
+            })
+        );
     }
 
     #[test]

@@ -26,8 +26,9 @@ pub mod report;
 pub mod templates;
 pub mod timers;
 
-pub use config::AgcmConfig;
+pub use config::{AgcmConfig, ConfigError};
 pub use model::{
-    run_model, run_model_resilient, ModelRun, RankOutcome, ResilienceOpts, ResilientRun,
+    run_model, run_model_resilient, try_run_model, ModelRun, RankOutcome, ResilienceOpts,
+    ResilientRun,
 };
 pub use report::Table;

@@ -6,7 +6,7 @@
 //! replays these into the component breakdowns of Figure 1 and the
 //! execution times of Tables 4–7.
 
-use crate::config::AgcmConfig;
+use crate::config::{AgcmConfig, ConfigError};
 use agcm_dynamics::core::{Dynamics, DynamicsConfig};
 use agcm_dynamics::state::ModelState;
 use agcm_grid::arakawa::Variable;
@@ -15,7 +15,7 @@ use agcm_mps::fault::FaultPlan;
 use agcm_mps::runtime::run_traced;
 use agcm_mps::topology::CartComm;
 use agcm_mps::trace::WorldTrace;
-use agcm_mps::Comm;
+use agcm_mps::{CancelToken, Comm};
 use agcm_physics::balance::exec::run_balanced;
 use agcm_physics::balance::scheme3::PairwiseExchange;
 use agcm_physics::load::LoadTracker;
@@ -142,8 +142,17 @@ impl<'a> StepContext<'a> {
     }
 }
 
-/// Run the model per `cfg`, spawning one thread per mesh node.
+/// Run the model per `cfg`, spawning one thread per mesh node. Panics on
+/// a degenerate configuration; use [`try_run_model`] for a typed error.
 pub fn run_model(cfg: AgcmConfig) -> ModelRun {
+    try_run_model(cfg).unwrap_or_else(|e| panic!("invalid AGCM config: {e}"))
+}
+
+/// Run the model per `cfg`, rejecting degenerate configurations (zero
+/// ranks, zero steps, mesh larger than the grid) as a typed
+/// [`ConfigError`] before any thread is spawned.
+pub fn try_run_model(cfg: AgcmConfig) -> Result<ModelRun, ConfigError> {
+    cfg.validate()?;
     let decomp = Decomp::new(cfg.grid, cfg.mesh_lat, cfg.mesh_lon);
     let (ranks, trace) = run_traced(cfg.size(), |comm| {
         let ctx = StepContext::new(&cfg, decomp, comm);
@@ -165,11 +174,11 @@ pub fn run_model(cfg: AgcmConfig) -> ModelRun {
     });
     // With no sink installed this is a single atomic load.
     agcm_telemetry::telemetry().observe_trace(&trace, None);
-    ModelRun {
+    Ok(ModelRun {
         ranks,
         trace,
         config: cfg,
-    }
+    })
 }
 
 /// Knobs for a resilient model run.
@@ -182,6 +191,9 @@ pub struct ResilienceOpts {
     /// Fault plan for the *first* attempt (a restart models the failed
     /// node being replaced, so later attempts run fault-free).
     pub plan: Option<FaultPlan>,
+    /// Cooperative cancellation token (deadline expiry, explicit
+    /// cancellation); a cancelled run is never retried.
+    pub cancel: Option<CancelToken>,
 }
 
 impl ResilienceOpts {
@@ -191,12 +203,19 @@ impl ResilienceOpts {
             store: CheckpointStore::new(dir),
             max_restarts: 3,
             plan: None,
+            cancel: None,
         }
     }
 
     /// Builder-style: inject this fault plan on the first attempt.
     pub fn with_plan(mut self, plan: FaultPlan) -> ResilienceOpts {
         self.plan = Some(plan);
+        self
+    }
+
+    /// Builder-style: thread this cancellation token through the run.
+    pub fn with_cancel(mut self, token: CancelToken) -> ResilienceOpts {
+        self.cancel = Some(token);
         self
     }
 }
@@ -236,12 +255,15 @@ pub fn run_model_resilient(
     cfg: AgcmConfig,
     opts: ResilienceOpts,
 ) -> Result<ResilientRun, RecoveryError> {
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid AGCM config: {e}"));
     let decomp = Decomp::new(cfg.grid, cfg.mesh_lat, cfg.mesh_lon);
     let store = &opts.store;
     let report = run_recovered(
         cfg.size(),
         RecoveryOptions {
             max_restarts: opts.max_restarts,
+            cancel: opts.cancel.clone(),
         },
         store,
         |attempt| {
@@ -376,6 +398,36 @@ mod tests {
         assert!(before > 0.08, "unbalanced imbalance {before}");
         assert!(after < 0.6 * before, "balancing helps: {before} -> {after}");
         assert!(balanced.stable());
+    }
+
+    #[test]
+    fn degenerate_configs_are_typed_errors_not_panics() {
+        let base = small_cfg(FilterVariant::LbFft);
+
+        let mut zero_ranks = base;
+        zero_ranks.mesh_lat = 0;
+        assert!(matches!(
+            try_run_model(zero_ranks),
+            Err(ConfigError::ZeroRanks { .. })
+        ));
+
+        assert!(matches!(
+            try_run_model(base.with_steps(0)),
+            Err(ConfigError::ZeroSteps)
+        ));
+
+        let mut too_wide = base;
+        too_wide.mesh_lon = 49; // grid has 48 longitudes
+        assert!(matches!(
+            try_run_model(too_wide),
+            Err(ConfigError::MeshExceedsGrid { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AGCM config")]
+    fn run_model_panics_with_typed_message_on_bad_config() {
+        run_model(small_cfg(FilterVariant::LbFft).with_steps(0));
     }
 
     #[test]

@@ -53,6 +53,7 @@ fn main() {
         "bench-filter" => bench_filter(),
         "trace" => trace(),
         "analyze" => analyze(),
+        "ensemble" => ensemble(std::env::args().nth(2).as_deref() == Some("--smoke")),
         "bench-check" => bench_check(),
         "all" => {
             figure1();
@@ -65,7 +66,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|trace|analyze|bench-check]");
+            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|trace|analyze|ensemble [--smoke]|bench-check]");
             std::process::exit(2);
         }
     }
@@ -722,6 +723,36 @@ fn analyze() {
     );
     if !report.all_ok() {
         eprintln!("one or more analysis checks failed");
+        std::process::exit(1);
+    }
+}
+
+/// `ensemble`: the paper's scaling sweep served as a batch workload on a
+/// bounded rank budget — admission control, deadlines, cancellation,
+/// fault retries, fleet telemetry — written to `ensemble.json` with a
+/// machine-checkable `checks` section. Exits non-zero on any failed
+/// check. `--smoke` shortens the standard jobs for CI.
+fn ensemble(smoke: bool) {
+    use agcm_bench::ensemble::run_ensemble;
+
+    println!("\n=== Ensemble serving: scaling sweep as a batch workload ===\n");
+    let report = run_ensemble(smoke);
+    println!("{}", report.table);
+    for c in &report.checks {
+        println!(
+            "check {}: {} ({})",
+            c.name,
+            if c.ok { "ok" } else { "VIOLATED" },
+            c.detail
+        );
+    }
+    if let Err(e) = std::fs::write("ensemble.json", format!("{}\n", report.doc)) {
+        eprintln!("could not write ensemble.json: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote ensemble.json");
+    if !report.all_ok() {
+        eprintln!("one or more ensemble checks failed");
         std::process::exit(1);
     }
 }

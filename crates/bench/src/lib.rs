@@ -12,5 +12,6 @@
 //!   the kernel-level comparisons.
 
 pub mod analyze;
+pub mod ensemble;
 pub mod harness;
 pub mod paper;

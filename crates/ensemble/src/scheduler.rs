@@ -1,0 +1,572 @@
+//! The ensemble scheduler: many AGCM runs on a bounded rank-thread budget.
+//!
+//! An [`Ensemble`] owns a bounded admission queue and a **rank budget**:
+//! the cap is on concurrent *ranks* (model threads), not jobs, mirroring
+//! how the paper's runs shared a fixed processor allocation. A dispatcher
+//! thread picks the highest-priority queued job that *fits* the free
+//! budget — work-conserving backfill, so a wide job waiting at the head
+//! does not idle ranks a narrow job could use. Each dispatched job runs in
+//! its own runner thread through `agcm_core::run_model_resilient`, which
+//! gives every job, for free: checkpoint/restart retries on injected
+//! faults, and a cooperative [`CancelToken`] threaded down into
+//! `mps::Comm` so deadline expiry or [`Ensemble::cancel`] unwinds the
+//! job's whole world at the next cancellation point.
+//!
+//! Deadlines are *soft* and measured from submission: a job still queued
+//! when its deadline passes is dequeued and recorded as
+//! `Cancelled(Deadline)`; a running job has its token cancelled and
+//! unwinds within one poll interval. Cancellation is a verdict, not a
+//! fault — the resilience layer never retries it.
+
+use crate::fleet::{FleetMetrics, FleetSnapshot};
+use crate::job::{CancelReason, JobId, JobRecord, JobSpec, JobStatus};
+use agcm_core::{run_model_resilient, ConfigError, ResilienceOpts};
+use agcm_costmodel::machine::MachineProfile;
+use agcm_mps::CancelToken;
+use agcm_resilience::recovery::RecoveryError;
+use agcm_telemetry::{ResilienceCounters, RunMetrics};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Ensemble-wide knobs.
+#[derive(Debug, Clone)]
+pub struct EnsembleConfig {
+    /// Maximum concurrent *ranks* (model threads) across all running
+    /// jobs. A job of `config.size()` ranks charges that many against
+    /// the budget for its whole run.
+    pub rank_budget: usize,
+    /// Maximum queued (admitted, not yet dispatched) jobs; submissions
+    /// beyond this bounce with [`SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Machine profile used to derive each completed job's virtual-time
+    /// [`agcm_telemetry::RunSummary`].
+    pub machine: MachineProfile,
+    /// Dispatcher poll interval: bounds how late a deadline can fire.
+    pub poll: Duration,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> EnsembleConfig {
+        EnsembleConfig {
+            rank_budget: 8,
+            queue_capacity: 64,
+            machine: MachineProfile::t3d(),
+            poll: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at capacity (backpressure).
+    QueueFull {
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// The job needs more ranks than the budget can ever grant.
+    TooLarge {
+        /// Ranks the job needs.
+        ranks: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// The job's model configuration is degenerate.
+    InvalidConfig(ConfigError),
+    /// [`Ensemble::join`] has begun; no new work is admitted.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            SubmitError::TooLarge { ranks, budget } => {
+                write!(f, "job needs {ranks} ranks but the budget is {budget}")
+            }
+            SubmitError::InvalidConfig(e) => write!(f, "invalid config: {e}"),
+            SubmitError::ShuttingDown => write!(f, "ensemble is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A job admitted but not yet dispatched.
+struct PendingJob {
+    id: JobId,
+    spec: JobSpec,
+    submitted: Instant,
+    /// Admission order; ties within a priority dispatch FIFO.
+    seq: u64,
+}
+
+/// A job currently occupying ranks.
+struct RunningJob {
+    id: JobId,
+    ranks: usize,
+    token: CancelToken,
+    deadline: Option<Instant>,
+    /// Set (before the token fires) when the cancellation came from the
+    /// deadline watchdog, so the terminal record can name the reason.
+    deadline_hit: Arc<AtomicBool>,
+}
+
+struct SchedState {
+    next_seq: u64,
+    pending: Vec<PendingJob>,
+    running: Vec<RunningJob>,
+    records: Vec<JobRecord>,
+    free_ranks: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    cfg: EnsembleConfig,
+    state: Mutex<SchedState>,
+    /// New work, a finished job, or shutdown — wakes the dispatcher.
+    work: Condvar,
+    /// Queue space freed — wakes blocking [`Ensemble::submit`] callers.
+    space: Condvar,
+    /// A job reached a terminal state — wakes [`Ensemble::join`].
+    done: Condvar,
+    fleet: FleetMetrics,
+    next_id: AtomicU64,
+}
+
+/// A running ensemble: submit jobs, cancel them, then [`join`] for the
+/// terminal records.
+///
+/// [`join`]: Ensemble::join
+pub struct Ensemble {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Ensemble {
+    /// Start an ensemble: spawns the dispatcher thread.
+    pub fn start(cfg: EnsembleConfig) -> Ensemble {
+        assert!(cfg.rank_budget > 0, "rank budget must be positive");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(SchedState {
+                next_seq: 0,
+                pending: Vec::new(),
+                running: Vec::new(),
+                records: Vec::new(),
+                free_ranks: cfg.rank_budget,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            done: Condvar::new(),
+            fleet: FleetMetrics::new(),
+            next_id: AtomicU64::new(1),
+            cfg,
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ensemble-dispatcher".into())
+                .spawn(move || dispatcher_loop(&shared))
+                .expect("spawn dispatcher")
+        };
+        Ensemble {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Validate admissibility without touching the queue.
+    fn admissible(&self, spec: &JobSpec) -> Result<usize, SubmitError> {
+        if let Err(e) = spec.config.validate() {
+            return Err(SubmitError::InvalidConfig(e));
+        }
+        let ranks = spec.config.size();
+        if ranks > self.shared.cfg.rank_budget {
+            return Err(SubmitError::TooLarge {
+                ranks,
+                budget: self.shared.cfg.rank_budget,
+            });
+        }
+        Ok(ranks)
+    }
+
+    /// Admit `spec` without blocking; bounces with
+    /// [`SubmitError::QueueFull`] when the queue is at capacity.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        let check = self.admissible(&spec);
+        let mut st = self.shared.state.lock().unwrap();
+        let verdict = check.and_then(|_| {
+            if st.shutdown {
+                Err(SubmitError::ShuttingDown)
+            } else if st.pending.len() >= self.shared.cfg.queue_capacity {
+                Err(SubmitError::QueueFull {
+                    capacity: self.shared.cfg.queue_capacity,
+                })
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = verdict {
+            self.shared.fleet.on_reject();
+            return Err(e);
+        }
+        Ok(self.enqueue(&mut st, spec))
+    }
+
+    /// Admit `spec`, blocking while the queue is full (backpressure).
+    /// Still fails fast on the conditions waiting cannot fix.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        if let Err(e) = self.admissible(&spec) {
+            self.shared.fleet.on_reject();
+            return Err(e);
+        }
+        let mut st = self.shared.state.lock().unwrap();
+        while !st.shutdown && st.pending.len() >= self.shared.cfg.queue_capacity {
+            st = self.shared.space.wait(st).unwrap();
+        }
+        if st.shutdown {
+            self.shared.fleet.on_reject();
+            return Err(SubmitError::ShuttingDown);
+        }
+        Ok(self.enqueue(&mut st, spec))
+    }
+
+    fn enqueue(&self, st: &mut SchedState, spec: JobSpec) -> JobId {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.pending.push(PendingJob {
+            id,
+            spec,
+            submitted: Instant::now(),
+            seq,
+        });
+        self.shared.fleet.on_submit(st.pending.len());
+        self.shared.work.notify_all();
+        id
+    }
+
+    /// Cancel a job. A queued job is dequeued and recorded
+    /// `Cancelled(Explicit)` immediately; a running job has its token
+    /// cancelled and unwinds cooperatively. Returns `false` if the id is
+    /// unknown or already terminal.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut st = self.shared.state.lock().unwrap();
+        if let Some(i) = st.pending.iter().position(|p| p.id == id) {
+            let p = st.pending.remove(i);
+            let record = JobRecord {
+                id: p.id,
+                name: p.spec.name.clone(),
+                ranks: p.spec.config.size(),
+                priority: p.spec.priority,
+                status: JobStatus::Cancelled(CancelReason::Explicit),
+                attempts: 0,
+                queue_seconds: p.submitted.elapsed().as_secs_f64(),
+                run_seconds: 0.0,
+                outcome: None,
+                summary: None,
+            };
+            st.records.push(record);
+            self.shared.fleet.on_cancel();
+            self.shared.space.notify_all();
+            self.shared.done.notify_all();
+            return true;
+        }
+        if let Some(r) = st.running.iter().find(|r| r.id == id) {
+            r.token.cancel();
+            return true;
+        }
+        false
+    }
+
+    /// Current fleet-level metrics.
+    pub fn fleet(&self) -> FleetSnapshot {
+        self.shared.fleet.snapshot()
+    }
+
+    /// Stop admitting, drain everything queued and running, and return
+    /// all terminal records sorted by job id.
+    pub fn join(mut self) -> Vec<JobRecord> {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+            self.shared.space.notify_all();
+            while !st.pending.is_empty() || !st.running.is_empty() {
+                st = self.shared.done.wait(st).unwrap();
+            }
+        }
+        if let Some(h) = self.dispatcher.take() {
+            self.shared.work.notify_all();
+            let _ = h.join();
+        }
+        let mut records = std::mem::take(&mut self.shared.state.lock().unwrap().records);
+        records.sort_by_key(|r| r.id);
+        records
+    }
+}
+
+impl Drop for Ensemble {
+    /// Dropping without [`Ensemble::join`] aborts: queued jobs are
+    /// recorded `Cancelled(Explicit)`, running jobs have their tokens
+    /// cancelled, and the drop blocks until the world threads unwind.
+    fn drop(&mut self) {
+        let Some(h) = self.dispatcher.take() else {
+            return;
+        };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            while let Some(p) = st.pending.pop() {
+                st.records.push(JobRecord {
+                    id: p.id,
+                    name: p.spec.name.clone(),
+                    ranks: p.spec.config.size(),
+                    priority: p.spec.priority,
+                    status: JobStatus::Cancelled(CancelReason::Explicit),
+                    attempts: 0,
+                    queue_seconds: p.submitted.elapsed().as_secs_f64(),
+                    run_seconds: 0.0,
+                    outcome: None,
+                    summary: None,
+                });
+                self.shared.fleet.on_cancel();
+            }
+            for r in &st.running {
+                r.token.cancel();
+            }
+            self.shared.work.notify_all();
+            self.shared.space.notify_all();
+        }
+        let _ = h.join();
+    }
+}
+
+/// The dispatcher: deadline watchdog + work-conserving backfill.
+fn dispatcher_loop(shared: &Arc<Shared>) {
+    let mut runners: Vec<JoinHandle<()>> = Vec::new();
+    let mut st = shared.state.lock().unwrap();
+    loop {
+        let now = Instant::now();
+
+        // Queued jobs whose deadline already passed never dispatch.
+        let mut i = 0;
+        while i < st.pending.len() {
+            let expired = st.pending[i]
+                .spec
+                .deadline
+                .is_some_and(|d| now.duration_since(st.pending[i].submitted) >= d);
+            if expired {
+                let p = st.pending.remove(i);
+                st.records.push(JobRecord {
+                    id: p.id,
+                    name: p.spec.name.clone(),
+                    ranks: p.spec.config.size(),
+                    priority: p.spec.priority,
+                    status: JobStatus::Cancelled(CancelReason::Deadline),
+                    attempts: 0,
+                    queue_seconds: p.submitted.elapsed().as_secs_f64(),
+                    run_seconds: 0.0,
+                    outcome: None,
+                    summary: None,
+                });
+                shared.fleet.on_cancel();
+                shared.space.notify_all();
+                shared.done.notify_all();
+            } else {
+                i += 1;
+            }
+        }
+
+        // Running jobs past deadline: mark the reason, then fire the token.
+        for r in &st.running {
+            if let Some(dl) = r.deadline {
+                if now >= dl && !r.deadline_hit.load(Ordering::SeqCst) {
+                    r.deadline_hit.store(true, Ordering::SeqCst);
+                    r.token.cancel();
+                }
+            }
+        }
+
+        // Work-conserving backfill: repeatedly dispatch the best
+        // (priority, then FIFO) job that fits the free budget, even if a
+        // wider, better-priority job is stuck waiting for space.
+        loop {
+            let best = st
+                .pending
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.spec.config.size() <= st.free_ranks)
+                .max_by_key(|(_, p)| (p.spec.priority, std::cmp::Reverse(p.seq)))
+                .map(|(i, _)| i);
+            let Some(i) = best else { break };
+            let p = st.pending.remove(i);
+            dispatch(shared, &mut st, p, &mut runners);
+        }
+
+        if st.shutdown && st.pending.is_empty() && st.running.is_empty() {
+            break;
+        }
+        // Poll: bounds deadline-firing latency; work/done also wake us.
+        let (guard, _) = shared.work.wait_timeout(st, shared.cfg.poll).unwrap();
+        st = guard;
+    }
+    drop(st);
+    // `running` is empty, so every runner is past its finalize section.
+    for h in runners {
+        let _ = h.join();
+    }
+}
+
+/// Move one job from pending to running and spawn its runner thread.
+fn dispatch(
+    shared: &Arc<Shared>,
+    st: &mut SchedState,
+    p: PendingJob,
+    runners: &mut Vec<JoinHandle<()>>,
+) {
+    let ranks = p.spec.config.size();
+    debug_assert!(ranks <= st.free_ranks);
+    st.free_ranks -= ranks;
+    let token = CancelToken::new();
+    let deadline_hit = Arc::new(AtomicBool::new(false));
+    st.running.push(RunningJob {
+        id: p.id,
+        ranks,
+        token: token.clone(),
+        deadline: p.spec.deadline.map(|d| p.submitted + d),
+        deadline_hit: Arc::clone(&deadline_hit),
+    });
+    let queue_seconds = p.submitted.elapsed().as_secs_f64();
+    shared.fleet.on_dispatch(
+        queue_seconds,
+        shared.cfg.rank_budget - st.free_ranks,
+        st.pending.len(),
+    );
+    let shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("ensemble-job-{}", p.id))
+        .spawn(move || run_job(&shared, p, queue_seconds, token, deadline_hit))
+        .expect("spawn job runner");
+    runners.push(handle);
+}
+
+/// Runner thread body: run the model resiliently, summarize, finalize.
+fn run_job(
+    shared: &Arc<Shared>,
+    p: PendingJob,
+    queue_seconds: f64,
+    token: CancelToken,
+    deadline_hit: Arc<AtomicBool>,
+) {
+    let spec = p.spec;
+    let dispatched = Instant::now();
+    let (dir, ephemeral) = match &spec.checkpoint_dir {
+        Some(d) => (d.clone(), false),
+        None => (
+            std::env::temp_dir().join(format!("agcm-ensemble-{}-{}", std::process::id(), p.id)),
+            true,
+        ),
+    };
+    let mut opts = ResilienceOpts::new(&dir).with_cancel(token);
+    opts.max_restarts = spec.max_restarts;
+    opts.plan = spec.plan.clone();
+
+    let result = catch_unwind(AssertUnwindSafe(|| run_model_resilient(spec.config, opts)));
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let run_seconds = dispatched.elapsed().as_secs_f64();
+
+    let (status, attempts, outcome, summary) = match result {
+        Ok(Ok(run)) => {
+            // Per-job telemetry: derive virtual-time metrics from the
+            // successful attempt's trace and feed this job's own sink —
+            // deliberately bypassing the process-global telemetry
+            // pipeline, which is shared by every job.
+            let summary = RunMetrics::from_trace(&run.trace, &shared.cfg.machine)
+                .ok()
+                .map(|metrics| {
+                    let mut summary = metrics.summary.clone();
+                    summary.resilience = Some(ResilienceCounters {
+                        attempts: run.attempts as u64,
+                        failures: run.failures.len() as u64,
+                        fault_events: run.fault_events.iter().map(|e| e.len() as u64).sum(),
+                    });
+                    if let Some(sink) = spec.sink.as_ref().filter(|s| s.enabled()) {
+                        for step in &metrics.steps {
+                            sink.record_step(step);
+                        }
+                        sink.record_run(&summary);
+                    }
+                    summary
+                });
+            (JobStatus::Completed, run.attempts, Some(run.ranks), summary)
+        }
+        Ok(Err(RecoveryError::Cancelled { attempts })) => {
+            let reason = if deadline_hit.load(Ordering::SeqCst) {
+                CancelReason::Deadline
+            } else {
+                CancelReason::Explicit
+            };
+            (JobStatus::Cancelled(reason), attempts, None, None)
+        }
+        Ok(Err(e)) => {
+            let attempts = match &e {
+                RecoveryError::RestartsExhausted { attempts, .. } => *attempts,
+                _ => 0,
+            };
+            (JobStatus::Failed(e.to_string()), attempts, None, None)
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            (JobStatus::Failed(format!("panic: {msg}")), 1, None, None)
+        }
+    };
+
+    let mut st = shared.state.lock().unwrap();
+    let pos = st
+        .running
+        .iter()
+        .position(|r| r.id == p.id)
+        .expect("finished job is in the running set");
+    let r = st.running.remove(pos);
+    st.free_ranks += r.ranks;
+    shared
+        .fleet
+        .on_release(shared.cfg.rank_budget - st.free_ranks);
+    match &status {
+        JobStatus::Completed => shared
+            .fleet
+            .on_complete(queue_seconds + run_seconds, attempts.saturating_sub(1)),
+        JobStatus::Cancelled(_) => shared.fleet.on_cancel(),
+        JobStatus::Failed(_) => shared.fleet.on_fail(),
+    }
+    st.records.push(JobRecord {
+        id: p.id,
+        name: spec.name,
+        ranks: r.ranks,
+        priority: spec.priority,
+        status,
+        attempts,
+        queue_seconds,
+        run_seconds,
+        outcome,
+        summary,
+    });
+    drop(st);
+    shared.work.notify_all();
+    shared.space.notify_all();
+    shared.done.notify_all();
+}

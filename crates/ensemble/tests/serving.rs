@@ -1,0 +1,289 @@
+//! End-to-end serving behaviour: admission control, budget enforcement,
+//! bit-identical outcomes, deadlines, explicit cancellation, fault
+//! retries, and per-job telemetry routing.
+
+use agcm_core::{run_model, AgcmConfig};
+use agcm_ensemble::{
+    CancelReason, Ensemble, EnsembleConfig, JobSpec, JobStatus, Priority, SubmitError,
+};
+use agcm_filtering::driver::FilterVariant;
+use agcm_grid::latlon::GridSpec;
+use agcm_mps::fault::FaultPlan;
+use agcm_telemetry::MemorySink;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn small_grid() -> GridSpec {
+    GridSpec::new(24, 12, 2)
+}
+
+fn job(name: &str, mesh_lat: usize, mesh_lon: usize, steps: usize) -> JobSpec {
+    JobSpec::new(
+        name,
+        AgcmConfig::for_grid(small_grid(), mesh_lat, mesh_lon, FilterVariant::LbFft)
+            .with_steps(steps),
+    )
+}
+
+fn quick_config() -> EnsembleConfig {
+    EnsembleConfig {
+        rank_budget: 4,
+        queue_capacity: 32,
+        ..EnsembleConfig::default()
+    }
+}
+
+#[test]
+fn jobs_complete_bit_identical_to_solo_runs() {
+    let ensemble = Ensemble::start(quick_config());
+    let specs = [
+        job("a-1x1", 1, 1, 2),
+        job("b-2x1", 2, 1, 2),
+        job("c-1x2", 1, 2, 3),
+        job("d-2x2", 2, 2, 2),
+        job("e-1x1", 1, 1, 3),
+    ];
+    for spec in &specs {
+        ensemble.submit(spec.clone()).unwrap();
+    }
+    let records = ensemble.join();
+    assert_eq!(records.len(), specs.len());
+    for (record, spec) in records.iter().zip(&specs) {
+        assert_eq!(record.status, JobStatus::Completed, "{}", record.name);
+        assert_eq!(record.attempts, 1);
+        let solo = run_model(spec.config);
+        assert_eq!(
+            record.outcome.as_ref().unwrap(),
+            &solo.ranks,
+            "{} must match its solo run exactly",
+            record.name
+        );
+        let summary = record.summary.as_ref().unwrap();
+        assert_eq!(summary.ranks, spec.config.size());
+        assert_eq!(summary.steps, spec.config.steps);
+    }
+}
+
+#[test]
+fn budget_is_never_exceeded_and_fleet_observes_the_queue() {
+    let ensemble = Ensemble::start(quick_config());
+    // 6 jobs of up to 4 ranks on a 4-rank budget: they cannot all run at
+    // once, so the queue must be observed non-empty at some point.
+    for i in 0..6 {
+        let (lat, lon) = [(2, 2), (1, 2), (2, 1)][i % 3];
+        ensemble.submit(job(&format!("j{i}"), lat, lon, 2)).unwrap();
+    }
+    // Poll the live fleet view until everything is terminal, checking the
+    // budget invariant at every sample.
+    let fleet = loop {
+        let f = ensemble.fleet();
+        assert!(
+            f.ranks_busy_peak <= 4.0,
+            "budget exceeded: {} ranks busy",
+            f.ranks_busy_peak
+        );
+        if f.jobs_completed + f.jobs_cancelled + f.jobs_failed == 6 {
+            break f;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert_eq!(fleet.jobs_submitted, 6);
+    assert_eq!(fleet.jobs_completed, 6);
+    assert!(fleet.ranks_busy_peak >= 1.0);
+    assert!(fleet.queue_depth_peak >= 1.0, "contention must queue jobs");
+    assert!(fleet.latency_p95 >= fleet.latency_p50);
+    assert!(fleet.latency_p50 > 0.0);
+    assert!(fleet.throughput_jobs_per_second > 0.0);
+    let records = ensemble.join();
+    assert!(records.iter().all(|r| r.status == JobStatus::Completed));
+}
+
+#[test]
+fn deadline_cancels_a_running_job_without_poisoning_later_ones() {
+    let ensemble = Ensemble::start(EnsembleConfig {
+        rank_budget: 4,
+        queue_capacity: 8,
+        ..EnsembleConfig::default()
+    });
+    // Plenty of steps so the deadline fires mid-run.
+    let doomed = ensemble
+        .submit(job("doomed", 2, 2, 500).with_deadline(Duration::from_millis(30)))
+        .unwrap();
+    let survivor = ensemble.submit(job("survivor", 2, 2, 2)).unwrap();
+    let records = ensemble.join();
+    let doomed = records.iter().find(|r| r.id == doomed).unwrap();
+    assert_eq!(
+        doomed.status,
+        JobStatus::Cancelled(CancelReason::Deadline),
+        "deadline must cancel the running world"
+    );
+    assert!(doomed.attempts >= 1, "job was dispatched before expiry");
+    let survivor = records.iter().find(|r| r.id == survivor).unwrap();
+    assert_eq!(survivor.status, JobStatus::Completed);
+}
+
+#[test]
+fn queued_job_past_deadline_never_dispatches() {
+    let ensemble = Ensemble::start(EnsembleConfig {
+        rank_budget: 2,
+        queue_capacity: 8,
+        ..EnsembleConfig::default()
+    });
+    // Occupy the whole budget, then queue a job whose deadline expires
+    // while it waits.
+    let blocker = ensemble.submit(job("blocker", 1, 2, 200)).unwrap();
+    let starved = ensemble
+        .submit(job("starved", 1, 2, 2).with_deadline(Duration::from_millis(5)))
+        .unwrap();
+    let records = ensemble.join();
+    let starved = records.iter().find(|r| r.id == starved).unwrap();
+    assert_eq!(starved.status, JobStatus::Cancelled(CancelReason::Deadline));
+    assert_eq!(starved.attempts, 0, "never dispatched");
+    assert!(starved.outcome.is_none());
+    let blocker = records.iter().find(|r| r.id == blocker).unwrap();
+    assert_eq!(blocker.status, JobStatus::Completed);
+}
+
+#[test]
+fn explicit_cancel_of_queued_and_running_jobs() {
+    let ensemble = Ensemble::start(EnsembleConfig {
+        rank_budget: 2,
+        queue_capacity: 8,
+        ..EnsembleConfig::default()
+    });
+    let running = ensemble.submit(job("running", 1, 2, 500)).unwrap();
+    let queued = ensemble.submit(job("queued", 1, 2, 2)).unwrap();
+    // The first job occupies the whole budget; the second is queued.
+    assert!(ensemble.cancel(queued));
+    std::thread::sleep(Duration::from_millis(10));
+    assert!(ensemble.cancel(running));
+    assert!(!ensemble.cancel(9999), "unknown id");
+    let records = ensemble.join();
+    let queued = records.iter().find(|r| r.id == queued).unwrap();
+    assert_eq!(queued.status, JobStatus::Cancelled(CancelReason::Explicit));
+    assert_eq!(queued.attempts, 0);
+    let running = records.iter().find(|r| r.id == running).unwrap();
+    assert_eq!(
+        running.status,
+        JobStatus::Cancelled(CancelReason::Explicit),
+        "running job unwinds with the explicit reason, not deadline"
+    );
+}
+
+#[test]
+fn fault_injected_job_retries_to_success_via_checkpoints() {
+    let ensemble = Ensemble::start(quick_config());
+    let spec = JobSpec::new(
+        "faulty",
+        AgcmConfig::for_grid(small_grid(), 2, 2, FilterVariant::LbFft)
+            .with_steps(4)
+            .with_checkpointing(1),
+    )
+    .with_fault_plan(FaultPlan::seeded(7).with_kill(1, 2))
+    .with_retries(2);
+    let id = ensemble.submit(spec.clone()).unwrap();
+    let records = ensemble.join();
+    let rec = records.iter().find(|r| r.id == id).unwrap();
+    assert_eq!(rec.status, JobStatus::Completed);
+    assert!(rec.attempts >= 2, "the injected kill forces a restart");
+    // Recovered run still matches the uninterrupted solo run.
+    let mut clean = spec.config;
+    clean.checkpoint_every = 0;
+    let solo = run_model(clean);
+    assert_eq!(rec.outcome.as_ref().unwrap(), &solo.ranks);
+    let resilience = rec.summary.as_ref().unwrap().resilience.unwrap();
+    assert!(resilience.attempts >= 2);
+    assert!(resilience.fault_events >= 1);
+}
+
+#[test]
+fn admission_control_rejects_what_cannot_run() {
+    let ensemble = Ensemble::start(EnsembleConfig {
+        rank_budget: 2,
+        queue_capacity: 1,
+        ..EnsembleConfig::default()
+    });
+    // Too large for the budget, ever.
+    let err = ensemble.try_submit(job("wide", 2, 2, 2)).unwrap_err();
+    assert_eq!(
+        err,
+        SubmitError::TooLarge {
+            ranks: 4,
+            budget: 2
+        }
+    );
+    // Degenerate config.
+    let err = ensemble.try_submit(job("no-steps", 1, 1, 0)).unwrap_err();
+    assert!(matches!(err, SubmitError::InvalidConfig(_)));
+    // Backpressure: fill the 1-slot queue behind a long runner.
+    ensemble.submit(job("head", 1, 2, 300)).unwrap();
+    ensemble.submit(job("queued", 1, 1, 1)).unwrap();
+    let mut bounced = false;
+    for i in 0..50 {
+        match ensemble.try_submit(job(&format!("extra{i}"), 1, 1, 1)) {
+            Err(SubmitError::QueueFull { capacity: 1 }) => {
+                bounced = true;
+                break;
+            }
+            Ok(_) => continue,
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert!(bounced, "a full queue must bounce try_submit");
+    let records = ensemble.join();
+    assert!(
+        records.iter().all(|r| r.status == JobStatus::Completed),
+        "bounced submissions must not corrupt admitted ones"
+    );
+}
+
+#[test]
+fn per_job_sinks_receive_only_their_jobs_records() {
+    let sink_a = Arc::new(MemorySink::new());
+    let sink_b = Arc::new(MemorySink::new());
+    let ensemble = Ensemble::start(quick_config());
+    ensemble
+        .submit(job("a", 1, 2, 2).with_sink(sink_a.clone()))
+        .unwrap();
+    ensemble
+        .submit(job("b", 2, 2, 3).with_sink(sink_b.clone()))
+        .unwrap();
+    let records = ensemble.join();
+    assert!(records.iter().all(|r| r.status == JobStatus::Completed));
+    assert_eq!(sink_a.steps().len(), 2);
+    assert_eq!(sink_b.steps().len(), 3);
+    assert_eq!(sink_a.runs().len(), 1);
+    assert_eq!(sink_b.runs().len(), 1);
+    assert_eq!(sink_a.runs()[0].ranks, 2);
+    assert_eq!(sink_b.runs()[0].ranks, 4);
+}
+
+#[test]
+fn priorities_dispatch_high_before_low_when_contended() {
+    // One rank of budget so jobs run strictly one at a time, and the
+    // queue drains by priority.
+    let ensemble = Ensemble::start(EnsembleConfig {
+        rank_budget: 1,
+        queue_capacity: 16,
+        ..EnsembleConfig::default()
+    });
+    let head = ensemble.submit(job("head", 1, 1, 50)).unwrap();
+    let low = ensemble
+        .submit(job("low", 1, 1, 1).with_priority(Priority::Low))
+        .unwrap();
+    let high = ensemble
+        .submit(job("high", 1, 1, 1).with_priority(Priority::High))
+        .unwrap();
+    let records = ensemble.join();
+    assert_eq!(records.len(), 3);
+    assert!(records.iter().all(|r| r.status == JobStatus::Completed));
+    let queue_of = |id| records.iter().find(|r| r.id == id).unwrap().queue_seconds;
+    // High overtook low in the queue behind the head job.
+    assert!(
+        queue_of(high) < queue_of(low),
+        "high ({}) should dispatch before low ({})",
+        queue_of(high),
+        queue_of(low)
+    );
+    let _ = head;
+}

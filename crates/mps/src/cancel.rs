@@ -1,0 +1,65 @@
+//! Cooperative cancellation of a running world.
+//!
+//! A [`CancelToken`] is a cloneable flag shared between a controller (an
+//! ensemble scheduler, a deadline watchdog, a user) and every rank of a
+//! world launched with [`crate::runtime::run_world`]. Ranks observe the
+//! token at well-defined points — [`crate::Comm::begin_step`] and inside
+//! every blocking receive's poll loop — and unwind with a controlled
+//! payload that the runtime converts into
+//! [`crate::runtime::FailureKind::Cancelled`]. Because a cancelled rank's
+//! liveness flag drops like any other death, peers blocked on it surface
+//! as `Disconnected` and the whole world drains without hangs, exactly as
+//! in the fault-injection kill path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation handle for a world of ranks.
+///
+/// Cheap to clone (an `Arc<AtomicBool>`); `cancel` is idempotent and
+/// one-way — there is no un-cancel.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Every rank sharing this token unwinds at its
+    /// next cancellation point (step boundary or blocked receive poll,
+    /// within one poll interval).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Unwind payload raised when a rank observes its token cancelled; caught
+/// by the runtime and converted into
+/// [`crate::runtime::FailureKind::Cancelled`].
+pub(crate) struct CancelUnwind;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_starts_clear_and_latches() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(clone.is_cancelled(), "clones share the flag");
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+}

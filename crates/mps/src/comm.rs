@@ -9,6 +9,7 @@
 //! (source, destination, context) triple are non-overtaking. Sends are eager
 //! and never block.
 
+use crate::cancel::{CancelToken, CancelUnwind};
 use crate::error::Error;
 use crate::fault::{CommAbort, FaultAction, FaultKill, FaultState};
 use crate::message::{Packet, Payload, WirePacket};
@@ -55,6 +56,9 @@ pub(crate) struct RankShared {
     pub(crate) trace: Arc<RankTrace>,
     /// Fault injector, present only in fault-aware runs.
     pub(crate) fault: Option<Arc<FaultState>>,
+    /// Cooperative cancellation token, present only when the launcher
+    /// supplied one ([`crate::runtime::run_world`]).
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl RankShared {
@@ -64,6 +68,7 @@ impl RankShared {
         rx: Receiver<WirePacket>,
         trace: Arc<RankTrace>,
         fault: Option<Arc<FaultState>>,
+        cancel: Option<CancelToken>,
     ) -> Arc<Self> {
         let n = world.senders.len();
         Arc::new(RankShared {
@@ -74,6 +79,7 @@ impl RankShared {
             send_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
             trace,
             fault,
+            cancel,
         })
     }
 }
@@ -310,11 +316,26 @@ impl Comm {
     }
 
     /// Announce the start of model step `step` to the fault plane. In a
-    /// fault-aware run a planned kill fires here; otherwise this is a no-op.
+    /// fault-aware run a planned kill fires here, and a cancelled world
+    /// unwinds here; otherwise this is a no-op.
     pub fn begin_step(&self, step: u64) {
+        self.check_cancelled();
         if let Some(fault) = &self.shared.fault {
             if fault.should_kill(self.shared.world_rank, step) {
                 std::panic::panic_any(FaultKill { step });
+            }
+        }
+    }
+
+    /// Cancellation point: unwind with the controlled payload if this
+    /// world's token has been cancelled. Only worlds launched with a token
+    /// ([`crate::runtime::run_world`]) ever unwind here, and those always
+    /// run in faulty mode, so the runtime converts the payload into a
+    /// typed [`crate::runtime::FailureKind::Cancelled`].
+    fn check_cancelled(&self) {
+        if let Some(token) = &self.shared.cancel {
+            if token.is_cancelled() {
+                std::panic::panic_any(CancelUnwind);
             }
         }
     }
@@ -388,6 +409,10 @@ impl Comm {
     ) -> Result<Packet, Error> {
         self.check_src(src);
         loop {
+            // A blocked receiver must notice cancellation without waiting
+            // for a message: the poll loop is the cancellation point, so a
+            // cancelled rank wakes within one POLL_INTERVAL.
+            self.check_cancelled();
             if let Some(pkt) = self.match_pending(src, tag) {
                 return Ok(pkt);
             }

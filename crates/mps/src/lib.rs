@@ -39,6 +39,7 @@
 //! assert_eq!(results, vec![3, 0, 1, 2]);
 //! ```
 
+pub mod cancel;
 pub mod collectives;
 pub mod comm;
 pub mod error;
@@ -48,11 +49,14 @@ pub mod runtime;
 pub mod topology;
 pub mod trace;
 
+pub use cancel::CancelToken;
 pub use collectives::Op;
 pub use comm::{Comm, ANY_SRC, ANY_TAG};
 pub use error::{Error, Result};
 pub use fault::{FaultAction, FaultEvent, FaultPlan, KillSpec, TargetedFault};
 pub use message::{Packet, Payload};
-pub use runtime::{run, run_traced, run_with_faults, FailureKind, FaultyRun};
+pub use runtime::{
+    run, run_traced, run_with_faults, run_world, FailureKind, FaultyRun, WorldOptions,
+};
 pub use topology::CartComm;
 pub use trace::{Event, PhaseFault, PhaseFaultKind, WorldTrace};

@@ -12,6 +12,7 @@
 //! typed per-rank failures instead of propagating panics, and each rank's
 //! injected-fault log is returned for determinism checks.
 
+use crate::cancel::{CancelToken, CancelUnwind};
 use crate::comm::{Comm, RankShared, World};
 use crate::error::Error;
 use crate::fault::{CommAbort, FaultEvent, FaultKill, FaultPlan, FaultState};
@@ -22,11 +23,14 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Once};
 
-/// Controlled unwinds (planned kills, comm aborts on a dead peer) are
-/// expected control flow in a faulty run; keep the default panic hook from
-/// printing a "thread panicked" message and backtrace for them. Installed
-/// once, forwards every genuine panic to the previous hook.
-fn silence_controlled_unwinds() {
+/// Controlled unwinds (planned kills, comm aborts on a dead peer,
+/// cooperative cancellation) are expected control flow in a faulty run;
+/// keep the default panic hook from printing a "thread panicked" message
+/// and backtrace for them. Installed once, forwards every genuine panic to
+/// the previous hook. Public so the regression test in
+/// `tests/panic_hook.rs` can install it under a recording hook and prove
+/// the forwarding behaviour.
+pub fn silence_controlled_unwinds() {
     static INSTALL: Once = Once::new();
     INSTALL.call_once(|| {
         let prev = std::panic::take_hook();
@@ -34,6 +38,7 @@ fn silence_controlled_unwinds() {
             let payload = info.payload();
             if payload.downcast_ref::<CommAbort>().is_none()
                 && payload.downcast_ref::<FaultKill>().is_none()
+                && payload.downcast_ref::<CancelUnwind>().is_none()
             {
                 prev(info);
             }
@@ -54,6 +59,9 @@ pub enum FailureKind {
         /// The underlying communication error.
         error: Error,
     },
+    /// The world's [`CancelToken`] was cancelled and the rank unwound at a
+    /// cancellation point (step boundary or blocked receive).
+    Cancelled,
 }
 
 /// Outcome of a fault-aware run.
@@ -95,13 +103,23 @@ impl<R> FaultyRun<R> {
     }
 }
 
-fn launch<F, R>(n: usize, tracing: bool, plan: Option<Arc<FaultPlan>>, f: F) -> FaultyRun<R>
+fn launch<F, R>(
+    n: usize,
+    tracing: bool,
+    plan: Option<Arc<FaultPlan>>,
+    cancel: Option<CancelToken>,
+    f: F,
+) -> FaultyRun<R>
 where
     F: Fn(&Comm) -> R + Sync,
     R: Send,
 {
     assert!(n > 0, "world size must be at least 1");
     let faulty = plan.is_some();
+    debug_assert!(
+        cancel.is_none() || faulty,
+        "cancellable worlds run in faulty mode so the unwind is caught"
+    );
     if faulty {
         silence_controlled_unwinds();
     }
@@ -134,9 +152,11 @@ where
             let world = Arc::clone(&world);
             let trace = Arc::clone(&traces[rank]);
             let fault = faults[rank].clone();
+            let cancel = cancel.clone();
             let f = &f;
             handles.push(scope.spawn(move || {
-                let shared = RankShared::new(Arc::clone(&world), rank, rx, trace, fault.clone());
+                let shared =
+                    RankShared::new(Arc::clone(&world), rank, rx, trace, fault.clone(), cancel);
                 let comm = Comm::world(shared);
                 let result = catch_unwind(AssertUnwindSafe(|| f(&comm)));
                 // A rank that finishes normally first flushes any packets
@@ -170,6 +190,8 @@ where
                         Err(FailureKind::Disconnected {
                             error: abort.0.clone(),
                         })
+                    } else if payload.downcast_ref::<CancelUnwind>().is_some() {
+                        Err(FailureKind::Cancelled)
                     } else {
                         // A genuine panic (assertion failure, model bug):
                         // not a fault-injection outcome, so propagate.
@@ -204,7 +226,7 @@ where
     F: Fn(&Comm) -> R + Sync,
     R: Send,
 {
-    launch(n, false, None, f)
+    launch(n, false, None, None, f)
         .results
         .into_iter()
         .map(|r| r.expect("non-faulty run has no typed failures"))
@@ -218,7 +240,7 @@ where
     F: Fn(&Comm) -> R + Sync,
     R: Send,
 {
-    let out = launch(n, true, None, f);
+    let out = launch(n, true, None, None, f);
     (
         out.results
             .into_iter()
@@ -237,10 +259,34 @@ where
     F: Fn(&Comm) -> R + Sync,
     R: Send,
 {
+    run_world(n, WorldOptions { plan, cancel: None }, f)
+}
+
+/// Options for [`run_world`].
+#[derive(Debug, Clone, Default)]
+pub struct WorldOptions {
+    /// Fault plan; `None` degrades to an empty plan (typed failures, no
+    /// injected faults).
+    pub plan: Option<FaultPlan>,
+    /// Cooperative cancellation token shared by every rank of the world.
+    pub cancel: Option<CancelToken>,
+}
+
+/// The most general launcher: tracing on, typed per-rank failures, with an
+/// optional fault plan and an optional [`CancelToken`]. Cancelling the
+/// token unwinds every rank at its next cancellation point (step boundary
+/// or blocked receive) as [`FailureKind::Cancelled`]; ranks that instead
+/// observe a cancelled peer's death surface as `Disconnected`. Either way
+/// the whole world drains and `run_world` returns.
+pub fn run_world<F, R>(n: usize, opts: WorldOptions, f: F) -> FaultyRun<R>
+where
+    F: Fn(&Comm) -> R + Sync,
+    R: Send,
+{
     // Even with no plan, run in faulty mode (typed failures, empty plan)
-    // so recovery drivers get a uniform interface.
-    let plan = plan.unwrap_or_default();
-    launch(n, true, Some(Arc::new(plan)), f)
+    // so recovery drivers and schedulers get a uniform interface.
+    let plan = opts.plan.unwrap_or_default();
+    launch(n, true, Some(Arc::new(plan)), opts.cancel, f)
 }
 
 #[cfg(test)]
@@ -501,6 +547,72 @@ mod tests {
             out.results[0],
             Ok(Some(Error::PeerDisconnected { world_rank: 1 }))
         );
+    }
+
+    #[test]
+    fn pre_cancelled_world_unwinds_at_first_step() {
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = WorldOptions {
+            plan: None,
+            cancel: Some(token),
+        };
+        let out = run_world(4, opts, |c| {
+            for step in 0..100u64 {
+                c.begin_step(step);
+            }
+            c.rank()
+        });
+        for r in 0..4 {
+            assert_eq!(out.results[r], Err(FailureKind::Cancelled));
+        }
+    }
+
+    #[test]
+    fn cancel_wakes_blocked_receiver() {
+        // Rank 0 blocks forever on a receive nobody will satisfy; the
+        // controller cancels after rank 1 signals readiness. The blocked
+        // receive must unwind as Cancelled, not hang.
+        let token = CancelToken::new();
+        let controller = token.clone();
+        let opts = WorldOptions {
+            plan: None,
+            cancel: Some(token),
+        };
+        let out = run_world(2, opts, |c| {
+            if c.rank() == 0 {
+                c.recv(1, 99);
+            } else {
+                // Give rank 0 time to block, then pull the plug.
+                std::thread::sleep(Duration::from_millis(5));
+                controller.cancel();
+                // This rank also unwinds at its next cancellation point.
+                c.begin_step(0);
+            }
+        });
+        assert_eq!(out.results[0], Err(FailureKind::Cancelled));
+        assert_eq!(out.results[1], Err(FailureKind::Cancelled));
+    }
+
+    #[test]
+    fn cancellation_does_not_leak_into_next_world() {
+        // A cancelled world must not poison a later world: tokens are
+        // per-launch, not process-global.
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = WorldOptions {
+            plan: None,
+            cancel: Some(token),
+        };
+        let cancelled = run_world(2, opts, |c| {
+            c.begin_step(0);
+        });
+        assert!(!cancelled.all_ok());
+        let clean = run_world(2, WorldOptions::default(), |c| {
+            c.begin_step(0);
+            c.rank()
+        });
+        assert_eq!(clean.results, vec![Ok(0), Ok(1)]);
     }
 
     #[test]

@@ -15,6 +15,8 @@ pub struct ResilienceMetrics {
     pub ranks_killed: usize,
     /// Rank failures caused by communication aborts, summed over attempts.
     pub ranks_disconnected: usize,
+    /// Rank failures caused by cooperative cancellation.
+    pub ranks_cancelled: usize,
     /// Messages dropped by the injector.
     pub messages_dropped: usize,
     /// Messages duplicated by the injector.
@@ -40,6 +42,7 @@ impl ResilienceMetrics {
                 match kind {
                     FailureKind::Killed { .. } => m.ranks_killed += 1,
                     FailureKind::Disconnected { .. } => m.ranks_disconnected += 1,
+                    FailureKind::Cancelled => m.ranks_cancelled += 1,
                 }
             }
         }

@@ -11,21 +11,28 @@
 use crate::coordinator::{CheckpointStore, StoreError};
 use crate::metrics::ResilienceMetrics;
 use agcm_mps::fault::{FaultEvent, FaultPlan};
-use agcm_mps::runtime::{run_with_faults, FailureKind};
+use agcm_mps::runtime::{run_world, FailureKind, WorldOptions};
 use agcm_mps::trace::WorldTrace;
-use agcm_mps::Comm;
+use agcm_mps::{CancelToken, Comm};
 use std::fmt;
 
 /// Knobs for the recovery loop.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RecoveryOptions {
     /// Maximum number of restarts after the first attempt.
     pub max_restarts: usize,
+    /// Cooperative cancellation token threaded into every attempt's world.
+    /// Cancellation is not a fault: a cancelled attempt is never retried
+    /// and surfaces as [`RecoveryError::Cancelled`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for RecoveryOptions {
     fn default() -> RecoveryOptions {
-        RecoveryOptions { max_restarts: 3 }
+        RecoveryOptions {
+            max_restarts: 3,
+            cancel: None,
+        }
     }
 }
 
@@ -70,6 +77,12 @@ pub enum RecoveryError {
     },
     /// The checkpoint store itself failed.
     Store(StoreError),
+    /// The run's [`CancelToken`] was cancelled (deadline expiry, explicit
+    /// cancellation). Never retried.
+    Cancelled {
+        /// Attempts made before cancellation was observed.
+        attempts: usize,
+    },
 }
 
 impl fmt::Display for RecoveryError {
@@ -79,6 +92,9 @@ impl fmt::Display for RecoveryError {
                 write!(f, "recovery gave up after {attempts} failed attempts")
             }
             RecoveryError::Store(e) => write!(f, "recovery aborted by store error: {e}"),
+            RecoveryError::Cancelled { attempts } => {
+                write!(f, "run cancelled after {attempts} attempts")
+            }
         }
     }
 }
@@ -108,7 +124,11 @@ where
     let mut merged_events: Vec<Vec<FaultEvent>> = (0..n).map(|_| Vec::new()).collect();
     for attempt in 0..=opts.max_restarts {
         let resume = store.latest_committed();
-        let mut out = run_with_faults(n, plan_for(attempt), |c| body(c, resume));
+        let world_opts = WorldOptions {
+            plan: plan_for(attempt),
+            cancel: opts.cancel.clone(),
+        };
+        let mut out = run_world(n, world_opts, |c| body(c, resume));
         for (merged, events) in merged_events.iter_mut().zip(&out.fault_events) {
             merged.extend(events.iter().copied());
         }
@@ -124,11 +144,25 @@ where
                 trace,
             });
         }
+        let attempt_failures = out.failures();
+        // Cancellation is a verdict, not a fault: do not retry. Some ranks
+        // may surface as Disconnected (they observed a cancelled peer's
+        // death before their own cancellation point), so check both the
+        // token and the per-rank failure kinds.
+        let cancelled = opts.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+            || attempt_failures
+                .iter()
+                .any(|(_, k)| *k == FailureKind::Cancelled);
         failures.push(AttemptFailure {
             attempt,
             resumed_from: resume,
-            failed_ranks: out.failures(),
+            failed_ranks: attempt_failures,
         });
+        if cancelled {
+            return Err(RecoveryError::Cancelled {
+                attempts: attempt + 1,
+            });
+        }
     }
     Err(RecoveryError::RestartsExhausted {
         attempts: opts.max_restarts + 1,
@@ -243,12 +277,37 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_run_is_not_retried() {
+        let store = CheckpointStore::new(scratch("cancel"));
+        let token = CancelToken::new();
+        token.cancel();
+        let err = run_recovered(
+            2,
+            RecoveryOptions {
+                max_restarts: 5,
+                cancel: Some(token),
+            },
+            &store,
+            |_| None,
+            |c, r| toy_model(c, r, &store, 4),
+        )
+        .unwrap_err();
+        // Cancellation must surface typed and untried — one attempt, not
+        // six restarts of a run nobody wants anymore.
+        assert_eq!(err, RecoveryError::Cancelled { attempts: 1 });
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
     fn unrecoverable_kill_exhausts_restarts() {
         let store = CheckpointStore::new(scratch("exhaust"));
         // The same rank dies at the same step on *every* attempt.
         let err = run_recovered(
             2,
-            RecoveryOptions { max_restarts: 2 },
+            RecoveryOptions {
+                max_restarts: 2,
+                cancel: None,
+            },
             &store,
             |_| Some(FaultPlan::seeded(0).with_kill(0, 1)),
             |c, r| toy_model(c, r, &store, 4),

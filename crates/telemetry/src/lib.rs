@@ -48,7 +48,7 @@ pub mod timeline;
 pub use analysis::{analyze, MessageFlow, RankWait, TraceAnalysis, WaitReport};
 pub use commmatrix::{CommCell, CommMatrix};
 pub use critical::{CriticalPath, CriticalSegment, SegmentKind};
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use run::{ResilienceCounters, RunMetrics, RunSummary, StepMetrics};
 pub use sink::{FileSink, MemorySink, NullSink, TelemetrySink};
 pub use timeline::{Span, Timeline};

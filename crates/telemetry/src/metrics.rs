@@ -177,6 +177,40 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(f64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) by linear interpolation
+    /// within the log-spaced bucket containing the target rank. Accurate
+    /// to within one power of two — the resolution the histogram keeps.
+    /// Returns 0.0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).max(1.0);
+        let mut seen = 0.0;
+        for &(lo, n) in &self.buckets {
+            let n = n as f64;
+            if seen + n >= target {
+                // Each bucket spans one binary exponent: [lo, 2·lo). The
+                // underflow bucket (lo = 0) tops out at the first real
+                // bucket's floor.
+                let hi = if lo == 0.0 {
+                    Histogram::bucket_floor(1)
+                } else {
+                    lo * 2.0
+                };
+                return lo + (hi - lo) * ((target - seen) / n);
+            }
+            seen += n;
+        }
+        // Rounding left the target past the last bucket: report its edge.
+        self.buckets
+            .last()
+            .map_or(0.0, |&(lo, _)| if lo == 0.0 { 0.0 } else { lo * 2.0 })
+    }
+}
+
 /// A named collection of metrics. Handles are `Arc`s, so call sites register
 /// once (allocating) and update forever after without touching the registry.
 #[derive(Debug, Default)]
@@ -402,5 +436,53 @@ mod tests {
                 .as_f64(),
             Some(1.0)
         );
+    }
+
+    #[test]
+    fn quantile_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_brackets_observations_and_is_monotone() {
+        let h = Histogram::new();
+        // 90 fast observations near 0.001, 10 slow near 10.0.
+        for _ in 0..90 {
+            h.observe(0.001);
+        }
+        for _ in 0..10 {
+            h.observe(10.0);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.5);
+        let p95 = snap.quantile(0.95);
+        // p50 must land in the bucket holding 0.001 (one power of two
+        // around it), p95 in the bucket holding 10.0.
+        assert!(p50 > 0.0005 && p50 < 0.002, "p50 {p50}");
+        assert!((8.0..=16.0).contains(&p95), "p95 {p95}");
+        // Monotone in q, and the extremes stay within the data's buckets.
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = snap.quantile(q);
+            assert!(
+                v >= prev,
+                "quantile must be monotone: q={q} v={v} prev={prev}"
+            );
+            prev = v;
+        }
+        assert!(snap.quantile(1.0) <= 16.0);
+    }
+
+    #[test]
+    fn quantile_single_observation() {
+        let h = Histogram::new();
+        h.observe(3.0);
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            let v = snap.quantile(q);
+            assert!((2.0..=4.0).contains(&v), "q={q} v={v}");
+        }
     }
 }

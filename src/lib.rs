@@ -18,6 +18,10 @@
 //! * [`agcm`] — the assembled model, timers and report formatting;
 //! * [`resilience`] — checkpoint/restart and fault recovery (paired with
 //!   the deterministic fault-injection plane in [`mps::fault`]);
+//! * [`ensemble`] — batch serving of many model runs on a bounded
+//!   rank-thread budget: admission control, priorities with backfill,
+//!   soft deadlines with cooperative cancellation, checkpoint-backed
+//!   retries, fleet metrics;
 //! * [`singlenode`] — the single-node optimization study;
 //! * [`telemetry`] — metrics registry, per-rank span timelines, Perfetto
 //!   (Chrome trace-event) export with message-flow arrows, structured
@@ -31,6 +35,7 @@
 pub use agcm_core as agcm;
 pub use agcm_costmodel as costmodel;
 pub use agcm_dynamics as dynamics;
+pub use agcm_ensemble as ensemble;
 pub use agcm_fft as fft;
 pub use agcm_filtering as filtering;
 pub use agcm_grid as grid;
