@@ -54,6 +54,7 @@ fn main() {
         "trace" => trace(),
         "analyze" => analyze(),
         "ensemble" => ensemble(std::env::args().nth(2).as_deref() == Some("--smoke")),
+        "serve" => serve(std::env::args().nth(2).as_deref() == Some("--smoke")),
         "bench-check" => bench_check(),
         "all" => {
             figure1();
@@ -66,7 +67,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|trace|analyze|ensemble [--smoke]|bench-check]");
+            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|trace|analyze|ensemble [--smoke]|serve [--smoke]|bench-check]");
             std::process::exit(2);
         }
     }
@@ -753,6 +754,37 @@ fn ensemble(smoke: bool) {
     println!("wrote ensemble.json");
     if !report.all_ok() {
         eprintln!("one or more ensemble checks failed");
+        std::process::exit(1);
+    }
+}
+
+/// `serve`: the network-facing serving layer exercised end to end over a
+/// real TCP socket — concurrent tenants under weighted quotas, a typed
+/// 429 for the quota-exceeding tenant, 403 for an unknown one, a
+/// `DELETE`-cancelled running job, and a kill-and-restart journal
+/// recovery — written to `serve.json` with a machine-checkable `checks`
+/// section. Exits non-zero on any failed check.
+fn serve(smoke: bool) {
+    use agcm_bench::serve::run_serve;
+
+    println!("\n=== Serving layer: multi-tenant HTTP front end + journal recovery ===\n");
+    let report = run_serve(smoke);
+    println!("{}", report.table);
+    for c in &report.checks {
+        println!(
+            "check {}: {} ({})",
+            c.name,
+            if c.ok { "ok" } else { "VIOLATED" },
+            c.detail
+        );
+    }
+    if let Err(e) = std::fs::write("serve.json", format!("{}\n", report.doc)) {
+        eprintln!("could not write serve.json: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote serve.json");
+    if !report.all_ok() {
+        eprintln!("one or more serving checks failed");
         std::process::exit(1);
     }
 }

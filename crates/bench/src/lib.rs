@@ -15,3 +15,4 @@ pub mod analyze;
 pub mod ensemble;
 pub mod harness;
 pub mod paper;
+pub mod serve;

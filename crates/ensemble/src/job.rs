@@ -74,11 +74,26 @@ impl JobStatus {
     }
 }
 
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
 /// Everything needed to run one AGCM configuration as a managed job.
 #[derive(Clone)]
 pub struct JobSpec {
     /// Name for reports (not required to be unique).
     pub name: String,
+    /// Tenant the job is accounted to under the ensemble's
+    /// [`TenantPolicy`](crate::TenantPolicy); `None` is the anonymous
+    /// tenant. Quotas and fair-share dispatch key on this.
+    pub tenant: Option<String>,
+    /// Opaque caller correlation id, carried unchanged into the
+    /// [`JobRecord`] and every [`JobObserver`](crate::JobObserver)
+    /// callback. A serving layer uses it to map the ensemble's internal
+    /// [`JobId`] (which changes across restarts) to its own durable id.
+    pub tag: Option<u64>,
     /// The model configuration; `config.size()` is the job's rank cost
     /// against the ensemble's thread budget.
     pub config: AgcmConfig,
@@ -104,6 +119,8 @@ impl fmt::Debug for JobSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("JobSpec")
             .field("name", &self.name)
+            .field("tenant", &self.tenant)
+            .field("tag", &self.tag)
             .field("ranks", &self.config.size())
             .field("priority", &self.priority)
             .field("deadline", &self.deadline)
@@ -120,6 +137,8 @@ impl JobSpec {
     pub fn new(name: impl Into<String>, config: AgcmConfig) -> JobSpec {
         JobSpec {
             name: name.into(),
+            tenant: None,
+            tag: None,
             config,
             priority: Priority::Normal,
             deadline: None,
@@ -128,6 +147,18 @@ impl JobSpec {
             checkpoint_dir: None,
             sink: None,
         }
+    }
+
+    /// Builder-style: account the job to `tenant`.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> JobSpec {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Builder-style: attach a caller correlation id.
+    pub fn with_tag(mut self, tag: u64) -> JobSpec {
+        self.tag = Some(tag);
+        self
     }
 
     /// Builder-style: set the priority.
@@ -174,6 +205,10 @@ pub struct JobRecord {
     pub id: JobId,
     /// The spec's name.
     pub name: String,
+    /// The spec's tenant.
+    pub tenant: Option<String>,
+    /// The spec's caller correlation id.
+    pub tag: Option<u64>,
     /// Rank cost charged against the thread budget.
     pub ranks: usize,
     /// Scheduling priority it ran (or queued) at.

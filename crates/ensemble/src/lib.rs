@@ -25,6 +25,14 @@
 //!   per-job [`agcm_telemetry::TelemetrySink`]; the fleet aggregates
 //!   queue depth, rank occupancy, throughput and p50/p95 job latency in
 //!   [`FleetSnapshot`].
+//! - **Multi-tenancy** (optional): a [`TenantPolicy`] adds per-tenant
+//!   in-flight quotas ([`SubmitError::QuotaExceeded`]), per-tenant rank
+//!   caps, and weighted fair-share dispatch for a network-facing serving
+//!   layer (`agcm-server`).
+//! - **Journal hooks**: a [`JobObserver`] sees every dispatch and
+//!   terminal record synchronously, so a serving layer can keep a
+//!   durable job journal; [`Ensemble::resubmit`] re-admits
+//!   journal-recovered jobs past capacity and quota checks.
 //!
 //! The scheduler is deterministic in *outcomes*: scheduling order varies
 //! with timing, but every completed job's per-rank results are
@@ -38,4 +46,7 @@ pub mod scheduler;
 
 pub use fleet::{FleetMetrics, FleetSnapshot};
 pub use job::{CancelReason, JobId, JobRecord, JobSpec, JobStatus, Priority};
-pub use scheduler::{Ensemble, EnsembleConfig, SubmitError};
+pub use scheduler::{
+    Ensemble, EnsembleConfig, JobObserver, JobView, SubmitError, TenantPolicy, TenantQuota,
+    ANONYMOUS_TENANT,
+};

@@ -17,9 +17,25 @@
 //! `Cancelled(Deadline)`; a running job has its token cancelled and
 //! unwinds within one poll interval. Cancellation is a verdict, not a
 //! fault — the resilience layer never retries it.
+//!
+//! **Multi-tenant serving.** An ensemble can optionally enforce a
+//! [`TenantPolicy`]: per-tenant caps on in-flight jobs (admission-time
+//! backpressure, [`SubmitError::QuotaExceeded`]) and on concurrently
+//! occupied ranks (dispatch-time shaping — an over-cap job stays queued,
+//! it is not rejected), plus weighted fair-share dispatch: within a
+//! priority class the tenant with the lowest `occupied_ranks / weight`
+//! dispatches first. Without a policy the scheduler behaves exactly as
+//! before (priority then FIFO).
+//!
+//! **Journal hooks.** A [`JobObserver`] passed to
+//! [`Ensemble::start_with_observer`] sees every dispatch and every
+//! terminal record, synchronously, in commit order. A serving layer uses
+//! this to keep a durable job journal; [`Ensemble::resubmit`] is the
+//! matching re-admission path that bypasses capacity and quota checks
+//! for jobs that were already admitted once before a restart.
 
 use crate::fleet::{FleetMetrics, FleetSnapshot};
-use crate::job::{CancelReason, JobId, JobRecord, JobSpec, JobStatus};
+use crate::job::{CancelReason, JobId, JobRecord, JobSpec, JobStatus, Priority};
 use agcm_core::{run_model_resilient, ConfigError, ResilienceOpts};
 use agcm_costmodel::machine::MachineProfile;
 use agcm_mps::CancelToken;
@@ -31,6 +47,87 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Tenant name used for jobs whose [`JobSpec::tenant`] is `None`.
+pub const ANONYMOUS_TENANT: &str = "anonymous";
+
+/// Per-tenant admission quota and fair-share weight.
+#[derive(Debug, Clone)]
+pub struct TenantQuota {
+    /// Maximum non-terminal (queued + running) jobs the tenant may have
+    /// at once; submissions beyond this bounce with
+    /// [`SubmitError::QuotaExceeded`].
+    pub max_in_flight: usize,
+    /// Maximum ranks the tenant may occupy concurrently. This shapes
+    /// *dispatch*, not admission: an over-cap job waits in the queue
+    /// until the tenant's running jobs free ranks.
+    pub max_running_ranks: usize,
+    /// Fair-share weight: within a priority class, the tenant with the
+    /// lowest `occupied_ranks / weight` dispatches first.
+    pub weight: f64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> TenantQuota {
+        TenantQuota {
+            max_in_flight: 16,
+            max_running_ranks: usize::MAX,
+            weight: 1.0,
+        }
+    }
+}
+
+/// Multi-tenant admission and fair-share policy.
+#[derive(Debug, Clone, Default)]
+pub struct TenantPolicy {
+    /// Quota applied to tenants not named in [`TenantPolicy::tenants`].
+    /// `None` makes the policy *strict*: unknown tenants are rejected
+    /// with [`SubmitError::UnknownTenant`].
+    pub default_quota: Option<TenantQuota>,
+    /// Named tenant quotas.
+    pub tenants: Vec<(String, TenantQuota)>,
+}
+
+impl TenantPolicy {
+    /// Add a named tenant, builder-style.
+    pub fn with_tenant(mut self, name: impl Into<String>, quota: TenantQuota) -> TenantPolicy {
+        self.tenants.push((name.into(), quota));
+        self
+    }
+
+    /// Accept unknown tenants under `quota`, builder-style.
+    pub fn with_default(mut self, quota: TenantQuota) -> TenantPolicy {
+        self.default_quota = Some(quota);
+        self
+    }
+
+    /// Resolve the quota a tenant is subject to; `None` means the tenant
+    /// is not admissible at all (strict policy, unknown name).
+    pub fn quota_for(&self, tenant: &str) -> Option<&TenantQuota> {
+        self.tenants
+            .iter()
+            .find(|(n, _)| n == tenant)
+            .map(|(_, q)| q)
+            .or(self.default_quota.as_ref())
+    }
+}
+
+/// Synchronous lifecycle hooks, called with the scheduler lock held —
+/// implementations must be fast and must not call back into the
+/// [`Ensemble`]. Events arrive in commit order: a job's dispatch always
+/// precedes its terminal record, and a terminal record is delivered
+/// exactly once per job.
+pub trait JobObserver: Send + Sync {
+    /// A job left the queue and its world is about to start.
+    fn on_dispatch(&self, id: JobId, tag: Option<u64>) {
+        let _ = (id, tag);
+    }
+    /// A job reached a terminal state (completed, cancelled, or failed —
+    /// whether or not it was ever dispatched).
+    fn on_terminal(&self, record: &JobRecord) {
+        let _ = record;
+    }
+}
 
 /// Ensemble-wide knobs.
 #[derive(Debug, Clone)]
@@ -47,6 +144,9 @@ pub struct EnsembleConfig {
     pub machine: MachineProfile,
     /// Dispatcher poll interval: bounds how late a deadline can fire.
     pub poll: Duration,
+    /// Optional multi-tenant quotas and fair-share weights. `None`
+    /// disables all tenant accounting (single-tenant behavior).
+    pub tenancy: Option<TenantPolicy>,
 }
 
 impl Default for EnsembleConfig {
@@ -56,6 +156,7 @@ impl Default for EnsembleConfig {
             queue_capacity: 64,
             machine: MachineProfile::t3d(),
             poll: Duration::from_millis(2),
+            tenancy: None,
         }
     }
 }
@@ -77,6 +178,21 @@ pub enum SubmitError {
     },
     /// The job's model configuration is degenerate.
     InvalidConfig(ConfigError),
+    /// The tenant is at its in-flight job quota (per-tenant
+    /// backpressure; other tenants are unaffected).
+    QuotaExceeded {
+        /// Tenant being throttled.
+        tenant: String,
+        /// The tenant's non-terminal jobs at the time of submission.
+        in_flight: usize,
+        /// The configured [`TenantQuota::max_in_flight`].
+        max_in_flight: usize,
+    },
+    /// The policy is strict and does not know this tenant.
+    UnknownTenant {
+        /// The tenant name that was presented.
+        tenant: String,
+    },
     /// [`Ensemble::join`] has begun; no new work is admitted.
     ShuttingDown,
 }
@@ -91,12 +207,30 @@ impl fmt::Display for SubmitError {
                 write!(f, "job needs {ranks} ranks but the budget is {budget}")
             }
             SubmitError::InvalidConfig(e) => write!(f, "invalid config: {e}"),
+            SubmitError::QuotaExceeded {
+                tenant,
+                in_flight,
+                max_in_flight,
+            } => write!(
+                f,
+                "tenant '{tenant}' is at its quota ({in_flight} of {max_in_flight} jobs in flight)"
+            ),
+            SubmitError::UnknownTenant { tenant } => {
+                write!(f, "unknown tenant '{tenant}'")
+            }
             SubmitError::ShuttingDown => write!(f, "ensemble is shutting down"),
         }
     }
 }
 
-impl std::error::Error for SubmitError {}
+impl std::error::Error for SubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SubmitError::InvalidConfig(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// A job admitted but not yet dispatched.
 struct PendingJob {
@@ -107,10 +241,35 @@ struct PendingJob {
     seq: u64,
 }
 
+impl PendingJob {
+    fn tenant(&self) -> &str {
+        self.spec.tenant.as_deref().unwrap_or(ANONYMOUS_TENANT)
+    }
+
+    /// Terminal record for a job that never dispatched.
+    fn undispatched_record(&self, status: JobStatus) -> JobRecord {
+        JobRecord {
+            id: self.id,
+            name: self.spec.name.clone(),
+            tenant: self.spec.tenant.clone(),
+            tag: self.spec.tag,
+            ranks: self.spec.config.size(),
+            priority: self.spec.priority,
+            status,
+            attempts: 0,
+            queue_seconds: self.submitted.elapsed().as_secs_f64(),
+            run_seconds: 0.0,
+            outcome: None,
+            summary: None,
+        }
+    }
+}
+
 /// A job currently occupying ranks.
 struct RunningJob {
     id: JobId,
     ranks: usize,
+    tenant: String,
     token: CancelToken,
     deadline: Option<Instant>,
     /// Set (before the token fires) when the cancellation came from the
@@ -138,6 +297,38 @@ struct Shared {
     done: Condvar,
     fleet: FleetMetrics,
     next_id: AtomicU64,
+    observer: Option<Arc<dyn JobObserver>>,
+}
+
+impl Shared {
+    /// Record a terminal state: observer first (journal write-ahead),
+    /// then the in-memory record. Called with the scheduler lock held.
+    fn commit_terminal(&self, st: &mut SchedState, record: JobRecord) {
+        if let Some(obs) = &self.observer {
+            obs.on_terminal(&record);
+        }
+        st.records.push(record);
+    }
+}
+
+/// Point-in-time view of one job, from [`Ensemble::status`].
+#[derive(Debug, Clone)]
+pub enum JobView {
+    /// Admitted, not yet dispatched. `position` is 1-based in dispatch
+    /// order (priority, then FIFO) — the job's place in the fleet queue.
+    Queued {
+        /// 1-based dispatch position among queued jobs.
+        position: usize,
+        /// Ranks the job will charge when dispatched.
+        ranks: usize,
+    },
+    /// Dispatched and occupying ranks.
+    Running {
+        /// Ranks currently charged against the budget.
+        ranks: usize,
+    },
+    /// Terminal; the full record.
+    Done(Box<JobRecord>),
 }
 
 /// A running ensemble: submit jobs, cancel them, then [`join`] for the
@@ -152,6 +343,16 @@ pub struct Ensemble {
 impl Ensemble {
     /// Start an ensemble: spawns the dispatcher thread.
     pub fn start(cfg: EnsembleConfig) -> Ensemble {
+        Ensemble::start_inner(cfg, None)
+    }
+
+    /// Start an ensemble with a [`JobObserver`] receiving dispatch and
+    /// terminal events (e.g. a serving layer's durable job journal).
+    pub fn start_with_observer(cfg: EnsembleConfig, observer: Arc<dyn JobObserver>) -> Ensemble {
+        Ensemble::start_inner(cfg, Some(observer))
+    }
+
+    fn start_inner(cfg: EnsembleConfig, observer: Option<Arc<dyn JobObserver>>) -> Ensemble {
         assert!(cfg.rank_budget > 0, "rank budget must be positive");
         let shared = Arc::new(Shared {
             state: Mutex::new(SchedState {
@@ -167,6 +368,7 @@ impl Ensemble {
             done: Condvar::new(),
             fleet: FleetMetrics::new(),
             next_id: AtomicU64::new(1),
+            observer,
             cfg,
         });
         let dispatcher = {
@@ -210,7 +412,7 @@ impl Ensemble {
                     capacity: self.shared.cfg.queue_capacity,
                 })
             } else {
-                Ok(())
+                self.tenant_admission(&st, &spec)
             }
         });
         if let Err(e) = verdict {
@@ -221,7 +423,8 @@ impl Ensemble {
     }
 
     /// Admit `spec`, blocking while the queue is full (backpressure).
-    /// Still fails fast on the conditions waiting cannot fix.
+    /// Still fails fast on the conditions waiting cannot fix — including
+    /// a tenant at its in-flight quota, which must drain its *own* jobs.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
         if let Err(e) = self.admissible(&spec) {
             self.shared.fleet.on_reject();
@@ -235,7 +438,80 @@ impl Ensemble {
             self.shared.fleet.on_reject();
             return Err(SubmitError::ShuttingDown);
         }
+        if let Err(e) = self.tenant_admission(&st, &spec) {
+            self.shared.fleet.on_reject();
+            return Err(e);
+        }
         Ok(self.enqueue(&mut st, spec))
+    }
+
+    /// Re-admission path for journal recovery: the job was admitted once
+    /// before a restart, so queue capacity and tenant quotas are
+    /// bypassed — only config validity and the hard rank budget apply.
+    pub fn resubmit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        let check = self.admissible(&spec);
+        let mut st = self.shared.state.lock().unwrap();
+        let verdict = check.and_then(|_| {
+            if st.shutdown {
+                Err(SubmitError::ShuttingDown)
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = verdict {
+            self.shared.fleet.on_reject();
+            return Err(e);
+        }
+        Ok(self.enqueue(&mut st, spec))
+    }
+
+    /// Enforce the tenant policy at admission. Called with the lock held.
+    fn tenant_admission(&self, st: &SchedState, spec: &JobSpec) -> Result<(), SubmitError> {
+        let Some(policy) = &self.shared.cfg.tenancy else {
+            return Ok(());
+        };
+        let tenant = spec.tenant.as_deref().unwrap_or(ANONYMOUS_TENANT);
+        let Some(quota) = policy.quota_for(tenant) else {
+            return Err(SubmitError::UnknownTenant {
+                tenant: tenant.to_string(),
+            });
+        };
+        let in_flight = st.pending.iter().filter(|p| p.tenant() == tenant).count()
+            + st.running.iter().filter(|r| r.tenant == tenant).count();
+        if in_flight >= quota.max_in_flight {
+            return Err(SubmitError::QuotaExceeded {
+                tenant: tenant.to_string(),
+                in_flight,
+                max_in_flight: quota.max_in_flight,
+            });
+        }
+        Ok(())
+    }
+
+    /// Point-in-time view of one job: queued (with its 1-based dispatch
+    /// position), running, or terminal. `None` if the id was never
+    /// assigned or its record was already drained by [`Ensemble::join`].
+    pub fn status(&self, id: JobId) -> Option<JobView> {
+        let st = self.shared.state.lock().unwrap();
+        if let Some(p) = st.pending.iter().find(|p| p.id == id) {
+            let key = (p.spec.priority, std::cmp::Reverse(p.seq));
+            let position = 1 + st
+                .pending
+                .iter()
+                .filter(|q| (q.spec.priority, std::cmp::Reverse(q.seq)) > key)
+                .count();
+            return Some(JobView::Queued {
+                position,
+                ranks: p.spec.config.size(),
+            });
+        }
+        if let Some(r) = st.running.iter().find(|r| r.id == id) {
+            return Some(JobView::Running { ranks: r.ranks });
+        }
+        st.records
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| JobView::Done(Box::new(r.clone())))
     }
 
     fn enqueue(&self, st: &mut SchedState, spec: JobSpec) -> JobId {
@@ -261,19 +537,8 @@ impl Ensemble {
         let mut st = self.shared.state.lock().unwrap();
         if let Some(i) = st.pending.iter().position(|p| p.id == id) {
             let p = st.pending.remove(i);
-            let record = JobRecord {
-                id: p.id,
-                name: p.spec.name.clone(),
-                ranks: p.spec.config.size(),
-                priority: p.spec.priority,
-                status: JobStatus::Cancelled(CancelReason::Explicit),
-                attempts: 0,
-                queue_seconds: p.submitted.elapsed().as_secs_f64(),
-                run_seconds: 0.0,
-                outcome: None,
-                summary: None,
-            };
-            st.records.push(record);
+            let record = p.undispatched_record(JobStatus::Cancelled(CancelReason::Explicit));
+            self.shared.commit_terminal(&mut st, record);
             self.shared.fleet.on_cancel();
             self.shared.space.notify_all();
             self.shared.done.notify_all();
@@ -325,18 +590,8 @@ impl Drop for Ensemble {
             let mut st = self.shared.state.lock().unwrap();
             st.shutdown = true;
             while let Some(p) = st.pending.pop() {
-                st.records.push(JobRecord {
-                    id: p.id,
-                    name: p.spec.name.clone(),
-                    ranks: p.spec.config.size(),
-                    priority: p.spec.priority,
-                    status: JobStatus::Cancelled(CancelReason::Explicit),
-                    attempts: 0,
-                    queue_seconds: p.submitted.elapsed().as_secs_f64(),
-                    run_seconds: 0.0,
-                    outcome: None,
-                    summary: None,
-                });
+                let record = p.undispatched_record(JobStatus::Cancelled(CancelReason::Explicit));
+                self.shared.commit_terminal(&mut st, record);
                 self.shared.fleet.on_cancel();
             }
             for r in &st.running {
@@ -365,18 +620,8 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
                 .is_some_and(|d| now.duration_since(st.pending[i].submitted) >= d);
             if expired {
                 let p = st.pending.remove(i);
-                st.records.push(JobRecord {
-                    id: p.id,
-                    name: p.spec.name.clone(),
-                    ranks: p.spec.config.size(),
-                    priority: p.spec.priority,
-                    status: JobStatus::Cancelled(CancelReason::Deadline),
-                    attempts: 0,
-                    queue_seconds: p.submitted.elapsed().as_secs_f64(),
-                    run_seconds: 0.0,
-                    outcome: None,
-                    summary: None,
-                });
+                let record = p.undispatched_record(JobStatus::Cancelled(CancelReason::Deadline));
+                shared.commit_terminal(&mut st, record);
                 shared.fleet.on_cancel();
                 shared.space.notify_all();
                 shared.done.notify_all();
@@ -395,18 +640,11 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
             }
         }
 
-        // Work-conserving backfill: repeatedly dispatch the best
-        // (priority, then FIFO) job that fits the free budget, even if a
-        // wider, better-priority job is stuck waiting for space.
-        loop {
-            let best = st
-                .pending
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.spec.config.size() <= st.free_ranks)
-                .max_by_key(|(_, p)| (p.spec.priority, std::cmp::Reverse(p.seq)))
-                .map(|(i, _)| i);
-            let Some(i) = best else { break };
+        // Work-conserving backfill: repeatedly dispatch the best eligible
+        // job that fits the free budget, even if a wider, better-priority
+        // job is stuck waiting for space. With a tenant policy, "best"
+        // also folds in per-tenant rank caps and weighted fair share.
+        while let Some(i) = pick_next(shared, &st) {
             let p = st.pending.remove(i);
             dispatch(shared, &mut st, p, &mut runners);
         }
@@ -425,6 +663,55 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Choose the next pending job to dispatch, or `None` if nothing fits.
+///
+/// Without a tenant policy: highest priority, then FIFO, among jobs that
+/// fit the free budget — identical to the pre-tenancy scheduler. With a
+/// policy: jobs whose tenant would exceed its running-rank cap are
+/// skipped (they stay queued), and priority ties break by weighted fair
+/// share — the tenant with the lowest `occupied_ranks / weight` wins,
+/// then FIFO.
+fn pick_next(shared: &Shared, st: &SchedState) -> Option<usize> {
+    let policy = shared.cfg.tenancy.as_ref();
+    // (index, priority, fair-share usage, seq) of the best candidate.
+    let mut best: Option<(usize, Priority, f64, u64)> = None;
+    for (i, p) in st.pending.iter().enumerate() {
+        let ranks = p.spec.config.size();
+        if ranks > st.free_ranks {
+            continue;
+        }
+        let mut usage = 0.0;
+        if let Some(policy) = policy {
+            let tenant = p.tenant();
+            // Unknown tenants (possible via `resubmit` after a policy
+            // change) carry no cap and usage 0.
+            if let Some(q) = policy.quota_for(tenant) {
+                let occupied: usize = st
+                    .running
+                    .iter()
+                    .filter(|r| r.tenant == tenant)
+                    .map(|r| r.ranks)
+                    .sum();
+                if occupied + ranks > q.max_running_ranks {
+                    continue;
+                }
+                usage = occupied as f64 / q.weight.max(1e-9);
+            }
+        }
+        let better = match best {
+            None => true,
+            Some((_, bp, bu, bs)) => {
+                p.spec.priority > bp
+                    || (p.spec.priority == bp && (usage < bu || (usage == bu && p.seq < bs)))
+            }
+        };
+        if better {
+            best = Some((i, p.spec.priority, usage, p.seq));
+        }
+    }
+    best.map(|(i, _, _, _)| i)
+}
+
 /// Move one job from pending to running and spawn its runner thread.
 fn dispatch(
     shared: &Arc<Shared>,
@@ -440,6 +727,7 @@ fn dispatch(
     st.running.push(RunningJob {
         id: p.id,
         ranks,
+        tenant: p.tenant().to_string(),
         token: token.clone(),
         deadline: p.spec.deadline.map(|d| p.submitted + d),
         deadline_hit: Arc::clone(&deadline_hit),
@@ -450,6 +738,9 @@ fn dispatch(
         shared.cfg.rank_budget - st.free_ranks,
         st.pending.len(),
     );
+    if let Some(obs) = &shared.observer {
+        obs.on_dispatch(p.id, p.spec.tag);
+    }
     let shared = Arc::clone(shared);
     let handle = std::thread::Builder::new()
         .name(format!("ensemble-job-{}", p.id))
@@ -553,9 +844,11 @@ fn run_job(
         JobStatus::Cancelled(_) => shared.fleet.on_cancel(),
         JobStatus::Failed(_) => shared.fleet.on_fail(),
     }
-    st.records.push(JobRecord {
+    let record = JobRecord {
         id: p.id,
         name: spec.name,
+        tenant: spec.tenant,
+        tag: spec.tag,
         ranks: r.ranks,
         priority: spec.priority,
         status,
@@ -564,7 +857,8 @@ fn run_job(
         run_seconds,
         outcome,
         summary,
-    });
+    };
+    shared.commit_terminal(&mut st, record);
     drop(st);
     shared.work.notify_all();
     shared.space.notify_all();

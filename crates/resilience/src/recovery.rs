@@ -99,7 +99,14 @@ impl fmt::Display for RecoveryError {
     }
 }
 
-impl std::error::Error for RecoveryError {}
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Run `body` on `n` ranks with restart-based recovery.
 ///

@@ -1,0 +1,376 @@
+//! The durable job journal: an append-only, checksummed event log.
+//!
+//! Every serving-layer job writes three kinds of line, in order:
+//! `submitted` (write-ahead, *before* the scheduler sees the job),
+//! `dispatched`, and `terminal`. Each line is
+//! `<16-hex FNV-1a of the JSON bytes> <JSON>\n` — the same checksum
+//! discipline as `agcm-resilience`'s checkpoint shards. Replay verifies
+//! every checksum and stops at the first bad or torn line, so a crash
+//! mid-append costs at most the line being written, never the log behind
+//! it. On open, the journal compacts: live (non-terminal) jobs are
+//! rewritten to a fresh log via the resilience layer's atomic-commit
+//! pattern (temp file + rename), and finished history is dropped.
+//!
+//! Crash-consistency argument, per job state:
+//! - crash before `submitted` committed → the client never got an ack;
+//!   the job never existed.
+//! - crash after `submitted`, before dispatch → replay finds no
+//!   `terminal`: the job is **requeued** on restart.
+//! - crash after `dispatched` → replay marks it dispatched: the job is
+//!   **resumed** on restart, and because its checkpoint directory is
+//!   derived from its durable id, `run_model_resilient` restarts from
+//!   the last committed checkpoint rather than step 0.
+//! - crash after `terminal` → compaction drops it; it is done.
+
+use agcm_ensemble::{JobId, JobObserver, JobRecord};
+use agcm_telemetry::json::Value;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// FNV-1a, the repo's standard integrity hash (same constants as the
+/// checkpoint store).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A journaled job that has not reached a terminal state — the unit of
+/// recovery.
+#[derive(Debug, Clone)]
+pub struct LiveJob {
+    /// Durable (server-assigned) job id.
+    pub id: u64,
+    /// Tenant the job was admitted under.
+    pub tenant: Option<String>,
+    /// The original submission request, verbatim.
+    pub spec: Value,
+    /// Whether a `dispatched` line was journaled — distinguishes
+    /// requeue (never started) from resume (was running at the crash).
+    pub dispatched: bool,
+}
+
+/// What replay found in the log.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayStats {
+    /// Checksum-valid lines replayed.
+    pub lines: usize,
+    /// Lines dropped as corrupt or torn (replay stops at the first).
+    pub corrupt: usize,
+    /// Jobs that already held a terminal record (dropped at compaction).
+    pub already_terminal: usize,
+    /// Highest durable job id seen, terminal or not.
+    pub max_id: u64,
+}
+
+struct Inner {
+    writer: Option<BufWriter<File>>,
+    detached: bool,
+}
+
+/// The journal handle. Appends are serialized by an internal lock;
+/// [`Journal::detach`] makes every subsequent append a no-op, which is
+/// how a crash is simulated without tearing the file.
+pub struct Journal {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+const LOG_NAME: &str = "jobs.log";
+
+impl Journal {
+    /// Open (or create) the journal under `dir`: replay the existing
+    /// log, compact it down to the live jobs, and return those jobs plus
+    /// replay statistics.
+    pub fn open(dir: &Path) -> std::io::Result<(Journal, Vec<LiveJob>, ReplayStats)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(LOG_NAME);
+        let (live, stats) = replay(&path)?;
+
+        // Compact via the atomic-commit pattern: write the surviving
+        // records to a temp file, fsync, rename over the log. A crash
+        // during compaction leaves either the old log or the new one —
+        // never a mix.
+        let tmp = dir.join(format!("{LOG_NAME}.tmp"));
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            for job in &live {
+                write_line(
+                    &mut w,
+                    &submitted_value(job.id, job.tenant.as_deref(), &job.spec),
+                )?;
+                if job.dispatched {
+                    write_line(&mut w, &event_value("dispatched", job.id))?;
+                }
+            }
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+
+        let writer = OpenOptions::new().append(true).open(&path)?;
+        let journal = Journal {
+            path,
+            inner: Mutex::new(Inner {
+                writer: Some(BufWriter::new(writer)),
+                detached: false,
+            }),
+        };
+        Ok((journal, live, stats))
+    }
+
+    /// Path of the log file (for diagnostics and tests).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Write-ahead record: the job exists, before the scheduler sees it.
+    pub fn submitted(&self, id: u64, tenant: Option<&str>, spec: &Value) {
+        self.append(&submitted_value(id, tenant, spec));
+    }
+
+    /// Terminal record written by the *server* (admission rejections —
+    /// the scheduler never saw the job, so no observer event will come).
+    pub fn rejected(&self, id: u64, error: &str) {
+        self.append(&Value::obj(vec![
+            ("event", Value::Str("terminal".into())),
+            ("job", Value::Num(id as f64)),
+            ("status", Value::Str("rejected".into())),
+            ("error", Value::Str(error.into())),
+        ]));
+    }
+
+    /// Stop journaling. Subsequent appends (including observer events
+    /// from a draining ensemble) are dropped — this is how the smoke
+    /// scenario simulates a crash: the ensemble's teardown must not
+    /// journal terminals for jobs the "crashed" server never finished.
+    pub fn detach(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.detached = true;
+        inner.writer = None;
+    }
+
+    fn append(&self, value: &Value) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.detached {
+            return;
+        }
+        if let Some(w) = inner.writer.as_mut() {
+            // An append failure must not take down the scheduler; the
+            // journal simply stops being durable from here on.
+            if write_line(w, value).and_then(|_| w.flush()).is_err() {
+                inner.writer = None;
+            }
+        }
+    }
+}
+
+impl JobObserver for Journal {
+    fn on_dispatch(&self, _id: JobId, tag: Option<u64>) {
+        if let Some(durable) = tag {
+            self.append(&event_value("dispatched", durable));
+        }
+    }
+
+    fn on_terminal(&self, record: &JobRecord) {
+        if let Some(durable) = record.tag {
+            self.append(&Value::obj(vec![
+                ("event", Value::Str("terminal".into())),
+                ("job", Value::Num(durable as f64)),
+                ("status", Value::Str(record.status.label())),
+            ]));
+        }
+    }
+}
+
+fn submitted_value(id: u64, tenant: Option<&str>, spec: &Value) -> Value {
+    Value::obj(vec![
+        ("event", Value::Str("submitted".into())),
+        ("job", Value::Num(id as f64)),
+        (
+            "tenant",
+            tenant.map_or(Value::Null, |t| Value::Str(t.to_string())),
+        ),
+        ("spec", spec.clone()),
+    ])
+}
+
+fn event_value(event: &str, id: u64) -> Value {
+    Value::obj(vec![
+        ("event", Value::Str(event.into())),
+        ("job", Value::Num(id as f64)),
+    ])
+}
+
+fn write_line(w: &mut impl Write, value: &Value) -> std::io::Result<()> {
+    let json = value.to_string();
+    writeln!(w, "{:016x} {json}", fnv1a(json.as_bytes()))
+}
+
+/// Replay the log: verify checksums, fold events into per-job state,
+/// stop at the first bad line (everything after a torn write is
+/// untrusted).
+fn replay(path: &Path) -> std::io::Result<(Vec<LiveJob>, ReplayStats)> {
+    let mut stats = ReplayStats::default();
+    // Insertion-ordered so recovered jobs resubmit in original order.
+    let mut jobs: Vec<(u64, LiveJob, bool)> = Vec::new(); // (id, job, terminal)
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    for line in text.lines() {
+        let parsed = line.split_once(' ').and_then(|(crc, json)| {
+            let expect = u64::from_str_radix(crc, 16).ok()?;
+            (fnv1a(json.as_bytes()) == expect).then(|| Value::parse(json).ok())?
+        });
+        let Some(value) = parsed else {
+            stats.corrupt += 1;
+            break;
+        };
+        stats.lines += 1;
+        let event = value.get("event").and_then(Value::as_str).unwrap_or("");
+        let id = value.get("job").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        stats.max_id = stats.max_id.max(id);
+        match event {
+            "submitted" => {
+                let tenant = value
+                    .get("tenant")
+                    .and_then(Value::as_str)
+                    .map(str::to_string);
+                let spec = value.get("spec").cloned().unwrap_or(Value::Null);
+                jobs.push((
+                    id,
+                    LiveJob {
+                        id,
+                        tenant,
+                        spec,
+                        dispatched: false,
+                    },
+                    false,
+                ));
+            }
+            "dispatched" => {
+                if let Some((_, job, _)) = jobs.iter_mut().find(|(jid, _, _)| *jid == id) {
+                    job.dispatched = true;
+                }
+            }
+            "terminal" => {
+                if let Some((_, _, terminal)) = jobs.iter_mut().find(|(jid, _, _)| *jid == id) {
+                    *terminal = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut live = Vec::new();
+    for (_, job, terminal) in jobs {
+        if terminal {
+            stats.already_terminal += 1;
+        } else {
+            live.push(job);
+        }
+    }
+    Ok((live, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> Value {
+        Value::obj(vec![("name", Value::Str("j".into()))])
+    }
+
+    #[test]
+    fn round_trip_live_and_terminal_jobs() {
+        let dir = std::env::temp_dir().join(format!("agcm-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (journal, live, _) = Journal::open(&dir).unwrap();
+            assert!(live.is_empty());
+            journal.submitted(1, Some("alice"), &spec());
+            journal.submitted(2, None, &spec());
+            journal.submitted(3, Some("bob"), &spec());
+            // Job 1 ran to completion; job 2 dispatched then "crashed";
+            // job 3 never dispatched.
+            journal.on_dispatch(101, Some(1));
+            journal.on_dispatch(102, Some(2));
+            let rec = terminal_record(1);
+            journal.on_terminal(&rec);
+        }
+        let (_, live, stats) = Journal::open(&dir).unwrap();
+        assert_eq!(stats.corrupt, 0);
+        assert_eq!(stats.already_terminal, 1);
+        assert_eq!(stats.max_id, 3);
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0].id, 2);
+        assert!(live[0].dispatched, "job 2 was running at the crash");
+        assert_eq!(live[0].tenant, None);
+        assert_eq!(live[1].id, 3);
+        assert!(!live[1].dispatched, "job 3 was still queued");
+        assert_eq!(live[1].tenant.as_deref(), Some("bob"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_but_the_log_behind_it_survives() {
+        let dir = std::env::temp_dir().join(format!("agcm-journal-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (journal, _, _) = Journal::open(&dir).unwrap();
+            journal.submitted(1, None, &spec());
+            journal.submitted(2, None, &spec());
+        }
+        // Tear the last line mid-byte, as a crash mid-append would.
+        let path = dir.join(LOG_NAME);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let truncated = &text[..text.len() - 10];
+        std::fs::write(&path, truncated).unwrap();
+
+        let (_, live, stats) = Journal::open(&dir).unwrap();
+        assert_eq!(stats.corrupt, 1, "the torn line is counted and dropped");
+        assert_eq!(live.len(), 1, "the intact prefix replays");
+        assert_eq!(live[0].id, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn detach_drops_subsequent_appends() {
+        let dir = std::env::temp_dir().join(format!("agcm-journal-det-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (journal, _, _) = Journal::open(&dir).unwrap();
+            journal.submitted(1, None, &spec());
+            journal.detach();
+            // Post-detach terminals (ensemble teardown) must not land.
+            journal.on_terminal(&terminal_record(1));
+        }
+        let (_, live, stats) = Journal::open(&dir).unwrap();
+        assert_eq!(stats.already_terminal, 0);
+        assert_eq!(live.len(), 1, "job 1 resurrects: its terminal was dropped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn terminal_record(tag: u64) -> JobRecord {
+        JobRecord {
+            id: 100 + tag,
+            name: "j".into(),
+            tenant: None,
+            tag: Some(tag),
+            ranks: 1,
+            priority: agcm_ensemble::Priority::Normal,
+            status: agcm_ensemble::JobStatus::Completed,
+            attempts: 1,
+            queue_seconds: 0.0,
+            run_seconds: 0.0,
+            outcome: None,
+            summary: None,
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! `agcm-server`: the network-facing, multi-tenant serving layer.
+//!
+//! The ensemble scheduler (`agcm-ensemble`) accepts in-process
+//! `JobSpec`s; this crate puts a socket in front of it. It is a
+//! from-scratch, std-only HTTP/1.1 server — the build environment has no
+//! registry access, so there is no hyper, no tokio, no serde; the
+//! [`http`] module is a bounded hand-rolled codec and `telemetry::json`
+//! (hardened for untrusted input) is the wire format.
+//!
+//! Three layers:
+//!
+//! - [`http`] — bounded request parsing and response serialization.
+//! - [`journal`] — the durable append-only job log (FNV-1a checksummed
+//!   lines, atomic-rename compaction, torn-tail-tolerant replay) that
+//!   makes a restart recover every acked job: queued jobs re-enqueue,
+//!   dispatched jobs resume from their last committed checkpoint.
+//! - [`server`] — routing, per-tenant admission (quota → 429, unknown
+//!   tenant under a strict policy → 403), request metrics (per-endpoint
+//!   latency histograms, per-tenant counters), and lifecycle
+//!   ([`AgcmServer::shutdown`] vs the crash-simulating
+//!   [`AgcmServer::abort`]).
+//!
+//! See `DESIGN.md` ("Serving layer") for the endpoint → machinery map
+//! and the README "Serving" section for a curl walkthrough.
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod journal;
+pub mod server;
+
+pub use api::JobRequest;
+pub use http::{HttpLimits, Request, Response};
+pub use journal::{Journal, LiveJob, ReplayStats};
+pub use server::{AgcmServer, RecoveryReport, ServerConfig};

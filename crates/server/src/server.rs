@@ -1,0 +1,517 @@
+//! The serving loop: TCP accept, routing, tenant admission, journal
+//! recovery, and the HTTP error mapping from [`SubmitError`].
+//!
+//! | Endpoint                  | Machinery                                        |
+//! |---------------------------|--------------------------------------------------|
+//! | `POST /v1/jobs`           | journal write-ahead → `Ensemble::try_submit`     |
+//! | `GET /v1/jobs/{id}`       | `Ensemble::status` (queue position / run state)  |
+//! | `GET /v1/jobs/{id}/result`| terminal `JobRecord` + `RunSummary::to_json`     |
+//! | `DELETE /v1/jobs/{id}`    | `Ensemble::cancel` → `CancelToken` unwind        |
+//! | `GET /v1/metrics`         | `FleetSnapshot` + per-endpoint/tenant registry   |
+//! | `GET /healthz`            | liveness + recovery stats                        |
+//!
+//! Error mapping: `QueueFull`/`QuotaExceeded` → 429, `UnknownTenant` →
+//! 403, `TooLarge`/`InvalidConfig` → 400, `ShuttingDown` → 503,
+//! malformed JSON → 400, oversized body → 413.
+
+use crate::api::{error_body, record_to_value, result_to_value, view_to_value, JobRequest};
+use crate::http::{read_request, write_response, HttpLimits, ReadError, Request, Response};
+use crate::journal::Journal;
+use agcm_ensemble::{Ensemble, EnsembleConfig, JobId, JobObserver, JobView, SubmitError};
+use agcm_telemetry::json::{ParseErrorKind, ParseLimits, Value};
+use agcm_telemetry::MetricsRegistry;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// The scheduler underneath (rank budget, queue, tenancy, ...).
+    pub ensemble: EnsembleConfig,
+    /// Journal + checkpoint root. Created if missing.
+    pub journal_dir: PathBuf,
+    /// HTTP read bounds (also the JSON body byte limit).
+    pub limits: HttpLimits,
+    /// JSON nesting bound for request bodies.
+    pub max_json_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ensemble: EnsembleConfig::default(),
+            journal_dir: PathBuf::from("journal"),
+            limits: HttpLimits::default(),
+            max_json_depth: 32,
+        }
+    }
+}
+
+/// What restart recovery did, reported on `/healthz` and by
+/// [`AgcmServer::recovery`].
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Journal lines replayed.
+    pub journal_lines: usize,
+    /// Torn/corrupt lines dropped.
+    pub corrupt_lines: usize,
+    /// Jobs re-enqueued that had never dispatched.
+    pub requeued: usize,
+    /// Jobs re-enqueued that were running at the crash (these resume
+    /// from their last committed checkpoint).
+    pub resumed: usize,
+    /// Jobs found already terminal (dropped at compaction).
+    pub already_terminal: usize,
+    /// Jobs whose journaled spec no longer re-validates (logged, skipped).
+    pub unrecoverable: usize,
+}
+
+struct ServerState {
+    cfg: ServerConfig,
+    ensemble: RwLock<Option<Ensemble>>,
+    journal: Arc<Journal>,
+    /// durable id → (ensemble id, tenant) for every job this process
+    /// has admitted (including recovered ones).
+    jobs: Mutex<HashMap<u64, (JobId, Option<String>)>>,
+    next_durable: AtomicU64,
+    recovery: RecoveryReport,
+    metrics: MetricsRegistry,
+    shutting_down: AtomicBool,
+}
+
+/// A running server: owns the listener thread, the ensemble, and the
+/// journal.
+pub struct AgcmServer {
+    state: Arc<ServerState>,
+    local_addr: std::net::SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl AgcmServer {
+    /// Bind, replay the journal, re-admit live jobs, and start serving.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<AgcmServer> {
+        let (journal, live, replay) = Journal::open(&cfg.journal_dir)?;
+        let journal = Arc::new(journal);
+        let ensemble = Ensemble::start_with_observer(
+            cfg.ensemble.clone(),
+            Arc::clone(&journal) as Arc<dyn JobObserver>,
+        );
+
+        // Re-admit every live job under its original durable id, via the
+        // recovery path (bypasses capacity and quota — these jobs were
+        // already admitted once). Dispatched-at-crash jobs resume from
+        // their checkpoint directory, which is derived from the durable
+        // id and therefore survives the restart.
+        let mut report = RecoveryReport {
+            journal_lines: replay.lines,
+            corrupt_lines: replay.corrupt,
+            already_terminal: replay.already_terminal,
+            ..RecoveryReport::default()
+        };
+        let mut jobs = HashMap::new();
+        for job in &live {
+            let Ok(req) = JobRequest::from_value(&job.spec) else {
+                report.unrecoverable += 1;
+                continue;
+            };
+            let spec = req.to_spec(
+                job.tenant.as_deref(),
+                job.id,
+                checkpoint_dir(&cfg.journal_dir, job.id),
+            );
+            match ensemble.resubmit(spec) {
+                Ok(eid) => {
+                    jobs.insert(job.id, (eid, job.tenant.clone()));
+                    if job.dispatched {
+                        report.resumed += 1;
+                    } else {
+                        report.requeued += 1;
+                    }
+                }
+                Err(_) => report.unrecoverable += 1,
+            }
+        }
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            next_durable: AtomicU64::new(replay.max_id + 1),
+            cfg,
+            ensemble: RwLock::new(Some(ensemble)),
+            journal,
+            jobs: Mutex::new(jobs),
+            recovery: report,
+            metrics: MetricsRegistry::default(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let state = Arc::clone(&state);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("agcm-server-accept".into())
+                .spawn(move || accept_loop(&listener, &state, &conns))
+                .expect("spawn accept loop")
+        };
+        Ok(AgcmServer {
+            state,
+            local_addr,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (the ephemeral port, when `addr` asked for 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// What restart recovery did.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.state.recovery
+    }
+
+    /// Graceful shutdown: stop accepting, drain connections, then tear
+    /// down the ensemble (cancelling whatever is still live — their
+    /// terminal records are journaled, so nothing resurrects).
+    pub fn shutdown(mut self) {
+        self.stop_serving();
+        self.state.ensemble.write().unwrap().take();
+    }
+
+    /// Simulated crash for restart testing: the journal is detached
+    /// *first*, so the ensemble teardown journals nothing — every job
+    /// that was queued or running remains live in the log and is
+    /// recovered by the next [`AgcmServer::start`] on the same
+    /// journal directory.
+    pub fn abort(mut self) {
+        self.state.journal.detach();
+        self.stop_serving();
+        self.state.ensemble.write().unwrap().take();
+    }
+
+    fn stop_serving(&mut self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in conns {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for AgcmServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_serving();
+            self.state.ensemble.write().unwrap().take();
+        }
+    }
+}
+
+fn checkpoint_dir(journal_dir: &std::path::Path, durable_id: u64) -> PathBuf {
+    journal_dir.join("ckpt").join(format!("job_{durable_id}"))
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if state.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(state);
+        let handle = std::thread::Builder::new()
+            .name("agcm-server-conn".into())
+            .spawn(move || connection_loop(stream, &state))
+            .expect("spawn connection thread");
+        let mut conns = conns.lock().unwrap();
+        // Reap finished connections so one-request-per-connection
+        // clients (curl, the polling smoke client) cannot pile up dead
+        // thread handles for the lifetime of the server.
+        conns.retain(|h| !h.is_finished());
+        conns.push(handle);
+    }
+}
+
+fn connection_loop(stream: TcpStream, state: &Arc<ServerState>) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        let request = match read_request(&mut reader, &state.cfg.limits) {
+            Ok(req) => req,
+            Err(ReadError::Closed) => return,
+            Err(e) => {
+                let (status, label) = match &e {
+                    ReadError::BodyTooLarge { .. } => (413, "payload_too_large"),
+                    ReadError::Io(_) => return,
+                    _ => (400, "bad_request"),
+                };
+                let mut resp = Response::json(status, error_body(label, &e.to_string()));
+                resp.close = true;
+                let _ = write_response(&mut writer, &resp);
+                // Drain the declared (unread) body, bounded, so closing
+                // does not RST the 413 away before the client reads it.
+                if let ReadError::BodyTooLarge { declared, .. } = e {
+                    let mut sink = [0u8; 4096];
+                    let mut remaining = declared.min(8 * 1024 * 1024);
+                    while remaining > 0 {
+                        let want = remaining.min(sink.len());
+                        match std::io::Read::read(&mut reader, &mut sink[..want]) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => remaining -= n,
+                        }
+                    }
+                }
+                return;
+            }
+        };
+        let close = request.wants_close() || state.shutting_down.load(Ordering::SeqCst);
+        let started = Instant::now();
+        let (route, mut response) = handle(state, &request);
+        observe_request(state, route, started.elapsed().as_secs_f64());
+        response.close = close;
+        if write_response(&mut writer, &response).is_err() || close {
+            return;
+        }
+    }
+}
+
+fn observe_request(state: &ServerState, route: &'static str, seconds: f64) {
+    state
+        .metrics
+        .counter(&format!("http.requests.{route}"))
+        .inc();
+    state
+        .metrics
+        .histogram(&format!("http.latency_seconds.{route}"))
+        .observe(seconds);
+}
+
+/// Route and handle one request. Returns the route label (for metrics)
+/// plus the response.
+fn handle(state: &Arc<ServerState>, req: &Request) -> (&'static str, Response) {
+    let path = req.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => ("healthz", healthz(state)),
+        ("GET", ["v1", "metrics"]) => ("get_metrics", metrics(state)),
+        ("POST", ["v1", "jobs"]) => ("post_jobs", submit(state, req)),
+        ("GET", ["v1", "jobs", id]) => ("get_job", job_status(state, id, false)),
+        ("GET", ["v1", "jobs", id, "result"]) => ("get_result", job_status(state, id, true)),
+        ("DELETE", ["v1", "jobs", id]) => ("delete_job", cancel(state, id)),
+        (_, ["v1", "jobs", ..]) | (_, ["v1", "metrics"]) | (_, ["healthz"]) => (
+            "other",
+            Response::json(405, error_body("method_not_allowed", &req.method)),
+        ),
+        _ => ("other", Response::json(404, error_body("not_found", path))),
+    }
+}
+
+fn healthz(state: &ServerState) -> Response {
+    let r = &state.recovery;
+    let body = Value::obj(vec![
+        ("ok", Value::Bool(true)),
+        (
+            "recovery",
+            Value::obj(vec![
+                ("journal_lines", Value::Num(r.journal_lines as f64)),
+                ("corrupt_lines", Value::Num(r.corrupt_lines as f64)),
+                ("requeued", Value::Num(r.requeued as f64)),
+                ("resumed", Value::Num(r.resumed as f64)),
+                ("already_terminal", Value::Num(r.already_terminal as f64)),
+                ("unrecoverable", Value::Num(r.unrecoverable as f64)),
+            ]),
+        ),
+    ]);
+    Response::json(200, body.to_string())
+}
+
+fn metrics(state: &ServerState) -> Response {
+    let guard = state.ensemble.read().unwrap();
+    let Some(ensemble) = guard.as_ref() else {
+        return Response::json(503, error_body("shutting_down", "ensemble stopped"));
+    };
+    let body = Value::obj(vec![
+        ("fleet", ensemble.fleet().to_json()),
+        ("server", state.metrics.snapshot().to_json()),
+    ]);
+    Response::json(200, body.to_string())
+}
+
+/// Map a scheduler rejection onto HTTP.
+fn submit_error_response(e: &SubmitError) -> Response {
+    let (status, label) = match e {
+        SubmitError::QueueFull { .. } => (429, "queue_full"),
+        SubmitError::QuotaExceeded { .. } => (429, "quota_exceeded"),
+        SubmitError::UnknownTenant { .. } => (403, "unknown_tenant"),
+        SubmitError::TooLarge { .. } => (400, "too_large"),
+        SubmitError::InvalidConfig(_) => (400, "invalid_config"),
+        SubmitError::ShuttingDown => (503, "shutting_down"),
+    };
+    Response::json(status, error_body(label, &e.to_string()))
+}
+
+fn tenant_of(req: &Request) -> Option<String> {
+    req.header("x-agcm-tenant")
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+}
+
+fn submit(state: &Arc<ServerState>, req: &Request) -> Response {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::json(400, error_body("bad_body", "body is not UTF-8"));
+    };
+    let limits = ParseLimits {
+        max_depth: state.cfg.max_json_depth,
+        max_bytes: state.cfg.limits.max_body,
+    };
+    let value = match Value::parse_untrusted(text, limits) {
+        Ok(v) => v,
+        Err(e) => {
+            let status = if e.kind == ParseErrorKind::TooLarge {
+                413
+            } else {
+                400
+            };
+            return Response::json(
+                status,
+                error_body(&format!("bad_json_{}", e.kind.label()), &e.to_string()),
+            );
+        }
+    };
+    let request = match JobRequest::from_value(&value) {
+        Ok(r) => r,
+        Err(msg) => return Response::json(400, error_body("bad_request", &msg)),
+    };
+    let tenant = tenant_of(req);
+
+    let guard = state.ensemble.read().unwrap();
+    let Some(ensemble) = guard.as_ref() else {
+        return Response::json(503, error_body("shutting_down", "ensemble stopped"));
+    };
+    // Write-ahead: the journal learns about the job before the scheduler
+    // does, so a crash between the two resurrects (at worst) a job the
+    // client was never acked — re-running it is idempotent, losing an
+    // acked job is not.
+    let durable = state.next_durable.fetch_add(1, Ordering::Relaxed);
+    state
+        .journal
+        .submitted(durable, tenant.as_deref(), &request.raw);
+    let spec = request.to_spec(
+        tenant.as_deref(),
+        durable,
+        checkpoint_dir(&state.cfg.journal_dir, durable),
+    );
+    let tenant_label = tenant.clone().unwrap_or_else(|| "anonymous".to_string());
+    match ensemble.try_submit(spec) {
+        Ok(eid) => {
+            state.jobs.lock().unwrap().insert(durable, (eid, tenant));
+            state
+                .metrics
+                .counter(&format!("tenant.{tenant_label}.submitted"))
+                .inc();
+            let body = Value::obj(vec![
+                ("id", Value::Num(durable as f64)),
+                ("state", Value::Str("queued".into())),
+            ]);
+            Response::json(202, body.to_string())
+        }
+        Err(e) => {
+            // The write-ahead record must not resurrect a rejected job.
+            state.journal.rejected(durable, &e.to_string());
+            state
+                .metrics
+                .counter(&format!("tenant.{tenant_label}.rejected"))
+                .inc();
+            submit_error_response(&e)
+        }
+    }
+}
+
+fn lookup(state: &ServerState, id_text: &str) -> Result<(u64, JobId), Response> {
+    let Ok(durable) = id_text.parse::<u64>() else {
+        return Err(Response::json(
+            400,
+            error_body("bad_id", "job id must be an integer"),
+        ));
+    };
+    match state.jobs.lock().unwrap().get(&durable) {
+        Some(&(eid, _)) => Ok((durable, eid)),
+        None => Err(Response::json(
+            404,
+            error_body("not_found", &format!("no job {durable}")),
+        )),
+    }
+}
+
+fn job_status(state: &ServerState, id_text: &str, result: bool) -> Response {
+    let (durable, eid) = match lookup(state, id_text) {
+        Ok(pair) => pair,
+        Err(resp) => return resp,
+    };
+    let guard = state.ensemble.read().unwrap();
+    let Some(ensemble) = guard.as_ref() else {
+        return Response::json(503, error_body("shutting_down", "ensemble stopped"));
+    };
+    let Some(view) = ensemble.status(eid) else {
+        return Response::json(404, error_body("not_found", &format!("no job {durable}")));
+    };
+    if result {
+        match view {
+            JobView::Done(record) => {
+                Response::json(200, result_to_value(durable, &record).to_string())
+            }
+            _ => Response::json(409, error_body("not_finished", "job has no result yet")),
+        }
+    } else {
+        Response::json(200, view_to_value(durable, &view).to_string())
+    }
+}
+
+fn cancel(state: &ServerState, id_text: &str) -> Response {
+    let (durable, eid) = match lookup(state, id_text) {
+        Ok(pair) => pair,
+        Err(resp) => return resp,
+    };
+    let guard = state.ensemble.read().unwrap();
+    let Some(ensemble) = guard.as_ref() else {
+        return Response::json(503, error_body("shutting_down", "ensemble stopped"));
+    };
+    if ensemble.cancel(eid) {
+        let body = Value::obj(vec![
+            ("id", Value::Num(durable as f64)),
+            ("cancelled", Value::Bool(true)),
+        ]);
+        Response::json(200, body.to_string())
+    } else {
+        // Already terminal: report the final state instead.
+        match ensemble.status(eid) {
+            Some(JobView::Done(record)) => {
+                Response::json(409, record_to_value(durable, &record).to_string())
+            }
+            _ => Response::json(409, error_body("not_cancellable", "job already finished")),
+        }
+    }
+}

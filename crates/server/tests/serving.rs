@@ -1,0 +1,318 @@
+//! End-to-end tests over a real TCP socket: submission, status, results,
+//! tenant quotas, cancellation, malformed bodies, and kill-and-restart
+//! journal recovery.
+
+use agcm_ensemble::{EnsembleConfig, TenantPolicy, TenantQuota};
+use agcm_server::client::{delete_job, get, post_job, request};
+use agcm_server::{AgcmServer, ServerConfig};
+use agcm_telemetry::json::Value;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("agcm-server-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn server_config(journal: PathBuf, ensemble: EnsembleConfig) -> ServerConfig {
+    ServerConfig {
+        journal_dir: journal,
+        ensemble,
+        ..ServerConfig::default()
+    }
+}
+
+fn job_body(name: &str, mesh_lon: usize, steps: usize) -> String {
+    format!(
+        "{{\"name\":\"{name}\",\"grid\":{{\"lon\":24,\"lat\":12,\"lev\":2}},\
+         \"mesh\":{{\"lat\":1,\"lon\":{mesh_lon}}},\"steps\":{steps}}}"
+    )
+}
+
+fn submitted_id(resp: &agcm_server::client::ClientResponse) -> u64 {
+    assert_eq!(resp.status, 202, "body: {}", resp.body);
+    resp.json().get("id").unwrap().as_f64().unwrap() as u64
+}
+
+fn wait_for_state(addr: SocketAddr, id: u64, state: &str) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let resp = get(addr, &format!("/v1/jobs/{id}")).unwrap();
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let v = resp.json();
+        if v.get("state").unwrap().as_str().unwrap() == state {
+            return v;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} never reached {state}: {}",
+            resp.body
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn submit_poll_and_fetch_result() {
+    let dir = temp_dir("basic");
+    let server = AgcmServer::start(server_config(dir.clone(), EnsembleConfig::default())).unwrap();
+    let addr = server.local_addr();
+
+    let health = get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(matches!(health.json().get("ok"), Some(Value::Bool(true))));
+
+    let id = submitted_id(&post_job(addr, None, &job_body("basic", 2, 4)).unwrap());
+    let done = wait_for_state(addr, id, "completed");
+    assert_eq!(done.get("attempts").unwrap().as_f64(), Some(1.0));
+    assert_eq!(done.get("ranks").unwrap().as_f64(), Some(2.0));
+
+    // Result carries the virtual-time summary.
+    let result = get(addr, &format!("/v1/jobs/{id}/result")).unwrap();
+    assert_eq!(result.status, 200, "body: {}", result.body);
+    let summary = result.json();
+    assert_eq!(summary.get("state").unwrap().as_str(), Some("completed"));
+    assert!(
+        summary.get("summary").unwrap().get("makespan").is_some()
+            || summary.get("summary").unwrap().as_obj().is_some(),
+        "summary should be a populated object: {}",
+        result.body
+    );
+
+    // Metrics expose fleet and per-endpoint data.
+    let metrics = get(addr, "/v1/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let m = metrics.json();
+    assert_eq!(
+        m.get("fleet")
+            .unwrap()
+            .get("jobs_completed")
+            .and_then(Value::as_f64),
+        Some(1.0)
+    );
+    assert!(m.get("server").is_some());
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_routes_and_methods() {
+    let dir = temp_dir("routes");
+    let server = AgcmServer::start(server_config(dir.clone(), EnsembleConfig::default())).unwrap();
+    let addr = server.local_addr();
+
+    assert_eq!(get(addr, "/nope").unwrap().status, 404);
+    assert_eq!(
+        request(addr, "PUT", "/v1/jobs", &[], Some("{}"))
+            .unwrap()
+            .status,
+        405
+    );
+    assert_eq!(get(addr, "/v1/jobs/999").unwrap().status, 404);
+    assert_eq!(get(addr, "/v1/jobs/not-a-number").unwrap().status, 400);
+    assert_eq!(delete_job(addr, 999).unwrap().status, 404);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_bodies_are_typed_400s() {
+    let dir = temp_dir("badbody");
+    let server = AgcmServer::start(server_config(dir.clone(), EnsembleConfig::default())).unwrap();
+    let addr = server.local_addr();
+
+    // Unterminated string → typed JSON error.
+    let resp = post_job(addr, None, "{\"name\":\"unterminated").unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(
+        resp.json().get("error").unwrap().as_str(),
+        Some("bad_json_unterminated_string")
+    );
+
+    // Depth bomb → typed JSON error, bounded by max_json_depth.
+    let bomb = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+    let resp = post_job(addr, None, &bomb).unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(
+        resp.json().get("error").unwrap().as_str(),
+        Some("bad_json_too_deep")
+    );
+
+    // Valid JSON, invalid request → 400 with the field named.
+    let resp = post_job(addr, None, "{\"name\":\"x\"}").unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("grid"), "{}", resp.body);
+
+    // Declared body over the HTTP limit → 413 before any parsing.
+    let huge = format!(
+        "{{\"name\":\"{}\"}}",
+        "x".repeat(ServerConfig::default().limits.max_body + 10)
+    );
+    let resp = post_job(addr, None, &huge).unwrap();
+    assert_eq!(resp.status, 413);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tenant_quota_and_strict_policy() {
+    let dir = temp_dir("tenants");
+    let tenancy = TenantPolicy::default().with_tenant(
+        "mallory",
+        TenantQuota {
+            max_in_flight: 1,
+            ..TenantQuota::default()
+        },
+    );
+    // Strict: only mallory is known.
+    let ensemble = EnsembleConfig {
+        tenancy: Some(tenancy),
+        ..EnsembleConfig::default()
+    };
+    let server = AgcmServer::start(server_config(dir.clone(), ensemble)).unwrap();
+    let addr = server.local_addr();
+
+    // First job admitted; second bounces 429 while the first is in flight.
+    let id = submitted_id(&post_job(addr, Some("mallory"), &job_body("m1", 1, 200)).unwrap());
+    let resp = post_job(addr, Some("mallory"), &job_body("m2", 1, 1)).unwrap();
+    assert_eq!(resp.status, 429, "body: {}", resp.body);
+    assert_eq!(
+        resp.json().get("error").unwrap().as_str(),
+        Some("quota_exceeded")
+    );
+
+    // Unknown tenant (strict policy) → 403.
+    let resp = post_job(addr, Some("eve"), &job_body("e1", 1, 1)).unwrap();
+    assert_eq!(resp.status, 403, "body: {}", resp.body);
+    assert_eq!(
+        resp.json().get("error").unwrap().as_str(),
+        Some("unknown_tenant")
+    );
+    // Anonymous is unknown under strict, too.
+    assert_eq!(
+        post_job(addr, None, &job_body("a1", 1, 1)).unwrap().status,
+        403
+    );
+
+    wait_for_state(addr, id, "completed");
+    // Quota freed: mallory can submit again.
+    let id2 = submitted_id(&post_job(addr, Some("mallory"), &job_body("m3", 1, 1)).unwrap());
+    wait_for_state(addr, id2, "completed");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn delete_cancels_a_running_job() {
+    let dir = temp_dir("cancel");
+    let server = AgcmServer::start(server_config(dir.clone(), EnsembleConfig::default())).unwrap();
+    let addr = server.local_addr();
+
+    // Long job: 20k steps will not finish before the DELETE lands.
+    let id = submitted_id(&post_job(addr, None, &job_body("victim", 1, 20000)).unwrap());
+    wait_for_state(addr, id, "running");
+    let resp = delete_job(addr, id).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let done = wait_for_state(addr, id, "cancelled(explicit)");
+    assert_eq!(
+        done.get("state").unwrap().as_str(),
+        Some("cancelled(explicit)")
+    );
+
+    // Result for a cancelled job → 200 with null summary? No: the job is
+    // terminal, result reports its state with no summary payload.
+    let result = get(addr, &format!("/v1/jobs/{id}/result")).unwrap();
+    assert_eq!(result.status, 200);
+    assert!(matches!(result.json().get("summary"), Some(Value::Null)));
+
+    // Cancelling again → 409 with the terminal record.
+    assert_eq!(delete_job(addr, id).unwrap().status, 409);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn abort_and_restart_recovers_queued_and_running_jobs() {
+    let dir = temp_dir("recovery");
+    // Rank budget 1 serializes dispatch: one job runs, the rest queue.
+    let ensemble = EnsembleConfig {
+        rank_budget: 1,
+        ..EnsembleConfig::default()
+    };
+    let server = AgcmServer::start(server_config(dir.clone(), ensemble.clone())).unwrap();
+    let addr = server.local_addr();
+
+    let mut ids = Vec::new();
+    for i in 0..4 {
+        // Long enough that none completes before the abort.
+        ids.push(submitted_id(
+            &post_job(addr, Some("alice"), &job_body(&format!("r{i}"), 1, 5000)).unwrap(),
+        ));
+    }
+    wait_for_state(addr, ids[0], "running");
+    server.abort(); // crash: journal detached, nothing marked terminal
+
+    // Restart on the same journal directory.
+    let server = AgcmServer::start(server_config(dir.clone(), ensemble)).unwrap();
+    let addr = server.local_addr();
+    let recovery = server.recovery().clone();
+    assert_eq!(
+        recovery.requeued + recovery.resumed,
+        4,
+        "all four jobs recovered: {recovery:?}"
+    );
+    assert!(
+        recovery.resumed >= 1,
+        "the running job resumes: {recovery:?}"
+    );
+    assert_eq!(recovery.corrupt_lines, 0);
+
+    // Recovered jobs keep their durable ids and are pollable.
+    for &id in &ids {
+        let resp = get(addr, &format!("/v1/jobs/{id}")).unwrap();
+        assert_eq!(resp.status, 200, "job {id} survives restart: {}", resp.body);
+    }
+    // healthz reports the same recovery counters.
+    let health = get(addr, "/healthz").unwrap().json();
+    assert_eq!(
+        health
+            .get("recovery")
+            .unwrap()
+            .get("requeued")
+            .and_then(Value::as_f64)
+            .unwrap()
+            + health
+                .get("recovery")
+                .unwrap()
+                .get("resumed")
+                .and_then(Value::as_f64)
+                .unwrap(),
+        4.0
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_shutdown_does_not_resurrect_finished_jobs() {
+    let dir = temp_dir("graceful");
+    let server = AgcmServer::start(server_config(dir.clone(), EnsembleConfig::default())).unwrap();
+    let addr = server.local_addr();
+    let id = submitted_id(&post_job(addr, None, &job_body("done", 1, 2)).unwrap());
+    wait_for_state(addr, id, "completed");
+    server.shutdown();
+
+    let server = AgcmServer::start(server_config(dir.clone(), EnsembleConfig::default())).unwrap();
+    let recovery = server.recovery().clone();
+    assert_eq!(recovery.requeued + recovery.resumed, 0, "{recovery:?}");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -7,6 +7,14 @@
 //! shortest round-trip float formatting), which keeps golden-file tests
 //! stable. The parser exists so the `reproduce trace` subcommand and the
 //! round-trip tests can validate what was emitted without external tooling.
+//!
+//! Since `agcm-server`, these bytes also arrive *off a socket*: the parser
+//! is hardened for untrusted input. Every failure carries a typed
+//! [`ParseErrorKind`] plus a byte offset; recursion depth is bounded
+//! (default 512 levels) so a `[[[[...` bomb cannot blow the stack; raw
+//! control characters in strings and numbers that overflow to infinity are
+//! rejected. [`Value::parse_untrusted`] takes explicit [`ParseLimits`] for
+//! request bodies that should be held to tighter bounds.
 
 use std::fmt;
 
@@ -74,18 +82,40 @@ impl Value {
         }
     }
 
-    /// Parse a JSON document. Returns a human-readable error with a byte
-    /// offset on malformed input.
+    /// Parse a JSON document under the default [`ParseLimits`]. Returns a
+    /// typed error with a byte offset on malformed input.
     pub fn parse(text: &str) -> Result<Value, ParseError> {
+        Value::parse_untrusted(text, ParseLimits::default())
+    }
+
+    /// Parse a JSON document from an untrusted source (e.g. an HTTP
+    /// request body) under explicit [`ParseLimits`].
+    pub fn parse_untrusted(text: &str, limits: ParseLimits) -> Result<Value, ParseError> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
+            limits,
         };
+        if p.bytes.len() > p.limits.max_bytes {
+            return Err(ParseError {
+                kind: ParseErrorKind::TooLarge,
+                message: format!(
+                    "document is {} bytes (limit {})",
+                    p.bytes.len(),
+                    p.limits.max_bytes
+                ),
+                offset: 0,
+            });
+        }
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(p.err("trailing characters after document"));
+            return Err(p.err(
+                ParseErrorKind::Trailing,
+                "trailing characters after document",
+            ));
         }
         Ok(v)
     }
@@ -147,9 +177,72 @@ fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     f.write_str("\"")
 }
 
-/// A JSON parse failure: message plus byte offset.
+/// Bounds applied while parsing. The defaults are generous enough for
+/// every document this repo emits (the deep-nesting telemetry tests go to
+/// 200 levels) while still bounding adversarial input.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseLimits {
+    /// Maximum container nesting depth; exceeding it yields
+    /// [`ParseErrorKind::TooDeep`]. The parser recurses per level, so
+    /// this bounds stack use.
+    pub max_depth: usize,
+    /// Maximum document size in bytes; exceeding it yields
+    /// [`ParseErrorKind::TooLarge`] before any parsing happens.
+    pub max_bytes: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> ParseLimits {
+        ParseLimits {
+            max_depth: 512,
+            max_bytes: usize::MAX,
+        }
+    }
+}
+
+/// What class of failure a [`ParseError`] is — stable across message
+/// wording, so callers (the HTTP error mapper) can branch on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Structurally malformed input (bad token, missing delimiter, ...).
+    Syntax,
+    /// A string ran to end-of-input without a closing quote.
+    UnterminatedString,
+    /// A malformed `\\` escape or `\u` code point.
+    BadEscape,
+    /// A raw (unescaped) control character inside a string.
+    ControlCharacter,
+    /// A number that does not parse or overflows to a non-finite value.
+    BadNumber,
+    /// Nesting exceeded [`ParseLimits::max_depth`].
+    TooDeep,
+    /// Input exceeded [`ParseLimits::max_bytes`].
+    TooLarge,
+    /// Valid document followed by trailing characters.
+    Trailing,
+}
+
+impl ParseErrorKind {
+    /// Short stable label (used in HTTP error payloads).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ParseErrorKind::Syntax => "syntax",
+            ParseErrorKind::UnterminatedString => "unterminated_string",
+            ParseErrorKind::BadEscape => "bad_escape",
+            ParseErrorKind::ControlCharacter => "control_character",
+            ParseErrorKind::BadNumber => "bad_number",
+            ParseErrorKind::TooDeep => "too_deep",
+            ParseErrorKind::TooLarge => "too_large",
+            ParseErrorKind::Trailing => "trailing",
+        }
+    }
+}
+
+/// A JSON parse failure: typed kind, message, byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
+    /// Failure class, stable for programmatic handling.
+    pub kind: ParseErrorKind,
     /// What went wrong.
     pub message: String,
     /// Byte offset into the input.
@@ -171,14 +264,28 @@ impl std::error::Error for ParseError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    limits: ParseLimits,
 }
 
 impl Parser<'_> {
-    fn err(&self, msg: &str) -> ParseError {
+    fn err(&self, kind: ParseErrorKind, msg: &str) -> ParseError {
         ParseError {
+            kind,
             message: msg.to_string(),
             offset: self.pos,
         }
+    }
+
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > self.limits.max_depth {
+            return Err(self.err(
+                ParseErrorKind::TooDeep,
+                &format!("nesting exceeds {} levels", self.limits.max_depth),
+            ));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -196,7 +303,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(self.err(&format!("expected {:?}", b as char)))
+            Err(self.err(ParseErrorKind::Syntax, &format!("expected {:?}", b as char)))
         }
     }
 
@@ -205,7 +312,7 @@ impl Parser<'_> {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(self.err(&format!("expected {word}")))
+            Err(self.err(ParseErrorKind::Syntax, &format!("expected {word}")))
         }
     }
 
@@ -218,7 +325,7 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(self.err("expected a JSON value")),
+            _ => Err(self.err(ParseErrorKind::Syntax, "expected a JSON value")),
         }
     }
 
@@ -227,7 +334,9 @@ impl Parser<'_> {
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err(self.err("unterminated string")),
+                None => {
+                    return Err(self.err(ParseErrorKind::UnterminatedString, "unterminated string"))
+                }
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -244,25 +353,34 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
                             let hex =
-                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
+                                self.bytes.get(self.pos + 1..self.pos + 5).ok_or_else(|| {
+                                    self.err(ParseErrorKind::BadEscape, "truncated \\u escape")
+                                })?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| {
+                                self.err(ParseErrorKind::BadEscape, "bad \\u escape")
+                            })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| {
+                                self.err(ParseErrorKind::BadEscape, "bad \\u escape")
+                            })?;
                             // Surrogates are not paired here; the emitter
                             // never produces them.
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
-                            );
+                            out.push(char::from_u32(code).ok_or_else(|| {
+                                self.err(ParseErrorKind::BadEscape, "invalid \\u code point")
+                            })?);
                             self.pos += 4;
                         }
-                        _ => return Err(self.err("bad escape")),
+                        _ => return Err(self.err(ParseErrorKind::BadEscape, "bad escape")),
                     }
                     self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    // RFC 8259: control characters must be escaped. Raw
+                    // ones off a socket are either corruption or smuggling.
+                    return Err(self.err(
+                        ParseErrorKind::ControlCharacter,
+                        &format!("raw control character 0x{c:02x} in string"),
+                    ));
                 }
                 Some(_) => {
                     // Consume one UTF-8 character (input is a &str, so the
@@ -286,17 +404,27 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| self.err("malformed number"))
+        let n = text
+            .parse::<f64>()
+            .map_err(|_| self.err(ParseErrorKind::BadNumber, "malformed number"))?;
+        if !n.is_finite() {
+            // e.g. "1e999" overflows to infinity — not a JSON number.
+            return Err(self.err(
+                ParseErrorKind::BadNumber,
+                "number overflows to a non-finite value",
+            ));
+        }
+        Ok(Value::Num(n))
     }
 
     fn array(&mut self) -> Result<Value, ParseError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -307,19 +435,22 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
-                _ => return Err(self.err("expected ',' or ']'")),
+                _ => return Err(self.err(ParseErrorKind::Syntax, "expected ',' or ']'")),
             }
         }
     }
 
     fn object(&mut self) -> Result<Value, ParseError> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(pairs));
         }
         loop {
@@ -335,9 +466,10 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(pairs));
                 }
-                _ => return Err(self.err("expected ',' or '}'")),
+                _ => return Err(self.err(ParseErrorKind::Syntax, "expected ',' or '}'")),
             }
         }
     }

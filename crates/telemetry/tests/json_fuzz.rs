@@ -1,0 +1,146 @@
+//! Malformed-body edge cases for the hardened JSON parser. These bytes
+//! now arrive off a socket (`agcm-server` request bodies), so every
+//! rejection must be typed — the HTTP layer branches on
+//! [`ParseErrorKind`] — and no input may panic, hang, or blow the stack.
+
+use agcm_telemetry::json::{ParseErrorKind, ParseLimits, Value};
+
+fn kind_of(text: &str) -> ParseErrorKind {
+    Value::parse(text)
+        .expect_err(&format!("{text:?} must be rejected"))
+        .kind
+}
+
+#[test]
+fn unterminated_strings_are_typed() {
+    for bad in ["\"", "\"abc", "{\"key", "[\"a\", \"b"] {
+        assert_eq!(kind_of(bad), ParseErrorKind::UnterminatedString, "{bad:?}");
+    }
+}
+
+#[test]
+fn bad_escapes_are_typed() {
+    // The last case is a string ending mid-escape: the parser sees the
+    // backslash, finds end-of-input where the escape code should be.
+    for bad in [
+        "\"\\x\"",
+        "\"\\u12\"",
+        "\"\\uZZZZ\"",
+        "\"\\ud800\"",
+        "\"ends with escape\\",
+    ] {
+        assert_eq!(kind_of(bad), ParseErrorKind::BadEscape, "{bad:?}");
+    }
+}
+
+#[test]
+fn raw_control_characters_in_strings_are_rejected() {
+    // A raw newline, tab, and NUL inside a string: RFC 8259 requires the
+    // escaped forms. (The serializer always escapes, so round-trips are
+    // unaffected.)
+    for bad in ["\"a\nb\"", "\"a\tb\"", "\"a\u{0}b\"", "\"\u{1f}\""] {
+        assert_eq!(kind_of(bad), ParseErrorKind::ControlCharacter, "{bad:?}");
+    }
+    // The escaped forms still parse.
+    assert_eq!(Value::parse("\"a\\nb\"").unwrap().as_str(), Some("a\nb"));
+}
+
+#[test]
+fn overflowing_numbers_are_rejected_not_infinity() {
+    for bad in ["1e999", "-1e999", "1e308999"] {
+        assert_eq!(kind_of(bad), ParseErrorKind::BadNumber, "{bad:?}");
+    }
+    // The largest finite double still parses.
+    assert_eq!(
+        Value::parse("1.7976931348623157e308").unwrap().as_f64(),
+        Some(f64::MAX)
+    );
+}
+
+#[test]
+fn depth_bomb_is_rejected_without_stack_overflow() {
+    // 100k unclosed brackets: far past any real document, must return a
+    // typed TooDeep error rather than recurse to a crash.
+    let bomb = "[".repeat(100_000);
+    assert_eq!(kind_of(&bomb), ParseErrorKind::TooDeep);
+    let obj_bomb = "{\"k\":".repeat(100_000);
+    assert_eq!(kind_of(&obj_bomb), ParseErrorKind::TooDeep);
+
+    // Depth just under the default limit still parses.
+    let mut ok = "1".to_string();
+    for _ in 0..500 {
+        ok = format!("[{ok}]");
+    }
+    assert!(Value::parse(&ok).is_ok());
+}
+
+#[test]
+fn tight_limits_for_request_bodies() {
+    let limits = ParseLimits {
+        max_depth: 8,
+        max_bytes: 64,
+    };
+    // Depth 9 under a depth-8 limit.
+    let deep = "[[[[[[[[[1]]]]]]]]]";
+    assert_eq!(
+        Value::parse_untrusted(deep, limits).unwrap_err().kind,
+        ParseErrorKind::TooDeep
+    );
+    // 65 bytes under a 64-byte limit — rejected before parsing.
+    let big = format!("\"{}\"", "x".repeat(63));
+    let err = Value::parse_untrusted(&big, limits).unwrap_err();
+    assert_eq!(err.kind, ParseErrorKind::TooLarge);
+    assert_eq!(err.offset, 0);
+    // Within both limits: fine.
+    assert!(Value::parse_untrusted("{\"a\":[1,2]}", limits).is_ok());
+}
+
+#[test]
+fn trailing_and_syntax_garbage_are_typed() {
+    assert_eq!(kind_of("{} {}"), ParseErrorKind::Trailing);
+    assert_eq!(kind_of("1 2"), ParseErrorKind::Trailing);
+    for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "nulL", "[1;2]", ","] {
+        assert_eq!(kind_of(bad), ParseErrorKind::Syntax, "{bad:?}");
+    }
+}
+
+#[test]
+fn error_offsets_point_into_the_input() {
+    let err = Value::parse("{\"a\": 1, \"b\": tru}").unwrap_err();
+    assert_eq!(err.kind, ParseErrorKind::Syntax);
+    assert_eq!(err.offset, 14, "offset names the bad token");
+    // And Display carries both.
+    let text = err.to_string();
+    assert!(text.contains("byte 14"), "{text}");
+}
+
+#[test]
+fn fuzz_grab_bag_never_panics() {
+    // Structured garbage a fuzzer would find in the first minute. The
+    // assertion is simply "returns", Ok or Err — no panic, no hang.
+    let cases: &[&str] = &[
+        "\u{feff}{}", // BOM prefix
+        "[,]",
+        "[1,]",
+        "{\"a\":}",
+        "{:1}",
+        "--1",
+        "+1",
+        "01e",
+        ".5",
+        "\"\\u0000\"", // escaped NUL is legal
+        "[\"\\\"\"]",
+        "{\"\":null}",
+        "[[]]",
+        "{\"a\":{\"a\":{\"a\":null}}}",
+        "9007199254740993", // beyond 2^53: parses lossily, fine
+        "1e-999",           // underflows to 0.0: finite, fine
+    ];
+    for case in cases {
+        let _ = Value::parse(case);
+    }
+    // Escaped NUL round-trips as a string containing NUL.
+    assert_eq!(Value::parse("\"\\u0000\"").unwrap().as_str(), Some("\u{0}"));
+    // Underflow to zero is accepted (finite).
+    assert_eq!(Value::parse("1e-999").unwrap().as_f64(), Some(0.0));
+}

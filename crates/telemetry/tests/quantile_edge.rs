@@ -1,0 +1,95 @@
+//! Edge cases for `HistogramSnapshot::quantile`. `/v1/metrics` now
+//! exposes these estimates externally (fleet latency, per-endpoint
+//! request latency), so the boundary behaviour is API: empty snapshots,
+//! a single sample, the q=0/q=1 extremes, out-of-range q, and
+//! non-finite observations must all return something sane.
+
+use agcm_telemetry::metrics::Histogram;
+
+#[test]
+fn empty_histogram_is_zero_at_every_q() {
+    let snap = Histogram::new().snapshot();
+    assert_eq!(snap.count, 0);
+    for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+        assert_eq!(snap.quantile(q), 0.0, "q={q}");
+    }
+}
+
+#[test]
+fn single_sample_brackets_the_observation_at_every_q() {
+    let h = Histogram::new();
+    h.observe(3.0);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 1);
+    // One sample in the [2, 4) bucket: every quantile interpolates inside
+    // that bucket — within one power of two of the true value.
+    for q in [0.0, 0.5, 1.0] {
+        let est = snap.quantile(q);
+        assert!((2.0..=4.0).contains(&est), "q={q} gave {est}");
+    }
+}
+
+#[test]
+fn q_zero_and_q_one_hit_the_extreme_buckets() {
+    let h = Histogram::new();
+    for v in [0.001, 1.5, 1000.0] {
+        h.observe(v);
+    }
+    let snap = h.snapshot();
+    // q=0 targets the first observation: at or below the smallest
+    // sample's bucket ceiling.
+    assert!(snap.quantile(0.0) <= 0.002, "q=0: {}", snap.quantile(0.0));
+    // q=1 targets the last: within the largest sample's bucket [512, 2048).
+    let p100 = snap.quantile(1.0);
+    assert!((512.0..=2048.0).contains(&p100), "q=1: {p100}");
+    // The estimate brackets the true max to one power of two.
+    assert!((1000.0 / 2.0..=1000.0 * 2.0).contains(&p100));
+}
+
+#[test]
+fn out_of_range_q_is_clamped_not_garbage() {
+    let h = Histogram::new();
+    h.observe(8.0);
+    h.observe(9.0);
+    let snap = h.snapshot();
+    assert_eq!(snap.quantile(-3.0), snap.quantile(0.0));
+    assert_eq!(snap.quantile(7.5), snap.quantile(1.0));
+    assert_eq!(snap.quantile(f64::NAN), snap.quantile(0.0), "NaN q clamps");
+}
+
+#[test]
+fn quantile_is_monotone_in_q() {
+    let h = Histogram::new();
+    for i in 1..=200 {
+        h.observe(i as f64 * 0.01);
+    }
+    let snap = h.snapshot();
+    let mut prev = f64::NEG_INFINITY;
+    for i in 0..=20 {
+        let q = i as f64 / 20.0;
+        let est = snap.quantile(q);
+        assert!(
+            est >= prev,
+            "quantile must be monotone: q={q} {est} < {prev}"
+        );
+        prev = est;
+    }
+}
+
+#[test]
+fn non_finite_and_negative_observations_land_in_the_underflow_bucket() {
+    let h = Histogram::new();
+    h.observe(f64::NAN);
+    h.observe(f64::INFINITY);
+    h.observe(-5.0);
+    h.observe(0.0);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 4);
+    // All four land in the underflow bucket; quantiles stay in its span.
+    for q in [0.0, 0.5, 1.0] {
+        let est = snap.quantile(q);
+        assert!(est.is_finite() && est >= 0.0, "q={q} gave {est}");
+    }
+    // Non-finite values are excluded from the sum (NaN would poison it).
+    assert_eq!(snap.sum, -5.0);
+}
