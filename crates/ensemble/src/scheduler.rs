@@ -399,6 +399,34 @@ impl Ensemble {
         Ok(ranks)
     }
 
+    /// Would `spec` be admitted right now? Applies every
+    /// [`Ensemble::try_submit`] verdict (validity, rank budget, shutdown,
+    /// queue capacity, tenant quota) without enqueuing anything; a
+    /// rejection counts against the fleet's rejected counter. The answer
+    /// can go stale the moment the lock drops, so callers doing durable
+    /// work between this check and `try_submit` (e.g. a write-ahead
+    /// journal record) must still handle a `try_submit` rejection.
+    pub fn admission_check(&self, spec: &JobSpec) -> Result<(), SubmitError> {
+        let check = self.admissible(spec);
+        let st = self.shared.state.lock().unwrap();
+        let verdict = check.and_then(|_| {
+            if st.shutdown {
+                Err(SubmitError::ShuttingDown)
+            } else if st.pending.len() >= self.shared.cfg.queue_capacity {
+                Err(SubmitError::QueueFull {
+                    capacity: self.shared.cfg.queue_capacity,
+                })
+            } else {
+                self.tenant_admission(&st, spec)
+            }
+        });
+        if let Err(e) = verdict {
+            self.shared.fleet.on_reject();
+            return Err(e);
+        }
+        Ok(())
+    }
+
     /// Admit `spec` without blocking; bounces with
     /// [`SubmitError::QueueFull`] when the queue is at capacity.
     pub fn try_submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {

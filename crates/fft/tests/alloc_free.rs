@@ -7,23 +7,33 @@
 use agcm_fft::batch::{filter_line, filter_lines_flat, filter_pair};
 use agcm_fft::{Complex64, FftPlan};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 struct CountingAlloc;
 
-static COUNTING: AtomicBool = AtomicBool::new(false);
+// Per-thread flag: libtest's harness threads allocate concurrently with
+// the test body, so a process-wide flag over-counts. Const-init Cell has
+// no lazy allocation or destructor, so reading it inside `alloc` is safe.
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+fn counting() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.alloc(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.realloc(ptr, layout, new_size)
@@ -74,11 +84,11 @@ fn hot_paths_allocate_nothing_after_warmup() {
         hot(&mut cbuf, &mut flat, &mut a, &mut b, &mut single, &mut ws);
 
         ALLOCS.store(0, Ordering::SeqCst);
-        COUNTING.store(true, Ordering::SeqCst);
+        COUNTING.with(|c| c.set(true));
         for _ in 0..10 {
             hot(&mut cbuf, &mut flat, &mut a, &mut b, &mut single, &mut ws);
         }
-        COUNTING.store(false, Ordering::SeqCst);
+        COUNTING.with(|c| c.set(false));
         let count = ALLOCS.load(Ordering::SeqCst);
         assert_eq!(
             count, 0,

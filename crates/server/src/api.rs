@@ -19,6 +19,11 @@
 //! Only `name`, `grid`, `mesh`, and `steps` are required. The parsed
 //! request is kept as a [`Value`] too — that verbatim form is what the
 //! journal stores, so a restarted server rebuilds the exact submission.
+//!
+//! Numeric fields are capped server-side ([`MAX_STEPS`],
+//! [`MAX_RESTARTS`], [`MAX_DEADLINE_MS`], 64 ranks per job): these
+//! bytes arrive off a socket, and an in-quota tenant must not be able
+//! to occupy its ranks effectively forever with one giant job.
 
 use agcm_core::AgcmConfig;
 use agcm_ensemble::{JobRecord, JobSpec, JobView, Priority};
@@ -26,6 +31,16 @@ use agcm_filtering::driver::FilterVariant;
 use agcm_grid::latlon::GridSpec;
 use agcm_telemetry::json::Value;
 use std::time::Duration;
+
+/// Server-side cap on `steps`: together with the 64-rank cap this
+/// bounds how long one admitted job can occupy its ranks, so an
+/// in-quota tenant cannot park a quasi-infinite run on the budget.
+pub const MAX_STEPS: usize = 1_000_000;
+/// Server-side cap on `max_restarts` (each restart re-runs from the
+/// last checkpoint, so unbounded retries are unbounded compute).
+pub const MAX_RESTARTS: usize = 16;
+/// Server-side cap on `deadline_ms`: 24 hours.
+pub const MAX_DEADLINE_MS: u64 = 86_400_000;
 
 /// A validated submission.
 #[derive(Debug, Clone)]
@@ -123,9 +138,31 @@ impl JobRequest {
             None | Some(Value::Null) => Priority::Normal,
             Some(p) => parse_priority(p.as_str().ok_or("field 'priority' must be a string")?)?,
         };
-        let deadline = optional_u64(v, "deadline_ms")?.map(Duration::from_millis);
+        let steps_cap = |key: &str, n: usize| {
+            if n > MAX_STEPS {
+                return Err(format!(
+                    "field '{key}' of {n} exceeds the server cap of {MAX_STEPS}"
+                ));
+            }
+            Ok(n)
+        };
+        let steps = steps_cap("steps", steps)?;
+        let deadline = match optional_u64(v, "deadline_ms")? {
+            Some(ms) if ms > MAX_DEADLINE_MS => {
+                return Err(format!(
+                    "field 'deadline_ms' of {ms} exceeds the server cap of {MAX_DEADLINE_MS}"
+                ));
+            }
+            other => other.map(Duration::from_millis),
+        };
         let max_restarts = optional_u64(v, "max_restarts")?.unwrap_or(0) as usize;
+        if max_restarts > MAX_RESTARTS {
+            return Err(format!(
+                "field 'max_restarts' of {max_restarts} exceeds the server cap of {MAX_RESTARTS}"
+            ));
+        }
         let checkpoint_every = optional_u64(v, "checkpoint_every")?.unwrap_or(1) as usize;
+        let checkpoint_every = steps_cap("checkpoint_every", checkpoint_every)?;
 
         let config = AgcmConfig::for_grid(GridSpec::new(lon, lat, lev), mesh_lat, mesh_lon, filter)
             .with_steps(steps)
@@ -302,6 +339,39 @@ mod tests {
             let err = JobRequest::from_value(&body(text)).unwrap_err();
             assert!(err.contains(needle), "{text} -> {err}");
         }
+    }
+
+    #[test]
+    fn oversized_numeric_fields_are_capped() {
+        let base = "\"grid\":{\"lon\":48,\"lat\":24,\"lev\":3},\"mesh\":{\"lat\":1,\"lon\":1}";
+        let cases = [
+            (
+                format!("{{\"name\":\"j\",{base},\"steps\":1000000000000000}}"),
+                "steps",
+            ),
+            (
+                format!("{{\"name\":\"j\",{base},\"steps\":1,\"max_restarts\":1000}}"),
+                "max_restarts",
+            ),
+            (
+                format!("{{\"name\":\"j\",{base},\"steps\":1,\"deadline_ms\":900000000000}}"),
+                "deadline_ms",
+            ),
+            (
+                format!("{{\"name\":\"j\",{base},\"steps\":1,\"checkpoint_every\":2000000}}"),
+                "checkpoint_every",
+            ),
+        ];
+        for (text, field) in cases {
+            let err = JobRequest::from_value(&body(&text)).unwrap_err();
+            assert!(
+                err.contains(field) && err.contains("cap"),
+                "{text} -> {err}"
+            );
+        }
+        // At-cap values still admit.
+        let ok = format!("{{\"name\":\"j\",{base},\"steps\":{MAX_STEPS},\"max_restarts\":{MAX_RESTARTS},\"deadline_ms\":{MAX_DEADLINE_MS}}}");
+        assert!(JobRequest::from_value(&body(&ok)).is_ok());
     }
 
     #[test]

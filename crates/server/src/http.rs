@@ -137,6 +137,17 @@ fn read_line(r: &mut impl BufRead, max_line: usize) -> Result<Option<String>, Re
                 line.push(byte[0]);
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // A read timeout (the socket's SO_RCVTIMEO firing on a
+            // silent peer) ends the keep-alive loop like a clean close:
+            // no error response, just drop the connection.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(ReadError::Closed)
+            }
             Err(e) => return Err(ReadError::Io(e)),
         }
     }

@@ -9,7 +9,16 @@
 //! mid-append costs at most the line being written, never the log behind
 //! it. On open, the journal compacts: live (non-terminal) jobs are
 //! rewritten to a fresh log via the resilience layer's atomic-commit
-//! pattern (temp file + rename), and finished history is dropped.
+//! pattern (temp file + rename), and finished history is dropped. The
+//! compacted log always begins with a `watermark` line carrying the
+//! highest durable id ever seen, so dropping terminal history can never
+//! rewind the server's id counter onto already-used ids (which would
+//! let a new job resume from a dead job's stale checkpoint).
+//!
+//! Checkpoint directories (`<dir>/ckpt/job_<id>`) are deleted when
+//! their job reaches a terminal state, and any directory left behind by
+//! a crash (its job finished but the deletion never ran) is swept at
+//! open — only live jobs keep their checkpoints.
 //!
 //! Crash-consistency argument, per job state:
 //! - crash before `submitted` committed → the client never got an ack;
@@ -77,11 +86,40 @@ struct Inner {
 /// [`Journal::detach`] makes every subsequent append a no-op, which is
 /// how a crash is simulated without tearing the file.
 pub struct Journal {
+    dir: PathBuf,
     path: PathBuf,
     inner: Mutex<Inner>,
 }
 
 const LOG_NAME: &str = "jobs.log";
+
+/// Where a job's checkpoints live: derived from the *durable* id so a
+/// restarted server resumes the same shards.
+pub fn checkpoint_dir(journal_dir: &Path, durable_id: u64) -> PathBuf {
+    journal_dir.join("ckpt").join(format!("job_{durable_id}"))
+}
+
+/// Delete checkpoint directories under `dir/ckpt` whose job is not in
+/// `live` — terminal jobs whose cleanup a crash skipped, and rejected
+/// jobs that never ran.
+fn sweep_checkpoints(dir: &Path, live: &[LiveJob]) {
+    let Ok(entries) = std::fs::read_dir(dir.join("ckpt")) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(id) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("job_"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if !live.iter().any(|job| job.id == id) {
+            let _ = std::fs::remove_dir_all(entry.path());
+        }
+    }
+}
 
 impl Journal {
     /// Open (or create) the journal under `dir`: replay the existing
@@ -99,6 +137,13 @@ impl Journal {
         let tmp = dir.join(format!("{LOG_NAME}.tmp"));
         {
             let mut w = BufWriter::new(File::create(&tmp)?);
+            // The id high-water mark must survive even when every job it
+            // came from is terminal (and therefore dropped here) —
+            // otherwise a restart after an idle restart reseeds the id
+            // counter onto used ids and their stale checkpoints.
+            if stats.max_id > 0 {
+                write_line(&mut w, &event_value("watermark", stats.max_id))?;
+            }
             for job in &live {
                 write_line(
                     &mut w,
@@ -112,9 +157,11 @@ impl Journal {
             w.get_ref().sync_all()?;
         }
         std::fs::rename(&tmp, &path)?;
+        sweep_checkpoints(dir, &live);
 
         let writer = OpenOptions::new().append(true).open(&path)?;
         let journal = Journal {
+            dir: dir.to_path_buf(),
             path,
             inner: Mutex::new(Inner {
                 writer: Some(BufWriter::new(writer)),
@@ -184,6 +231,13 @@ impl JobObserver for Journal {
                 ("job", Value::Num(durable as f64)),
                 ("status", Value::Str(record.status.label())),
             ]));
+            // A terminal job's checkpoints are dead weight; reclaim them
+            // now rather than letting the ckpt tree grow for the life of
+            // the server. Gated on detach like the append: a simulated
+            // crash must leave checkpoints for the restart to resume.
+            if !self.inner.lock().unwrap().detached {
+                let _ = std::fs::remove_dir_all(checkpoint_dir(&self.dir, durable));
+            }
         }
     }
 }
@@ -265,6 +319,9 @@ fn replay(path: &Path) -> std::io::Result<(Vec<LiveJob>, ReplayStats)> {
                     *terminal = true;
                 }
             }
+            // A compaction watermark carries the pre-compaction max id
+            // in its `job` field — already folded into `stats.max_id`.
+            "watermark" => {}
             _ => {}
         }
     }
@@ -354,6 +411,67 @@ mod tests {
         let (_, live, stats) = Journal::open(&dir).unwrap();
         assert_eq!(stats.already_terminal, 0);
         assert_eq!(live.len(), 1, "job 1 resurrects: its terminal was dropped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn max_id_survives_compaction_of_all_terminal_history() {
+        let dir = std::env::temp_dir().join(format!("agcm-journal-wm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (journal, _, _) = Journal::open(&dir).unwrap();
+            journal.submitted(7, None, &spec());
+            journal.on_terminal(&terminal_record(7));
+        }
+        // First restart: job 7 is terminal, so compaction drops it — but
+        // the watermark must keep the high-water mark.
+        let (_, live, stats) = Journal::open(&dir).unwrap();
+        assert!(live.is_empty());
+        assert_eq!(stats.max_id, 7);
+        // Second restart with no intervening submissions: still 7. This
+        // is the id-reuse regression — before the watermark, this replay
+        // of an empty live set reported max_id 0.
+        let (_, live, stats) = Journal::open(&dir).unwrap();
+        assert!(live.is_empty());
+        assert_eq!(stats.max_id, 7, "id high-water mark lost at compaction");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn terminal_jobs_lose_their_checkpoint_dirs() {
+        let dir = std::env::temp_dir().join(format!("agcm-journal-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mk = |id: u64| {
+            let d = checkpoint_dir(&dir, id);
+            std::fs::create_dir_all(&d).unwrap();
+            std::fs::write(d.join("shard_0"), b"x").unwrap();
+            d
+        };
+        {
+            let (journal, _, _) = Journal::open(&dir).unwrap();
+            journal.submitted(1, None, &spec());
+            journal.submitted(2, None, &spec());
+            let (ck1, ck2, stray) = (mk(1), mk(2), mk(99));
+            // Job 1 finishes normally: its checkpoints go immediately.
+            journal.on_terminal(&terminal_record(1));
+            assert!(!ck1.exists(), "terminal job keeps no checkpoints");
+            assert!(ck2.exists() && stray.exists());
+            // Crash: post-detach terminals must NOT delete checkpoints —
+            // the restart needs them to resume.
+            journal.detach();
+            journal.on_terminal(&terminal_record(2));
+            assert!(ck2.exists(), "detached journal must not delete checkpoints");
+        }
+        // Restart: job 2 is live (its terminal was dropped) and keeps its
+        // checkpoints; the orphaned job_99 dir is swept.
+        let (_, live, _) = Journal::open(&dir).unwrap();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].id, 2);
+        assert!(checkpoint_dir(&dir, 2).exists());
+        assert!(
+            !checkpoint_dir(&dir, 99).exists(),
+            "stray checkpoint dir survives the open sweep"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

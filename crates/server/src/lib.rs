@@ -29,7 +29,7 @@ pub mod http;
 pub mod journal;
 pub mod server;
 
-pub use api::JobRequest;
+pub use api::{JobRequest, MAX_DEADLINE_MS, MAX_RESTARTS, MAX_STEPS};
 pub use http::{HttpLimits, Request, Response};
 pub use journal::{Journal, LiveJob, ReplayStats};
 pub use server::{AgcmServer, RecoveryReport, ServerConfig};

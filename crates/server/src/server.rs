@@ -16,18 +16,18 @@
 
 use crate::api::{error_body, record_to_value, result_to_value, view_to_value, JobRequest};
 use crate::http::{read_request, write_response, HttpLimits, ReadError, Request, Response};
-use crate::journal::Journal;
+use crate::journal::{checkpoint_dir, Journal};
 use agcm_ensemble::{Ensemble, EnsembleConfig, JobId, JobObserver, JobView, SubmitError};
 use agcm_telemetry::json::{ParseErrorKind, ParseLimits, Value};
 use agcm_telemetry::MetricsRegistry;
 use std::collections::HashMap;
 use std::io::BufReader;
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -42,6 +42,13 @@ pub struct ServerConfig {
     pub limits: HttpLimits,
     /// JSON nesting bound for request bodies.
     pub max_json_depth: usize,
+    /// Per-socket read/write timeout: a peer that goes silent mid-request
+    /// (or idles on a keep-alive connection) is closed after this long,
+    /// so it cannot pin a connection thread forever.
+    pub io_timeout: Duration,
+    /// Maximum concurrent connections; new connections beyond the cap
+    /// get an immediate 503 and are closed.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +59,8 @@ impl Default for ServerConfig {
             journal_dir: PathBuf::from("journal"),
             limits: HttpLimits::default(),
             max_json_depth: 32,
+            io_timeout: Duration::from_secs(30),
+            max_connections: 128,
         }
     }
 }
@@ -85,8 +94,17 @@ struct ServerState {
     next_durable: AtomicU64,
     recovery: RecoveryReport,
     metrics: MetricsRegistry,
+    /// Tenants named in the policy — the only names that get their own
+    /// metric keys. Everything else buckets under `other`/`anonymous`,
+    /// so a hostile client cannot grow the registry without bound (or
+    /// inject separators into metric names) via the tenant header.
+    known_tenants: Vec<String>,
     shutting_down: AtomicBool,
 }
+
+/// Connection registry: each handler's join handle plus a clone of its
+/// socket, so shutdown can force-close readers blocked on idle peers.
+type ConnList = Arc<Mutex<Vec<(JoinHandle<()>, Option<TcpStream>)>>>;
 
 /// A running server: owns the listener thread, the ensemble, and the
 /// journal.
@@ -94,7 +112,7 @@ pub struct AgcmServer {
     state: Arc<ServerState>,
     local_addr: std::net::SocketAddr,
     accept: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: ConnList,
 }
 
 impl AgcmServer {
@@ -144,6 +162,12 @@ impl AgcmServer {
 
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        let known_tenants = cfg
+            .ensemble
+            .tenancy
+            .as_ref()
+            .map(|p| p.tenants.iter().map(|(n, _)| n.clone()).collect())
+            .unwrap_or_default();
         let state = Arc::new(ServerState {
             next_durable: AtomicU64::new(replay.max_id + 1),
             cfg,
@@ -152,9 +176,10 @@ impl AgcmServer {
             jobs: Mutex::new(jobs),
             recovery: report,
             metrics: MetricsRegistry::default(),
+            known_tenants,
             shutting_down: AtomicBool::new(false),
         });
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: ConnList = Arc::new(Mutex::new(Vec::new()));
         let accept = {
             let state = Arc::clone(&state);
             let conns = Arc::clone(&conns);
@@ -208,7 +233,15 @@ impl AgcmServer {
             let _ = h.join();
         }
         let conns = std::mem::take(&mut *self.conns.lock().unwrap());
-        for h in conns {
+        // Force-close every socket first — a peer that connected and
+        // went silent would otherwise pin its handler (and this join)
+        // until the io timeout.
+        for (_, stream) in &conns {
+            if let Some(s) = stream {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+        for (h, _) in conns {
             let _ = h.join();
         }
     }
@@ -223,35 +256,53 @@ impl Drop for AgcmServer {
     }
 }
 
-fn checkpoint_dir(journal_dir: &std::path::Path, durable_id: u64) -> PathBuf {
-    journal_dir.join("ckpt").join(format!("job_{durable_id}"))
-}
-
-fn accept_loop(
-    listener: &TcpListener,
-    state: &Arc<ServerState>,
-    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, conns: &ConnList) {
     for stream in listener.incoming() {
         if state.shutting_down.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // A silent or dribbling peer is closed after the io timeout
+        // instead of pinning its handler thread forever.
+        let _ = stream.set_read_timeout(Some(state.cfg.io_timeout));
+        let _ = stream.set_write_timeout(Some(state.cfg.io_timeout));
+        let mut conns_guard = conns.lock().unwrap();
+        // Reap finished connections so one-request-per-connection
+        // clients (curl, the polling smoke client) cannot pile up dead
+        // thread handles for the lifetime of the server.
+        conns_guard.retain(|(h, _)| !h.is_finished());
+        if conns_guard.len() >= state.cfg.max_connections {
+            drop(conns_guard);
+            let mut writer = stream;
+            let mut resp = Response::json(
+                503,
+                error_body("overloaded", "connection limit reached, retry later"),
+            );
+            resp.close = true;
+            let _ = write_response(&mut writer, &resp);
+            continue;
+        }
+        let peer = stream.try_clone().ok();
         let state = Arc::clone(state);
         let handle = std::thread::Builder::new()
             .name("agcm-server-conn".into())
             .spawn(move || connection_loop(stream, &state))
             .expect("spawn connection thread");
-        let mut conns = conns.lock().unwrap();
-        // Reap finished connections so one-request-per-connection
-        // clients (curl, the polling smoke client) cannot pile up dead
-        // thread handles for the lifetime of the server.
-        conns.retain(|h| !h.is_finished());
-        conns.push(handle);
+        conns_guard.push((handle, peer));
     }
 }
 
 fn connection_loop(stream: TcpStream, state: &Arc<ServerState>) {
+    serve_connection(&stream, state);
+    // The accept loop's registry holds a clone of this socket (so that
+    // shutdown can force-close a blocked reader). Dropping our copy
+    // therefore does NOT send FIN while that clone lives — shut the
+    // socket down explicitly, or one-shot clients reading to EOF would
+    // block until the registry reaps the entry.
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn serve_connection(stream: &TcpStream, state: &Arc<ServerState>) {
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -379,6 +430,17 @@ fn tenant_of(req: &Request) -> Option<String> {
         .map(str::to_string)
 }
 
+/// Metric key for a tenant: policy-named tenants keep their (operator-
+/// controlled) name; every other client-supplied name buckets under
+/// `other` so the registry's key space stays bounded.
+fn tenant_metric_label<'a>(state: &'a ServerState, tenant: Option<&'a str>) -> &'a str {
+    match tenant {
+        None => "anonymous",
+        Some(t) if state.known_tenants.iter().any(|k| k == t) => t,
+        Some(_) => "other",
+    }
+}
+
 fn submit(state: &Arc<ServerState>, req: &Request) -> Response {
     let Ok(text) = std::str::from_utf8(&req.body) else {
         return Response::json(400, error_body("bad_body", "body is not UTF-8"));
@@ -411,20 +473,33 @@ fn submit(state: &Arc<ServerState>, req: &Request) -> Response {
     let Some(ensemble) = guard.as_ref() else {
         return Response::json(503, error_body("shutting_down", "ensemble stopped"));
     };
-    // Write-ahead: the journal learns about the job before the scheduler
-    // does, so a crash between the two resurrects (at worst) a job the
-    // client was never acked — re-running it is idempotent, losing an
-    // acked job is not.
     let durable = state.next_durable.fetch_add(1, Ordering::Relaxed);
-    state
-        .journal
-        .submitted(durable, tenant.as_deref(), &request.raw);
     let spec = request.to_spec(
         tenant.as_deref(),
         durable,
         checkpoint_dir(&state.cfg.journal_dir, durable),
     );
-    let tenant_label = tenant.clone().unwrap_or_else(|| "anonymous".to_string());
+    let tenant_label = tenant_metric_label(state, tenant.as_deref()).to_string();
+    // Deterministic rejections (quota, unknown tenant, queue full) are
+    // answered before the write-ahead record: there is nothing durable
+    // about a job that was never admitted, and journaling every bounce
+    // would let rejected traffic grow the log without bound. The burned
+    // durable id is a harmless gap — it was never acked and never
+    // touched a checkpoint directory.
+    if let Err(e) = ensemble.admission_check(&spec) {
+        state
+            .metrics
+            .counter(&format!("tenant.{tenant_label}.rejected"))
+            .inc();
+        return submit_error_response(&e);
+    }
+    // Write-ahead: the journal learns about the job before the scheduler
+    // does, so a crash between the two resurrects (at worst) a job the
+    // client was never acked — re-running it is idempotent, losing an
+    // acked job is not.
+    state
+        .journal
+        .submitted(durable, tenant.as_deref(), &request.raw);
     match ensemble.try_submit(spec) {
         Ok(eid) => {
             state.jobs.lock().unwrap().insert(durable, (eid, tenant));
@@ -439,7 +514,9 @@ fn submit(state: &Arc<ServerState>, req: &Request) -> Response {
             Response::json(202, body.to_string())
         }
         Err(e) => {
-            // The write-ahead record must not resurrect a rejected job.
+            // Lost race: another submission filled the queue or quota
+            // between the admission check and here. The write-ahead
+            // record must not resurrect this rejected job.
             state.journal.rejected(durable, &e.to_string());
             state
                 .metrics

@@ -302,6 +302,143 @@ fn abort_and_restart_recovers_queued_and_running_jobs() {
 }
 
 #[test]
+fn durable_ids_are_never_reused_across_restarts() {
+    let dir = temp_dir("idreuse");
+    let server = AgcmServer::start(server_config(dir.clone(), EnsembleConfig::default())).unwrap();
+    let addr = server.local_addr();
+    let first = submitted_id(&post_job(addr, None, &job_body("one", 1, 2)).unwrap());
+    wait_for_state(addr, first, "completed");
+    server.shutdown();
+
+    // First restart compacts the terminal job away; a second restart
+    // must still know the high-water mark — without the journal's
+    // watermark record this reseeded the counter and handed job `first`'s
+    // id (and its checkpoint directory) to the next submission.
+    let server = AgcmServer::start(server_config(dir.clone(), EnsembleConfig::default())).unwrap();
+    server.shutdown();
+    let server = AgcmServer::start(server_config(dir.clone(), EnsembleConfig::default())).unwrap();
+    let addr = server.local_addr();
+    let next = submitted_id(&post_job(addr, None, &job_body("two", 1, 2)).unwrap());
+    assert!(
+        next > first,
+        "durable id {next} reuses or precedes {first} after two restarts"
+    );
+    wait_for_state(addr, next, "completed");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn idle_connections_do_not_hang_shutdown() {
+    let dir = temp_dir("idle");
+    let server = AgcmServer::start(server_config(dir.clone(), EnsembleConfig::default())).unwrap();
+    let addr = server.local_addr();
+
+    // A client that connects and sends nothing: its handler blocks in
+    // read_request until shutdown force-closes the socket.
+    let idle = std::net::TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(get(addr, "/healthz").unwrap().status, 200);
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.shutdown();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(10))
+        .expect("shutdown hung on an idle connection");
+    drop(idle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn connections_beyond_the_cap_get_503() {
+    let dir = temp_dir("conncap");
+    let server = AgcmServer::start(ServerConfig {
+        max_connections: 1,
+        ..server_config(dir.clone(), EnsembleConfig::default())
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    // One idle connection occupies the only slot...
+    let hog = std::net::TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    // ...so the next connection is turned away with a typed 503 without
+    // having to send a byte (the server answers and closes on accept).
+    let mut turned_away = std::net::TcpStream::connect(addr).unwrap();
+    let mut raw = String::new();
+    std::io::Read::read_to_string(&mut turned_away, &mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+    assert!(raw.contains("overloaded"), "{raw}");
+
+    // Freeing the slot restores service.
+    drop(hog);
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(get(addr, "/healthz").unwrap().status, 200);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tenant_metric_keys_are_bounded_to_the_policy() {
+    let dir = temp_dir("tenantmetrics");
+    let tenancy = TenantPolicy::default().with_tenant("mallory", TenantQuota::default());
+    let ensemble = EnsembleConfig {
+        tenancy: Some(tenancy),
+        ..EnsembleConfig::default()
+    };
+    let server = AgcmServer::start(server_config(dir.clone(), ensemble)).unwrap();
+    let addr = server.local_addr();
+
+    // Unknown tenants (strict policy) are rejected — and must NOT mint
+    // their own metric keys, or a hostile client could grow the registry
+    // without bound one header value at a time.
+    for name in ["eve", "eve2", "dotted.name with spaces"] {
+        assert_eq!(
+            post_job(addr, Some(name), &job_body("e", 1, 1))
+                .unwrap()
+                .status,
+            403
+        );
+    }
+    let id = submitted_id(&post_job(addr, Some("mallory"), &job_body("m", 1, 2)).unwrap());
+    wait_for_state(addr, id, "completed");
+
+    let counters = get(addr, "/v1/metrics").unwrap().json();
+    let counters = counters
+        .get("server")
+        .unwrap()
+        .get("counters")
+        .unwrap()
+        .clone();
+    assert_eq!(
+        counters
+            .get("tenant.other.rejected")
+            .and_then(Value::as_f64),
+        Some(3.0),
+        "unknown tenants bucket under 'other'"
+    );
+    assert_eq!(
+        counters
+            .get("tenant.mallory.submitted")
+            .and_then(Value::as_f64),
+        Some(1.0),
+        "policy-named tenants keep their own key"
+    );
+    for leaked in ["tenant.eve.rejected", "tenant.eve2.rejected"] {
+        assert!(
+            counters.get(leaked).is_none(),
+            "client-controlled metric key {leaked} leaked into the registry"
+        );
+    }
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn graceful_shutdown_does_not_resurrect_finished_jobs() {
     let dir = temp_dir("graceful");
     let server = AgcmServer::start(server_config(dir.clone(), EnsembleConfig::default())).unwrap();
