@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of Lou & Farrara (SC'96).
 //!
 //! ```text
-//! reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|trace|bench-check]
+//! reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|bench-kernels|trace|bench-check]
 //! ```
 //!
 //! `bench-filter` is the filter fast-path regression benchmark: it times
@@ -10,14 +10,20 @@
 //! writes the numbers to `BENCH_filter.json` for machine-readable
 //! before/after tracking.
 //!
+//! `bench-kernels` is the §4 dynamics-kernel benchmark: the 7-point
+//! stencil (both layouts), the real upwind advection operator, and the
+//! full tendency step, reference `from_fn` path vs the `agcm-kernels`
+//! flat kernels, written to `BENCH_kernels.json`.
+//!
 //! `trace` runs a short instrumented model and emits `trace.json` (Chrome
 //! trace-event format — open at <https://ui.perfetto.dev>) plus
 //! `metrics.jsonl` (one structured record per step and per run), then
 //! validates both artifacts and exits non-zero if they are malformed.
 //!
-//! `bench-check` re-times the filter kernel and compares against the
-//! committed `BENCH_filter.json`, failing on a >25% speedup regression
-//! (tolerance override: `AGCM_BENCH_TOLERANCE`).
+//! `bench-check` re-times the filter and dynamics kernels and compares
+//! against the committed `BENCH_filter.json` and `BENCH_kernels.json`,
+//! failing on a >25% speedup regression (tolerance override:
+//! `AGCM_BENCH_TOLERANCE`).
 //!
 //! Each table prints the paper-reported values next to the model-measured
 //! ones. Absolute agreement is not expected (the substrate is a simulator,
@@ -39,7 +45,10 @@ use agcm_fft::plan::FftPlan;
 use agcm_filtering::driver::{FilterOrganization, FilterVariant};
 use agcm_grid::field::BlockField;
 use agcm_grid::latlon::GridSpec;
-use agcm_singlenode::blockarray::{laplace_block, laplace_separate, paper_test_fields};
+use agcm_singlenode::blockarray::{
+    laplace_block, laplace_block_kernel, laplace_separate, laplace_separate_kernel,
+    paper_test_fields,
+};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -51,6 +60,7 @@ fn main() {
         "singlenode" => singlenode(),
         "summary" => summary(),
         "bench-filter" => bench_filter(),
+        "bench-kernels" => bench_kernels(std::env::args().nth(2).as_deref() == Some("--smoke")),
         "trace" => trace(),
         "analyze" => analyze(),
         "ensemble" => ensemble(std::env::args().nth(2).as_deref() == Some("--smoke")),
@@ -64,10 +74,11 @@ fn main() {
             singlenode();
             summary();
             bench_filter();
+            bench_kernels(false);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|trace|analyze|ensemble [--smoke]|serve [--smoke]|bench-check]");
+            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|bench-kernels [--smoke]|trace|analyze|ensemble [--smoke]|serve [--smoke]|bench-check]");
             std::process::exit(2);
         }
     }
@@ -340,7 +351,9 @@ fn tables_8_to_11() {
 fn singlenode() {
     println!("\n=== Single-node optimization (paper §3.4), wall-clock on this machine ===\n");
 
-    // Block-array vs separate arrays, 7-point Laplace on 12 fields of 32³.
+    // Block-array vs separate arrays, 7-point Laplace on 12 fields of 32³,
+    // each layout in its get/set transliteration and its agcm-kernels flat
+    // form (§4: same arithmetic, addressing compiled away).
     let fields = paper_test_fields(12);
     let block = BlockField::from_fields(&fields);
     let t_sep = time_median(7, || {
@@ -348,6 +361,12 @@ fn singlenode() {
     });
     let t_blk = time_median(7, || {
         std::hint::black_box(laplace_block(std::hint::black_box(&block)));
+    });
+    let t_sep_k = time_median(7, || {
+        std::hint::black_box(laplace_separate_kernel(std::hint::black_box(&fields)));
+    });
+    let t_blk_k = time_median(7, || {
+        std::hint::black_box(laplace_block_kernel(std::hint::black_box(&block)));
     });
     let mut t = Table::new(
         "Laplace stencil, 12 fields of 32x32x32",
@@ -362,6 +381,16 @@ fn singlenode() {
         "block array".into(),
         format!("{t_blk:.4}"),
         fmt_ratio(t_sep / t_blk),
+    ]);
+    t.add_row(vec![
+        "separate, flat kernel".into(),
+        format!("{t_sep_k:.4}"),
+        fmt_ratio(t_sep / t_sep_k),
+    ]);
+    t.add_row(vec![
+        "block, flat kernel".into(),
+        format!("{t_blk_k:.4}"),
+        fmt_ratio(t_sep / t_blk_k),
     ]);
     println!("{t}");
     println!(
@@ -473,6 +502,73 @@ fn bench_filter() {
     std::fs::write("BENCH_filter.json", &json)
         .unwrap_or_else(|e| eprintln!("could not write BENCH_filter.json: {e}"));
     println!("wrote BENCH_filter.json");
+}
+
+/// `bench-kernels`: the §4 dynamics-kernel benchmark — stencil (both
+/// layouts), real upwind advection, and the full tendency step, reference
+/// vs `agcm-kernels` paths. Prints the tables and writes
+/// `BENCH_kernels.json` (committed, gated by `bench-check`).
+fn bench_kernels(smoke: bool) {
+    use agcm_bench::kernels::run_kernel_bench;
+
+    println!("\n=== Dynamics kernels: reference vs flat vs block (paper §4) ===\n");
+    let b = run_kernel_bench(smoke);
+
+    let mut t = Table::new(
+        "Kernel paths, ns per output point",
+        &[
+            "Experiment",
+            "reference",
+            "kernel",
+            "block",
+            "kernel speed-up",
+            "block/kernel",
+        ],
+    );
+    for (name, p) in [
+        ("7-pt stencil, 12 fields 32^3", &b.stencil),
+        ("upwind advection, 144x90x9", &b.advection),
+        ("full tendency step, 9-layer", &b.step),
+    ] {
+        t.add_row(vec![
+            name.into(),
+            format!("{:.1}", p.ns_per_point(p.reference)),
+            format!("{:.1}", p.ns_per_point(p.kernel)),
+            p.block
+                .map_or("-".into(), |blk| format!("{:.1}", p.ns_per_point(blk))),
+            fmt_ratio(p.kernel_speedup()),
+            p.block_speedup().map_or("-".into(), fmt_ratio),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "paper §4: hoisted metric factors + flat traversals on the real operators;\nblock column is per tracer ({} interleaved).\n",
+        4
+    );
+
+    let path = |p: &agcm_bench::kernels::PathTimes| {
+        format!(
+            "{{\n      \"reference\": {:.1},\n      \"kernel\": {:.1},\n      \"block\": {}\n    }}",
+            p.ns_per_point(p.reference),
+            p.ns_per_point(p.kernel),
+            p.block
+                .map_or("null".to_string(), |blk| format!("{:.1}", p.ns_per_point(blk))),
+        )
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"dyn_kernels\",\n  \"stencil\": {{\n    \"config\": \"12 fields 32x32x32\",\n    \"ns_per_point\": {},\n    \"kernel_speedup\": {:.2},\n    \"block_speedup\": {:.2}\n  }},\n  \"advection\": {{\n    \"config\": \"144x90x9, block m=4\",\n    \"ns_per_point\": {},\n    \"kernel_speedup\": {:.2},\n    \"block_speedup\": {:.2}\n  }},\n  \"tendency_step\": {{\n    \"config\": \"paper 9-layer, 1 rank, no filter\",\n    \"ns_per_point\": {},\n    \"speedup\": {:.2}\n  }}\n}}\n",
+        path(&b.stencil),
+        b.stencil.kernel_speedup(),
+        b.stencil.block_speedup().unwrap_or(1.0),
+        path(&b.advection),
+        b.advection.kernel_speedup(),
+        b.advection.block_speedup().unwrap_or(1.0),
+        path(&b.step),
+        b.step.kernel_speedup(),
+    );
+    std::fs::write("BENCH_kernels.json", &json)
+        .unwrap_or_else(|e| eprintln!("could not write BENCH_kernels.json: {e}"));
+    println!("wrote BENCH_kernels.json");
 }
 
 /// Time the filter kernel both ways. Shared by `bench-filter` (which
@@ -789,11 +885,18 @@ fn serve(smoke: bool) {
     }
 }
 
-/// `bench-check`: re-time the filter kernel and fail when the measured
-/// speedup falls more than the tolerance below the committed
-/// `BENCH_filter.json` value.
+/// `bench-check`: re-time the filter and dynamics kernels and fail when a
+/// measured speedup falls more than the tolerance below its committed
+/// `BENCH_filter.json` / `BENCH_kernels.json` value.
 fn bench_check() {
     use agcm_telemetry::json::Value;
+
+    let tolerance = std::env::var("AGCM_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|t| *t >= 1.0)
+        .unwrap_or(1.25);
+    let mut ok = true;
 
     println!("\n=== Filter kernel regression check vs BENCH_filter.json ===\n");
     let committed = match std::fs::read_to_string("BENCH_filter.json") {
@@ -813,11 +916,6 @@ fn bench_check() {
 
     let (_, _, t_complex, t_batched) = measure_filter_kernel();
     let speedup = t_complex / t_batched;
-    let tolerance = std::env::var("AGCM_BENCH_TOLERANCE")
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .filter(|t| *t >= 1.0)
-        .unwrap_or(1.25);
     let floor = committed_speedup / tolerance;
     println!(
         "committed {committed_speedup:.2}x, measured {speedup:.2}x, floor {floor:.2}x (tolerance {tolerance:.2})"
@@ -827,9 +925,67 @@ fn bench_check() {
             "FAIL: batched-kernel speedup regressed by more than {:.0}%",
             (tolerance - 1.0) * 100.0
         );
+        ok = false;
+    } else {
+        println!("OK: filter kernel speedup within tolerance");
+    }
+
+    println!("\n=== Dynamics kernel regression check vs BENCH_kernels.json ===\n");
+    let committed = match std::fs::read_to_string("BENCH_kernels.json") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "could not read BENCH_kernels.json (run `reproduce bench-kernels` first): {e}"
+            );
+            std::process::exit(1);
+        }
+    };
+    let Ok(doc) = Value::parse(&committed) else {
+        eprintln!("BENCH_kernels.json is not valid JSON");
+        std::process::exit(1);
+    };
+    let committed_of = |section: &str, key: &str| -> f64 {
+        doc.get(section)
+            .and_then(|s| s.get(key))
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| {
+                eprintln!("BENCH_kernels.json has no numeric '{section}.{key}'");
+                std::process::exit(1);
+            })
+    };
+    let b = agcm_bench::kernels::run_kernel_bench(true);
+    for (what, committed, measured) in [
+        (
+            "stencil.kernel_speedup",
+            committed_of("stencil", "kernel_speedup"),
+            b.stencil.kernel_speedup(),
+        ),
+        (
+            "advection.kernel_speedup",
+            committed_of("advection", "kernel_speedup"),
+            b.advection.kernel_speedup(),
+        ),
+        (
+            "tendency_step.speedup",
+            committed_of("tendency_step", "speedup"),
+            b.step.kernel_speedup(),
+        ),
+    ] {
+        let floor = committed / tolerance;
+        println!("{what}: committed {committed:.2}x, measured {measured:.2}x, floor {floor:.2}x");
+        if measured < floor {
+            eprintln!(
+                "FAIL: {what} regressed by more than {:.0}%",
+                (tolerance - 1.0) * 100.0
+            );
+            ok = false;
+        }
+    }
+
+    if !ok {
         std::process::exit(1);
     }
-    println!("OK: kernel speedup within tolerance");
+    println!("\nOK: all kernel speedups within tolerance");
 }
 
 /// §4 headline claims, checked against the measured tables.

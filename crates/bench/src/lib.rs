@@ -14,5 +14,6 @@
 pub mod analyze;
 pub mod ensemble;
 pub mod harness;
+pub mod kernels;
 pub mod paper;
 pub mod serve;

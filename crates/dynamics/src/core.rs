@@ -9,7 +9,17 @@
 //! mass field — stable for gravity waves up to CFL 1).
 //!
 //! Every phase is bracketed in the execution trace ("filter", "halo",
-//! "fd"), which is how Figure 1 and Tables 4–7 are regenerated.
+//! "fd"), which is how Figure 1 and Tables 4–7 are regenerated. Inside
+//! "fd" the compute is sub-bracketed as "dyn.tendencies" (gradients,
+//! divergence, momentum) and "dyn.advection" (upwind transport) — phases
+//! accumulate inclusively in the cost-model replay, so the outer "fd"
+//! accounting is unchanged.
+//!
+//! The production [`Dynamics::step`] runs the §4-optimized flat kernels
+//! from `agcm-kernels` over a reusable [`DynScratch`] workspace (zero
+//! heap allocations once warmed up); [`Dynamics::step_reference`] keeps
+//! the original allocating `from_fn` operators. Both paths are
+//! bit-identical — enforced by the equivalence tests below.
 
 use crate::advection::upwind_tendency;
 use crate::state::ModelState;
@@ -18,10 +28,18 @@ use crate::timestep::GRAVITY;
 use agcm_filtering::driver::{FilterOrganization, FilterVariant, PolarFilter};
 use agcm_filtering::lines::FilterSetup;
 use agcm_grid::arakawa::Variable;
-use agcm_grid::decomp::Decomp;
+use agcm_grid::decomp::{Decomp, Subdomain};
 use agcm_grid::halo::HaloField;
 use agcm_grid::latlon::GridSpec;
+use agcm_kernels::advect::upwind_into;
+use agcm_kernels::tendency::{
+    advance_in_place, flux_divergence_into, grad_x_into, grad_y_into, momentum_update,
+};
+use agcm_kernels::{DynScratch, HaloView};
 use agcm_mps::topology::CartComm;
+use agcm_telemetry::Counter;
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Configuration of the dynamical core.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +81,12 @@ pub struct Dynamics {
     cfg: DynamicsConfig,
     setup: FilterSetup,
     filter: Option<PolarFilter>,
+    /// Reusable kernel workspace (per rank; `Dynamics` is built inside
+    /// each rank's thread, so interior mutability needs no `Sync`).
+    scratch: RefCell<DynScratch>,
+    /// Grid points advanced per step (5 prognostic updates per point),
+    /// cached so the hot path never touches the registry lock.
+    points_updated: Arc<Counter>,
 }
 
 impl Dynamics {
@@ -78,6 +102,8 @@ impl Dynamics {
             cfg,
             setup,
             filter,
+            scratch: RefCell::new(DynScratch::new()),
+            points_updated: agcm_telemetry::registry().counter("dyn.points_updated"),
         }
     }
 
@@ -86,8 +112,183 @@ impl Dynamics {
         &self.setup
     }
 
+    /// Size the scratch for `sub`, refreshing the Coriolis table whenever
+    /// the buffers were (re)built. No-op after the first step.
+    fn ensure_scratch(&self, scratch: &mut DynScratch, sub: Subdomain) {
+        if scratch.ensure(&self.grid, sub.j0, sub.ni, sub.nj, Variable::ALL.len()) {
+            for (j, f) in scratch.f_cor.iter_mut().enumerate() {
+                *f = coriolis_param(self.grid.latitude(sub.j0 + j));
+            }
+        }
+    }
+
+    /// Continuity, flux form: h* = h − dt·∇·(h·u), then stage h* into its
+    /// halo (interior only; the caller exchanges).
+    fn continuity_kernels(&self, scratch: &mut DynScratch, state: &mut ModelState) {
+        {
+            let u_h = HaloView::of(&scratch.halos[Variable::U.index()]);
+            let v_h = HaloView::of(&scratch.halos[Variable::V.index()]);
+            let h_h = HaloView::of(&scratch.halos[Variable::Theta.index()]);
+            flux_divergence_into(&h_h, &u_h, &v_h, &scratch.tables, &mut scratch.div);
+        }
+        // Negative dt: h −= dt·div, bit-identical to the reference loop.
+        advance_in_place(
+            state.field_mut(Variable::Theta).as_mut_slice(),
+            &scratch.div,
+            -self.cfg.dt,
+        );
+        scratch
+            .hstar
+            .copy_interior_from(state.field(Variable::Theta));
+    }
+
+    /// Pressure-gradient terms on the exchanged h*.
+    fn gradient_kernels(scratch: &mut DynScratch) {
+        let hs = HaloView::of(&scratch.hstar);
+        grad_x_into(&hs, &scratch.tables, &mut scratch.dhdx);
+        grad_y_into(&hs, &scratch.tables, &mut scratch.dhdy);
+    }
+
+    /// Upwind self-advection of the old winds.
+    fn wind_advection_kernels(scratch: &mut DynScratch) {
+        let u_h = HaloView::of(&scratch.halos[Variable::U.index()]);
+        let v_h = HaloView::of(&scratch.halos[Variable::V.index()]);
+        upwind_into(&u_h, &u_h, &v_h, &scratch.tables, &mut scratch.adv_u);
+        upwind_into(&v_h, &u_h, &v_h, &scratch.tables, &mut scratch.adv_v);
+    }
+
+    /// In-place forward-backward momentum update.
+    fn momentum_kernel(&self, scratch: &DynScratch, state: &mut ModelState) {
+        let shape = (state.sub.ni, state.sub.nj, self.grid.n_lev);
+        // u and v mutably at once: split the field vec at V's index.
+        let (left, right) = state.fields.split_at_mut(Variable::V.index());
+        momentum_update(
+            left[Variable::U.index()].as_mut_slice(),
+            right[0].as_mut_slice(),
+            &scratch.dhdx,
+            &scratch.dhdy,
+            &scratch.adv_u,
+            &scratch.adv_v,
+            &scratch.f_cor,
+            shape,
+            self.cfg.dt,
+            self.cfg.gravity,
+        );
+    }
+
+    /// Upwind advection of one tracer by the old winds, applied in place.
+    fn tracer_kernels(&self, scratch: &mut DynScratch, state: &mut ModelState, tracer: Variable) {
+        {
+            let q_h = HaloView::of(&scratch.halos[tracer.index()]);
+            let u_h = HaloView::of(&scratch.halos[Variable::U.index()]);
+            let v_h = HaloView::of(&scratch.halos[Variable::V.index()]);
+            upwind_into(&q_h, &u_h, &v_h, &scratch.tables, &mut scratch.adv_q);
+        }
+        advance_in_place(
+            state.field_mut(tracer).as_mut_slice(),
+            &scratch.adv_q,
+            self.cfg.dt,
+        );
+    }
+
     /// Advance the local state by one timestep. Collective over the mesh.
+    ///
+    /// This is the optimized path: flat `agcm-kernels` operators over the
+    /// reusable scratch, bit-identical to [`Dynamics::step_reference`].
     pub fn step(&self, cart: &CartComm, state: &mut ModelState) {
+        let comm = cart.comm();
+
+        // --- Spectral filtering. ------------------------------------------
+        if let Some(filter) = &self.filter {
+            comm.phase("filter", || {
+                filter.apply(&self.setup, cart, &mut state.fields)
+            });
+        }
+
+        let sub = state.sub;
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        self.ensure_scratch(scratch, sub);
+
+        // --- Ghost-point exchange (communication phase). -------------------
+        comm.phase("halo", || {
+            for (h, f) in scratch.halos.iter_mut().zip(&state.fields) {
+                h.copy_interior_from(f);
+                h.exchange(cart);
+            }
+        });
+
+        // --- Finite differences (forward-backward). ------------------------
+        comm.phase("fd", || {
+            let npts = (sub.ni * sub.nj * self.grid.n_lev) as f64;
+
+            // 1. Continuity: h* = h − dt·∇·(h·u).
+            comm.phase("dyn.tendencies", || {
+                self.continuity_kernels(scratch, state);
+                comm.record_flops((flops::FLUX_DIV + 2.0) * npts);
+            });
+
+            // Refresh the thickness halo with the updated field (backward
+            // part of forward-backward).
+            comm.phase("halo", || scratch.hstar.exchange(cart));
+
+            // 2. Momentum: Coriolis + pressure gradient on h* + advection.
+            comm.phase("dyn.tendencies", || {
+                Self::gradient_kernels(scratch);
+                comm.record_flops(2.0 * flops::GRAD * npts);
+            });
+            comm.phase("dyn.advection", || {
+                Self::wind_advection_kernels(scratch);
+                comm.record_flops(2.0 * flops::UPWIND * npts);
+            });
+            comm.phase("dyn.tendencies", || {
+                self.momentum_kernel(scratch, state);
+                comm.record_flops(2.0 * flops::MOMENTUM * npts);
+            });
+
+            // 3. Tracers: upwind advection by the old winds.
+            for tracer in [Variable::Humidity, Variable::Ozone] {
+                comm.phase("dyn.advection", || {
+                    self.tracer_kernels(scratch, state, tracer);
+                    comm.record_flops((flops::UPWIND + 2.0) * npts);
+                });
+            }
+        });
+
+        // h, u, v, and the two tracers each advanced once per point.
+        self.points_updated
+            .add((5 * sub.ni * sub.nj * self.grid.n_lev) as u64);
+    }
+
+    /// The per-step kernel sequence with **no communication and no trace
+    /// events**: halo interiors are refreshed from `state`, but ghosts
+    /// keep whatever the scratch currently holds (neighbour data after a
+    /// real [`Dynamics::step`], zeros on a fresh scratch) and h* is not
+    /// re-exchanged. Not a substitute for `step` — it exists so the
+    /// counting-allocator test and the kernel benchmarks can drive the
+    /// hot compute path in isolation.
+    pub fn compute_step_no_comm(&self, state: &mut ModelState) {
+        let sub = state.sub;
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        self.ensure_scratch(scratch, sub);
+        for (h, f) in scratch.halos.iter_mut().zip(&state.fields) {
+            h.copy_interior_from(f);
+        }
+        self.continuity_kernels(scratch, state);
+        Self::gradient_kernels(scratch);
+        Self::wind_advection_kernels(scratch);
+        self.momentum_kernel(scratch, state);
+        for tracer in [Variable::Humidity, Variable::Ozone] {
+            self.tracer_kernels(scratch, state, tracer);
+        }
+    }
+
+    /// The original `from_fn` timestep, kept verbatim as the bit-exact
+    /// reference for the kernel path (and as the baseline the committed
+    /// kernel benchmarks measure against). Allocates fresh halos and
+    /// tendency fields every call.
+    pub fn step_reference(&self, cart: &CartComm, state: &mut ModelState) {
         let comm = cart.comm();
 
         // --- Spectral filtering. ------------------------------------------
@@ -305,6 +506,75 @@ mod tests {
         }
     }
 
+    fn run_fields(
+        grid: GridSpec,
+        mesh: (usize, usize),
+        dt: f64,
+        filter: Option<FilterVariant>,
+        steps: usize,
+        reference: bool,
+    ) -> Vec<Vec<f64>> {
+        let decomp = Decomp::new(grid, mesh.0, mesh.1);
+        run(decomp.size(), move |c| {
+            let cart = CartComm::new(c, mesh.0, mesh.1, (false, true));
+            let dyn_core = Dynamics::new(grid, decomp, DynamicsConfig::new(dt, filter));
+            let mut state = ModelState::initial(grid, decomp.subdomain_of_rank(c.rank()));
+            for _ in 0..steps {
+                if reference {
+                    dyn_core.step_reference(&cart, &mut state);
+                } else {
+                    dyn_core.step(&cart, &mut state);
+                }
+            }
+            state
+                .fields
+                .iter()
+                .flat_map(|f| f.as_slice().iter().copied())
+                .collect()
+        })
+    }
+
+    #[test]
+    fn kernel_step_is_bit_identical_to_reference() {
+        // The acceptance bar for the optimized path: full-model results
+        // bit-identical to the from_fn reference, across mesh shapes (the
+        // pole rows land on different ranks), filtered and unfiltered.
+        let grid = GridSpec::new(32, 16, 2);
+        let dt = max_stable_dt(&grid, signal_speed(), 0.3, None);
+        for (mesh, filter) in [
+            ((1, 1), None),
+            ((2, 2), Some(FilterVariant::LbFft)),
+            ((1, 4), None),
+            ((4, 1), Some(FilterVariant::LbFft)),
+        ] {
+            let opt = run_fields(grid, mesh, dt, filter, 4, false);
+            let reference = run_fields(grid, mesh, dt, filter, 4, true);
+            for (rank, (a, b)) in opt.iter().zip(&reference).enumerate() {
+                assert_eq!(a.len(), b.len());
+                assert!(
+                    a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "mesh {mesh:?} filter {filter:?} rank {rank}: kernel path diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn points_updated_counter_advances() {
+        let counter = agcm_telemetry::registry().counter("dyn.points_updated");
+        let before = counter.get();
+        let grid = GridSpec::new(16, 8, 2);
+        let dt = max_stable_dt(&grid, signal_speed(), 0.3, None);
+        run_fields(grid, (1, 1), dt, None, 2, false);
+        // ≥, not ==: the registry is process-global and other tests step
+        // concurrently.
+        let expected = (2 * 5 * 16 * 8 * 2) as u64;
+        assert!(
+            counter.get() - before >= expected,
+            "counter did not advance"
+        );
+    }
+
     #[test]
     fn filter_phase_appears_in_trace() {
         let grid = GridSpec::new(32, 16, 1);
@@ -332,6 +602,8 @@ mod tests {
             assert!(names.contains(&"filter"));
             assert!(names.contains(&"halo"));
             assert!(names.contains(&"fd"));
+            assert!(names.contains(&"dyn.tendencies"));
+            assert!(names.contains(&"dyn.advection"));
         }
     }
 }

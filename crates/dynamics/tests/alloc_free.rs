@@ -1,0 +1,80 @@
+//! Acceptance-criterion test: a warmed-up dynamics timestep performs
+//! **zero heap allocations** in its compute path. A counting global
+//! allocator gates the whole binary, so this file holds exactly one test
+//! — parallel test threads would otherwise pollute the counter.
+//!
+//! Scope: `Dynamics::compute_step_no_comm`, the exact kernel sequence
+//! `step` runs between its halo exchanges over the reusable
+//! [`agcm_kernels::DynScratch`]. Exchange packing and trace events are
+//! runtime concerns, deliberately outside this gate.
+
+use agcm_dynamics::core::{Dynamics, DynamicsConfig};
+use agcm_dynamics::state::ModelState;
+use agcm_dynamics::timestep::{max_stable_dt, signal_speed};
+use agcm_grid::decomp::Decomp;
+use agcm_grid::latlon::GridSpec;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+// Per-thread flag: libtest's harness threads allocate concurrently with
+// the test body, so a process-wide flag over-counts. Const-init Cell has
+// no lazy allocation or destructor, so reading it inside `alloc` is safe.
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+fn counting() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warmed_up_timestep_allocates_nothing() {
+    let grid = GridSpec::new(48, 24, 3);
+    let decomp = Decomp::new(grid, 1, 1);
+    let dt = max_stable_dt(&grid, signal_speed(), 0.3, None);
+    let dyn_core = Dynamics::new(grid, decomp, DynamicsConfig::new(dt, None));
+    let mut state = ModelState::initial(grid, decomp.subdomain_of_rank(0));
+
+    // Warm-up: the scratch (halos, metric tables, tendency buffers) is
+    // built on the first call.
+    dyn_core.compute_step_no_comm(&mut state);
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    for _ in 0..10 {
+        dyn_core.compute_step_no_comm(&mut state);
+    }
+    COUNTING.with(|c| c.set(false));
+    let count = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        count, 0,
+        "warmed-up timestep performed {count} heap allocations"
+    );
+}

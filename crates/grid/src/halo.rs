@@ -12,6 +12,7 @@
 //! the already-filled longitude ghosts — so diagonal (corner) ghosts come
 //! out right without extra messages.
 
+use crate::field::Field3D;
 use agcm_mps::message::Payload;
 use agcm_mps::topology::CartComm;
 
@@ -89,6 +90,50 @@ impl HaloField {
     pub fn set(&mut self, i: isize, j: isize, k: usize, v: f64) {
         let off = self.offset(i, j, k);
         self.data[off] = v;
+    }
+
+    /// The full padded storage, ghosts included, longitude fastest. Use
+    /// [`HaloField::row_stride`] / [`HaloField::plane_stride`] /
+    /// [`HaloField::interior_origin`] to navigate — the flat view the
+    /// `agcm-kernels` crate runs its stencils over.
+    pub fn padded(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Padded row stride `ni + 2h`.
+    #[inline]
+    pub fn row_stride(&self) -> usize {
+        self.ni + 2 * self.h
+    }
+
+    /// Padded plane stride `(ni + 2h) · (nj + 2h)`.
+    #[inline]
+    pub fn plane_stride(&self) -> usize {
+        (self.ni + 2 * self.h) * (self.nj + 2 * self.h)
+    }
+
+    /// Index of interior point `(0, 0, 0)` within [`HaloField::padded`].
+    #[inline]
+    pub fn interior_origin(&self) -> usize {
+        self.h * self.row_stride() + self.h
+    }
+
+    /// Copy a same-shaped [`Field3D`] into the interior without touching
+    /// the ghosts. Row-wise `memcpy`; performs no heap allocation, which
+    /// is what lets a reusable scratch workspace refresh its halos every
+    /// timestep for free.
+    pub fn copy_interior_from(&mut self, f: &Field3D) {
+        assert_eq!(f.shape(), (self.ni, self.nj, self.nk), "shape mismatch");
+        let row = self.row_stride();
+        let plane = self.plane_stride();
+        let src = f.as_slice();
+        for k in 0..self.nk {
+            for j in 0..self.nj {
+                let dst = k * plane + (j + self.h) * row + self.h;
+                let s = (k * self.nj + j) * self.ni;
+                self.data[dst..dst + self.ni].copy_from_slice(&src[s..s + self.ni]);
+            }
+        }
     }
 
     /// Initialize the interior from `f(i, j, k)` (local indices).
@@ -337,5 +382,44 @@ mod tests {
     #[should_panic(expected = "halo width")]
     fn zero_halo_rejected() {
         HaloField::zeros(4, 4, 1, 0);
+    }
+
+    #[test]
+    fn flat_view_agrees_with_signed_accessors() {
+        let mut f = HaloField::zeros(5, 3, 2, 1);
+        f.fill_interior(|i, j, k| (i + 10 * j + 100 * k) as f64);
+        f.set(-1, 1, 1, 7.5);
+        let (row, plane, origin) = (f.row_stride(), f.plane_stride(), f.interior_origin());
+        assert_eq!(row, 7);
+        assert_eq!(plane, 35);
+        let p = f.padded();
+        for k in 0..2usize {
+            for j in 0..3isize {
+                for i in 0..5isize {
+                    let at = origin + k * plane + j as usize * row + i as usize;
+                    assert_eq!(p[at], f.get(i, j, k));
+                }
+            }
+        }
+        assert_eq!(p[origin + plane + row - 1], 7.5, "ghost via flat view");
+    }
+
+    #[test]
+    fn copy_interior_from_matches_fill_interior() {
+        let src = Field3D::from_fn(6, 4, 3, |i, j, k| (i * 7 + j * 3 + k) as f64 * 0.5);
+        let mut a = HaloField::zeros(6, 4, 3, 2);
+        let mut b = a.clone();
+        // Pre-poison ghosts to prove the copy leaves them alone.
+        a.set(-1, -1, 0, 42.0);
+        b.set(-1, -1, 0, 42.0);
+        a.fill_interior(|i, j, k| src.get(i, j, k));
+        b.copy_interior_from(&src);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn copy_interior_shape_checked() {
+        HaloField::zeros(4, 4, 1, 1).copy_interior_from(&Field3D::zeros(4, 3, 1));
     }
 }

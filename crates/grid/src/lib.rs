@@ -18,6 +18,10 @@
 //!   processor mesh;
 //! * [`halo`] — ghost-point exchange between neighbouring subdomains
 //!   (periodic in longitude, bounded at the poles);
+//! * [`metrics`] — precomputed per-latitude metric tables (cos φ,
+//!   half-latitude cos, reciprocal spacings): the paper's §3.4
+//!   redundant-computation elimination, shared by the `agcm-kernels`
+//!   flat kernels;
 //! * [`history`] — binary history records with explicit byte-order
 //!   conversion (the paper had to write a byte-order reversal routine to
 //!   read NetCDF history data on the Paragon).
@@ -28,7 +32,9 @@ pub mod field;
 pub mod halo;
 pub mod history;
 pub mod latlon;
+pub mod metrics;
 
 pub use decomp::{Decomp, Subdomain};
 pub use field::{BlockField, Field3D};
 pub use latlon::GridSpec;
+pub use metrics::MetricTables;

@@ -1,0 +1,42 @@
+//! # agcm-kernels — the paper's §4 single-node optimizations on the real
+//! dynamics operators
+//!
+//! The source paper's second half (§3.4/§4) is about making one node
+//! fast: eliminating redundant computation in nested loops, restructuring
+//! loops so they stream through memory, the pointwise vector-multiply
+//! primitive, and the block-array `f(m,i,j,k)` vs separate-array layout
+//! comparison. This crate packages those techniques as flat-slice kernels
+//! that the production dynamics (`agcm-dynamics`) runs through on every
+//! timestep:
+//!
+//! * [`view`] — borrowed flat views over halo-padded storage;
+//! * [`tendency`] — gradients, flux-form divergence, and the momentum /
+//!   tracer updates, reading precomputed per-latitude
+//!   [`agcm_grid::MetricTables`];
+//! * [`advect`] — the upwind advection operator, in both the separate
+//!   and block-interleaved layouts so the paper's layout study runs on
+//!   the real operator;
+//! * [`stencil`] — the 7-point Laplace stencil of the §3.4 cache
+//!   experiment, separate vs block layout, over flat slices;
+//! * [`pointwise`] — the pointwise vector-multiply primitive (Eq. 4);
+//! * [`scratch`] — [`scratch::DynScratch`], a reusable workspace (the
+//!   `FftWorkspace` pattern) so a warmed-up timestep allocates nothing.
+//!
+//! **Bit-identity contract.** Every kernel evaluates the *same*
+//! floating-point expressions in the *same order* as the `from_fn`
+//! reference implementations in `agcm-dynamics` (and the transliterated
+//! study code in `agcm-singlenode`); hoisting a row-constant subexpression
+//! out of the inner loop does not change its value, and divisions by
+//! hoisted denominators stay divisions. The equivalence tests in
+//! `tests/` enforce exact `f64` equality across mesh shapes, pole rows,
+//! and both layouts.
+
+pub mod advect;
+pub mod pointwise;
+pub mod scratch;
+pub mod stencil;
+pub mod tendency;
+pub mod view;
+
+pub use scratch::DynScratch;
+pub use view::HaloView;

@@ -1,0 +1,52 @@
+//! The pointwise vector-multiply primitive (paper §3.4, Eq. 4).
+//!
+//! `C(i,j) = A(i,j) × B(i)` — the shape "a large part of the computations
+//! in our selected routines can be converted into". The `_into` variants
+//! here are the allocation-free library routines the paper proposed;
+//! `agcm-singlenode`'s allocating demonstrators are pinned bit-identically
+//! to them by equivalence tests.
+
+/// `c[j·m + i] = a[j·m + i] · b[i]` for an `m × n` slab (`i` fastest).
+pub fn pv_multiply_into(c: &mut [f64], a: &[f64], b: &[f64], m: usize) {
+    assert_eq!(a.len(), c.len(), "output slab mis-sized");
+    assert_eq!(a.len() % m.max(1), 0, "slab not a multiple of m");
+    assert_eq!(b.len(), m, "b must have one entry per column");
+    for (crow, arow) in c.chunks_exact_mut(m).zip(a.chunks_exact(m)) {
+        for ((cv, &av), &bv) in crow.iter_mut().zip(arow).zip(b) {
+            *cv = av * bv;
+        }
+    }
+}
+
+/// Eq. (4): cyclic product `a ⊛ b` with `a.len()` divisible by `b.len()`,
+/// written into `c` — the same tiling as `pv_multiply_into` row by row.
+pub fn cyclic_multiply_into(c: &mut [f64], a: &[f64], b: &[f64]) {
+    assert!(!b.is_empty(), "b must be non-empty");
+    assert_eq!(a.len() % b.len(), 0, "n must be divisible by m (Eq. 4)");
+    pv_multiply_into(c, a, b, b.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiply_semantics() {
+        let mut c = vec![0.0; 4];
+        pv_multiply_into(&mut c, &[1.0, 2.0, 3.0, 4.0], &[10.0, 100.0], 2);
+        assert_eq!(c, vec![10.0, 200.0, 30.0, 400.0]);
+    }
+
+    #[test]
+    fn cyclic_tiles_b() {
+        let mut c = vec![0.0; 6];
+        cyclic_multiply_into(&mut c, &[1.0; 6], &[1.0, 2.0, 3.0]);
+        assert_eq!(c, vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn cyclic_divisibility_checked() {
+        cyclic_multiply_into(&mut [0.0; 5], &[0.0; 5], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Finite-difference tendency kernels: gradients, flux-form divergence,
+//! momentum and field updates.
+//!
+//! Each `_into` kernel writes a caller-owned output buffer (no per-call
+//! allocation) and is bit-identical to the corresponding `from_fn`
+//! reference operator in `agcm-dynamics`: identical per-point expression,
+//! identical evaluation order, with the row-constant factors (trig,
+//! metric denominators, the Coriolis parameter) hoisted out of the inner
+//! loop — the paper's redundant-computation elimination. Divisions by
+//! hoisted denominators remain divisions; nothing is replaced by a
+//! multiply-by-reciprocal on this path.
+
+use crate::view::HaloView;
+use agcm_grid::latlon::EARTH_RADIUS_M;
+use agcm_grid::metrics::MetricTables;
+
+fn check_shapes(q: &HaloView, t: &MetricTables, out: &[f64]) {
+    assert_eq!(t.nj(), q.nj, "metric tables must cover the subdomain rows");
+    assert_eq!(out.len(), q.ni * q.nj * q.nk, "output buffer mis-sized");
+}
+
+/// Zonal derivative `(1/(a cosφ)) ∂q/∂λ`, centred — the flat kernel
+/// behind `tendencies::grad_x`.
+pub fn grad_x_into(q: &HaloView, t: &MetricTables, out: &mut [f64]) {
+    check_shapes(q, t, out);
+    let (ni, nj, nk) = (q.ni, q.nj, q.nk);
+    let d = q.data();
+    for k in 0..nk {
+        for j in 0..nj {
+            // Hoisted per row; same expression the reference evaluates
+            // per point.
+            let denom = 2.0 * t.dlon * EARTH_RADIUS_M * t.cos_lat[j];
+            let b = q.row_base(j, k);
+            let e = &d[b + 1..b + 1 + ni];
+            let w = &d[b - 1..b - 1 + ni];
+            let o = &mut out[(k * nj + j) * ni..(k * nj + j) * ni + ni];
+            for ((o, &e), &w) in o.iter_mut().zip(e).zip(w) {
+                *o = (e - w) / denom;
+            }
+        }
+    }
+}
+
+/// Meridional derivative `(1/a) ∂q/∂φ`, centred — the flat kernel behind
+/// `tendencies::grad_y`.
+pub fn grad_y_into(q: &HaloView, t: &MetricTables, out: &mut [f64]) {
+    check_shapes(q, t, out);
+    let (ni, nj, nk) = (q.ni, q.nj, q.nk);
+    let d = q.data();
+    let denom = 2.0 * t.dlat * EARTH_RADIUS_M;
+    let row = q.row();
+    for k in 0..nk {
+        for j in 0..nj {
+            let b = q.row_base(j, k);
+            let n = &d[b + row..b + row + ni];
+            let s = &d[b - row..b - row + ni];
+            let o = &mut out[(k * nj + j) * ni..(k * nj + j) * ni + ni];
+            for ((o, &n), &s) in o.iter_mut().zip(n).zip(s) {
+                *o = (n - s) / denom;
+            }
+        }
+    }
+}
+
+/// Flux-form divergence `∇·(h·u)` on the sphere — the flat kernel behind
+/// `tendencies::flux_divergence`. Meridional flux is forced to zero
+/// across the poles (row-level booleans from the tables, not per-point
+/// index tests).
+pub fn flux_divergence_into(
+    h: &HaloView,
+    u: &HaloView,
+    v: &HaloView,
+    t: &MetricTables,
+    out: &mut [f64],
+) {
+    check_shapes(h, t, out);
+    assert!(
+        h.same_shape(u) && h.same_shape(v),
+        "field shapes must match"
+    );
+    let (ni, nj, nk) = (h.ni, h.nj, h.nk);
+    let (hd, ud, vd) = (h.data(), u.data(), v.data());
+    let row = h.row();
+    let a = EARTH_RADIUS_M;
+    let (dlon, dlat) = (t.dlon, t.dlat);
+    for k in 0..nk {
+        for j in 0..nj {
+            let acos = a * t.cos_lat[j];
+            let chn = t.cos_half_north[j];
+            let chs = t.cos_half_south[j];
+            let north_pole = t.north_is_pole(j);
+            let south_pole = t.south_is_pole(j);
+            let b = h.row_base(j, k);
+            let (hc, uc, vc) = (&hd[b..b + ni], &ud[b..b + ni], &vd[b..b + ni]);
+            let (he, ue) = (&hd[b + 1..b + 1 + ni], &ud[b + 1..b + 1 + ni]);
+            let (hw, uw) = (&hd[b - 1..b - 1 + ni], &ud[b - 1..b - 1 + ni]);
+            let (hn, vn) = (&hd[b + row..b + row + ni], &vd[b + row..b + row + ni]);
+            let (hs, vs) = (&hd[b - row..b - row + ni], &vd[b - row..b - row + ni]);
+            let o = &mut out[(k * nj + j) * ni..(k * nj + j) * ni + ni];
+            for i in 0..ni {
+                let fe = 0.5 * (hc[i] * uc[i] + he[i] * ue[i]);
+                let fw = 0.5 * (hw[i] * uw[i] + hc[i] * uc[i]);
+                let gn = if north_pole {
+                    0.0
+                } else {
+                    0.5 * (hc[i] * vc[i] + hn[i] * vn[i]) * chn
+                };
+                let gs = if south_pole {
+                    0.0
+                } else {
+                    0.5 * (hs[i] * vs[i] + hc[i] * vc[i]) * chs
+                };
+                o[i] = ((fe - fw) / dlon + (gn - gs) / dlat) / acos;
+            }
+        }
+    }
+}
+
+/// In-place momentum update: Coriolis + pressure gradient on `h*` +
+/// advection, forward-backward. Per point, reading the old `(u, v)` pair
+/// before writing either:
+///
+/// ```text
+/// u += dt·( f·v − g·∂h*/∂x + adv_u)
+/// v += dt·(−f·u − g·∂h*/∂y + adv_v)
+/// ```
+///
+/// `f_cor` is the per-row Coriolis parameter (one entry per latitude).
+#[allow(clippy::too_many_arguments)] // mirrors the operator's real arity
+pub fn momentum_update(
+    u: &mut [f64],
+    v: &mut [f64],
+    dhdx: &[f64],
+    dhdy: &[f64],
+    adv_u: &[f64],
+    adv_v: &[f64],
+    f_cor: &[f64],
+    shape: (usize, usize, usize),
+    dt: f64,
+    g: f64,
+) {
+    let (ni, nj, nk) = shape;
+    let n = ni * nj * nk;
+    assert!(
+        u.len() == n && v.len() == n && dhdx.len() == n && dhdy.len() == n,
+        "momentum buffers mis-sized"
+    );
+    assert!(adv_u.len() == n && adv_v.len() == n && f_cor.len() == nj);
+    for k in 0..nk {
+        for (j, &f) in f_cor.iter().enumerate() {
+            let b = (k * nj + j) * ni;
+            let (ur, vr) = (&mut u[b..b + ni], &mut v[b..b + ni]);
+            let (gx, gy) = (&dhdx[b..b + ni], &dhdy[b..b + ni]);
+            let (au, av) = (&adv_u[b..b + ni], &adv_v[b..b + ni]);
+            for i in 0..ni {
+                let (uu, vv) = (ur[i], vr[i]);
+                ur[i] = uu + dt * (f * vv - g * gx[i] + au[i]);
+                vr[i] = vv + dt * (-f * uu - g * gy[i] + av[i]);
+            }
+        }
+    }
+}
+
+/// In-place explicit update `q += dt · tendency`. Pass a negative `dt`
+/// for the continuity form `h −= dt·∇·(h·u)` — the sign flip is exact in
+/// IEEE arithmetic, so both calls stay bit-identical to the reference
+/// zip loops.
+pub fn advance_in_place(field: &mut [f64], tendency: &[f64], dt: f64) {
+    assert_eq!(field.len(), tendency.len(), "tendency buffer mis-sized");
+    for (fv, &tv) in field.iter_mut().zip(tendency) {
+        *fv += dt * tv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agcm_grid::halo::HaloField;
+    use agcm_grid::latlon::GridSpec;
+
+    fn halo(ni: usize, nj: usize, nk: usize, seed: usize) -> HaloField {
+        let mut h = HaloField::zeros(ni, nj, nk, 1);
+        h.fill_interior(|i, j, k| ((i * 7 + j * 3 + k * 11 + seed) as f64 * 0.19).sin());
+        // Deterministic non-zero ghosts (physical realism is the caller's
+        // concern; the kernels just read what is there).
+        for k in 0..nk {
+            for j in -1..=nj as isize {
+                for i in [-1isize, ni as isize] {
+                    h.set(i, j.clamp(0, nj as isize - 1), k, 0.0);
+                }
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn grad_x_of_constant_is_zero() {
+        let grid = GridSpec::new(8, 6, 2);
+        let mut h = HaloField::zeros(8, 6, 2, 1);
+        h.fill_interior(|_, _, _| 3.0);
+        // Constant ghosts too.
+        for k in 0..2 {
+            for j in -1..7isize {
+                h.set(-1, j.clamp(0, 5), k, 3.0);
+                h.set(8, j.clamp(0, 5), k, 3.0);
+            }
+        }
+        let t = MetricTables::new(&grid, 0, 6);
+        let mut out = vec![1.0; 8 * 6 * 2];
+        grad_x_into(&HaloView::of(&h), &t, &mut out);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn advance_in_place_signs() {
+        let mut f = vec![1.0, 2.0];
+        advance_in_place(&mut f, &[10.0, 20.0], 0.5);
+        assert_eq!(f, vec![6.0, 12.0]);
+        advance_in_place(&mut f, &[10.0, 20.0], -0.5);
+        assert_eq!(f, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mis-sized")]
+    fn output_size_checked() {
+        let grid = GridSpec::new(8, 6, 1);
+        let h = halo(8, 6, 1, 0);
+        let t = MetricTables::new(&grid, 0, 6);
+        let mut out = vec![0.0; 7];
+        grad_x_into(&HaloView::of(&h), &t, &mut out);
+    }
+}

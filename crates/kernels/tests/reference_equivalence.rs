@@ -1,0 +1,197 @@
+//! Property tests pinning every kernel bit-identically to its `from_fn`
+//! reference operator, over randomized mesh shapes — including subdomains
+//! that own a pole row — and both storage layouts.
+//!
+//! Ghost values are filled with the same pseudo-random stream as the
+//! interior (no exchange needed: reference and kernel read the *same*
+//! `HaloField`, so whatever is in the margins, agreement must be exact).
+
+use agcm_dynamics::advection::upwind_tendency;
+use agcm_dynamics::tendencies::{flux_divergence, grad_x, grad_y};
+use agcm_grid::halo::HaloField;
+use agcm_grid::latlon::GridSpec;
+use agcm_grid::metrics::MetricTables;
+use agcm_kernels::advect::{upwind_block_into, upwind_into, BlockHalo};
+use agcm_kernels::tendency::{flux_divergence_into, grad_x_into, grad_y_into};
+use agcm_kernels::HaloView;
+
+/// Deterministic LCG (numerical recipes constants) — no external crates.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // Map the top bits into roughly [-1, 1].
+        ((self.0 >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    fn pick(&mut self, lo: usize, hi: usize) -> usize {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        lo + (self.0 >> 33) as usize % (hi - lo + 1)
+    }
+}
+
+/// A halo field with random interior *and* random ghost margins.
+fn random_halo(rng: &mut Lcg, ni: usize, nj: usize, nk: usize, scale: f64) -> HaloField {
+    let mut h = HaloField::zeros(ni, nj, nk, 1);
+    for k in 0..nk {
+        for j in -1..=nj as isize {
+            for i in -1..=ni as isize {
+                h.set(i, j, k, scale * rng.next_f64());
+            }
+        }
+    }
+    h
+}
+
+fn assert_bits_eq(kernel: &[f64], reference: &[f64], what: &str, case: &str) {
+    assert_eq!(kernel.len(), reference.len(), "{what} {case}: length");
+    for (p, (a, b)) in kernel.iter().zip(reference).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "{what} {case} point {p}: kernel {a:e} != reference {b:e}"
+        );
+    }
+}
+
+/// Random subdomain geometries, always including both pole rows and a
+/// pole-free interior strip.
+fn cases(rng: &mut Lcg) -> Vec<(GridSpec, usize, usize, usize, usize)> {
+    let mut out = Vec::new();
+    for t in 0..12 {
+        let ni = rng.pick(4, 20);
+        let nk = rng.pick(1, 4);
+        let n_lat = rng.pick(4, 14);
+        let nj = rng.pick(2, n_lat);
+        let j0 = match t % 3 {
+            0 => 0,                       // owns the south pole row
+            1 => n_lat - nj,              // owns the north pole row
+            _ => rng.pick(0, n_lat - nj), // anywhere (often interior)
+        };
+        out.push((GridSpec::new(ni, n_lat, nk), j0, ni, nj, nk));
+    }
+    out
+}
+
+#[test]
+fn tendency_kernels_match_reference_bitwise() {
+    let mut rng = Lcg(0x5eed1);
+    for (grid, j0, ni, nj, nk) in cases(&mut rng) {
+        let case = format!("ni={ni} nj={nj} nk={nk} n_lat={} j0={j0}", grid.n_lat);
+        let t = MetricTables::new(&grid, j0, nj);
+        let h = random_halo(&mut rng, ni, nj, nk, 100.0);
+        let u = random_halo(&mut rng, ni, nj, nk, 30.0);
+        let v = random_halo(&mut rng, ni, nj, nk, 30.0);
+        let mut out = vec![0.0; ni * nj * nk];
+
+        grad_x_into(&HaloView::of(&h), &t, &mut out);
+        assert_bits_eq(&out, grad_x(&h, &grid, j0).as_slice(), "grad_x", &case);
+
+        grad_y_into(&HaloView::of(&h), &t, &mut out);
+        assert_bits_eq(&out, grad_y(&h, &grid, j0).as_slice(), "grad_y", &case);
+
+        flux_divergence_into(
+            &HaloView::of(&h),
+            &HaloView::of(&u),
+            &HaloView::of(&v),
+            &t,
+            &mut out,
+        );
+        assert_bits_eq(
+            &out,
+            flux_divergence(&h, &u, &v, &grid, j0).as_slice(),
+            "flux_divergence",
+            &case,
+        );
+
+        upwind_into(
+            &HaloView::of(&h),
+            &HaloView::of(&u),
+            &HaloView::of(&v),
+            &t,
+            &mut out,
+        );
+        assert_bits_eq(
+            &out,
+            upwind_tendency(&h, &u, &v, &grid, j0).as_slice(),
+            "upwind",
+            &case,
+        );
+    }
+}
+
+#[test]
+fn stencil_kernels_match_singlenode_references_bitwise() {
+    use agcm_grid::field::{BlockField, Field3D};
+    use agcm_kernels::stencil::{laplace_block_into, laplace_separate_into};
+    use agcm_singlenode::blockarray::{laplace_block, laplace_separate};
+
+    let mut rng = Lcg(0x5eed3);
+    for _ in 0..8 {
+        let (ni, nj, nk) = (rng.pick(3, 16), rng.pick(3, 12), rng.pick(3, 8));
+        let m = rng.pick(1, 6);
+        let case = format!("m={m} ni={ni} nj={nj} nk={nk}");
+        let fields: Vec<Field3D> = (0..m)
+            .map(|_| {
+                let mut f = Field3D::zeros(ni, nj, nk);
+                for x in f.as_mut_slice() {
+                    *x = rng.next_f64();
+                }
+                f
+            })
+            .collect();
+        let refs: Vec<&[f64]> = fields.iter().map(|f| f.as_slice()).collect();
+        let mut out = vec![0.0; ni * nj * nk];
+
+        laplace_separate_into(&refs, (ni, nj, nk), &mut out);
+        assert_bits_eq(
+            &out,
+            laplace_separate(&fields).as_slice(),
+            "laplace_sep",
+            &case,
+        );
+
+        let block = BlockField::from_fields(&fields);
+        laplace_block_into(block.as_slice(), m, (ni, nj, nk), &mut out);
+        assert_bits_eq(&out, laplace_block(&block).as_slice(), "laplace_blk", &case);
+    }
+}
+
+#[test]
+fn block_layout_matches_separate_on_random_shapes() {
+    let mut rng = Lcg(0x5eed2);
+    for (grid, j0, ni, nj, nk) in cases(&mut rng) {
+        let case = format!("ni={ni} nj={nj} nk={nk} j0={j0}");
+        let t = MetricTables::new(&grid, j0, nj);
+        let u = random_halo(&mut rng, ni, nj, nk, 30.0);
+        let v = random_halo(&mut rng, ni, nj, nk, 30.0);
+        let m = rng.pick(1, 5);
+        let tracers: Vec<HaloField> = (0..m)
+            .map(|_| random_halo(&mut rng, ni, nj, nk, 10.0))
+            .collect();
+        let refs: Vec<&HaloField> = tracers.iter().collect();
+        let blk = BlockHalo::from_halos(&refs);
+
+        let n = ni * nj * nk;
+        let mut blk_out = vec![0.0; n * m];
+        upwind_block_into(&blk, &HaloView::of(&u), &HaloView::of(&v), &t, &mut blk_out);
+
+        for (vix, q) in tracers.iter().enumerate() {
+            // Per tracer, the block traversal must equal both the separate
+            // kernel and the dynamics reference, bit for bit.
+            let reference = upwind_tendency(q, &u, &v, &grid, j0);
+            for (p, r) in reference.as_slice().iter().enumerate() {
+                assert!(
+                    blk_out[p * m + vix].to_bits() == r.to_bits(),
+                    "{case} tracer {vix} point {p}: block layout diverged"
+                );
+            }
+        }
+    }
+}

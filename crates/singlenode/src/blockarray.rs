@@ -68,6 +68,40 @@ pub fn laplace_block(block: &BlockField) -> Field3D {
     out
 }
 
+/// The optimized twin of [`laplace_separate`]: the shared
+/// `agcm-kernels` flat-slice stencil (same accumulation order, so the
+/// result is bit-identical) with the per-point bounds-checked
+/// `get`/`set` arithmetic compiled away. The benches measure this pair
+/// against the `get`/`set` pair above.
+pub fn laplace_separate_kernel(fields: &[Field3D]) -> Field3D {
+    assert!(!fields.is_empty());
+    let shape = fields[0].shape();
+    let refs: Vec<&[f64]> = fields
+        .iter()
+        .map(|f| {
+            assert_eq!(f.shape(), shape);
+            f.as_slice()
+        })
+        .collect();
+    let mut out = Field3D::zeros(shape.0, shape.1, shape.2);
+    agcm_kernels::stencil::laplace_separate_into(&refs, shape, out.as_mut_slice());
+    out
+}
+
+/// The optimized twin of [`laplace_block`], backed by the shared
+/// `agcm-kernels` block-layout stencil. Bit-identical to the reference.
+pub fn laplace_block_kernel(block: &BlockField) -> Field3D {
+    let (m, ni, nj, nk) = block.shape();
+    let mut out = Field3D::zeros(ni, nj, nk);
+    agcm_kernels::stencil::laplace_block_into(
+        block.as_slice(),
+        m,
+        (ni, nj, nk),
+        out.as_mut_slice(),
+    );
+    out
+}
+
 /// The paper's test configuration: `m` fields of 32×32×32.
 pub fn paper_test_fields(m: usize) -> Vec<Field3D> {
     (0..m)
@@ -98,6 +132,33 @@ mod tests {
             assert!(
                 sep.max_abs_diff(&blk) < 1e-12,
                 "m={m}: layouts must compute the same stencil"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_twins_are_bit_identical_to_references() {
+        // The equivalence that lets the benches attribute any gap purely
+        // to layout/addressing: shared-kernel results match the get/set
+        // demonstrators bit for bit, both layouts.
+        for m in [1, 4, 12] {
+            let fields: Vec<Field3D> = (0..m)
+                .map(|v| {
+                    Field3D::from_fn(12, 9, 7, |i, j, k| {
+                        ((i * 31 + j * 17 + k * 7 + v) as f64).sin()
+                    })
+                })
+                .collect();
+            let block = BlockField::from_fields(&fields);
+            assert_eq!(
+                laplace_separate(&fields).as_slice(),
+                laplace_separate_kernel(&fields).as_slice(),
+                "m={m} separate"
+            );
+            assert_eq!(
+                laplace_block(&block).as_slice(),
+                laplace_block_kernel(&block).as_slice(),
+                "m={m} block"
             );
         }
     }

@@ -55,14 +55,15 @@ pub fn pv_multiply_unrolled(a: &[f64], b: &[f64], m: usize, n: usize) -> Vec<f64
     c
 }
 
-/// Iterator-fused variant (idiomatic Rust: bounds checks elided by the
-/// zip; the "portable library routine" the paper wished for).
+/// The shared library routine the paper wished for: allocates the output
+/// slab and delegates to `agcm_kernels::pointwise::pv_multiply_into`
+/// (bounds checks elided by the zip). Bit-identical to the naive loop.
 pub fn pv_multiply_fused(a: &[f64], b: &[f64], m: usize, n: usize) -> Vec<f64> {
     assert_eq!(a.len(), m * n);
     assert_eq!(b.len(), m);
-    a.chunks_exact(m)
-        .flat_map(|row| row.iter().zip(b).map(|(&av, &bv)| av * bv))
-        .collect()
+    let mut c = vec![0.0; m * n];
+    agcm_kernels::pointwise::pv_multiply_into(&mut c, a, b, m);
+    c
 }
 
 /// Eq. (4): the recursive cyclic product `a ⊛ b` with `n` divisible by
@@ -108,6 +109,16 @@ mod tests {
     fn multiply_semantics() {
         let c = pv_multiply_naive(&[1.0, 2.0, 3.0, 4.0], &[10.0, 100.0], 2, 2);
         assert_eq!(c, vec![10.0, 200.0, 30.0, 400.0]);
+    }
+
+    #[test]
+    fn cyclic_agrees_with_shared_kernel() {
+        // Binds the allocating demonstrator to the `_into` library
+        // routine bit for bit.
+        let (a, b) = slab(6, 4);
+        let mut c = vec![0.0; 24];
+        agcm_kernels::pointwise::cyclic_multiply_into(&mut c, &a, &b);
+        assert_eq!(cyclic_multiply(&a, &b), c);
     }
 
     #[test]
