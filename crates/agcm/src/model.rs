@@ -23,7 +23,9 @@ use agcm_physics::step::PhysicsStep;
 use agcm_resilience::checkpoint::ModelCheckpoint;
 use agcm_resilience::coordinator::{write_coordinated, CheckpointStore};
 use agcm_resilience::metrics::ResilienceMetrics;
-use agcm_resilience::recovery::{run_recovered, AttemptFailure, RecoveryError, RecoveryOptions};
+use agcm_resilience::recovery::{
+    run_recovered, AttemptFailure, RecoveryError, RecoveryOptions, RunProgress,
+};
 
 /// Per-rank results of a model run.
 #[derive(Debug, Clone, PartialEq)]
@@ -182,7 +184,7 @@ pub fn try_run_model(cfg: AgcmConfig) -> Result<ModelRun, ConfigError> {
 }
 
 /// Knobs for a resilient model run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ResilienceOpts {
     /// Where checkpoints live.
     pub store: CheckpointStore,
@@ -194,6 +196,25 @@ pub struct ResilienceOpts {
     /// Cooperative cancellation token (deadline expiry, explicit
     /// cancellation); a cancelled run is never retried.
     pub cancel: Option<CancelToken>,
+    /// Live progress observer: attempt starts from the recovery loop,
+    /// checkpoint commits from rank 0.
+    pub progress: Option<std::sync::Arc<dyn RunProgress>>,
+    /// Live span observer, notified at every phase boundary on every
+    /// rank while the model runs.
+    pub spans: Option<std::sync::Arc<dyn agcm_mps::span::SpanObserver>>,
+}
+
+impl std::fmt::Debug for ResilienceOpts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilienceOpts")
+            .field("store", &self.store)
+            .field("max_restarts", &self.max_restarts)
+            .field("plan", &self.plan)
+            .field("cancel", &self.cancel)
+            .field("progress", &self.progress.as_ref().map(|_| "RunProgress"))
+            .field("spans", &self.spans.as_ref().map(|_| "SpanObserver"))
+            .finish()
+    }
 }
 
 impl ResilienceOpts {
@@ -204,6 +225,8 @@ impl ResilienceOpts {
             max_restarts: 3,
             plan: None,
             cancel: None,
+            progress: None,
+            spans: None,
         }
     }
 
@@ -216,6 +239,21 @@ impl ResilienceOpts {
     /// Builder-style: thread this cancellation token through the run.
     pub fn with_cancel(mut self, token: CancelToken) -> ResilienceOpts {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Builder-style: observe attempts and checkpoint commits live.
+    pub fn with_progress(mut self, progress: std::sync::Arc<dyn RunProgress>) -> ResilienceOpts {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Builder-style: observe phase boundaries live.
+    pub fn with_spans(
+        mut self,
+        spans: std::sync::Arc<dyn agcm_mps::span::SpanObserver>,
+    ) -> ResilienceOpts {
+        self.spans = Some(spans);
         self
     }
 }
@@ -264,6 +302,8 @@ pub fn run_model_resilient(
         RecoveryOptions {
             max_restarts: opts.max_restarts,
             cancel: opts.cancel.clone(),
+            progress: opts.progress.clone(),
+            spans: opts.spans.clone(),
         },
         store,
         |attempt| {
@@ -317,6 +357,12 @@ pub fn run_model_resilient(
                         fields: state.fields.clone(),
                     };
                     write_coordinated(comm, store, &ckpt).expect("checkpoint write must succeed");
+                    // One notification per commit, not per shard.
+                    if rank == 0 {
+                        if let Some(progress) = &opts.progress {
+                            progress.on_checkpoint(step + 1);
+                        }
+                    }
                 }
             }
 

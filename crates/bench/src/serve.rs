@@ -23,11 +23,16 @@ use crate::analyze::Check;
 use agcm_core::report::Table;
 use agcm_ensemble::{EnsembleConfig, TenantPolicy, TenantQuota};
 use agcm_server::client::{delete_job, get, post_job, ClientResponse};
-use agcm_server::{AgcmServer, ServerConfig};
+use agcm_server::{AgcmServer, ServerConfig, SloPolicy};
 use agcm_telemetry::json::Value;
+use agcm_telemetry::{prom, TraceContext};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Where phase A's structured event log lands (uploaded as a CI
+/// artifact alongside `serve.json`).
+pub const EVENT_LOG: &str = "serve_events.jsonl";
 
 /// Rank budget the phase-A tenants share: smaller than their combined
 /// demand, so admission and fair-share dispatch actually gate work.
@@ -86,6 +91,18 @@ fn accepted_id(resp: &ClientResponse) -> Result<u64, String> {
         .ok_or_else(|| format!("202 body without numeric id: {}", resp.body))
 }
 
+/// Extract durable id *and* the minted trace context from a 202 ack.
+fn accepted_submission(resp: &ClientResponse) -> Result<(u64, String), String> {
+    let id = accepted_id(resp)?;
+    let trace = resp
+        .json()
+        .get("trace")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("202 body without trace: {}", resp.body))?;
+    Ok((id, trace))
+}
+
 /// Poll `GET /v1/jobs/{id}` until the job reaches `want` (or time out).
 fn wait_state(addr: SocketAddr, id: u64, want: &str, secs: u64) -> Result<(), String> {
     let deadline = Instant::now() + Duration::from_secs(secs);
@@ -121,11 +138,13 @@ struct JobRow {
     outcome: String,
 }
 
-/// Phase A: weighted tenants, typed rejections, cancellation, metrics.
+/// Phase A: weighted tenants, typed rejections, cancellation, metrics,
+/// and the end-to-end trace of one fully observed job.
 struct PhaseA {
     checks: Vec<Check>,
     rows: Vec<JobRow>,
     fleet: Value,
+    trace: Value,
 }
 
 fn phase_a(smoke: bool) -> PhaseA {
@@ -154,6 +173,8 @@ fn phase_a(smoke: bool) -> PhaseA {
             ..TenantQuota::default()
         },
     );
+    // Fresh event log per run: the file is a CI artifact, not a ledger.
+    let _ = std::fs::remove_file(EVENT_LOG);
     let server = AgcmServer::start(ServerConfig {
         journal_dir: dir.clone(),
         ensemble: EnsembleConfig {
@@ -162,6 +183,10 @@ fn phase_a(smoke: bool) -> PhaseA {
             tenancy: Some(tenancy),
             ..EnsembleConfig::default()
         },
+        event_log: Some(PathBuf::from(EVENT_LOG)),
+        // Zero-second objectives: every completed job burns both SLOs,
+        // so the burn-counting path is exercised deterministically.
+        slo: Some(SloPolicy::uniform(0.0, 0.0)),
         ..ServerConfig::default()
     })
     .expect("phase A server starts");
@@ -327,6 +352,124 @@ fn phase_a(smoke: bool) -> PhaseA {
         },
     });
 
+    // End-to-end observability: submit one more job, follow the trace id
+    // minted in its 202 ack through the live trace view, and require the
+    // live per-phase totals to equal the post-hoc run summary's exactly
+    // (both are max-over-ranks sums of the same virtual timeline).
+    let resp = post_job(addr, Some("alice"), &job_body("traced", 2, short_steps, 25)).unwrap();
+    let (traced_id, trace_text) = accepted_submission(&resp).expect("traced job admits");
+    let traced_done = wait_state(addr, traced_id, "completed", 120);
+    rows.push(JobRow {
+        name: "traced".into(),
+        tenant: "alice",
+        ranks: 2,
+        outcome: if traced_done.is_ok() {
+            "completed (traced)"
+        } else {
+            "TIMED OUT"
+        }
+        .into(),
+    });
+    let root = TraceContext::parse(&trace_text);
+    let view = get(addr, &format!("/v1/jobs/{traced_id}/trace")).unwrap();
+    let tv = view.json();
+    let result = get(addr, &format!("/v1/jobs/{traced_id}/result")).unwrap();
+    let summary_phases = result
+        .json()
+        .get("summary")
+        .and_then(|s| s.get("phase_seconds"))
+        .cloned()
+        .unwrap_or(Value::Null);
+
+    let linkage_err: Option<&'static str> = (|| {
+        let Some(root) = root.as_ref() else {
+            return Some("202 trace does not parse");
+        };
+        let trace_hex = root.trace_hex();
+        if tv.get("trace").and_then(Value::as_str) != Some(trace_hex.as_str()) {
+            return Some("trace view id differs from 202 ack");
+        }
+        let Some(Value::Arr(attempts)) = tv.get("attempts") else {
+            return Some("no attempts array");
+        };
+        if attempts.is_empty() {
+            return Some("no attempt spans");
+        }
+        let span_hex = root.span_hex();
+        if !attempts
+            .iter()
+            .all(|a| a.get("parent").and_then(Value::as_str) == Some(span_hex.as_str()))
+        {
+            return Some("attempt span not parented to the root span");
+        }
+        if tv.get("phase_domain").and_then(Value::as_str) != Some("virtual") {
+            return Some("finished job not in the virtual phase domain");
+        }
+        match tv.get("phases") {
+            Some(Value::Obj(p)) if !p.is_empty() => None,
+            _ => Some("no phase breakdown"),
+        }
+    })();
+    checks.push(Check {
+        name: "trace_linkage",
+        ok: traced_done.is_ok() && linkage_err.is_none(),
+        detail: match (&traced_done, linkage_err) {
+            (Ok(()), None) => format!(
+                "trace {} links 202 ack, attempts and rank phases",
+                trace_text.split('-').next().unwrap_or("")
+            ),
+            (Err(e), _) => format!("traced job: {e}"),
+            (_, Some(why)) => why.to_string(),
+        },
+    });
+
+    let consistent = match (tv.get("phases"), &summary_phases) {
+        (Some(Value::Obj(live)), Value::Obj(summary))
+            if !live.is_empty() && live.len() == summary.len() =>
+        {
+            live.iter().all(|(name, lv)| {
+                summary
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .and_then(|(_, sv)| Some((lv.as_f64()?, sv.as_f64()?)))
+                    .is_some_and(|(l, s)| (l - s).abs() <= 1e-9)
+            })
+        }
+        _ => false,
+    };
+    checks.push(Check {
+        name: "live_view_consistent",
+        ok: consistent,
+        detail: if consistent {
+            "live phase totals equal the run summary's to 1e-9".to_string()
+        } else {
+            format!(
+                "live phases {:?} vs summary {summary_phases}",
+                tv.get("phases")
+            )
+        },
+    });
+
+    // The Prometheus exposition must actually parse as v0.0.4 text and
+    // carry at least one family of each kind.
+    let prom_resp = get(addr, "/metrics").unwrap();
+    let exposition = prom::validate(&prom_resp.body);
+    let prom_ok = prom_resp.status == 200
+        && exposition
+            .as_ref()
+            .is_ok_and(|s| s.counters >= 1 && s.gauges >= 1 && s.histograms >= 1);
+    checks.push(Check {
+        name: "metrics_exposition",
+        ok: prom_ok,
+        detail: match &exposition {
+            Ok(s) => format!(
+                "GET /metrics -> {}: {} counters, {} gauges, {} histograms, {} samples",
+                prom_resp.status, s.counters, s.gauges, s.histograms, s.samples
+            ),
+            Err(e) => format!("exposition invalid: {e}"),
+        },
+    });
+
     // Fleet + request metrics over the wire.
     let metrics = get(addr, "/v1/metrics").unwrap();
     let m = metrics.json();
@@ -370,12 +513,60 @@ fn phase_a(smoke: bool) -> PhaseA {
         ),
     });
 
+    // Under the zero-second objectives every completed job burns both
+    // SLOs, so burn counters must have accumulated under the tenant's
+    // bounded label.
+    let slo_counter = |name: &str| {
+        m.get("server")
+            .and_then(|s| s.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+    };
+    let queue_burn = slo_counter("slo.alice.queue_burn");
+    let latency_burn = slo_counter("slo.alice.latency_burn");
+    checks.push(Check {
+        name: "slo_burn_counted",
+        ok: queue_burn >= 1.0 && latency_burn >= 1.0,
+        detail: format!(
+            "alice burned queue SLO {queue_burn} times, latency SLO {latency_burn} times"
+        ),
+    });
+
     server.shutdown();
+
+    // The structured event log must exist and hold parseable JSONL with
+    // the leveled-event shape (access lines are Debug-filtered out by
+    // the default Info level; dispatch/terminal lines remain).
+    let log_lines = std::fs::read_to_string(EVENT_LOG)
+        .map(|text| {
+            let lines: Vec<&str> = text.lines().collect();
+            let well_formed = lines.iter().all(|l| {
+                Value::parse(l).is_ok_and(|v| v.get("level").is_some() && v.get("kind").is_some())
+            });
+            (lines.len(), well_formed)
+        })
+        .unwrap_or((0, false));
+    checks.push(Check {
+        name: "event_log_jsonl",
+        ok: log_lines.0 > 0 && log_lines.1,
+        detail: format!(
+            "{EVENT_LOG}: {} leveled JSONL events{}",
+            log_lines.0,
+            if log_lines.1 {
+                ""
+            } else {
+                " (malformed lines)"
+            }
+        ),
+    });
+
     let _ = std::fs::remove_dir_all(&dir);
     PhaseA {
         checks,
         rows,
         fleet,
+        trace: tv,
     }
 }
 
@@ -533,6 +724,7 @@ pub fn run_serve(smoke: bool) -> ServeReport {
             ]),
         ),
         ("fleet", a.fleet),
+        ("trace", a.trace),
         ("recovery", b.recovery),
         (
             "checks",

@@ -9,7 +9,7 @@
 
 use agcm_core::{AgcmConfig, RankOutcome};
 use agcm_mps::FaultPlan;
-use agcm_telemetry::{RunSummary, TelemetrySink};
+use agcm_telemetry::{RunSummary, TelemetrySink, TraceContext};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -112,6 +112,12 @@ pub struct JobSpec {
     pub checkpoint_dir: Option<PathBuf>,
     /// Per-job telemetry sink; fed this job's step and run records.
     pub sink: Option<Arc<dyn TelemetrySink>>,
+    /// Distributed-tracing context minted by the submitter (e.g. the
+    /// serving layer at `POST /v1/jobs`). Attempt spans are derived from
+    /// it deterministically (`trace.child(attempt)`), so the same trace
+    /// id links the original request, every retry, and the rank-level
+    /// phase spans — even across a server restart.
+    pub trace: Option<TraceContext>,
 }
 
 // `Arc<dyn TelemetrySink>` has no `Debug`; render the spec without it.
@@ -127,6 +133,7 @@ impl fmt::Debug for JobSpec {
             .field("max_restarts", &self.max_restarts)
             .field("has_plan", &self.plan.is_some())
             .field("has_sink", &self.sink.is_some())
+            .field("trace", &self.trace.as_ref().map(|t| t.trace_hex()))
             .finish()
     }
 }
@@ -146,6 +153,7 @@ impl JobSpec {
             plan: None,
             checkpoint_dir: None,
             sink: None,
+            trace: None,
         }
     }
 
@@ -194,6 +202,12 @@ impl JobSpec {
     /// Builder-style: route this job's telemetry to `sink`.
     pub fn with_sink(mut self, sink: Arc<dyn TelemetrySink>) -> JobSpec {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Builder-style: attach a distributed-tracing context.
+    pub fn with_trace(mut self, trace: TraceContext) -> JobSpec {
+        self.trace = Some(trace);
         self
     }
 }

@@ -38,9 +38,10 @@ use crate::fleet::{FleetMetrics, FleetSnapshot};
 use crate::job::{CancelReason, JobId, JobRecord, JobSpec, JobStatus, Priority};
 use agcm_core::{run_model_resilient, ConfigError, ResilienceOpts};
 use agcm_costmodel::machine::MachineProfile;
-use agcm_mps::CancelToken;
+use agcm_mps::{CancelToken, SpanObserver};
 use agcm_resilience::recovery::RecoveryError;
-use agcm_telemetry::{ResilienceCounters, RunMetrics};
+use agcm_resilience::RunProgress;
+use agcm_telemetry::{ResilienceCounters, RunMetrics, TelemetrySink};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -777,6 +778,68 @@ fn dispatch(
     runners.push(handle);
 }
 
+/// Bridges the resilience layer's progress hooks and the mps substrate's
+/// phase spans to a job's per-job [`TelemetrySink`], so a live telemetry
+/// plane sees attempts, checkpoint commits and per-rank phase timings
+/// *while the job runs*, not just from the post-hoc trace.
+///
+/// Phase pairing is done here: `phase_begin`/`phase_end` arrive on the
+/// rank's own thread, and nesting is strict (the mps `Comm` guarantees
+/// balanced begin/end per rank), so a per-rank stack of open phases with
+/// wall-clock start instants suffices. Unbalanced ends (possible only if
+/// a rank's world unwinds mid-phase) are dropped, never mispaired.
+struct SinkBridge {
+    sink: Arc<dyn TelemetrySink>,
+    /// Per-rank stacks of `(phase, begin_instant)`.
+    open: Mutex<Vec<Vec<(&'static str, Instant)>>>,
+}
+
+impl SinkBridge {
+    fn new(sink: Arc<dyn TelemetrySink>) -> SinkBridge {
+        SinkBridge {
+            sink,
+            open: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl RunProgress for SinkBridge {
+    fn on_attempt(&self, attempt: usize, resumed_from: Option<u64>) {
+        // A retry re-enters every rank's world from scratch: any phases
+        // left open by the faulted attempt will never see their end.
+        self.open.lock().unwrap().clear();
+        self.sink.record_attempt(attempt as u64, resumed_from);
+    }
+
+    fn on_checkpoint(&self, step: u64) {
+        self.sink.record_checkpoint(step);
+    }
+}
+
+impl SpanObserver for SinkBridge {
+    fn phase_begin(&self, rank: usize, name: &'static str) {
+        let mut open = self.open.lock().unwrap();
+        if open.len() <= rank {
+            open.resize_with(rank + 1, Vec::new);
+        }
+        open[rank].push((name, Instant::now()));
+    }
+
+    fn phase_end(&self, rank: usize, name: &'static str) {
+        let begun = {
+            let mut open = self.open.lock().unwrap();
+            match open.get_mut(rank) {
+                Some(stack) if stack.last().is_some_and(|(n, _)| *n == name) => stack.pop(),
+                _ => None,
+            }
+        };
+        if let Some((_, begin)) = begun {
+            self.sink
+                .record_live_phase(rank as u32, name, begin.elapsed().as_secs_f64());
+        }
+    }
+}
+
 /// Runner thread body: run the model resiliently, summarize, finalize.
 fn run_job(
     shared: &Arc<Shared>,
@@ -797,6 +860,12 @@ fn run_job(
     let mut opts = ResilienceOpts::new(&dir).with_cancel(token);
     opts.max_restarts = spec.max_restarts;
     opts.plan = spec.plan.clone();
+    if let Some(sink) = spec.sink.as_ref().filter(|s| s.enabled()) {
+        let bridge = Arc::new(SinkBridge::new(Arc::clone(sink)));
+        opts = opts
+            .with_progress(Arc::clone(&bridge) as Arc<dyn RunProgress>)
+            .with_spans(bridge as Arc<dyn SpanObserver>);
+    }
 
     let result = catch_unwind(AssertUnwindSafe(|| run_model_resilient(spec.config, opts)));
     if ephemeral {
@@ -810,9 +879,9 @@ fn run_job(
             // successful attempt's trace and feed this job's own sink —
             // deliberately bypassing the process-global telemetry
             // pipeline, which is shared by every job.
-            let summary = RunMetrics::from_trace(&run.trace, &shared.cfg.machine)
+            let summary = RunMetrics::from_trace_with_timeline(&run.trace, &shared.cfg.machine)
                 .ok()
-                .map(|metrics| {
+                .map(|(metrics, timeline)| {
                     let mut summary = metrics.summary.clone();
                     summary.resilience = Some(ResilienceCounters {
                         attempts: run.attempts as u64,
@@ -820,6 +889,21 @@ fn run_job(
                         fault_events: run.fault_events.iter().map(|e| e.len() as u64).sum(),
                     });
                     if let Some(sink) = spec.sink.as_ref().filter(|s| s.enabled()) {
+                        // Authoritative per-(rank, phase) virtual totals,
+                        // streamed pre-summed so a live collector taking
+                        // max-over-ranks reproduces `summary.phase_seconds`
+                        // bit-for-bit (same values, same reduction).
+                        let mut span_counts: std::collections::HashMap<(usize, &str), u64> =
+                            std::collections::HashMap::new();
+                        for s in &timeline.spans {
+                            *span_counts.entry((s.rank, s.name)).or_insert(0) += 1;
+                        }
+                        for (rank, phases) in timeline.phase_seconds_per_rank().iter().enumerate() {
+                            for (phase, secs) in phases {
+                                let spans = span_counts.get(&(rank, *phase)).copied().unwrap_or(0);
+                                sink.record_rank_phase(rank as u32, phase, *secs, spans);
+                            }
+                        }
                         for step in &metrics.steps {
                             sink.record_step(step);
                         }

@@ -13,6 +13,7 @@ use crate::cancel::{CancelToken, CancelUnwind};
 use crate::error::Error;
 use crate::fault::{CommAbort, FaultAction, FaultKill, FaultState};
 use crate::message::{Packet, Payload, WirePacket};
+use crate::span::SpanObserver;
 use crate::trace::{Event, RankTrace};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
@@ -59,6 +60,9 @@ pub(crate) struct RankShared {
     /// Cooperative cancellation token, present only when the launcher
     /// supplied one ([`crate::runtime::run_world`]).
     pub(crate) cancel: Option<CancelToken>,
+    /// Live span observer, present only when the launcher supplied one;
+    /// sees phase boundaries as they happen.
+    pub(crate) spans: Option<Arc<dyn SpanObserver>>,
 }
 
 impl RankShared {
@@ -69,6 +73,7 @@ impl RankShared {
         trace: Arc<RankTrace>,
         fault: Option<Arc<FaultState>>,
         cancel: Option<CancelToken>,
+        spans: Option<Arc<dyn SpanObserver>>,
     ) -> Arc<Self> {
         let n = world.senders.len();
         Arc::new(RankShared {
@@ -80,6 +85,7 @@ impl RankShared {
             trace,
             fault,
             cancel,
+            spans,
         })
     }
 }
@@ -162,11 +168,17 @@ impl Comm {
     /// Mark the beginning of a named phase in the trace.
     pub fn phase_begin(&self, name: &'static str) {
         self.shared.trace.record(Event::PhaseBegin(name));
+        if let Some(obs) = &self.shared.spans {
+            obs.phase_begin(self.shared.world_rank, name);
+        }
     }
 
     /// Mark the end of a named phase in the trace.
     pub fn phase_end(&self, name: &'static str) {
         self.shared.trace.record(Event::PhaseEnd(name));
+        if let Some(obs) = &self.shared.spans {
+            obs.phase_end(self.shared.world_rank, name);
+        }
     }
 
     /// Run `body` inside a named phase.

@@ -46,6 +46,7 @@ pub mod error;
 pub mod fault;
 pub mod message;
 pub mod runtime;
+pub mod span;
 pub mod topology;
 pub mod trace;
 
@@ -58,5 +59,6 @@ pub use message::{Packet, Payload};
 pub use runtime::{
     run, run_traced, run_with_faults, run_world, FailureKind, FaultyRun, WorldOptions,
 };
+pub use span::SpanObserver;
 pub use topology::CartComm;
 pub use trace::{Event, PhaseFault, PhaseFaultKind, WorldTrace};

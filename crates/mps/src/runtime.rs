@@ -17,6 +17,7 @@ use crate::comm::{Comm, RankShared, World};
 use crate::error::Error;
 use crate::fault::{CommAbort, FaultEvent, FaultKill, FaultPlan, FaultState};
 use crate::message::WirePacket;
+use crate::span::SpanObserver;
 use crate::trace::{RankTrace, WorldTrace};
 use crossbeam::channel::unbounded;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -108,6 +109,7 @@ fn launch<F, R>(
     tracing: bool,
     plan: Option<Arc<FaultPlan>>,
     cancel: Option<CancelToken>,
+    spans: Option<Arc<dyn SpanObserver>>,
     f: F,
 ) -> FaultyRun<R>
 where
@@ -153,10 +155,18 @@ where
             let trace = Arc::clone(&traces[rank]);
             let fault = faults[rank].clone();
             let cancel = cancel.clone();
+            let spans = spans.clone();
             let f = &f;
             handles.push(scope.spawn(move || {
-                let shared =
-                    RankShared::new(Arc::clone(&world), rank, rx, trace, fault.clone(), cancel);
+                let shared = RankShared::new(
+                    Arc::clone(&world),
+                    rank,
+                    rx,
+                    trace,
+                    fault.clone(),
+                    cancel,
+                    spans,
+                );
                 let comm = Comm::world(shared);
                 let result = catch_unwind(AssertUnwindSafe(|| f(&comm)));
                 // A rank that finishes normally first flushes any packets
@@ -226,7 +236,7 @@ where
     F: Fn(&Comm) -> R + Sync,
     R: Send,
 {
-    launch(n, false, None, None, f)
+    launch(n, false, None, None, None, f)
         .results
         .into_iter()
         .map(|r| r.expect("non-faulty run has no typed failures"))
@@ -240,7 +250,7 @@ where
     F: Fn(&Comm) -> R + Sync,
     R: Send,
 {
-    let out = launch(n, true, None, None, f);
+    let out = launch(n, true, None, None, None, f);
     (
         out.results
             .into_iter()
@@ -259,17 +269,36 @@ where
     F: Fn(&Comm) -> R + Sync,
     R: Send,
 {
-    run_world(n, WorldOptions { plan, cancel: None }, f)
+    run_world(
+        n,
+        WorldOptions {
+            plan,
+            ..WorldOptions::default()
+        },
+        f,
+    )
 }
 
 /// Options for [`run_world`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct WorldOptions {
     /// Fault plan; `None` degrades to an empty plan (typed failures, no
     /// injected faults).
     pub plan: Option<FaultPlan>,
     /// Cooperative cancellation token shared by every rank of the world.
     pub cancel: Option<CancelToken>,
+    /// Live span observer notified at every phase boundary on every rank.
+    pub spans: Option<Arc<dyn SpanObserver>>,
+}
+
+impl std::fmt::Debug for WorldOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldOptions")
+            .field("plan", &self.plan)
+            .field("cancel", &self.cancel)
+            .field("spans", &self.spans.as_ref().map(|_| "SpanObserver"))
+            .finish()
+    }
 }
 
 /// The most general launcher: tracing on, typed per-rank failures, with an
@@ -286,7 +315,7 @@ where
     // Even with no plan, run in faulty mode (typed failures, empty plan)
     // so recovery drivers and schedulers get a uniform interface.
     let plan = opts.plan.unwrap_or_default();
-    launch(n, true, Some(Arc::new(plan)), opts.cancel, f)
+    launch(n, true, Some(Arc::new(plan)), opts.cancel, opts.spans, f)
 }
 
 #[cfg(test)]
@@ -556,6 +585,7 @@ mod tests {
         let opts = WorldOptions {
             plan: None,
             cancel: Some(token),
+            spans: None,
         };
         let out = run_world(4, opts, |c| {
             for step in 0..100u64 {
@@ -578,6 +608,7 @@ mod tests {
         let opts = WorldOptions {
             plan: None,
             cancel: Some(token),
+            spans: None,
         };
         let out = run_world(2, opts, |c| {
             if c.rank() == 0 {
@@ -603,6 +634,7 @@ mod tests {
         let opts = WorldOptions {
             plan: None,
             cancel: Some(token),
+            spans: None,
         };
         let cancelled = run_world(2, opts, |c| {
             c.begin_step(0);

@@ -59,6 +59,7 @@ fn genuine_panics_reach_previous_hook_controlled_unwinds_do_not() {
         WorldOptions {
             plan: None,
             cancel: Some(token),
+            spans: None,
         },
         |c| c.begin_step(0),
     );

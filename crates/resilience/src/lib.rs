@@ -32,4 +32,6 @@ pub mod recovery;
 pub use checkpoint::{CheckpointError, ModelCheckpoint};
 pub use coordinator::{write_coordinated, CheckpointStore, StoreError};
 pub use metrics::ResilienceMetrics;
-pub use recovery::{run_recovered, AttemptFailure, RecoveryError, RecoveryOptions, RunReport};
+pub use recovery::{
+    run_recovered, AttemptFailure, RecoveryError, RecoveryOptions, RunProgress, RunReport,
+};

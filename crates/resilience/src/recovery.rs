@@ -12,12 +12,29 @@ use crate::coordinator::{CheckpointStore, StoreError};
 use crate::metrics::ResilienceMetrics;
 use agcm_mps::fault::{FaultEvent, FaultPlan};
 use agcm_mps::runtime::{run_world, FailureKind, WorldOptions};
+use agcm_mps::span::SpanObserver;
 use agcm_mps::trace::WorldTrace;
 use agcm_mps::{CancelToken, Comm};
 use std::fmt;
+use std::sync::Arc;
+
+/// Observes the progress of a recovered run, live: attempt starts (with
+/// the checkpoint step each attempt resumed from) and checkpoint commits.
+/// All methods default to no-ops; implementations must be cheap — they
+/// are called synchronously from the recovery loop and (for
+/// [`on_checkpoint`](RunProgress::on_checkpoint)) from rank 0's thread.
+pub trait RunProgress: Send + Sync {
+    /// Attempt `attempt` (0 = first) is starting, resuming from
+    /// `resumed_from` (`None` = cold start).
+    fn on_attempt(&self, _attempt: usize, _resumed_from: Option<u64>) {}
+
+    /// A coordinated checkpoint committed through `step`. Emitted by the
+    /// model body, conventionally from rank 0 after the commit.
+    fn on_checkpoint(&self, _step: u64) {}
+}
 
 /// Knobs for the recovery loop.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RecoveryOptions {
     /// Maximum number of restarts after the first attempt.
     pub max_restarts: usize,
@@ -25,6 +42,11 @@ pub struct RecoveryOptions {
     /// Cancellation is not a fault: a cancelled attempt is never retried
     /// and surfaces as [`RecoveryError::Cancelled`].
     pub cancel: Option<CancelToken>,
+    /// Live progress observer (attempt starts); also handed to the model
+    /// body via the options it was built from for checkpoint commits.
+    pub progress: Option<Arc<dyn RunProgress>>,
+    /// Live span observer threaded into every attempt's world.
+    pub spans: Option<Arc<dyn SpanObserver>>,
 }
 
 impl Default for RecoveryOptions {
@@ -32,7 +54,20 @@ impl Default for RecoveryOptions {
         RecoveryOptions {
             max_restarts: 3,
             cancel: None,
+            progress: None,
+            spans: None,
         }
+    }
+}
+
+impl fmt::Debug for RecoveryOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecoveryOptions")
+            .field("max_restarts", &self.max_restarts)
+            .field("cancel", &self.cancel)
+            .field("progress", &self.progress.as_ref().map(|_| "RunProgress"))
+            .field("spans", &self.spans.as_ref().map(|_| "SpanObserver"))
+            .finish()
     }
 }
 
@@ -131,9 +166,13 @@ where
     let mut merged_events: Vec<Vec<FaultEvent>> = (0..n).map(|_| Vec::new()).collect();
     for attempt in 0..=opts.max_restarts {
         let resume = store.latest_committed();
+        if let Some(progress) = &opts.progress {
+            progress.on_attempt(attempt, resume);
+        }
         let world_opts = WorldOptions {
             plan: plan_for(attempt),
             cancel: opts.cancel.clone(),
+            spans: opts.spans.clone(),
         };
         let mut out = run_world(n, world_opts, |c| body(c, resume));
         for (merged, events) in merged_events.iter_mut().zip(&out.fault_events) {
@@ -293,6 +332,7 @@ mod tests {
             RecoveryOptions {
                 max_restarts: 5,
                 cancel: Some(token),
+                ..RecoveryOptions::default()
             },
             &store,
             |_| None,
@@ -306,6 +346,39 @@ mod tests {
     }
 
     #[test]
+    fn progress_observer_sees_every_attempt_with_resume_steps() {
+        #[derive(Default)]
+        struct Recorder {
+            attempts: std::sync::Mutex<Vec<(usize, Option<u64>)>>,
+        }
+        impl RunProgress for Recorder {
+            fn on_attempt(&self, attempt: usize, resumed_from: Option<u64>) {
+                self.attempts.lock().unwrap().push((attempt, resumed_from));
+            }
+        }
+        let store = CheckpointStore::new(scratch("progress"));
+        let recorder = std::sync::Arc::new(Recorder::default());
+        let report = run_recovered(
+            2,
+            RecoveryOptions {
+                progress: Some(recorder.clone()),
+                ..RecoveryOptions::default()
+            },
+            &store,
+            |attempt| (attempt == 0).then(|| FaultPlan::seeded(1).with_kill(0, 3)),
+            |c, r| toy_model(c, r, &store, 6),
+        )
+        .unwrap();
+        assert_eq!(report.attempts, 2);
+        // Cold start, then a resume from the step-2 checkpoint.
+        assert_eq!(
+            *recorder.attempts.lock().unwrap(),
+            vec![(0, None), (1, Some(2))]
+        );
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
     fn unrecoverable_kill_exhausts_restarts() {
         let store = CheckpointStore::new(scratch("exhaust"));
         // The same rank dies at the same step on *every* attempt.
@@ -313,7 +386,7 @@ mod tests {
             2,
             RecoveryOptions {
                 max_restarts: 2,
-                cancel: None,
+                ..RecoveryOptions::default()
             },
             &store,
             |_| Some(FaultPlan::seeded(0).with_kill(0, 1)),

@@ -5,15 +5,19 @@
 //!             [--rank-budget N] [--queue-capacity N]
 //!             [--tenant NAME:IN_FLIGHT:RANKS:WEIGHT]...
 //!             [--default-quota IN_FLIGHT:RANKS:WEIGHT | --strict]
+//!             [--event-log PATH] [--slo QUEUE_SECS:TOTAL_SECS]
 //! ```
 //!
 //! With `--tenant` and no `--default-quota`, unknown tenants still get
 //! [`TenantQuota::default`]; add `--strict` to reject them with 403.
 //! Without any tenancy flag, the scheduler runs single-tenant (no
-//! quotas), exactly as the in-process ensemble does.
+//! quotas), exactly as the in-process ensemble does. `--event-log`
+//! appends leveled JSONL events (level via `AGCM_LOG_LEVEL`); `--slo`
+//! sets uniform queue-wait / end-to-end latency objectives whose burn
+//! counters surface in both metrics endpoints.
 
 use agcm_ensemble::{EnsembleConfig, TenantPolicy, TenantQuota};
-use agcm_server::{AgcmServer, ServerConfig};
+use agcm_server::{AgcmServer, ServerConfig, SloPolicy};
 use std::path::PathBuf;
 
 fn parse_quota(text: &str) -> Result<TenantQuota, String> {
@@ -73,11 +77,27 @@ fn run() -> Result<(), String> {
             }
             "--default-quota" => default_quota = Some(parse_quota(&take("--default-quota")?)?),
             "--strict" => strict = true,
+            "--event-log" => cfg.event_log = Some(PathBuf::from(take("--event-log")?)),
+            "--slo" => {
+                let spec = take("--slo")?;
+                let Some((queue, total)) = spec.split_once(':') else {
+                    return Err(format!("expected QUEUE_SECS:TOTAL_SECS, got {spec:?}"));
+                };
+                cfg.slo = Some(SloPolicy::uniform(
+                    queue
+                        .parse()
+                        .map_err(|e| format!("bad queue objective {queue:?}: {e}"))?,
+                    total
+                        .parse()
+                        .map_err(|e| format!("bad latency objective {total:?}: {e}"))?,
+                ));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: agcm-server [--addr A] [--journal DIR] [--rank-budget N] \
                      [--queue-capacity N] [--tenant NAME:INFLIGHT:RANKS:WEIGHT]... \
-                     [--default-quota INFLIGHT:RANKS:WEIGHT | --strict]"
+                     [--default-quota INFLIGHT:RANKS:WEIGHT | --strict] \
+                     [--event-log PATH] [--slo QUEUE_SECS:TOTAL_SECS]"
                 );
                 return Ok(());
             }

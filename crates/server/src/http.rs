@@ -240,6 +240,16 @@ impl Response {
             close: false,
         }
     }
+
+    /// A Prometheus text-exposition response (`GET /metrics`).
+    pub fn prometheus(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4",
+            close: false,
+        }
+    }
 }
 
 /// Reason phrase for the handful of codes the server emits.

@@ -36,6 +36,7 @@ use agcm_telemetry::json::Value;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// FNV-1a, the repo's standard integrity hash (same constants as the
@@ -59,6 +60,10 @@ pub struct LiveJob {
     pub tenant: Option<String>,
     /// The original submission request, verbatim.
     pub spec: Value,
+    /// Encoded trace context minted at submission
+    /// ([`agcm_telemetry::TraceContext::encode`]); restart recovery
+    /// re-attaches it so the job's trace id survives the crash.
+    pub trace: Option<String>,
     /// Whether a `dispatched` line was journaled — distinguishes
     /// requeue (never started) from resume (was running at the crash).
     pub dispatched: bool,
@@ -82,6 +87,17 @@ struct Inner {
     detached: bool,
 }
 
+/// Point-in-time journal health, reported on `/healthz`.
+#[derive(Debug, Clone, Default)]
+pub struct JournalStats {
+    /// Lines appended by this process (post-open).
+    pub appended_lines: u64,
+    /// Live jobs rewritten by the open-time compaction.
+    pub compacted_live: usize,
+    /// Terminal jobs dropped by the open-time compaction.
+    pub dropped_terminal: usize,
+}
+
 /// The journal handle. Appends are serialized by an internal lock;
 /// [`Journal::detach`] makes every subsequent append a no-op, which is
 /// how a crash is simulated without tearing the file.
@@ -89,6 +105,9 @@ pub struct Journal {
     dir: PathBuf,
     path: PathBuf,
     inner: Mutex<Inner>,
+    appended: AtomicU64,
+    compacted_live: usize,
+    dropped_terminal: usize,
 }
 
 const LOG_NAME: &str = "jobs.log";
@@ -147,7 +166,12 @@ impl Journal {
             for job in &live {
                 write_line(
                     &mut w,
-                    &submitted_value(job.id, job.tenant.as_deref(), &job.spec),
+                    &submitted_value(
+                        job.id,
+                        job.tenant.as_deref(),
+                        job.trace.as_deref(),
+                        &job.spec,
+                    ),
                 )?;
                 if job.dispatched {
                     write_line(&mut w, &event_value("dispatched", job.id))?;
@@ -167,6 +191,9 @@ impl Journal {
                 writer: Some(BufWriter::new(writer)),
                 detached: false,
             }),
+            appended: AtomicU64::new(0),
+            compacted_live: live.len(),
+            dropped_terminal: stats.already_terminal,
         };
         Ok((journal, live, stats))
     }
@@ -176,9 +203,19 @@ impl Journal {
         &self.path
     }
 
+    /// Point-in-time journal health.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            appended_lines: self.appended.load(Ordering::Relaxed),
+            compacted_live: self.compacted_live,
+            dropped_terminal: self.dropped_terminal,
+        }
+    }
+
     /// Write-ahead record: the job exists, before the scheduler sees it.
-    pub fn submitted(&self, id: u64, tenant: Option<&str>, spec: &Value) {
-        self.append(&submitted_value(id, tenant, spec));
+    /// `trace` is the encoded trace context minted at submission.
+    pub fn submitted(&self, id: u64, tenant: Option<&str>, trace: Option<&str>, spec: &Value) {
+        self.append(&submitted_value(id, tenant, trace, spec));
     }
 
     /// Terminal record written by the *server* (admission rejections —
@@ -212,6 +249,8 @@ impl Journal {
             // journal simply stops being durable from here on.
             if write_line(w, value).and_then(|_| w.flush()).is_err() {
                 inner.writer = None;
+            } else {
+                self.appended.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -242,13 +281,17 @@ impl JobObserver for Journal {
     }
 }
 
-fn submitted_value(id: u64, tenant: Option<&str>, spec: &Value) -> Value {
+fn submitted_value(id: u64, tenant: Option<&str>, trace: Option<&str>, spec: &Value) -> Value {
     Value::obj(vec![
         ("event", Value::Str("submitted".into())),
         ("job", Value::Num(id as f64)),
         (
             "tenant",
             tenant.map_or(Value::Null, |t| Value::Str(t.to_string())),
+        ),
+        (
+            "trace",
+            trace.map_or(Value::Null, |t| Value::Str(t.to_string())),
         ),
         ("spec", spec.clone()),
     ])
@@ -297,6 +340,10 @@ fn replay(path: &Path) -> std::io::Result<(Vec<LiveJob>, ReplayStats)> {
                     .get("tenant")
                     .and_then(Value::as_str)
                     .map(str::to_string);
+                let trace = value
+                    .get("trace")
+                    .and_then(Value::as_str)
+                    .map(str::to_string);
                 let spec = value.get("spec").cloned().unwrap_or(Value::Null);
                 jobs.push((
                     id,
@@ -304,6 +351,7 @@ fn replay(path: &Path) -> std::io::Result<(Vec<LiveJob>, ReplayStats)> {
                         id,
                         tenant,
                         spec,
+                        trace,
                         dispatched: false,
                     },
                     false,
@@ -351,9 +399,14 @@ mod tests {
         {
             let (journal, live, _) = Journal::open(&dir).unwrap();
             assert!(live.is_empty());
-            journal.submitted(1, Some("alice"), &spec());
-            journal.submitted(2, None, &spec());
-            journal.submitted(3, Some("bob"), &spec());
+            journal.submitted(
+                1,
+                Some("alice"),
+                Some("00000000000000000000000000000abc-0000000000000123-0000000000000000"),
+                &spec(),
+            );
+            journal.submitted(2, None, None, &spec());
+            journal.submitted(3, Some("bob"), None, &spec());
             // Job 1 ran to completion; job 2 dispatched then "crashed";
             // job 3 never dispatched.
             journal.on_dispatch(101, Some(1));
@@ -381,8 +434,8 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         {
             let (journal, _, _) = Journal::open(&dir).unwrap();
-            journal.submitted(1, None, &spec());
-            journal.submitted(2, None, &spec());
+            journal.submitted(1, None, None, &spec());
+            journal.submitted(2, None, None, &spec());
         }
         // Tear the last line mid-byte, as a crash mid-append would.
         let path = dir.join(LOG_NAME);
@@ -403,7 +456,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         {
             let (journal, _, _) = Journal::open(&dir).unwrap();
-            journal.submitted(1, None, &spec());
+            journal.submitted(1, None, None, &spec());
             journal.detach();
             // Post-detach terminals (ensemble teardown) must not land.
             journal.on_terminal(&terminal_record(1));
@@ -420,7 +473,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         {
             let (journal, _, _) = Journal::open(&dir).unwrap();
-            journal.submitted(7, None, &spec());
+            journal.submitted(7, None, None, &spec());
             journal.on_terminal(&terminal_record(7));
         }
         // First restart: job 7 is terminal, so compaction drops it — but
@@ -438,6 +491,62 @@ mod tests {
     }
 
     #[test]
+    fn trace_survives_replay_and_compaction() {
+        let dir = std::env::temp_dir().join(format!("agcm-journal-tr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let encoded = "000000000000000000000000deadbeef-0000000000000007-0000000000000000";
+        {
+            let (journal, _, _) = Journal::open(&dir).unwrap();
+            journal.submitted(1, Some("alice"), Some(encoded), &spec());
+            journal.submitted(2, None, None, &spec());
+        }
+        // First reopen replays the appended lines; second reopen replays
+        // the *compacted* rewrite — the trace must survive both forms.
+        for _ in 0..2 {
+            let (_, live, _) = Journal::open(&dir).unwrap();
+            assert_eq!(live.len(), 2);
+            assert_eq!(live[0].trace.as_deref(), Some(encoded));
+            assert_eq!(live[1].trace, None);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_watermark_record_stops_replay_cleanly() {
+        let dir = std::env::temp_dir().join(format!("agcm-journal-cwm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (journal, _, _) = Journal::open(&dir).unwrap();
+            journal.submitted(5, None, None, &spec());
+        }
+        // Reopen once so the log is the compacted form: watermark first,
+        // then the live job. Then flip a byte inside the watermark line.
+        let _ = Journal::open(&dir).unwrap();
+        let path = dir.join(LOG_NAME);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().next().unwrap().contains("watermark"));
+        let mut corrupted = text.replace("watermark", "watermbrk");
+        std::fs::write(&path, &corrupted).unwrap();
+        // Replay must not panic: the bad line is counted, everything
+        // after it (the live job) is untrusted and dropped, and the
+        // journal still opens for writing.
+        let (journal, live, stats) = Journal::open(&dir).unwrap();
+        assert_eq!(stats.corrupt, 1, "corrupt watermark is counted");
+        assert!(live.is_empty(), "replay stops at the first bad line");
+        journal.submitted(9, None, None, &spec());
+        assert_eq!(journal.stats().appended_lines, 1);
+        drop(journal);
+
+        // Truncated watermark (torn first write): same clean outcome.
+        corrupted = text.lines().next().unwrap()[..20].to_string();
+        std::fs::write(&path, &corrupted).unwrap();
+        let (_, live, stats) = Journal::open(&dir).unwrap();
+        assert_eq!(stats.corrupt, 1, "torn watermark is counted");
+        assert!(live.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn terminal_jobs_lose_their_checkpoint_dirs() {
         let dir = std::env::temp_dir().join(format!("agcm-journal-ckpt-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -449,8 +558,8 @@ mod tests {
         };
         {
             let (journal, _, _) = Journal::open(&dir).unwrap();
-            journal.submitted(1, None, &spec());
-            journal.submitted(2, None, &spec());
+            journal.submitted(1, None, None, &spec());
+            journal.submitted(2, None, None, &spec());
             let (ck1, ck2, stray) = (mk(1), mk(2), mk(99));
             // Job 1 finishes normally: its checkpoints go immediately.
             journal.on_terminal(&terminal_record(1));

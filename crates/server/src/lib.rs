@@ -27,9 +27,11 @@ pub mod api;
 pub mod client;
 pub mod http;
 pub mod journal;
+pub mod log;
 pub mod server;
 
 pub use api::{JobRequest, MAX_DEADLINE_MS, MAX_RESTARTS, MAX_STEPS};
 pub use http::{HttpLimits, Request, Response};
-pub use journal::{Journal, LiveJob, ReplayStats};
-pub use server::{AgcmServer, RecoveryReport, ServerConfig};
+pub use journal::{Journal, JournalStats, LiveJob, ReplayStats};
+pub use log::{EventLog, LogLevel};
+pub use server::{AgcmServer, RecoveryReport, ServerConfig, SloObjective, SloPolicy};

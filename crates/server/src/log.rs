@@ -1,0 +1,184 @@
+//! Leveled, structured JSONL event log for the serving path.
+//!
+//! One line per event: `{"ts_ms":..., "level":"info", "kind":"access",
+//! ...}` — machine-greppable (CI uploads it as an artifact) and cheap
+//! enough to leave on in production. Four kinds are emitted today:
+//!
+//! - `access` — one line per HTTP exchange (route, status, latency);
+//! - `dispatch` — the scheduler moved a job from queued to running;
+//! - `terminal` — a job reached a terminal state (with SLO verdicts);
+//! - `recovery` — what journal replay did at startup.
+//!
+//! The sink is a file configured by
+//! [`ServerConfig::event_log`](crate::ServerConfig); `None` disables
+//! logging entirely (every call is a cheap level check). The minimum
+//! level comes from the `AGCM_LOG_LEVEL` environment variable
+//! (`debug`, `info`, `warn`, `error`; default `info`), so an operator
+//! can silence access lines without a rebuild.
+
+use agcm_telemetry::json::Value;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Per-request noise (access lines).
+    Debug,
+    /// Normal lifecycle events (dispatch, terminal, recovery).
+    Info,
+    /// Something degraded (journal corruption, unrecoverable jobs).
+    Warn,
+    /// The serving path is losing data or rejecting work it should not.
+    Error,
+}
+
+impl LogLevel {
+    /// Wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LogLevel::Debug => "debug",
+            LogLevel::Info => "info",
+            LogLevel::Warn => "warn",
+            LogLevel::Error => "error",
+        }
+    }
+
+    /// Parse a label; unknown strings fall back to `Info` (a typo in an
+    /// env var must not silence errors).
+    pub fn parse(text: &str) -> LogLevel {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "debug" => LogLevel::Debug,
+            "warn" | "warning" => LogLevel::Warn,
+            "error" => LogLevel::Error,
+            _ => LogLevel::Info,
+        }
+    }
+
+    /// The level named by `AGCM_LOG_LEVEL`, default `Info`.
+    pub fn from_env() -> LogLevel {
+        match std::env::var("AGCM_LOG_LEVEL") {
+            Ok(v) => LogLevel::parse(&v),
+            Err(_) => LogLevel::Info,
+        }
+    }
+}
+
+struct Inner {
+    writer: Option<BufWriter<File>>,
+}
+
+/// The structured log sink. Appends are serialized; a write failure
+/// disables the sink rather than taking down the serving path.
+pub struct EventLog {
+    min_level: LogLevel,
+    inner: Mutex<Inner>,
+}
+
+impl EventLog {
+    /// A disabled log: every event is dropped after the level check.
+    pub fn disabled() -> EventLog {
+        EventLog {
+            min_level: LogLevel::Error,
+            inner: Mutex::new(Inner { writer: None }),
+        }
+    }
+
+    /// Open (append) the log at `path` with the given minimum level.
+    pub fn open(path: &Path, min_level: LogLevel) -> std::io::Result<EventLog> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(EventLog {
+            min_level,
+            inner: Mutex::new(Inner {
+                writer: Some(BufWriter::new(file)),
+            }),
+        })
+    }
+
+    /// Whether an event at `level` would be written.
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level >= self.min_level && self.inner.lock().unwrap().writer.is_some()
+    }
+
+    /// Append one event. `fields` land after the standard `ts_ms`,
+    /// `level`, `kind` keys.
+    pub fn event(&self, level: LogLevel, kind: &str, fields: Vec<(&str, Value)>) {
+        if level < self.min_level {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let Some(w) = inner.writer.as_mut() else {
+            return;
+        };
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as f64)
+            .unwrap_or(0.0);
+        let mut obj = vec![
+            ("ts_ms", Value::Num(ts_ms)),
+            ("level", Value::Str(level.label().into())),
+            ("kind", Value::Str(kind.into())),
+        ];
+        obj.extend(fields);
+        let line = Value::obj(obj).to_string();
+        // Flush per line: the log's consumers (CI, a tailing operator)
+        // read it while the server is still running.
+        if writeln!(w, "{line}").and_then(|_| w.flush()).is_err() {
+            inner.writer = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("agcm-eventlog-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn level_filter_drops_below_minimum() {
+        let path = scratch("filter");
+        let _ = std::fs::remove_file(&path);
+        let log = EventLog::open(&path, LogLevel::Info).unwrap();
+        log.event(
+            LogLevel::Debug,
+            "access",
+            vec![("route", Value::Str("x".into()))],
+        );
+        log.event(LogLevel::Info, "dispatch", vec![("job", Value::Num(1.0))]);
+        log.event(LogLevel::Error, "terminal", vec![("job", Value::Num(1.0))]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "debug line filtered: {text}");
+        for line in &lines {
+            let v = Value::parse(line).expect("every line is valid JSON");
+            assert!(v.get("ts_ms").and_then(Value::as_f64).is_some());
+            assert!(v.get("level").and_then(Value::as_str).is_some());
+        }
+        assert!(lines[0].contains("\"dispatch\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn level_parse_is_forgiving() {
+        assert_eq!(LogLevel::parse("DEBUG"), LogLevel::Debug);
+        assert_eq!(LogLevel::parse(" warning "), LogLevel::Warn);
+        assert_eq!(LogLevel::parse("nonsense"), LogLevel::Info);
+        assert!(LogLevel::Debug < LogLevel::Error);
+    }
+
+    #[test]
+    fn disabled_log_drops_everything() {
+        let log = EventLog::disabled();
+        assert!(!log.enabled(LogLevel::Error));
+        log.event(LogLevel::Error, "terminal", vec![]);
+    }
+}

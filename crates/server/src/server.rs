@@ -17,9 +17,12 @@
 use crate::api::{error_body, record_to_value, result_to_value, view_to_value, JobRequest};
 use crate::http::{read_request, write_response, HttpLimits, ReadError, Request, Response};
 use crate::journal::{checkpoint_dir, Journal};
-use agcm_ensemble::{Ensemble, EnsembleConfig, JobId, JobObserver, JobView, SubmitError};
+use crate::log::{EventLog, LogLevel};
+use agcm_ensemble::{
+    Ensemble, EnsembleConfig, JobId, JobObserver, JobRecord, JobView, SubmitError,
+};
 use agcm_telemetry::json::{ParseErrorKind, ParseLimits, Value};
-use agcm_telemetry::MetricsRegistry;
+use agcm_telemetry::{prom, LiveCollector, MetricsRegistry, TraceContext};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -49,6 +52,63 @@ pub struct ServerConfig {
     /// Maximum concurrent connections; new connections beyond the cap
     /// get an immediate 503 and are closed.
     pub max_connections: usize,
+    /// Structured JSONL event-log path (access lines, scheduler
+    /// decisions, recovery events). `None` disables event logging. The
+    /// minimum level comes from `AGCM_LOG_LEVEL` (default `info`).
+    pub event_log: Option<PathBuf>,
+    /// Service-level objectives; `None` disables SLO burn accounting.
+    pub slo: Option<SloPolicy>,
+}
+
+/// One tenant's service-level objectives, evaluated per completed job.
+#[derive(Debug, Clone, Copy)]
+pub struct SloObjective {
+    /// Queue-wait objective: seconds a job may sit queued before
+    /// dispatch without burning budget.
+    pub queue_seconds: f64,
+    /// End-to-end latency objective (queue + run), seconds.
+    pub total_seconds: f64,
+}
+
+/// Per-tenant SLOs with a default for tenants not named explicitly.
+/// Each completed job increments one `good` or one `burn` counter per
+/// objective, under the tenant's *bounded* metric label — so the burn
+/// counters in `/v1/metrics` and `/metrics` cannot grow without bound
+/// either.
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    /// Objectives for tenants without a named entry.
+    pub default: SloObjective,
+    /// Named per-tenant overrides.
+    pub tenants: Vec<(String, SloObjective)>,
+}
+
+impl SloPolicy {
+    /// Same objectives for every tenant, builder-style seed.
+    pub fn uniform(queue_seconds: f64, total_seconds: f64) -> SloPolicy {
+        SloPolicy {
+            default: SloObjective {
+                queue_seconds,
+                total_seconds,
+            },
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Add a named tenant override, builder-style.
+    pub fn with_tenant(mut self, name: impl Into<String>, slo: SloObjective) -> SloPolicy {
+        self.tenants.push((name.into(), slo));
+        self
+    }
+
+    /// The objectives governing `tenant`.
+    pub fn objective_for(&self, tenant: &str) -> SloObjective {
+        self.tenants
+            .iter()
+            .find(|(n, _)| n == tenant)
+            .map(|(_, o)| *o)
+            .unwrap_or(self.default)
+    }
 }
 
 impl Default for ServerConfig {
@@ -61,6 +121,8 @@ impl Default for ServerConfig {
             max_json_depth: 32,
             io_timeout: Duration::from_secs(30),
             max_connections: 128,
+            event_log: None,
+            slo: None,
         }
     }
 }
@@ -93,13 +155,103 @@ struct ServerState {
     jobs: Mutex<HashMap<u64, (JobId, Option<String>)>>,
     next_durable: AtomicU64,
     recovery: RecoveryReport,
-    metrics: MetricsRegistry,
+    metrics: Arc<MetricsRegistry>,
+    /// Live telemetry: per-job trace contexts, attempt spans, phase
+    /// rollups — everything behind `GET /v1/jobs/{id}/trace`.
+    collector: Arc<LiveCollector>,
+    /// Structured JSONL event log (access, dispatch, terminal, recovery).
+    log: Arc<EventLog>,
     /// Tenants named in the policy — the only names that get their own
     /// metric keys. Everything else buckets under `other`/`anonymous`,
     /// so a hostile client cannot grow the registry without bound (or
     /// inject separators into metric names) via the tenant header.
     known_tenants: Vec<String>,
+    started: Instant,
     shutting_down: AtomicBool,
+}
+
+/// Metric key for a tenant: policy-named tenants keep their (operator-
+/// controlled) name; every other client-supplied name buckets under
+/// `other` so the registry's key space stays bounded.
+fn bounded_tenant<'a>(known: &'a [String], tenant: Option<&'a str>) -> &'a str {
+    match tenant {
+        None => "anonymous",
+        Some(t) if known.iter().any(|k| k == t) => t,
+        Some(_) => "other",
+    }
+}
+
+/// The scheduler-side observer fan-out: journal first (durability), then
+/// SLO burn accounting, then the structured event log. Runs with the
+/// scheduler lock held, so every step is append/increment-cheap.
+struct ServingObserver {
+    journal: Arc<Journal>,
+    log: Arc<EventLog>,
+    metrics: Arc<MetricsRegistry>,
+    collector: Arc<LiveCollector>,
+    slo: Option<SloPolicy>,
+    known_tenants: Vec<String>,
+}
+
+impl JobObserver for ServingObserver {
+    fn on_dispatch(&self, id: JobId, tag: Option<u64>) {
+        self.journal.on_dispatch(id, tag);
+        if let Some(durable) = tag {
+            let trace = self
+                .collector
+                .trace_of(durable)
+                .map_or(Value::Null, |t| Value::Str(t.encode()));
+            self.log.event(
+                LogLevel::Info,
+                "dispatch",
+                vec![("job", Value::Num(durable as f64)), ("trace", trace)],
+            );
+        }
+    }
+
+    fn on_terminal(&self, record: &JobRecord) {
+        self.journal.on_terminal(record);
+        let Some(durable) = record.tag else { return };
+        let label = bounded_tenant(&self.known_tenants, record.tenant.as_deref());
+        let mut slo_fields: Vec<(&str, Value)> = Vec::new();
+        if let Some(policy) = &self.slo {
+            // SLO burn is judged on completed jobs only: a cancelled or
+            // failed job's latency reflects the cancellation, not the
+            // service, and those outcomes have their own counters.
+            if matches!(record.status, agcm_ensemble::JobStatus::Completed) {
+                let objective =
+                    policy.objective_for(record.tenant.as_deref().unwrap_or("anonymous"));
+                let queue_ok = record.queue_seconds <= objective.queue_seconds;
+                let total_ok = record.queue_seconds + record.run_seconds <= objective.total_seconds;
+                let verdict = |ok: bool| if ok { "good" } else { "burn" };
+                self.metrics
+                    .counter(&format!("slo.{label}.queue_{}", verdict(queue_ok)))
+                    .inc();
+                self.metrics
+                    .counter(&format!("slo.{label}.latency_{}", verdict(total_ok)))
+                    .inc();
+                slo_fields.push(("slo_queue", Value::Str(verdict(queue_ok).into())));
+                slo_fields.push(("slo_latency", Value::Str(verdict(total_ok).into())));
+            }
+        }
+        if self.log.enabled(LogLevel::Info) {
+            let trace = self
+                .collector
+                .trace_of(durable)
+                .map_or(Value::Null, |t| Value::Str(t.encode()));
+            let mut fields = vec![
+                ("job", Value::Num(durable as f64)),
+                ("trace", trace),
+                ("state", Value::Str(record.status.label())),
+                ("tenant", Value::Str(label.to_string())),
+                ("attempts", Value::Num(record.attempts as f64)),
+                ("queue_seconds", Value::Num(record.queue_seconds)),
+                ("run_seconds", Value::Num(record.run_seconds)),
+            ];
+            fields.extend(slo_fields);
+            self.log.event(LogLevel::Info, "terminal", fields);
+        }
+    }
 }
 
 /// Connection registry: each handler's join handle plus a clone of its
@@ -120,16 +272,37 @@ impl AgcmServer {
     pub fn start(cfg: ServerConfig) -> std::io::Result<AgcmServer> {
         let (journal, live, replay) = Journal::open(&cfg.journal_dir)?;
         let journal = Arc::new(journal);
-        let ensemble = Ensemble::start_with_observer(
-            cfg.ensemble.clone(),
-            Arc::clone(&journal) as Arc<dyn JobObserver>,
-        );
+        let log = Arc::new(match &cfg.event_log {
+            Some(path) => EventLog::open(path, LogLevel::from_env())?,
+            None => EventLog::disabled(),
+        });
+        let metrics = Arc::new(MetricsRegistry::default());
+        let collector = Arc::new(LiveCollector::new());
+        let known_tenants: Vec<String> = cfg
+            .ensemble
+            .tenancy
+            .as_ref()
+            .map(|p| p.tenants.iter().map(|(n, _)| n.clone()).collect())
+            .unwrap_or_default();
+        let observer = Arc::new(ServingObserver {
+            journal: Arc::clone(&journal),
+            log: Arc::clone(&log),
+            metrics: Arc::clone(&metrics),
+            collector: Arc::clone(&collector),
+            slo: cfg.slo.clone(),
+            known_tenants: known_tenants.clone(),
+        });
+        let ensemble =
+            Ensemble::start_with_observer(cfg.ensemble.clone(), observer as Arc<dyn JobObserver>);
 
         // Re-admit every live job under its original durable id, via the
         // recovery path (bypasses capacity and quota — these jobs were
         // already admitted once). Dispatched-at-crash jobs resume from
         // their checkpoint directory, which is derived from the durable
-        // id and therefore survives the restart.
+        // id and therefore survives the restart. Each job's journaled
+        // trace context is re-attached, so its trace id — and, because
+        // attempt span ids derive deterministically from it — its whole
+        // span tree survive the crash too.
         let mut report = RecoveryReport {
             journal_lines: replay.lines,
             corrupt_lines: replay.corrupt,
@@ -142,11 +315,24 @@ impl AgcmServer {
                 report.unrecoverable += 1;
                 continue;
             };
-            let spec = req.to_spec(
-                job.tenant.as_deref(),
+            let trace = job
+                .trace
+                .as_deref()
+                .and_then(TraceContext::parse)
+                .unwrap_or_else(TraceContext::new_root);
+            collector.begin_job(
                 job.id,
-                checkpoint_dir(&cfg.journal_dir, job.id),
+                trace,
+                bounded_tenant(&known_tenants, job.tenant.as_deref()),
             );
+            let spec = req
+                .to_spec(
+                    job.tenant.as_deref(),
+                    job.id,
+                    checkpoint_dir(&cfg.journal_dir, job.id),
+                )
+                .with_trace(trace)
+                .with_sink(collector.sink(job.id));
             match ensemble.resubmit(spec) {
                 Ok(eid) => {
                     jobs.insert(job.id, (eid, job.tenant.clone()));
@@ -159,15 +345,20 @@ impl AgcmServer {
                 Err(_) => report.unrecoverable += 1,
             }
         }
+        log.event(
+            LogLevel::Info,
+            "recovery",
+            vec![
+                ("journal_lines", Value::Num(report.journal_lines as f64)),
+                ("corrupt_lines", Value::Num(report.corrupt_lines as f64)),
+                ("requeued", Value::Num(report.requeued as f64)),
+                ("resumed", Value::Num(report.resumed as f64)),
+                ("unrecoverable", Value::Num(report.unrecoverable as f64)),
+            ],
+        );
 
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
-        let known_tenants = cfg
-            .ensemble
-            .tenancy
-            .as_ref()
-            .map(|p| p.tenants.iter().map(|(n, _)| n.clone()).collect())
-            .unwrap_or_default();
         let state = Arc::new(ServerState {
             next_durable: AtomicU64::new(replay.max_id + 1),
             cfg,
@@ -175,8 +366,11 @@ impl AgcmServer {
             journal,
             jobs: Mutex::new(jobs),
             recovery: report,
-            metrics: MetricsRegistry::default(),
+            metrics,
+            collector,
+            log,
             known_tenants,
+            started: Instant::now(),
             shutting_down: AtomicBool::new(false),
         });
         let conns: ConnList = Arc::new(Mutex::new(Vec::new()));
@@ -340,7 +534,12 @@ fn serve_connection(stream: &TcpStream, state: &Arc<ServerState>) {
         let close = request.wants_close() || state.shutting_down.load(Ordering::SeqCst);
         let started = Instant::now();
         let (route, mut response) = handle(state, &request);
-        observe_request(state, route, started.elapsed().as_secs_f64());
+        observe_request(
+            state,
+            route,
+            response.status,
+            started.elapsed().as_secs_f64(),
+        );
         response.close = close;
         if write_response(&mut writer, &response).is_err() || close {
             return;
@@ -348,7 +547,33 @@ fn serve_connection(stream: &TcpStream, state: &Arc<ServerState>) {
     }
 }
 
-fn observe_request(state: &ServerState, route: &'static str, seconds: f64) {
+/// The closed set of per-endpoint metric labels. Every route the
+/// dispatcher can return is listed here; anything a client invents maps
+/// to `other`, so the latency-histogram key space is bounded exactly
+/// like tenant labels are.
+const ROUTE_LABELS: &[&str] = &[
+    "healthz",
+    "prom_metrics",
+    "get_metrics",
+    "post_jobs",
+    "list_jobs",
+    "get_job",
+    "get_result",
+    "get_trace",
+    "delete_job",
+    "other",
+];
+
+fn observe_request(state: &ServerState, route: &'static str, status: u16, seconds: f64) {
+    debug_assert!(
+        ROUTE_LABELS.contains(&route),
+        "route label '{route}' is not in the closed ROUTE_LABELS set"
+    );
+    let route = if ROUTE_LABELS.contains(&route) {
+        route
+    } else {
+        "other"
+    };
     state
         .metrics
         .counter(&format!("http.requests.{route}"))
@@ -357,6 +582,15 @@ fn observe_request(state: &ServerState, route: &'static str, seconds: f64) {
         .metrics
         .histogram(&format!("http.latency_seconds.{route}"))
         .observe(seconds);
+    state.log.event(
+        LogLevel::Debug,
+        "access",
+        vec![
+            ("route", Value::Str(route.into())),
+            ("status", Value::Num(status as f64)),
+            ("seconds", Value::Num(seconds)),
+        ],
+    );
 }
 
 /// Route and handle one request. Returns the route label (for metrics)
@@ -366,12 +600,15 @@ fn handle(state: &Arc<ServerState>, req: &Request) -> (&'static str, Response) {
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => ("healthz", healthz(state)),
+        ("GET", ["metrics"]) => ("prom_metrics", prom_metrics(state)),
         ("GET", ["v1", "metrics"]) => ("get_metrics", metrics(state)),
         ("POST", ["v1", "jobs"]) => ("post_jobs", submit(state, req)),
+        ("GET", ["v1", "jobs"]) => ("list_jobs", list_jobs(state, req)),
         ("GET", ["v1", "jobs", id]) => ("get_job", job_status(state, id, false)),
         ("GET", ["v1", "jobs", id, "result"]) => ("get_result", job_status(state, id, true)),
+        ("GET", ["v1", "jobs", id, "trace"]) => ("get_trace", job_trace(state, id)),
         ("DELETE", ["v1", "jobs", id]) => ("delete_job", cancel(state, id)),
-        (_, ["v1", "jobs", ..]) | (_, ["v1", "metrics"]) | (_, ["healthz"]) => (
+        (_, ["v1", "jobs", ..]) | (_, ["v1", "metrics"]) | (_, ["healthz"]) | (_, ["metrics"]) => (
             "other",
             Response::json(405, error_body("method_not_allowed", &req.method)),
         ),
@@ -381,8 +618,21 @@ fn handle(state: &Arc<ServerState>, req: &Request) -> (&'static str, Response) {
 
 fn healthz(state: &ServerState) -> Response {
     let r = &state.recovery;
+    let j = state.journal.stats();
     let body = Value::obj(vec![
         ("ok", Value::Bool(true)),
+        (
+            "uptime_seconds",
+            Value::Num(state.started.elapsed().as_secs_f64()),
+        ),
+        (
+            "journal",
+            Value::obj(vec![
+                ("appended_lines", Value::Num(j.appended_lines as f64)),
+                ("compacted_live", Value::Num(j.compacted_live as f64)),
+                ("dropped_terminal", Value::Num(j.dropped_terminal as f64)),
+            ]),
+        ),
         (
             "recovery",
             Value::obj(vec![
@@ -403,11 +653,134 @@ fn metrics(state: &ServerState) -> Response {
     let Some(ensemble) = guard.as_ref() else {
         return Response::json(503, error_body("shutting_down", "ensemble stopped"));
     };
-    let body = Value::obj(vec![
+    let mut fields = vec![
         ("fleet", ensemble.fleet().to_json()),
         ("server", state.metrics.snapshot().to_json()),
+        ("live", state.collector.rollup()),
+    ];
+    if let Some(policy) = &state.cfg.slo {
+        fields.push((
+            "slo",
+            Value::obj(vec![
+                ("queue_seconds", Value::Num(policy.default.queue_seconds)),
+                ("total_seconds", Value::Num(policy.default.total_seconds)),
+            ]),
+        ));
+    }
+    Response::json(200, Value::obj(fields).to_string())
+}
+
+/// `GET /metrics`: the whole registry in Prometheus text exposition
+/// format, plus gauges a scraper wants that live outside the registry
+/// (uptime, fleet occupancy, tracked jobs).
+fn prom_metrics(state: &ServerState) -> Response {
+    let guard = state.ensemble.read().unwrap();
+    let Some(ensemble) = guard.as_ref() else {
+        return Response::json(503, error_body("shutting_down", "ensemble stopped"));
+    };
+    let fleet = ensemble.fleet();
+    let extras = vec![
+        (
+            "server.uptime_seconds".to_string(),
+            state.started.elapsed().as_secs_f64(),
+        ),
+        ("fleet.ranks_busy".to_string(), fleet.ranks_busy),
+        ("fleet.queue_depth".to_string(), fleet.queue_depth),
+        (
+            "fleet.jobs_completed".to_string(),
+            fleet.jobs_completed as f64,
+        ),
+        ("fleet.jobs_failed".to_string(), fleet.jobs_failed as f64),
+        (
+            "live.tracked_jobs".to_string(),
+            state.collector.tracked_jobs() as f64,
+        ),
+    ];
+    Response::prometheus(prom::render(&state.metrics.snapshot(), &extras))
+}
+
+/// `GET /v1/jobs[?tenant=name]`: every job this process knows, with its
+/// current state (queue position for queued jobs), newest first.
+fn list_jobs(state: &ServerState, req: &Request) -> Response {
+    let filter = req
+        .path
+        .split_once('?')
+        .map(|(_, q)| q)
+        .and_then(|q| {
+            q.split('&')
+                .find_map(|kv| kv.strip_prefix("tenant=").map(str::to_string))
+        })
+        .filter(|t| !t.is_empty());
+    let guard = state.ensemble.read().unwrap();
+    let Some(ensemble) = guard.as_ref() else {
+        return Response::json(503, error_body("shutting_down", "ensemble stopped"));
+    };
+    let jobs = state.jobs.lock().unwrap();
+    let mut entries: Vec<(u64, JobId, Option<String>)> = jobs
+        .iter()
+        .filter(|(_, (_, tenant))| match &filter {
+            Some(f) => tenant.as_deref() == Some(f.as_str()),
+            None => true,
+        })
+        .map(|(&durable, &(eid, ref tenant))| (durable, eid, tenant.clone()))
+        .collect();
+    drop(jobs);
+    entries.sort_by_key(|&(durable, _, _)| std::cmp::Reverse(durable));
+    let mut out = Vec::new();
+    for (durable, eid, tenant) in entries {
+        let Some(view) = ensemble.status(eid) else {
+            continue;
+        };
+        let mut v = view_to_value(durable, &view);
+        if let Some(fields) = v.as_obj_mut() {
+            // Terminal records already carry `tenant`; only fill the gap
+            // for queued/running views, so keys stay unique.
+            if !fields.iter().any(|(k, _)| k == "tenant") {
+                fields.push(("tenant".to_string(), tenant.map_or(Value::Null, Value::Str)));
+            }
+            if let Some(trace) = state.collector.trace_of(durable) {
+                fields.push(("trace".to_string(), Value::Str(trace.encode())));
+            }
+        }
+        out.push(v);
+    }
+    let body = Value::obj(vec![
+        ("count", Value::Num(out.len() as f64)),
+        ("jobs", Value::Arr(out)),
     ]);
     Response::json(200, body.to_string())
+}
+
+/// `GET /v1/jobs/{id}/trace`: the live span view — trace id, per-attempt
+/// spans, last committed checkpoint, and the per-phase breakdown (wall
+/// clock while running, authoritative virtual seconds once finished).
+fn job_trace(state: &ServerState, id_text: &str) -> Response {
+    let (durable, eid) = match lookup(state, id_text) {
+        Ok(pair) => pair,
+        Err(resp) => return resp,
+    };
+    let Some(mut view) = state.collector.job_view(durable) else {
+        return Response::json(
+            404,
+            error_body("no_trace", &format!("job {durable} has no trace recorded")),
+        );
+    };
+    // Fold the scheduler's current verdict in, so one endpoint answers
+    // "where is my job and what has it done so far".
+    let guard = state.ensemble.read().unwrap();
+    if let Some(ensemble) = guard.as_ref() {
+        if let Some(job_view) = ensemble.status(eid) {
+            let label = match &job_view {
+                JobView::Queued { .. } => "queued".to_string(),
+                JobView::Running { .. } => "running".to_string(),
+                JobView::Done(record) => record.status.label(),
+            };
+            if let Some(fields) = view.as_obj_mut() {
+                fields.push(("state".to_string(), Value::Str(label)));
+            }
+        }
+    }
+    Response::json(200, view.to_string())
 }
 
 /// Map a scheduler rejection onto HTTP.
@@ -430,15 +803,9 @@ fn tenant_of(req: &Request) -> Option<String> {
         .map(str::to_string)
 }
 
-/// Metric key for a tenant: policy-named tenants keep their (operator-
-/// controlled) name; every other client-supplied name buckets under
-/// `other` so the registry's key space stays bounded.
+/// Tenant metric key, bounded by the policy's name set.
 fn tenant_metric_label<'a>(state: &'a ServerState, tenant: Option<&'a str>) -> &'a str {
-    match tenant {
-        None => "anonymous",
-        Some(t) if state.known_tenants.iter().any(|k| k == t) => t,
-        Some(_) => "other",
-    }
+    bounded_tenant(&state.known_tenants, tenant)
 }
 
 fn submit(state: &Arc<ServerState>, req: &Request) -> Response {
@@ -474,12 +841,20 @@ fn submit(state: &Arc<ServerState>, req: &Request) -> Response {
         return Response::json(503, error_body("shutting_down", "ensemble stopped"));
     };
     let durable = state.next_durable.fetch_add(1, Ordering::Relaxed);
-    let spec = request.to_spec(
-        tenant.as_deref(),
-        durable,
-        checkpoint_dir(&state.cfg.journal_dir, durable),
-    );
+    // Mint the trace context here, at the edge: this id links the HTTP
+    // request, the journal record, every scheduler decision, every
+    // retry attempt and the rank-level phase spans underneath it.
+    let trace = TraceContext::new_root();
     let tenant_label = tenant_metric_label(state, tenant.as_deref()).to_string();
+    state.collector.begin_job(durable, trace, &tenant_label);
+    let spec = request
+        .to_spec(
+            tenant.as_deref(),
+            durable,
+            checkpoint_dir(&state.cfg.journal_dir, durable),
+        )
+        .with_trace(trace)
+        .with_sink(state.collector.sink(durable));
     // Deterministic rejections (quota, unknown tenant, queue full) are
     // answered before the write-ahead record: there is nothing durable
     // about a job that was never admitted, and journaling every bounce
@@ -491,15 +866,20 @@ fn submit(state: &Arc<ServerState>, req: &Request) -> Response {
             .metrics
             .counter(&format!("tenant.{tenant_label}.rejected"))
             .inc();
+        state.collector.forget(durable);
         return submit_error_response(&e);
     }
     // Write-ahead: the journal learns about the job before the scheduler
     // does, so a crash between the two resurrects (at worst) a job the
     // client was never acked — re-running it is idempotent, losing an
-    // acked job is not.
-    state
-        .journal
-        .submitted(durable, tenant.as_deref(), &request.raw);
+    // acked job is not. The trace context rides in the record, so the
+    // resurrected job keeps its trace id.
+    state.journal.submitted(
+        durable,
+        tenant.as_deref(),
+        Some(&trace.encode()),
+        &request.raw,
+    );
     match ensemble.try_submit(spec) {
         Ok(eid) => {
             state.jobs.lock().unwrap().insert(durable, (eid, tenant));
@@ -510,6 +890,7 @@ fn submit(state: &Arc<ServerState>, req: &Request) -> Response {
             let body = Value::obj(vec![
                 ("id", Value::Num(durable as f64)),
                 ("state", Value::Str("queued".into())),
+                ("trace", Value::Str(trace.encode())),
             ]);
             Response::json(202, body.to_string())
         }
@@ -522,6 +903,7 @@ fn submit(state: &Arc<ServerState>, req: &Request) -> Response {
                 .metrics
                 .counter(&format!("tenant.{tenant_label}.rejected"))
                 .inc();
+            state.collector.forget(durable);
             submit_error_response(&e)
         }
     }

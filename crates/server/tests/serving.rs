@@ -439,6 +439,171 @@ fn tenant_metric_keys_are_bounded_to_the_policy() {
 }
 
 #[test]
+fn trace_links_submit_journal_attempts_and_phases() {
+    let dir = temp_dir("trace");
+    let server = AgcmServer::start(server_config(dir.clone(), EnsembleConfig::default())).unwrap();
+    let addr = server.local_addr();
+
+    // The 202 ack carries the trace context minted at the edge.
+    let resp = post_job(addr, Some("alice"), &job_body("traced", 2, 4)).unwrap();
+    let id = submitted_id(&resp);
+    let trace = resp
+        .json()
+        .get("trace")
+        .and_then(Value::as_str)
+        .expect("submit ack carries the trace context")
+        .to_string();
+    let root = agcm_telemetry::TraceContext::parse(&trace).expect("ack trace parses");
+    wait_for_state(addr, id, "completed");
+
+    // The live trace view links back to the same trace id and shows the
+    // attempt span tree plus per-rank phase breakdown.
+    let view = get(addr, &format!("/v1/jobs/{id}/trace")).unwrap();
+    assert_eq!(view.status, 200, "body: {}", view.body);
+    let v = view.json();
+    assert_eq!(
+        v.get("trace").and_then(Value::as_str),
+        Some(root.trace_hex().as_str()),
+        "trace id must link ack to live view: {}",
+        view.body
+    );
+    let attempts = v.get("attempts").and_then(Value::as_arr).unwrap();
+    assert!(!attempts.is_empty(), "at least one attempt span");
+    assert_eq!(
+        attempts[0].get("parent").and_then(Value::as_str),
+        Some(root.span_hex().as_str()),
+        "attempt spans are children of the request's root span"
+    );
+    assert_eq!(
+        v.get("phase_domain").and_then(Value::as_str),
+        Some("virtual")
+    );
+    let phases = v.get("phases").and_then(Value::as_obj).unwrap();
+    assert!(!phases.is_empty(), "phase breakdown present: {}", view.body);
+
+    // live_view_consistent: the finished job's live phase totals are the
+    // post-hoc summary's phase_seconds, value for value.
+    let result = get(addr, &format!("/v1/jobs/{id}/result")).unwrap();
+    let summary_phases = result.json();
+    let summary_phases = summary_phases
+        .get("summary")
+        .unwrap()
+        .get("phase_seconds")
+        .and_then(Value::as_obj)
+        .expect("summary has phase_seconds")
+        .to_vec();
+    for (name, secs) in &summary_phases {
+        let live = phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_f64())
+            .unwrap_or_else(|| panic!("phase {name} missing from live view"));
+        let want = secs.as_f64().unwrap();
+        assert!(
+            (live - want).abs() <= 1e-9,
+            "phase {name}: live {live} != summary {want}"
+        );
+    }
+
+    // The list endpoint sees the job, with tenant filtering.
+    let list = get(addr, "/v1/jobs").unwrap().json();
+    assert_eq!(list.get("count").and_then(Value::as_f64), Some(1.0));
+    let list = get(addr, "/v1/jobs?tenant=alice").unwrap().json();
+    let jobs = list.get("jobs").and_then(Value::as_arr).unwrap();
+    assert_eq!(jobs.len(), 1);
+    assert_eq!(jobs[0].get("id").and_then(Value::as_f64), Some(id as f64));
+    assert_eq!(
+        jobs[0].get("trace").and_then(Value::as_str),
+        Some(trace.as_str())
+    );
+    let list = get(addr, "/v1/jobs?tenant=nobody").unwrap().json();
+    assert_eq!(list.get("count").and_then(Value::as_f64), Some(0.0));
+
+    // The Prometheus endpoint parses as text exposition format.
+    let prom = get(addr, "/metrics").unwrap();
+    assert_eq!(prom.status, 200);
+    let stats = agcm_telemetry::prom::validate(&prom.body).expect("exposition parses");
+    assert!(stats.counters >= 1 && stats.gauges >= 1 && stats.histograms >= 1);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_id_survives_kill_and_restart() {
+    let dir = temp_dir("tracerestart");
+    let ensemble = EnsembleConfig {
+        rank_budget: 1,
+        ..EnsembleConfig::default()
+    };
+    let server = AgcmServer::start(server_config(dir.clone(), ensemble.clone())).unwrap();
+    let addr = server.local_addr();
+    let resp = post_job(addr, None, &job_body("crashy", 1, 5000)).unwrap();
+    let id = submitted_id(&resp);
+    let trace = resp
+        .json()
+        .get("trace")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+    wait_for_state(addr, id, "running");
+    server.abort(); // crash
+
+    // The restarted server re-attaches the journaled trace context: the
+    // resumed job keeps its trace id, so a tracing backend sees one
+    // trace spanning the crash.
+    let server = AgcmServer::start(server_config(dir.clone(), ensemble)).unwrap();
+    let addr = server.local_addr();
+    let root = agcm_telemetry::TraceContext::parse(&trace).unwrap();
+    let view = get(addr, &format!("/v1/jobs/{id}/trace")).unwrap();
+    assert_eq!(view.status, 200, "body: {}", view.body);
+    assert_eq!(
+        view.json().get("trace").and_then(Value::as_str),
+        Some(root.trace_hex().as_str()),
+        "trace id must survive the crash: {}",
+        view.body
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slo_burn_counters_accumulate_under_bounded_labels() {
+    let dir = temp_dir("slo");
+    let cfg = ServerConfig {
+        // Impossible objectives: every completed job burns both budgets.
+        slo: Some(agcm_server::SloPolicy::uniform(0.0, 0.0)),
+        ..server_config(dir.clone(), EnsembleConfig::default())
+    };
+    let server = AgcmServer::start(cfg).unwrap();
+    let addr = server.local_addr();
+    let id = submitted_id(&post_job(addr, None, &job_body("burner", 1, 2)).unwrap());
+    wait_for_state(addr, id, "completed");
+
+    let m = get(addr, "/v1/metrics").unwrap().json();
+    let counters = m.get("server").unwrap().get("counters").unwrap().clone();
+    assert_eq!(
+        counters
+            .get("slo.anonymous.queue_burn")
+            .and_then(Value::as_f64),
+        Some(1.0),
+        "queue SLO burn counted: {counters:?}"
+    );
+    assert_eq!(
+        counters
+            .get("slo.anonymous.latency_burn")
+            .and_then(Value::as_f64),
+        Some(1.0),
+        "latency SLO burn counted"
+    );
+    assert!(m.get("slo").is_some(), "objectives surfaced in /v1/metrics");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn graceful_shutdown_does_not_resurrect_finished_jobs() {
     let dir = temp_dir("graceful");
     let server = AgcmServer::start(server_config(dir.clone(), EnsembleConfig::default())).unwrap();

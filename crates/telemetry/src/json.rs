@@ -82,6 +82,14 @@ impl Value {
         }
     }
 
+    /// Mutable view of an object's fields, for appending in place.
+    pub fn as_obj_mut(&mut self) -> Option<&mut Vec<(String, Value)>> {
+        match self {
+            Value::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// Parse a JSON document under the default [`ParseLimits`]. Returns a
     /// typed error with a byte offset on malformed input.
     pub fn parse(text: &str) -> Result<Value, ParseError> {

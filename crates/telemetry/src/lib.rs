@@ -25,7 +25,16 @@
 //! * [`sink`] — the [`TelemetrySink`] trait with null, in-memory and file
 //!   implementations. The default is the null sink, and every instrumented
 //!   call site gates on [`TelemetrySink::enabled`], so a model run with
-//!   telemetry off pays a single atomic load and **zero allocations**.
+//!   telemetry off pays a single atomic load and **zero allocations**;
+//! * [`tracectx`] — dependency-free span contexts ([`TraceContext`]): one
+//!   128-bit trace id per request, deterministic child span ids per
+//!   attempt, hex round-trip for journaling;
+//! * [`live`] — the [`LiveCollector`] streaming aggregator: per-job live
+//!   views (attempts, last checkpoint, phase breakdown so far) and
+//!   windowed per-phase/per-tenant rollups, folded incrementally from
+//!   sink events rather than post-hoc replay;
+//! * [`prom`] — Prometheus text exposition of a [`MetricsSnapshot`], plus
+//!   a strict validator for smoke checks.
 //!
 //! ## The global handle
 //!
@@ -40,18 +49,23 @@ pub mod chrome;
 pub mod commmatrix;
 pub mod critical;
 pub mod json;
+pub mod live;
 pub mod metrics;
+pub mod prom;
 pub mod run;
 pub mod sink;
 pub mod timeline;
+pub mod tracectx;
 
 pub use analysis::{analyze, MessageFlow, RankWait, TraceAnalysis, WaitReport};
 pub use commmatrix::{CommCell, CommMatrix};
 pub use critical::{CriticalPath, CriticalSegment, SegmentKind};
+pub use live::{JobSink, LiveCollector};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use run::{ResilienceCounters, RunMetrics, RunSummary, StepMetrics};
 pub use sink::{FileSink, MemorySink, NullSink, TelemetrySink};
 pub use timeline::{Span, Timeline};
+pub use tracectx::TraceContext;
 
 use agcm_costmodel::machine::MachineProfile;
 use agcm_mps::trace::WorldTrace;

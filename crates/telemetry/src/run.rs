@@ -200,6 +200,17 @@ impl RunMetrics {
         trace: &WorldTrace,
         machine: &MachineProfile,
     ) -> Result<RunMetrics, Vec<PhaseFault>> {
+        RunMetrics::from_trace_with_timeline(trace, machine).map(|(m, _)| m)
+    }
+
+    /// Like [`from_trace`](RunMetrics::from_trace), but also hands back the
+    /// [`Timeline`] the metrics were derived from, so callers that need
+    /// span-level data (e.g. streaming per-rank phase totals into a live
+    /// sink) replay the trace exactly once.
+    pub fn from_trace_with_timeline(
+        trace: &WorldTrace,
+        machine: &MachineProfile,
+    ) -> Result<(RunMetrics, Timeline), Vec<PhaseFault>> {
         let timeline = Timeline::from_trace(trace, machine)?;
         let mut metrics = RunMetrics::from_timeline(trace, &timeline);
         // Machine-dependent wait analysis (the timeline already validated
@@ -208,7 +219,7 @@ impl RunMetrics {
             crate::analysis::WaitReport::from_trace(trace, machine).expect("trace validated above");
         metrics.summary.wait_seconds = waits.ranks.iter().map(|r| r.wait).collect();
         metrics.summary.idle_imbalance = waits.idle_imbalance();
-        Ok(metrics)
+        Ok((metrics, timeline))
     }
 
     /// Derive all metrics from a trace and its already-built timeline.

@@ -14,6 +14,13 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
 /// A destination for telemetry records.
+///
+/// Beyond the original step/run records, sinks can receive *live* events
+/// streamed while a job runs: attempt starts, checkpoint commits, wall-
+/// clock phase durations as ranks finish phases, and the authoritative
+/// per-rank virtual phase totals at end of run. All live methods default
+/// to no-ops taking only scalar arguments, so the disabled path stays
+/// allocation-free and existing sinks need no changes.
 pub trait TelemetrySink: Send + Sync {
     /// Whether this sink wants records. Callers must check this before
     /// building a record, so disabled telemetry costs nothing.
@@ -26,6 +33,22 @@ pub trait TelemetrySink: Send + Sync {
 
     /// Record a run summary.
     fn record_run(&self, run: &RunSummary);
+
+    /// A new execution attempt started (0 = first). `resumed_from` is the
+    /// checkpoint step the attempt resumed at (`None` = cold start).
+    fn record_attempt(&self, _attempt: u64, _resumed_from: Option<u64>) {}
+
+    /// A coordinated checkpoint committed through `step`.
+    fn record_checkpoint(&self, _step: u64) {}
+
+    /// One rank finished one phase, measured in wall-clock seconds on
+    /// this machine. Streamed live, mid-run; approximate by nature.
+    fn record_live_phase(&self, _rank: u32, _phase: &str, _wall_seconds: f64) {}
+
+    /// Authoritative per-rank virtual seconds accumulated in one phase
+    /// over the successful attempt (from the cost-model timeline), with
+    /// the number of spans folded in. Streamed once at end of run.
+    fn record_rank_phase(&self, _rank: u32, _phase: &str, _virt_seconds: f64, _spans: u64) {}
 }
 
 /// Discards everything; reports itself disabled.

@@ -1,12 +1,16 @@
 //! Acceptance-criterion test: with the default null sink, every
 //! instrumented code path performs **zero heap allocations** — counter,
 //! gauge and histogram updates, the enabled-gate, the end-of-run
-//! `observe_trace` call, and null-sink record delivery. A counting global
-//! allocator gates the whole binary, so this file holds exactly one test.
+//! `observe_trace` call, null-sink record delivery (including the live
+//! tracing hooks: attempts, checkpoints, live and rank phases), and
+//! trace-context derivation plus stack-buffer hex encoding. A counting
+//! global allocator gates the whole binary, so this file holds exactly
+//! one test.
 
 use agcm_telemetry::run::StepMetrics;
 use agcm_telemetry::sink::{NullSink, TelemetrySink};
-use agcm_telemetry::{registry, telemetry};
+use agcm_telemetry::tracectx::{hex16, hex32};
+use agcm_telemetry::{registry, telemetry, TraceContext};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -64,6 +68,11 @@ fn disabled_telemetry_allocates_nothing() {
         phase_flop_imbalance: vec![],
     };
     let null = NullSink;
+    // Root minting allocates (RandomState); it happens once per request,
+    // outside the hot loop — exactly how `submit` is written.
+    let root = TraceContext::new_root();
+    let mut b32 = [0u8; 32];
+    let mut b16 = [0u8; 16];
 
     // Warm-up (also faults in the lazily-created global handle state).
     assert!(!telemetry().enabled());
@@ -81,8 +90,20 @@ fn disabled_telemetry_allocates_nothing() {
         }
         // End-of-run hook with nothing installed: returns immediately.
         assert!(telemetry().observe_trace(&trace, None).is_none());
-        // Direct null-sink delivery is also free.
+        // Direct null-sink delivery is also free, including the live
+        // tracing hooks a disabled scheduler still invokes through the
+        // trait's default no-op bodies.
         null.record_step(&prebuilt);
+        null.record_attempt(i as u64, Some(i as u64));
+        null.record_checkpoint(i as u64);
+        null.record_live_phase(0, "fd", 1e-3);
+        null.record_rank_phase(0, "fd", 1e-3, 1);
+        // Span-context derivation and hex encoding on the disabled path:
+        // deterministic child ids and fixed stack buffers, no heap.
+        let attempt_span = root.child(i as u64);
+        assert_ne!(attempt_span.span_id, 0);
+        assert_eq!(hex32(attempt_span.trace_id, &mut b32).len(), 32);
+        assert_eq!(hex16(attempt_span.span_id, &mut b16).len(), 16);
     }
     COUNTING.store(false, Ordering::SeqCst);
     let count = ALLOCS.load(Ordering::SeqCst);
