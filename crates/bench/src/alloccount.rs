@@ -1,0 +1,73 @@
+//! A counting global allocator for allocation-freedom checks.
+//!
+//! The `reproduce` binary installs [`CountingAlloc`] as its
+//! `#[global_allocator]`; harness code then brackets a hot section with
+//! [`arm`]/[`disarm`] and reads [`count`]. Counting is **per thread** (a
+//! thread-local flag), so allocations on other threads — the profiler's
+//! sampler, rank workers — never pollute the measurement. When the
+//! allocator is not installed (unit tests of this crate, for instance)
+//! [`installed`] reports `false` and any "allocation-free" check must be
+//! treated as not-run rather than trivially passed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+fn counting() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
+/// The allocator. Declare it in a binary:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: agcm_bench::alloccount::CountingAlloc = CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        INSTALLED.store(true, Ordering::Relaxed);
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Whether [`CountingAlloc`] is actually this process's global allocator.
+/// Becomes true on the first allocation it services (any real program
+/// allocates long before a check runs).
+pub fn installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// Zero the counter and start counting this thread's allocations.
+pub fn arm() {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+}
+
+/// Stop counting and return the number of allocations (and reallocations)
+/// this thread performed since [`arm`].
+pub fn disarm() -> usize {
+    COUNTING.with(|c| c.set(false));
+    ALLOCS.load(Ordering::SeqCst)
+}

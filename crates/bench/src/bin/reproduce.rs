@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of Lou & Farrara (SC'96).
 //!
 //! ```text
-//! reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|bench-kernels|trace|bench-check]
+//! reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|bench-kernels|trace|bench-check|profile]
 //! ```
 //!
 //! `bench-filter` is the filter fast-path regression benchmark: it times
@@ -20,10 +20,21 @@
 //! `metrics.jsonl` (one structured record per step and per run), then
 //! validates both artifacts and exits non-zero if they are malformed.
 //!
-//! `bench-check` re-times the filter and dynamics kernels and compares
-//! against the committed `BENCH_filter.json` and `BENCH_kernels.json`,
-//! failing on a >25% speedup regression (tolerance override:
-//! `AGCM_BENCH_TOLERANCE`).
+//! `bench-check` re-times the filter and dynamics kernels and judges each
+//! speedup against the *trend* of recent runs recorded in
+//! `bench_history.jsonl` (median − 3·MAD over the newest window); with
+//! fewer than 5 recorded runs it falls back to the committed
+//! `BENCH_filter.json` / `BENCH_kernels.json` value divided by the
+//! tolerance (override: `AGCM_BENCH_TOLERANCE`). Every verdict lands in
+//! `bench_check.json`, and a failure names the metric with its observed,
+//! committed, and floor values. `bench-filter`, `bench-kernels`, and
+//! `bench-check` itself all append their measurements to the history.
+//!
+//! `profile` runs a short instrumented model under the in-process
+//! sampling profiler and writes `profile_folded.txt`, `flamegraph.svg`,
+//! and `profile.json` with the measured-vs-modeled skew report; four
+//! machine-checked invariants print as grep-able `name:ok` lines and a
+//! failure exits non-zero. `--smoke` keeps the run CI-sized.
 //!
 //! Each table prints the paper-reported values next to the model-measured
 //! ones. Absolute agreement is not expected (the substrate is a simulator,
@@ -49,6 +60,16 @@ use agcm_singlenode::blockarray::{
     laplace_block, laplace_block_kernel, laplace_separate, laplace_separate_kernel,
     paper_test_fields,
 };
+use std::path::Path;
+
+/// Counting allocator for the `profile` allocation-freedom check; it
+/// forwards to the system allocator and costs one thread-local read per
+/// allocation when not armed.
+#[global_allocator]
+static ALLOCATOR: agcm_bench::alloccount::CountingAlloc = agcm_bench::alloccount::CountingAlloc;
+
+/// Where bench runs accumulate for the trend gate.
+const HISTORY_PATH: &str = "bench_history.jsonl";
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -65,6 +86,7 @@ fn main() {
         "analyze" => analyze(),
         "ensemble" => ensemble(std::env::args().nth(2).as_deref() == Some("--smoke")),
         "serve" => serve(std::env::args().nth(2).as_deref() == Some("--smoke")),
+        "profile" => profile(std::env::args().nth(2).as_deref() == Some("--smoke")),
         "bench-check" => bench_check(),
         "all" => {
             figure1();
@@ -78,7 +100,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|bench-kernels [--smoke]|trace|analyze|ensemble [--smoke]|serve [--smoke]|bench-check]");
+            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|bench-kernels [--smoke]|trace|analyze|ensemble [--smoke]|serve [--smoke]|profile [--smoke]|bench-check]");
             std::process::exit(2);
         }
     }
@@ -502,6 +524,19 @@ fn bench_filter() {
     std::fs::write("BENCH_filter.json", &json)
         .unwrap_or_else(|e| eprintln!("could not write BENCH_filter.json: {e}"));
     println!("wrote BENCH_filter.json");
+    record_history("filter", vec![("kernel_speedup".into(), speedup)]);
+}
+
+/// Append one suite's measurements to `bench_history.jsonl` for the
+/// `bench-check` trend gate. Best-effort: a read-only checkout must not
+/// fail the bench itself.
+fn record_history(suite: &str, metrics: Vec<(String, f64)>) {
+    use agcm_bench::history::{append, HistoryEntry};
+    let entry = HistoryEntry::now(suite, metrics);
+    match append(Path::new(HISTORY_PATH), &entry) {
+        Ok(()) => println!("appended {suite} run to {HISTORY_PATH}"),
+        Err(e) => eprintln!("could not append to {HISTORY_PATH}: {e}"),
+    }
 }
 
 /// `bench-kernels`: the §4 dynamics-kernel benchmark — stencil (both
@@ -569,6 +604,17 @@ fn bench_kernels(smoke: bool) {
     std::fs::write("BENCH_kernels.json", &json)
         .unwrap_or_else(|e| eprintln!("could not write BENCH_kernels.json: {e}"));
     println!("wrote BENCH_kernels.json");
+    record_history(
+        "kernels",
+        vec![
+            ("stencil.kernel_speedup".into(), b.stencil.kernel_speedup()),
+            (
+                "advection.kernel_speedup".into(),
+                b.advection.kernel_speedup(),
+            ),
+            ("tendency_step.speedup".into(), b.step.kernel_speedup()),
+        ],
+    );
 }
 
 /// Time the filter kernel both ways. Shared by `bench-filter` (which
@@ -885,10 +931,81 @@ fn serve(smoke: bool) {
     }
 }
 
-/// `bench-check`: re-time the filter and dynamics kernels and fail when a
-/// measured speedup falls more than the tolerance below its committed
-/// `BENCH_filter.json` / `BENCH_kernels.json` value.
+/// `profile [--smoke]`: sample a real run with the in-process wall-clock
+/// profiler; write `profile_folded.txt`, `flamegraph.svg`, and
+/// `profile.json`; print the per-phase table, the measured-vs-modeled
+/// skew table, and the machine-check `name:ok` lines CI greps for. Any
+/// failed invariant exits non-zero.
+fn profile(smoke: bool) {
+    use agcm_bench::profile::run_profile;
+
+    println!("\n=== In-process sampling profile: measured wall vs modeled virtual time ===\n");
+    let r = run_profile(smoke);
+
+    let mut t = Table::new(
+        format!(
+            "Sampled phases, {} samples at {:.0} Hz over {:.3}s wall",
+            r.report.total_samples, r.report.hz, r.report.wall_seconds
+        ),
+        &["Phase", "self", "total", "self %"],
+    );
+    for p in r.report.phase_table() {
+        t.add_row(vec![
+            p.name.clone(),
+            format!("{}", p.self_samples),
+            format!("{}", p.total_samples),
+            fmt_pct(p.self_samples as f64 / r.report.total_samples.max(1) as f64),
+        ]);
+    }
+    println!("{t}");
+    println!("{}", r.skew.table_text());
+
+    for c in &r.checks {
+        println!(
+            "check {}: {} ({})",
+            c.name,
+            if c.ok { "ok" } else { "VIOLATED" },
+            c.detail
+        );
+    }
+    // Stable grep targets for CI, one per invariant.
+    for c in &r.checks {
+        println!("{}:{}", c.name, if c.ok { "ok" } else { "FAIL" });
+    }
+
+    if let Err(e) = std::fs::write("profile_folded.txt", r.report.folded()) {
+        eprintln!("could not write profile_folded.txt: {e}");
+        std::process::exit(1);
+    }
+    let title = if smoke {
+        "AGCM profiled run (smoke)"
+    } else {
+        "AGCM profiled run"
+    };
+    if let Err(e) = std::fs::write("flamegraph.svg", r.report.flamegraph_svg(title)) {
+        eprintln!("could not write flamegraph.svg: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write("profile.json", format!("{}\n", r.doc)) {
+        eprintln!("could not write profile.json: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote profile_folded.txt, flamegraph.svg, and profile.json");
+    if !r.all_ok() {
+        eprintln!("one or more profile checks failed");
+        std::process::exit(1);
+    }
+}
+
+/// `bench-check`: re-time the filter and dynamics kernels and judge each
+/// speedup with the trend gate — median − 3·MAD over the recent
+/// `bench_history.jsonl` runs, falling back to the committed
+/// `BENCH_filter.json` / `BENCH_kernels.json` value over the tolerance
+/// when the history is too thin. Writes every verdict to
+/// `bench_check.json`; a failure names the metric and its observed,
+/// committed, and floor values in the exit message.
 fn bench_check() {
+    use agcm_bench::history::{judge, load, series, TrendVerdict};
     use agcm_telemetry::json::Value;
 
     let tolerance = std::env::var("AGCM_BENCH_TOLERANCE")
@@ -896,42 +1013,27 @@ fn bench_check() {
         .and_then(|s| s.parse::<f64>().ok())
         .filter(|t| *t >= 1.0)
         .unwrap_or(1.25);
-    let mut ok = true;
+    let history = load(Path::new(HISTORY_PATH));
+    println!(
+        "\n=== Bench regression check: trend gate over {} recorded runs ===\n",
+        history.len()
+    );
 
-    println!("\n=== Filter kernel regression check vs BENCH_filter.json ===\n");
-    let committed = match std::fs::read_to_string("BENCH_filter.json") {
+    let committed_filter = match std::fs::read_to_string("BENCH_filter.json") {
         Ok(t) => t,
         Err(e) => {
             eprintln!("could not read BENCH_filter.json (run `reproduce bench-filter` first): {e}");
             std::process::exit(1);
         }
     };
-    let Some(committed_speedup) = Value::parse(&committed)
+    let Some(committed_speedup) = Value::parse(&committed_filter)
         .ok()
         .and_then(|v| v.get("kernel_speedup").and_then(Value::as_f64))
     else {
         eprintln!("BENCH_filter.json has no numeric 'kernel_speedup'");
         std::process::exit(1);
     };
-
-    let (_, _, t_complex, t_batched) = measure_filter_kernel();
-    let speedup = t_complex / t_batched;
-    let floor = committed_speedup / tolerance;
-    println!(
-        "committed {committed_speedup:.2}x, measured {speedup:.2}x, floor {floor:.2}x (tolerance {tolerance:.2})"
-    );
-    if speedup < floor {
-        eprintln!(
-            "FAIL: batched-kernel speedup regressed by more than {:.0}%",
-            (tolerance - 1.0) * 100.0
-        );
-        ok = false;
-    } else {
-        println!("OK: filter kernel speedup within tolerance");
-    }
-
-    println!("\n=== Dynamics kernel regression check vs BENCH_kernels.json ===\n");
-    let committed = match std::fs::read_to_string("BENCH_kernels.json") {
+    let committed_kernels = match std::fs::read_to_string("BENCH_kernels.json") {
         Ok(t) => t,
         Err(e) => {
             eprintln!(
@@ -940,7 +1042,7 @@ fn bench_check() {
             std::process::exit(1);
         }
     };
-    let Ok(doc) = Value::parse(&committed) else {
+    let Ok(doc) = Value::parse(&committed_kernels) else {
         eprintln!("BENCH_kernels.json is not valid JSON");
         std::process::exit(1);
     };
@@ -953,39 +1055,92 @@ fn bench_check() {
                 std::process::exit(1);
             })
     };
+
+    let (_, _, t_complex, t_batched) = measure_filter_kernel();
+    let filter_speedup = t_complex / t_batched;
     let b = agcm_bench::kernels::run_kernel_bench(true);
-    for (what, committed, measured) in [
+
+    // (suite, metric name in the history, committed anchor, observed)
+    let measurements = [
         (
+            "filter",
+            "kernel_speedup",
+            committed_speedup,
+            filter_speedup,
+        ),
+        (
+            "kernels",
             "stencil.kernel_speedup",
             committed_of("stencil", "kernel_speedup"),
             b.stencil.kernel_speedup(),
         ),
         (
+            "kernels",
             "advection.kernel_speedup",
             committed_of("advection", "kernel_speedup"),
             b.advection.kernel_speedup(),
         ),
         (
+            "kernels",
             "tendency_step.speedup",
             committed_of("tendency_step", "speedup"),
             b.step.kernel_speedup(),
         ),
-    ] {
-        let floor = committed / tolerance;
-        println!("{what}: committed {committed:.2}x, measured {measured:.2}x, floor {floor:.2}x");
-        if measured < floor {
-            eprintln!(
-                "FAIL: {what} regressed by more than {:.0}%",
-                (tolerance - 1.0) * 100.0
-            );
-            ok = false;
-        }
+    ];
+    let verdicts: Vec<TrendVerdict> = measurements
+        .iter()
+        .map(|(suite, metric, committed, observed)| {
+            judge(
+                &format!("{suite}.{metric}"),
+                *observed,
+                *committed,
+                tolerance,
+                &series(&history, suite, metric),
+            )
+        })
+        .collect();
+
+    for v in &verdicts {
+        println!("{} {}", if v.ok { "ok  " } else { "FAIL" }, v.describe());
     }
 
-    if !ok {
+    let delta = Value::obj(vec![
+        ("tolerance", Value::Num(tolerance)),
+        ("history_runs", Value::Num(history.len() as f64)),
+        (
+            "checks",
+            Value::Arr(verdicts.iter().map(TrendVerdict::to_json).collect()),
+        ),
+        ("ok", Value::Bool(verdicts.iter().all(|v| v.ok))),
+    ]);
+    if let Err(e) = std::fs::write("bench_check.json", format!("{delta}\n")) {
+        eprintln!("could not write bench_check.json: {e}");
+    } else {
+        println!("wrote bench_check.json");
+    }
+
+    // This run's measurements extend the trend for the next one.
+    record_history("filter", vec![("kernel_speedup".into(), filter_speedup)]);
+    record_history(
+        "kernels",
+        vec![
+            ("stencil.kernel_speedup".into(), b.stencil.kernel_speedup()),
+            (
+                "advection.kernel_speedup".into(),
+                b.advection.kernel_speedup(),
+            ),
+            ("tendency_step.speedup".into(), b.step.kernel_speedup()),
+        ],
+    );
+
+    let failed: Vec<&TrendVerdict> = verdicts.iter().filter(|v| !v.ok).collect();
+    if !failed.is_empty() {
+        for v in &failed {
+            eprintln!("FAIL: {} regressed — {}", v.metric, v.describe());
+        }
         std::process::exit(1);
     }
-    println!("\nOK: all kernel speedups within tolerance");
+    println!("\nOK: all kernel speedups within tolerance (see bench_check.json)");
 }
 
 /// §4 headline claims, checked against the measured tables.

@@ -1,0 +1,319 @@
+//! Bench-run history and the statistical trend gate.
+//!
+//! Every `reproduce bench-filter` / `bench-kernels` run appends one JSONL
+//! record per suite to `bench_history.jsonl`. `bench-check` then judges a
+//! freshly measured speedup against the *distribution* of recent runs —
+//! median minus a MAD band — instead of a single committed number, so one
+//! lucky (or unlucky) committed measurement cannot make the gate
+//! permanently too loose or too strict. With fewer than
+//! [`MIN_TREND_RUNS`] recorded runs for a metric the gate falls back to
+//! the committed value divided by the tolerance, exactly as the old
+//! single-point gate did.
+
+use agcm_telemetry::json::Value;
+use std::io::Write;
+use std::path::Path;
+
+/// Runs required before the trend gate trusts the history over the
+/// committed single-point value.
+pub const MIN_TREND_RUNS: usize = 5;
+
+/// Newest runs considered by the trend gate (older history still appends,
+/// it just ages out of the judgement window).
+pub const TREND_WINDOW: usize = 12;
+
+/// Consistency constant making the MAD estimate the standard deviation
+/// under normality.
+pub const MAD_SCALE: f64 = 1.4826;
+
+/// One recorded bench run: a suite name plus its scalar metrics.
+#[derive(Debug, Clone)]
+pub struct HistoryEntry {
+    /// Which bench wrote it (`filter`, `kernels`).
+    pub suite: String,
+    /// Milliseconds since the Unix epoch at record time.
+    pub ts_ms: u64,
+    /// Metric name → measured value (speedups, ns/point, ...).
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl HistoryEntry {
+    /// A new entry stamped with the current wall clock.
+    pub fn now(suite: &str, metrics: Vec<(String, f64)>) -> HistoryEntry {
+        let ts_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        HistoryEntry {
+            suite: suite.to_string(),
+            ts_ms,
+            metrics,
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("suite", Value::Str(self.suite.clone())),
+            ("ts_ms", Value::Num(self.ts_ms as f64)),
+            (
+                "metrics",
+                Value::obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.as_str(), Value::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Option<HistoryEntry> {
+        let suite = v.get("suite")?.as_str()?.to_string();
+        let ts_ms = v.get("ts_ms")?.as_f64()? as u64;
+        let metrics = v
+            .get("metrics")?
+            .as_obj()?
+            .iter()
+            .filter_map(|(k, val)| val.as_f64().map(|x| (k.clone(), x)))
+            .collect();
+        Some(HistoryEntry {
+            suite,
+            ts_ms,
+            metrics,
+        })
+    }
+}
+
+/// Append one entry to the history file (created if missing).
+pub fn append(path: &Path, entry: &HistoryEntry) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", entry.to_json())
+}
+
+/// Load every parseable entry, in file (= chronological) order. Corrupt
+/// lines are skipped: a torn write must not brick the gate.
+pub fn load(path: &Path) -> Vec<HistoryEntry> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| Value::parse(line).ok())
+        .filter_map(|v| HistoryEntry::from_json(&v))
+        .collect()
+}
+
+/// The recorded values of one metric, oldest first.
+pub fn series(entries: &[HistoryEntry], suite: &str, metric: &str) -> Vec<f64> {
+    entries
+        .iter()
+        .filter(|e| e.suite == suite)
+        .filter_map(|e| e.metrics.iter().find(|(k, _)| k == metric).map(|(_, v)| *v))
+        .collect()
+}
+
+/// Median of a sample (0.0 when empty).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation about `med` (unscaled).
+pub fn mad(xs: &[f64], med: f64) -> f64 {
+    let devs: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median(&devs)
+}
+
+/// What a verdict's floor was derived from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FloorBasis {
+    /// Median − 3·MAD over this many recent runs.
+    Trend(usize),
+    /// Committed value / tolerance (not enough history yet).
+    Committed,
+}
+
+impl FloorBasis {
+    /// Short label for reports (`trend(n=8)` / `committed`).
+    pub fn label(&self) -> String {
+        match self {
+            FloorBasis::Trend(n) => format!("trend(n={n})"),
+            FloorBasis::Committed => "committed".to_string(),
+        }
+    }
+}
+
+/// One metric's regression verdict.
+#[derive(Debug, Clone)]
+pub struct TrendVerdict {
+    /// Metric name (`filter.kernel_speedup`, ...).
+    pub metric: String,
+    /// Freshly measured value.
+    pub observed: f64,
+    /// The committed single-point value (fallback anchor).
+    pub committed: f64,
+    /// Minimum acceptable value; `observed < floor` fails.
+    pub floor: f64,
+    /// How the floor was derived.
+    pub basis: FloorBasis,
+    /// Whether the metric passed.
+    pub ok: bool,
+}
+
+impl TrendVerdict {
+    /// The one-line delta for reports and the failure message.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: observed {:.2}x, committed {:.2}x, floor {:.2}x ({})",
+            self.metric,
+            self.observed,
+            self.committed,
+            self.floor,
+            self.basis.label()
+        )
+    }
+
+    /// JSON record for `bench_check.json`.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("metric", Value::Str(self.metric.clone())),
+            ("observed", Value::Num(self.observed)),
+            ("committed", Value::Num(self.committed)),
+            ("floor", Value::Num(self.floor)),
+            ("basis", Value::Str(self.basis.label())),
+            ("ok", Value::Bool(self.ok)),
+        ])
+    }
+}
+
+/// Judge `observed` against the metric's recent history.
+///
+/// With ≥ [`MIN_TREND_RUNS`] recorded values, the floor is
+/// `median − max(3·1.4826·MAD, 5% of median)` over the newest
+/// [`TREND_WINDOW`] runs: a genuinely noisy metric gets a wide band, a
+/// rock-stable one still tolerates 5% jitter. Otherwise the floor is the
+/// old single-point gate, `committed / tolerance`.
+pub fn judge(
+    metric: &str,
+    observed: f64,
+    committed: f64,
+    tolerance: f64,
+    history: &[f64],
+) -> TrendVerdict {
+    let recent: &[f64] = if history.len() > TREND_WINDOW {
+        &history[history.len() - TREND_WINDOW..]
+    } else {
+        history
+    };
+    let (floor, basis) = if recent.len() >= MIN_TREND_RUNS {
+        let med = median(recent);
+        let band = (3.0 * MAD_SCALE * mad(recent, med)).max(0.05 * med);
+        (med - band, FloorBasis::Trend(recent.len()))
+    } else {
+        (committed / tolerance, FloorBasis::Committed)
+    };
+    TrendVerdict {
+        metric: metric.to_string(),
+        observed,
+        committed,
+        floor,
+        basis,
+        ok: observed >= floor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad_basics() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 100.0], 2.5), 1.0);
+    }
+
+    #[test]
+    fn sparse_history_falls_back_to_committed_gate() {
+        let v = judge("m", 2.0, 3.0, 1.25, &[3.1, 2.9]);
+        assert_eq!(v.basis, FloorBasis::Committed);
+        assert!((v.floor - 3.0 / 1.25).abs() < 1e-12);
+        assert!(!v.ok);
+    }
+
+    #[test]
+    fn trend_gate_tolerates_noise_but_catches_collapse() {
+        // Noisy-but-healthy history: observed within the band passes even
+        // though it is below the committed single-point value.
+        let hist = [3.0, 3.4, 2.8, 3.2, 3.1, 2.9, 3.3];
+        let v = judge("m", 2.75, 3.4, 1.05, &hist);
+        assert!(matches!(v.basis, FloorBasis::Trend(7)));
+        assert!(v.ok, "floor {:.3} should sit below 2.75", v.floor);
+        // A genuine collapse fails.
+        let v = judge("m", 1.0, 3.4, 1.05, &hist);
+        assert!(!v.ok);
+    }
+
+    #[test]
+    fn stable_history_still_allows_five_percent_jitter() {
+        let hist = [3.0; 8];
+        let v = judge("m", 2.9, 3.0, 1.25, &hist);
+        assert!(v.ok, "floor {:.3} must be ≤ 2.85", v.floor);
+        let v = judge("m", 2.8, 3.0, 1.25, &hist);
+        assert!(!v.ok);
+    }
+
+    #[test]
+    fn append_load_series_round_trip_and_corruption_tolerance() {
+        let dir = std::env::temp_dir().join(format!("agcm-bench-hist-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("bench_history.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        append(
+            &path,
+            &HistoryEntry::now("filter", vec![("kernel_speedup".into(), 3.5)]),
+        )
+        .unwrap();
+        // A torn line in the middle must be skipped, not fatal.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            writeln!(f, "{{\"suite\":\"filter\",\"ts_").unwrap();
+        }
+        append(
+            &path,
+            &HistoryEntry::now("filter", vec![("kernel_speedup".into(), 3.7)]),
+        )
+        .unwrap();
+        append(
+            &path,
+            &HistoryEntry::now("kernels", vec![("stencil.kernel_speedup".into(), 1.4)]),
+        )
+        .unwrap();
+
+        let entries = load(&path);
+        assert_eq!(entries.len(), 3);
+        assert_eq!(series(&entries, "filter", "kernel_speedup"), vec![3.5, 3.7]);
+        assert_eq!(
+            series(&entries, "kernels", "stencil.kernel_speedup"),
+            vec![1.4]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

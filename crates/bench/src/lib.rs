@@ -6,14 +6,24 @@
 //! * [`harness`] — traced experiment runners and the trace→seconds
 //!   conversion through `agcm-costmodel`, with the single calibration
 //!   anchor per machine (the 1×1 Dynamics entry of Tables 4/6);
+//! * [`profile`] — the `reproduce profile` report: in-process sampling
+//!   profiler over a real run, flamegraph, and the measured-vs-modeled
+//!   skew join, with machine-checked invariants;
+//! * [`history`] — `bench_history.jsonl` records and the median+MAD
+//!   trend gate behind `reproduce bench-check`;
+//! * [`alloccount`] — the counting global allocator the `reproduce`
+//!   binary installs for allocation-freedom checks;
 //! * the `reproduce` binary — prints each table with paper-reported and
 //!   model-measured columns side by side;
 //! * `benches/` — Criterion microbenchmarks for the single-node study and
 //!   the kernel-level comparisons.
 
+pub mod alloccount;
 pub mod analyze;
 pub mod ensemble;
 pub mod harness;
+pub mod history;
 pub mod kernels;
 pub mod paper;
+pub mod profile;
 pub mod serve;

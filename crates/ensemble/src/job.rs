@@ -118,6 +118,10 @@ pub struct JobSpec {
     /// id links the original request, every retry, and the rank-level
     /// phase spans — even across a server restart.
     pub trace: Option<TraceContext>,
+    /// Sampling frequency for an in-process wall-clock profile of the
+    /// job's run. `None` disables profiling (the default). Requires a
+    /// `sink` to receive the report (`TelemetrySink::record_profile`).
+    pub profile_hz: Option<f64>,
 }
 
 // `Arc<dyn TelemetrySink>` has no `Debug`; render the spec without it.
@@ -134,6 +138,7 @@ impl fmt::Debug for JobSpec {
             .field("has_plan", &self.plan.is_some())
             .field("has_sink", &self.sink.is_some())
             .field("trace", &self.trace.as_ref().map(|t| t.trace_hex()))
+            .field("profile_hz", &self.profile_hz)
             .finish()
     }
 }
@@ -154,6 +159,7 @@ impl JobSpec {
             checkpoint_dir: None,
             sink: None,
             trace: None,
+            profile_hz: None,
         }
     }
 
@@ -208,6 +214,13 @@ impl JobSpec {
     /// Builder-style: attach a distributed-tracing context.
     pub fn with_trace(mut self, trace: TraceContext) -> JobSpec {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Builder-style: sample a wall-clock profile of the run at `hz`,
+    /// delivered to the job's sink when the run finishes.
+    pub fn with_profile_hz(mut self, hz: f64) -> JobSpec {
+        self.profile_hz = Some(hz);
         self
     }
 }

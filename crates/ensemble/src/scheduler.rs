@@ -38,10 +38,12 @@ use crate::fleet::{FleetMetrics, FleetSnapshot};
 use crate::job::{CancelReason, JobId, JobRecord, JobSpec, JobStatus, Priority};
 use agcm_core::{run_model_resilient, ConfigError, ResilienceOpts};
 use agcm_costmodel::machine::MachineProfile;
-use agcm_mps::{CancelToken, SpanObserver};
+use agcm_mps::{CancelToken, FanoutObserver, SpanObserver};
 use agcm_resilience::recovery::RecoveryError;
 use agcm_resilience::RunProgress;
-use agcm_telemetry::{ResilienceCounters, RunMetrics, TelemetrySink};
+use agcm_telemetry::{
+    skew_report, ProfileConfig, Profiler, ResilienceCounters, RunMetrics, TelemetrySink,
+};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -860,18 +862,44 @@ fn run_job(
     let mut opts = ResilienceOpts::new(&dir).with_cancel(token);
     opts.max_restarts = spec.max_restarts;
     opts.plan = spec.plan.clone();
+    let mut span_obs: Vec<Arc<dyn SpanObserver>> = Vec::new();
+    let mut profiler: Option<Profiler> = None;
     if let Some(sink) = spec.sink.as_ref().filter(|s| s.enabled()) {
         let bridge = Arc::new(SinkBridge::new(Arc::clone(sink)));
-        opts = opts
-            .with_progress(Arc::clone(&bridge) as Arc<dyn RunProgress>)
-            .with_spans(bridge as Arc<dyn SpanObserver>);
+        opts = opts.with_progress(Arc::clone(&bridge) as Arc<dyn RunProgress>);
+        span_obs.push(bridge as Arc<dyn SpanObserver>);
+        // Profiling needs a sink to deliver the report to, so it is
+        // gated on the same condition as the live bridge.
+        if let Some(hz) = spec.profile_hz {
+            let p = Profiler::start(ProfileConfig::at_hz(hz));
+            span_obs.push(p.observer());
+            profiler = Some(p);
+        }
     }
+    opts = match span_obs.len() {
+        0 => opts,
+        1 => opts.with_spans(span_obs.pop().expect("one observer")),
+        _ => opts.with_spans(Arc::new(FanoutObserver::new(span_obs)) as Arc<dyn SpanObserver>),
+    };
 
     let result = catch_unwind(AssertUnwindSafe(|| run_model_resilient(spec.config, opts)));
     if ephemeral {
         let _ = std::fs::remove_dir_all(&dir);
     }
     let run_seconds = dispatched.elapsed().as_secs_f64();
+
+    // Deliver the sampled profile (if any) to the job's sink, joined
+    // against the cost model when the run completed with a usable trace.
+    if let Some(p) = profiler.take() {
+        let report = p.stop();
+        if let Some(sink) = spec.sink.as_ref().filter(|s| s.enabled()) {
+            let skew = match &result {
+                Ok(Ok(run)) => skew_report(&report, &run.trace, &shared.cfg.machine).ok(),
+                _ => None,
+            };
+            sink.record_profile(&report, skew.as_ref());
+        }
+    }
 
     let (status, attempts, outcome, summary) = match result {
         Ok(Ok(run)) => {

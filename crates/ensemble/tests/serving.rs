@@ -9,7 +9,7 @@ use agcm_ensemble::{
 use agcm_filtering::driver::FilterVariant;
 use agcm_grid::latlon::GridSpec;
 use agcm_mps::fault::FaultPlan;
-use agcm_telemetry::MemorySink;
+use agcm_telemetry::{LiveCollector, MemorySink, TraceContext};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -256,6 +256,48 @@ fn per_job_sinks_receive_only_their_jobs_records() {
     assert_eq!(sink_b.runs().len(), 1);
     assert_eq!(sink_a.runs()[0].ranks, 2);
     assert_eq!(sink_b.runs()[0].ranks, 4);
+}
+
+#[test]
+fn profiled_job_delivers_profile_and_skew_to_its_sink() {
+    let collector = Arc::new(LiveCollector::new());
+    collector.begin_job(1, TraceContext::new_root(), "alice");
+    let ensemble = Ensemble::start(quick_config());
+    let id = ensemble
+        .submit(
+            job("profiled", 2, 2, 4)
+                .with_sink(collector.sink(1))
+                .with_profile_hz(4000.0),
+        )
+        .unwrap();
+    let records = ensemble.join();
+    assert_eq!(records[0].id, id);
+    assert_eq!(records[0].status, JobStatus::Completed);
+    let view = collector
+        .job_profile(1)
+        .expect("profiled job stored a profile");
+    let data = view.get("data").unwrap();
+    let profile = data.get("profile").unwrap();
+    // The fold is always conservative, even if the smoke job ran too
+    // fast for any sample to land.
+    let total = profile
+        .get("total_samples")
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    let stacks = profile.get("stacks").unwrap().as_arr().unwrap();
+    let folded: f64 = stacks
+        .iter()
+        .map(|s| s.get("samples").and_then(|v| v.as_f64()).unwrap_or(0.0))
+        .sum();
+    assert_eq!(folded, total, "folded stacks must sum to total samples");
+    // The skew join ran against the completed run's trace.
+    let skew = data.get("skew").expect("skew present");
+    let rows = skew.get("rows").unwrap().as_arr().unwrap();
+    assert!(!rows.is_empty(), "skew join produced rows");
+    let traced = skew.get("traced_phases").and_then(|v| v.as_f64()).unwrap();
+    assert!(traced >= 3.0, "step/dynamics/physics all traced: {traced}");
+    // An unprofiled job stores nothing.
+    assert!(collector.job_profile(999).is_none());
 }
 
 #[test]

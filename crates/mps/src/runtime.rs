@@ -157,7 +157,14 @@ where
             let cancel = cancel.clone();
             let spans = spans.clone();
             let f = &f;
-            handles.push(scope.spawn(move || {
+            // Named threads register each rank with the OS (visible in
+            // debuggers and sampling profilers); the observer hooks
+            // register it with any live SpanObserver.
+            let builder = std::thread::Builder::new().name(format!("agcm-rank-{rank}"));
+            let handle = builder.spawn_scoped(scope, move || {
+                if let Some(s) = &spans {
+                    s.rank_started(rank);
+                }
                 let shared = RankShared::new(
                     Arc::clone(&world),
                     rank,
@@ -165,7 +172,7 @@ where
                     trace,
                     fault.clone(),
                     cancel,
-                    spans,
+                    spans.clone(),
                 );
                 let comm = Comm::world(shared);
                 let result = catch_unwind(AssertUnwindSafe(|| f(&comm)));
@@ -183,8 +190,12 @@ where
                 // peer that observes the flag down will find every message
                 // this rank ever sent already in its channel.
                 world.alive[rank].store(false, Ordering::SeqCst);
+                if let Some(s) = &spans {
+                    s.rank_finished(rank);
+                }
                 result
-            }));
+            });
+            handles.push(handle.expect("spawn rank thread"));
         }
         for (slot, handle) in results.iter_mut().zip(handles) {
             let joined = handle.join().expect("rank thread itself never panics");

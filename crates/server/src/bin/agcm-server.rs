@@ -5,19 +5,24 @@
 //!             [--rank-budget N] [--queue-capacity N]
 //!             [--tenant NAME:IN_FLIGHT:RANKS:WEIGHT]...
 //!             [--default-quota IN_FLIGHT:RANKS:WEIGHT | --strict]
-//!             [--event-log PATH] [--slo QUEUE_SECS:TOTAL_SECS]
+//!             [--event-log PATH] [--event-log-rotate BYTES:KEEP]
+//!             [--slo QUEUE_SECS:TOTAL_SECS] [--profile-hz HZ]
 //! ```
 //!
 //! With `--tenant` and no `--default-quota`, unknown tenants still get
 //! [`TenantQuota::default`]; add `--strict` to reject them with 403.
 //! Without any tenancy flag, the scheduler runs single-tenant (no
 //! quotas), exactly as the in-process ensemble does. `--event-log`
-//! appends leveled JSONL events (level via `AGCM_LOG_LEVEL`); `--slo`
+//! appends leveled JSONL events (level via `AGCM_LOG_LEVEL`), and
+//! `--event-log-rotate` caps the file at BYTES, keeping KEEP rotated
+//! generations; `--slo`
 //! sets uniform queue-wait / end-to-end latency objectives whose burn
-//! counters surface in both metrics endpoints.
+//! counters surface in both metrics endpoints. `--profile-hz` samples a
+//! wall-clock profile of every job, served at
+//! `GET /v1/jobs/{id}/profile` once the job finishes.
 
 use agcm_ensemble::{EnsembleConfig, TenantPolicy, TenantQuota};
-use agcm_server::{AgcmServer, ServerConfig, SloPolicy};
+use agcm_server::{AgcmServer, RotationPolicy, ServerConfig, SloPolicy};
 use std::path::PathBuf;
 
 fn parse_quota(text: &str) -> Result<TenantQuota, String> {
@@ -78,6 +83,20 @@ fn run() -> Result<(), String> {
             "--default-quota" => default_quota = Some(parse_quota(&take("--default-quota")?)?),
             "--strict" => strict = true,
             "--event-log" => cfg.event_log = Some(PathBuf::from(take("--event-log")?)),
+            "--event-log-rotate" => {
+                let spec = take("--event-log-rotate")?;
+                let Some((bytes, keep)) = spec.split_once(':') else {
+                    return Err(format!("expected BYTES:KEEP, got {spec:?}"));
+                };
+                cfg.event_log_rotation = Some(RotationPolicy {
+                    max_bytes: bytes
+                        .parse()
+                        .map_err(|e| format!("bad byte cap {bytes:?}: {e}"))?,
+                    keep: keep
+                        .parse()
+                        .map_err(|e| format!("bad generation count {keep:?}: {e}"))?,
+                });
+            }
             "--slo" => {
                 let spec = take("--slo")?;
                 let Some((queue, total)) = spec.split_once(':') else {
@@ -92,12 +111,22 @@ fn run() -> Result<(), String> {
                         .map_err(|e| format!("bad latency objective {total:?}: {e}"))?,
                 ));
             }
+            "--profile-hz" => {
+                let hz: f64 = take("--profile-hz")?
+                    .parse()
+                    .map_err(|e| format!("bad profile hz: {e}"))?;
+                if !hz.is_finite() || hz <= 0.0 {
+                    return Err(format!("profile hz must be positive, got {hz}"));
+                }
+                cfg.profile_hz = Some(hz);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: agcm-server [--addr A] [--journal DIR] [--rank-budget N] \
                      [--queue-capacity N] [--tenant NAME:INFLIGHT:RANKS:WEIGHT]... \
                      [--default-quota INFLIGHT:RANKS:WEIGHT | --strict] \
-                     [--event-log PATH] [--slo QUEUE_SECS:TOTAL_SECS]"
+                     [--event-log PATH] [--event-log-rotate BYTES:KEEP] \
+                     [--slo QUEUE_SECS:TOTAL_SECS] [--profile-hz HZ]"
                 );
                 return Ok(());
             }

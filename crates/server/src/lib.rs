@@ -33,5 +33,5 @@ pub mod server;
 pub use api::{JobRequest, MAX_DEADLINE_MS, MAX_RESTARTS, MAX_STEPS};
 pub use http::{HttpLimits, Request, Response};
 pub use journal::{Journal, JournalStats, LiveJob, ReplayStats};
-pub use log::{EventLog, LogLevel};
+pub use log::{EventLog, LogLevel, RotationPolicy};
 pub use server::{AgcmServer, RecoveryReport, ServerConfig, SloObjective, SloPolicy};

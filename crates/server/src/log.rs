@@ -16,12 +16,40 @@
 //! (`debug`, `info`, `warn`, `error`; default `info`), so an operator
 //! can silence access lines without a rebuild.
 
+//! With a [`RotationPolicy`] the log rotates by size: when the active
+//! file reaches the byte cap it is renamed to `<path>.1` (older
+//! generations shifting to `.2`, `.3`, ...) and a fresh file is opened,
+//! keeping at most `keep` rotated generations on disk — so a chatty
+//! server cannot fill the volume with access lines.
+
 use agcm_telemetry::json::Value;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Size-based rotation: rotate the active file once it holds
+/// `max_bytes`, keeping `keep` rotated generations (`<path>.1` newest).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RotationPolicy {
+    /// Rotate once the active file reaches this many bytes (the line
+    /// that crosses the cap is written first, then the file rotates, so
+    /// events are never split across generations).
+    pub max_bytes: u64,
+    /// Rotated generations kept; `0` means rotated files are deleted
+    /// immediately (only the active file survives).
+    pub keep: usize,
+}
+
+impl Default for RotationPolicy {
+    fn default() -> RotationPolicy {
+        RotationPolicy {
+            max_bytes: 16 * 1024 * 1024,
+            keep: 3,
+        }
+    }
+}
 
 /// Event severity, ordered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -69,6 +97,11 @@ impl LogLevel {
 
 struct Inner {
     writer: Option<BufWriter<File>>,
+    /// Bytes in the active file (counted, not stat'ed, after open).
+    written: u64,
+    /// Set only when rotation is configured.
+    path: Option<PathBuf>,
+    rotation: Option<RotationPolicy>,
 }
 
 /// The structured log sink. Appends are serialized; a write failure
@@ -83,20 +116,47 @@ impl EventLog {
     pub fn disabled() -> EventLog {
         EventLog {
             min_level: LogLevel::Error,
-            inner: Mutex::new(Inner { writer: None }),
+            inner: Mutex::new(Inner {
+                writer: None,
+                written: 0,
+                path: None,
+                rotation: None,
+            }),
         }
     }
 
-    /// Open (append) the log at `path` with the given minimum level.
+    /// Open (append) the log at `path` with the given minimum level and
+    /// no size cap.
     pub fn open(path: &Path, min_level: LogLevel) -> std::io::Result<EventLog> {
+        Self::open_with(path, min_level, None)
+    }
+
+    /// Open (append) the log at `path`, rotating by size under `policy`.
+    pub fn open_rotating(
+        path: &Path,
+        min_level: LogLevel,
+        policy: RotationPolicy,
+    ) -> std::io::Result<EventLog> {
+        Self::open_with(path, min_level, Some(policy))
+    }
+
+    fn open_with(
+        path: &Path,
+        min_level: LogLevel,
+        rotation: Option<RotationPolicy>,
+    ) -> std::io::Result<EventLog> {
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             std::fs::create_dir_all(parent)?;
         }
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let written = file.metadata().map(|m| m.len()).unwrap_or(0);
         Ok(EventLog {
             min_level,
             inner: Mutex::new(Inner {
                 writer: Some(BufWriter::new(file)),
+                written,
+                path: rotation.is_some().then(|| path.to_path_buf()),
+                rotation,
             }),
         })
     }
@@ -131,7 +191,47 @@ impl EventLog {
         // read it while the server is still running.
         if writeln!(w, "{line}").and_then(|_| w.flush()).is_err() {
             inner.writer = None;
+            return;
         }
+        inner.written += line.len() as u64 + 1;
+        if let Some(policy) = inner.rotation {
+            if inner.written >= policy.max_bytes {
+                rotate(&mut inner, policy);
+            }
+        }
+    }
+}
+
+/// Shift generations and start a fresh active file. On any filesystem
+/// error the sink is disabled (consistent with write failures) rather
+/// than risking unbounded growth with a dead cap.
+fn rotate(inner: &mut Inner, policy: RotationPolicy) {
+    // Flush and close the active file before renaming it.
+    inner.writer = None;
+    let Some(path) = inner.path.clone() else {
+        return;
+    };
+    let generation = |n: usize| PathBuf::from(format!("{}.{n}", path.display()));
+    if policy.keep == 0 {
+        let _ = std::fs::remove_file(&path);
+    } else {
+        let _ = std::fs::remove_file(generation(policy.keep));
+        for n in (1..policy.keep).rev() {
+            let from = generation(n);
+            if from.exists() {
+                let _ = std::fs::rename(&from, generation(n + 1));
+            }
+        }
+        if std::fs::rename(&path, generation(1)).is_err() {
+            return;
+        }
+    }
+    match OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(file) => {
+            inner.writer = Some(BufWriter::new(file));
+            inner.written = 0;
+        }
+        Err(_) => inner.writer = None,
     }
 }
 
@@ -180,5 +280,112 @@ mod tests {
         let log = EventLog::disabled();
         assert!(!log.enabled(LogLevel::Error));
         log.event(LogLevel::Error, "terminal", vec![]);
+    }
+
+    fn cleanup(path: &Path, keep: usize) {
+        let _ = std::fs::remove_file(path);
+        for n in 1..=keep + 1 {
+            let _ = std::fs::remove_file(format!("{}.{n}", path.display()));
+        }
+    }
+
+    #[test]
+    fn rotation_caps_the_active_file_and_keeps_n_generations() {
+        let path = scratch("rotate");
+        cleanup(&path, 2);
+        let policy = RotationPolicy {
+            max_bytes: 256,
+            keep: 2,
+        };
+        let log = EventLog::open_rotating(&path, LogLevel::Info, policy).unwrap();
+        for i in 0..40 {
+            log.event(
+                LogLevel::Info,
+                "dispatch",
+                vec![("job", Value::Num(i as f64))],
+            );
+        }
+        // The active file never holds more than one cap's worth plus the
+        // line that crossed it.
+        let active = std::fs::metadata(&path).unwrap().len();
+        assert!(
+            active < 2 * policy.max_bytes,
+            "active file is {active} bytes"
+        );
+        // Exactly `keep` generations, each a valid JSONL file.
+        for n in 1..=2 {
+            let gen_path = format!("{}.{n}", path.display());
+            let text = std::fs::read_to_string(&gen_path)
+                .unwrap_or_else(|_| panic!("generation {n} must exist"));
+            for line in text.lines() {
+                Value::parse(line).expect("rotated lines stay valid JSON");
+            }
+        }
+        assert!(
+            !Path::new(&format!("{}.3", path.display())).exists(),
+            "generation beyond keep must be deleted"
+        );
+        // Newest rotated generation holds newer events than the oldest.
+        let newest = std::fs::read_to_string(format!("{}.1", path.display())).unwrap();
+        let oldest = std::fs::read_to_string(format!("{}.2", path.display())).unwrap();
+        let first_job = |text: &str| {
+            Value::parse(text.lines().next().unwrap())
+                .unwrap()
+                .get("job")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+        };
+        assert!(first_job(&newest) > first_job(&oldest));
+        cleanup(&path, 2);
+    }
+
+    #[test]
+    fn rotation_keep_zero_discards_rotated_files() {
+        let path = scratch("rotate0");
+        cleanup(&path, 1);
+        let log = EventLog::open_rotating(
+            &path,
+            LogLevel::Info,
+            RotationPolicy {
+                max_bytes: 128,
+                keep: 0,
+            },
+        )
+        .unwrap();
+        for i in 0..20 {
+            log.event(
+                LogLevel::Info,
+                "dispatch",
+                vec![("job", Value::Num(i as f64))],
+            );
+        }
+        assert!(
+            !Path::new(&format!("{}.1", path.display())).exists(),
+            "keep=0 must not leave rotated generations"
+        );
+        assert!(std::fs::metadata(&path).unwrap().len() < 256);
+        cleanup(&path, 1);
+    }
+
+    #[test]
+    fn reopen_counts_existing_bytes_toward_the_cap() {
+        let path = scratch("rotate-reopen");
+        cleanup(&path, 1);
+        std::fs::write(&path, "x".repeat(300)).unwrap();
+        let log = EventLog::open_rotating(
+            &path,
+            LogLevel::Info,
+            RotationPolicy {
+                max_bytes: 256,
+                keep: 1,
+            },
+        )
+        .unwrap();
+        // Already over the cap: the first event lands, then rotates.
+        log.event(LogLevel::Info, "dispatch", vec![("job", Value::Num(1.0))]);
+        assert!(Path::new(&format!("{}.1", path.display())).exists());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        cleanup(&path, 1);
     }
 }

@@ -56,8 +56,16 @@ pub struct ServerConfig {
     /// decisions, recovery events). `None` disables event logging. The
     /// minimum level comes from `AGCM_LOG_LEVEL` (default `info`).
     pub event_log: Option<PathBuf>,
+    /// Size-based rotation for the event log; `None` grows one file
+    /// without bound (the pre-rotation behavior).
+    pub event_log_rotation: Option<crate::log::RotationPolicy>,
     /// Service-level objectives; `None` disables SLO burn accounting.
     pub slo: Option<SloPolicy>,
+    /// Wall-clock profile sampling frequency applied to every admitted
+    /// job. `None` disables profiling (the default). When set, each
+    /// finished job's folded-stack profile and measured-vs-modeled skew
+    /// report are served at `GET /v1/jobs/{id}/profile`.
+    pub profile_hz: Option<f64>,
 }
 
 /// One tenant's service-level objectives, evaluated per completed job.
@@ -122,7 +130,9 @@ impl Default for ServerConfig {
             io_timeout: Duration::from_secs(30),
             max_connections: 128,
             event_log: None,
+            event_log_rotation: None,
             slo: None,
+            profile_hz: None,
         }
     }
 }
@@ -272,9 +282,12 @@ impl AgcmServer {
     pub fn start(cfg: ServerConfig) -> std::io::Result<AgcmServer> {
         let (journal, live, replay) = Journal::open(&cfg.journal_dir)?;
         let journal = Arc::new(journal);
-        let log = Arc::new(match &cfg.event_log {
-            Some(path) => EventLog::open(path, LogLevel::from_env())?,
-            None => EventLog::disabled(),
+        let log = Arc::new(match (&cfg.event_log, cfg.event_log_rotation) {
+            (Some(path), Some(policy)) => {
+                EventLog::open_rotating(path, LogLevel::from_env(), policy)?
+            }
+            (Some(path), None) => EventLog::open(path, LogLevel::from_env())?,
+            (None, _) => EventLog::disabled(),
         });
         let metrics = Arc::new(MetricsRegistry::default());
         let collector = Arc::new(LiveCollector::new());
@@ -333,6 +346,10 @@ impl AgcmServer {
                 )
                 .with_trace(trace)
                 .with_sink(collector.sink(job.id));
+            let spec = match cfg.profile_hz {
+                Some(hz) => spec.with_profile_hz(hz),
+                None => spec,
+            };
             match ensemble.resubmit(spec) {
                 Ok(eid) => {
                     jobs.insert(job.id, (eid, job.tenant.clone()));
@@ -560,6 +577,7 @@ const ROUTE_LABELS: &[&str] = &[
     "get_job",
     "get_result",
     "get_trace",
+    "get_profile",
     "delete_job",
     "other",
 ];
@@ -607,6 +625,7 @@ fn handle(state: &Arc<ServerState>, req: &Request) -> (&'static str, Response) {
         ("GET", ["v1", "jobs", id]) => ("get_job", job_status(state, id, false)),
         ("GET", ["v1", "jobs", id, "result"]) => ("get_result", job_status(state, id, true)),
         ("GET", ["v1", "jobs", id, "trace"]) => ("get_trace", job_trace(state, id)),
+        ("GET", ["v1", "jobs", id, "profile"]) => ("get_profile", job_profile(state, id)),
         ("DELETE", ["v1", "jobs", id]) => ("delete_job", cancel(state, id)),
         (_, ["v1", "jobs", ..]) | (_, ["v1", "metrics"]) | (_, ["healthz"]) | (_, ["metrics"]) => (
             "other",
@@ -783,6 +802,27 @@ fn job_trace(state: &ServerState, id_text: &str) -> Response {
     Response::json(200, view.to_string())
 }
 
+/// `GET /v1/jobs/{id}/profile`: the job's sampled wall-clock profile —
+/// folded stacks, per-phase self/total sample table, and the
+/// measured-vs-modeled skew report — recorded when the run finished.
+/// 404 until then (or when the server runs without `profile_hz`).
+fn job_profile(state: &ServerState, id_text: &str) -> Response {
+    let (durable, _) = match lookup(state, id_text) {
+        Ok(pair) => pair,
+        Err(resp) => return resp,
+    };
+    match state.collector.job_profile(durable) {
+        Some(view) => Response::json(200, view.to_string()),
+        None => Response::json(
+            404,
+            error_body(
+                "no_profile",
+                &format!("job {durable} has no profile recorded (still running, or profiling is disabled)"),
+            ),
+        ),
+    }
+}
+
 /// Map a scheduler rejection onto HTTP.
 fn submit_error_response(e: &SubmitError) -> Response {
     let (status, label) = match e {
@@ -855,6 +895,10 @@ fn submit(state: &Arc<ServerState>, req: &Request) -> Response {
         )
         .with_trace(trace)
         .with_sink(state.collector.sink(durable));
+    let spec = match state.cfg.profile_hz {
+        Some(hz) => spec.with_profile_hz(hz),
+        None => spec,
+    };
     // Deterministic rejections (quota, unknown tenant, queue full) are
     // answered before the write-ahead record: there is nothing durable
     // about a job that was never admitted, and journaling every bounce

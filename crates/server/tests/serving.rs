@@ -99,6 +99,66 @@ fn submit_poll_and_fetch_result() {
 }
 
 #[test]
+fn profiled_job_serves_profile_and_skew_over_http() {
+    let dir = temp_dir("profile");
+    let cfg = ServerConfig {
+        profile_hz: Some(4000.0),
+        ..server_config(dir.clone(), EnsembleConfig::default())
+    };
+    let server = AgcmServer::start(cfg).unwrap();
+    let addr = server.local_addr();
+
+    let id = submitted_id(&post_job(addr, None, &job_body("profiled", 2, 6)).unwrap());
+    wait_for_state(addr, id, "completed");
+
+    let resp = get(addr, &format!("/v1/jobs/{id}/profile")).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let v = resp.json();
+    assert_eq!(v.get("job").unwrap().as_f64(), Some(id as f64));
+    assert!(v.get("trace").is_some(), "profile links its trace id");
+    let profile = v.get("data").unwrap().get("profile").unwrap();
+    let total = profile.get("total_samples").unwrap().as_f64().unwrap();
+    let folded_sum: f64 = profile
+        .get("stacks")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|s| s.get("samples").unwrap().as_f64().unwrap())
+        .sum();
+    assert_eq!(folded_sum, total, "sample conservation over HTTP");
+    let skew = v.get("data").unwrap().get("skew").unwrap();
+    let rows = skew.get("rows").unwrap().as_arr().unwrap();
+    assert!(!rows.is_empty(), "skew report has per-phase rows");
+
+    // Unknown job: not_found, not a profile-specific error.
+    let missing = get(addr, "/v1/jobs/999999/profile").unwrap();
+    assert_eq!(missing.status, 404);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn profile_is_404_when_profiling_is_disabled() {
+    let dir = temp_dir("profile-off");
+    let server = AgcmServer::start(server_config(dir.clone(), EnsembleConfig::default())).unwrap();
+    let addr = server.local_addr();
+
+    let id = submitted_id(&post_job(addr, None, &job_body("plain", 1, 2)).unwrap());
+    wait_for_state(addr, id, "completed");
+    let resp = get(addr, &format!("/v1/jobs/{id}/profile")).unwrap();
+    assert_eq!(resp.status, 404, "body: {}", resp.body);
+    assert_eq!(
+        resp.json().get("error").unwrap().as_str(),
+        Some("no_profile")
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn unknown_routes_and_methods() {
     let dir = temp_dir("routes");
     let server = AgcmServer::start(server_config(dir.clone(), EnsembleConfig::default())).unwrap();

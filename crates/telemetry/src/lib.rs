@@ -34,7 +34,13 @@
 //!   windowed per-phase/per-tenant rollups, folded incrementally from
 //!   sink events rather than post-hoc replay;
 //! * [`prom`] — Prometheus text exposition of a [`MetricsSnapshot`], plus
-//!   a strict validator for smoke checks.
+//!   a strict validator for smoke checks;
+//! * [`profile`] — an in-process wall-clock sampling profiler: rank
+//!   threads publish their phase stack through lock-free slots, a sampler
+//!   folds stacks at a configurable Hz, and a [`SkewReport`] joins the
+//!   measured fractions against the cost model's virtual fractions;
+//! * [`flamegraph`] — a dependency-free SVG flamegraph writer for the
+//!   profiler's folded stacks.
 //!
 //! ## The global handle
 //!
@@ -48,9 +54,11 @@ pub mod analysis;
 pub mod chrome;
 pub mod commmatrix;
 pub mod critical;
+pub mod flamegraph;
 pub mod json;
 pub mod live;
 pub mod metrics;
+pub mod profile;
 pub mod prom;
 pub mod run;
 pub mod sink;
@@ -62,6 +70,10 @@ pub use commmatrix::{CommCell, CommMatrix};
 pub use critical::{CriticalPath, CriticalSegment, SegmentKind};
 pub use live::{JobSink, LiveCollector};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use profile::{
+    skew_report, FoldedStack, PhaseStat, ProfileConfig, ProfileReport, Profiler, SkewReport,
+    SkewRow,
+};
 pub use run::{ResilienceCounters, RunMetrics, RunSummary, StepMetrics};
 pub use sink::{FileSink, MemorySink, NullSink, TelemetrySink};
 pub use timeline::{Span, Timeline};

@@ -60,6 +60,9 @@ struct JobLive {
     steps_recorded: u64,
     /// Virtual seconds of the finished run.
     virt_seconds: Option<f64>,
+    /// Sampled wall-clock profile (with optional skew join), delivered
+    /// once when the job finishes with profiling enabled.
+    profile: Option<Value>,
     finished: bool,
 }
 
@@ -140,6 +143,23 @@ impl LiveCollector {
     /// Number of jobs currently tracked.
     pub fn tracked_jobs(&self) -> usize {
         self.jobs.lock().len()
+    }
+
+    /// The sampled profile of a job (with its skew join), once recorded.
+    /// Served at `GET /v1/jobs/{id}/profile`; `None` while the job is
+    /// still running or if profiling was not enabled for it.
+    pub fn job_profile(&self, job: u64) -> Option<Value> {
+        let jobs = self.jobs.lock();
+        let j = jobs.get(&job)?;
+        let mut pairs = vec![("job", Value::Num(job as f64))];
+        if let Some(t) = &j.trace {
+            pairs.push(("trace", Value::Str(t.trace_hex())));
+        }
+        match &j.profile {
+            Some(p) => pairs.push(("data", p.clone())),
+            None => return None,
+        }
+        Some(Value::obj(pairs))
     }
 
     /// Per-phase totals of a *finished* job in the virtual domain:
@@ -430,6 +450,26 @@ impl TelemetrySink for JobSink {
                 .insert((rank, phase.to_string()), (virt_seconds, spans));
         });
     }
+
+    fn record_profile(
+        &self,
+        profile: &crate::profile::ProfileReport,
+        skew: Option<&crate::profile::SkewReport>,
+    ) {
+        let value = Value::obj(vec![
+            ("profile", profile.to_json()),
+            (
+                "skew",
+                match skew {
+                    Some(s) => s.to_json(),
+                    None => Value::Null,
+                },
+            ),
+        ]);
+        self.collector.with_job(self.job, |j| {
+            j.profile = Some(value);
+        });
+    }
 }
 
 #[cfg(test)]
@@ -472,6 +512,38 @@ mod tests {
             Some(&root.span_hex()[..])
         );
         assert_eq!(attempts[1].get("resumed_from").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn recorded_profile_is_served_with_trace_linkage() {
+        let c = collector();
+        let root = TraceContext::new_root();
+        c.begin_job(3, root, "bob");
+        let sink = c.sink(3);
+        assert!(c.job_profile(3).is_none(), "no profile before recording");
+        let report = crate::profile::ProfileReport {
+            hz: 997.0,
+            total_samples: 4,
+            stacks: vec![crate::profile::FoldedStack {
+                frames: vec!["step".into()],
+                samples: 4,
+            }],
+            ..Default::default()
+        };
+        sink.record_profile(&report, None);
+        let view = c.job_profile(3).unwrap();
+        assert_eq!(
+            view.get("trace").unwrap().as_str(),
+            Some(&root.trace_hex()[..])
+        );
+        let data = view.get("data").unwrap();
+        assert_eq!(
+            data.get("profile")
+                .and_then(|p| p.get("total_samples"))
+                .and_then(Value::as_f64),
+            Some(4.0)
+        );
+        assert!(matches!(data.get("skew"), Some(Value::Null)));
     }
 
     #[test]

@@ -33,6 +33,35 @@ pub fn sanitize(name: &str) -> String {
     out
 }
 
+/// Escape a label *value* for the text exposition: backslash, double
+/// quote, and newline must be escaped inside the `label="value"` quotes
+/// (and nothing else — the format defines exactly these three).
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escape `# HELP` text: backslash and newline only (no quotes here).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
 /// Format a float the way Prometheus text format expects (no exponent
 /// surprises for the common cases; `+Inf`/`-Inf`/`NaN` spelled out).
 fn fmt_value(v: f64) -> String {
@@ -53,6 +82,7 @@ pub fn render(snapshot: &MetricsSnapshot, extra_gauges: &[(String, f64)]) -> Str
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
         let n = sanitize(name);
+        let _ = writeln!(out, "# HELP {n} Total count of {}.", escape_help(name));
         let _ = writeln!(out, "# TYPE {n} counter");
         let _ = writeln!(out, "{n} {value}");
     }
@@ -60,11 +90,13 @@ pub fn render(snapshot: &MetricsSnapshot, extra_gauges: &[(String, f64)]) -> Str
     gauges.extend(extra_gauges.iter().cloned());
     for (name, value) in &gauges {
         let n = sanitize(name);
+        let _ = writeln!(out, "# HELP {n} Current value of {}.", escape_help(name));
         let _ = writeln!(out, "# TYPE {n} gauge");
         let _ = writeln!(out, "{n} {}", fmt_value(*value));
     }
     for (name, hist) in &snapshot.histograms {
         let n = sanitize(name);
+        let _ = writeln!(out, "# HELP {n} Distribution of {}.", escape_help(name));
         let _ = writeln!(out, "# TYPE {n} histogram");
         let mut cumulative = 0u64;
         for (i, (_lo, count)) in hist.buckets.iter().enumerate() {
@@ -93,8 +125,22 @@ pub struct ExpositionStats {
     pub gauges: usize,
     /// Metric families declared `histogram`.
     pub histograms: usize,
+    /// `# HELP` lines seen (one per documented family).
+    pub helps: usize,
     /// Total sample lines.
     pub samples: usize,
+}
+
+impl ExpositionStats {
+    /// Number of declared metric families.
+    pub fn families(&self) -> usize {
+        self.counters + self.gauges + self.histograms
+    }
+
+    /// Whether every declared family carried a `# HELP` line.
+    pub fn fully_documented(&self) -> bool {
+        self.helps == self.families()
+    }
 }
 
 fn valid_name(name: &str) -> bool {
@@ -161,7 +207,15 @@ pub fn validate(text: &str) -> Result<ExpositionStats, String> {
                         _ => {}
                     }
                 }
-                Some("HELP") => {}
+                Some("HELP") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("line {n}: HELP without metric name"))?;
+                    if !valid_name(name) {
+                        return Err(format!("line {n}: invalid metric name {name:?}"));
+                    }
+                    stats.helps += 1;
+                }
                 _ => return Err(format!("line {n}: malformed comment {line:?}")),
             }
             continue;

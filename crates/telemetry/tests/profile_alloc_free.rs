@@ -1,0 +1,98 @@
+//! Acceptance-criterion test: the profiler's *publication* path — what a
+//! rank thread executes at every `PhaseBegin`/`PhaseEnd` — performs
+//! **zero heap allocations** once phase names are interned, and so does
+//! the disabled path (no observer at all, just the substrate's `Option`
+//! check). A counting global allocator gates the whole binary, so this
+//! file holds exactly one test.
+
+use agcm_telemetry::profile::{ProfileConfig, Profiler};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+// Per-thread flag: libtest's harness threads (and the sampler thread)
+// allocate concurrently with the test body, so a process-wide flag would
+// over-count. Const-init Cell has no lazy allocation or destructor, so
+// reading it inside `alloc` is safe.
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+fn counting() -> bool {
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn phase_publication_allocates_nothing() {
+    let profiler = Profiler::start(ProfileConfig {
+        hz: 2000.0,
+        max_ranks: 8,
+    });
+    let obs = profiler.observer();
+
+    // Warm-up: intern every name once, mark slots live.
+    for rank in 0..4 {
+        obs.rank_started(rank);
+        obs.phase_begin(rank, "step");
+        obs.phase_begin(rank, "dynamics");
+        obs.phase_end(rank, "dynamics");
+        obs.phase_begin(rank, "physics");
+        obs.phase_end(rank, "physics");
+        obs.phase_end(rank, "step");
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
+    for _ in 0..5_000 {
+        for rank in 0..4 {
+            obs.phase_begin(rank, "step");
+            obs.phase_begin(rank, "dynamics");
+            obs.phase_begin(rank, "filter");
+            obs.phase_end(rank, "filter");
+            obs.phase_end(rank, "dynamics");
+            obs.phase_begin(rank, "physics");
+            obs.phase_end(rank, "physics");
+            obs.phase_end(rank, "step");
+        }
+    }
+    COUNTING.with(|c| c.set(false));
+    let count = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        count, 0,
+        "profiler publication path performed {count} heap allocations"
+    );
+
+    // The sampler ran throughout; the fold must still be conservative.
+    for rank in 0..4 {
+        obs.rank_finished(rank);
+    }
+    let report = profiler.stop();
+    assert!(report.conservation_ok());
+    assert_eq!(report.dropped_phases, 0);
+}
