@@ -174,6 +174,47 @@ impl AgcmConfig {
         self.mesh_lat * self.mesh_lon
     }
 
+    /// Canonical lineage hash: FNV-1a over every field that determines
+    /// the trajectory — grid, mesh, exact timestep bits, filter variant
+    /// and organization, and the physics-balancing knobs. The model is
+    /// a deterministic function of these, so two configs with equal
+    /// lineage walk bit-identical state through every step they share.
+    ///
+    /// `steps` and `checkpoint_every` are deliberately **excluded**:
+    /// they bound how far a run goes and how often it snapshots, not
+    /// where it goes. That exclusion is what lets an extended-horizon
+    /// resubmission resume from a shorter run's committed prefix in the
+    /// fleet checkpoint store.
+    pub fn lineage(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.grid.n_lon as u64);
+        eat(self.grid.n_lat as u64);
+        eat(self.grid.n_lev as u64);
+        eat(self.mesh_lat as u64);
+        eat(self.mesh_lon as u64);
+        eat(self.dt.to_bits());
+        eat(match self.filter {
+            FilterVariant::ConvolutionRing => 0,
+            FilterVariant::ConvolutionTree => 1,
+            FilterVariant::FftNoLb => 2,
+            FilterVariant::LbFft => 3,
+        });
+        eat(match self.filter_organization {
+            FilterOrganization::Aggregated => 0,
+            FilterOrganization::PerVariable => 1,
+        });
+        eat(self.balance_physics as u64);
+        eat(self.balance_target.to_bits());
+        eat(self.balance_rounds as u64);
+        h
+    }
+
     /// Number of timesteps in one simulated day (for converting measured
     /// per-step times into the paper's seconds/simulated-day).
     pub fn steps_per_day(&self) -> f64 {
@@ -252,6 +293,36 @@ mod tests {
                 n_lat: 24,
                 n_lon: 48,
             })
+        );
+    }
+
+    #[test]
+    fn lineage_ignores_horizon_but_tracks_trajectory_knobs() {
+        let base = AgcmConfig::paper(2, 2, FilterVariant::LbFft).with_steps(10);
+        // Horizon and checkpoint cadence do not change the trajectory.
+        assert_eq!(base.lineage(), base.with_steps(50).lineage());
+        assert_eq!(base.lineage(), base.with_checkpointing(5).lineage());
+        // Everything that does change the trajectory changes the hash.
+        assert_ne!(
+            base.lineage(),
+            AgcmConfig::paper(2, 2, FilterVariant::FftNoLb)
+                .with_steps(10)
+                .lineage()
+        );
+        assert_ne!(base.lineage(), base.with_physics_balancing().lineage());
+        assert_ne!(base.lineage(), base.with_per_variable_filtering().lineage());
+        assert_ne!(
+            base.lineage(),
+            AgcmConfig::paper(2, 4, FilterVariant::LbFft)
+                .with_steps(10)
+                .lineage()
+        );
+        let mut jitter = base;
+        jitter.dt *= 1.0 + 1e-12;
+        assert_ne!(
+            base.lineage(),
+            jitter.lineage(),
+            "dt compared by exact bits"
         );
     }
 

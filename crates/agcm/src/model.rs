@@ -259,8 +259,16 @@ impl std::fmt::Debug for ResilienceOpts {
 impl ResilienceOpts {
     /// Checkpoints under `dir`, three restarts, no injected faults.
     pub fn new(dir: impl Into<std::path::PathBuf>) -> ResilienceOpts {
+        ResilienceOpts::from_store(CheckpointStore::new(dir))
+    }
+
+    /// Checkpoints in an explicit store — e.g. one wired to a shared
+    /// `ShardBackend` so the run resumes from (and contributes to) the
+    /// fleet-wide content-addressed store instead of a private
+    /// directory.
+    pub fn from_store(store: CheckpointStore) -> ResilienceOpts {
         ResilienceOpts {
-            store: CheckpointStore::new(dir),
+            store,
             max_restarts: 3,
             plan: None,
             cancel: None,

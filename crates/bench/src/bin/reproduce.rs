@@ -87,6 +87,7 @@ fn main() {
         "ensemble" => ensemble(std::env::args().nth(2).as_deref() == Some("--smoke")),
         "serve" => serve(std::env::args().nth(2).as_deref() == Some("--smoke")),
         "profile" => profile(std::env::args().nth(2).as_deref() == Some("--smoke")),
+        "store" => store(std::env::args().nth(2).as_deref() == Some("--smoke")),
         "bench-check" => bench_check(),
         "all" => {
             figure1();
@@ -100,7 +101,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|bench-kernels [--smoke]|trace|analyze|ensemble [--smoke]|serve [--smoke]|profile [--smoke]|bench-check]");
+            eprintln!("usage: reproduce [all|figure1|tables1to3|tables4to7|tables8to11|singlenode|summary|bench-filter|bench-kernels [--smoke]|trace|analyze|ensemble [--smoke]|serve [--smoke]|profile [--smoke]|store [--smoke]|bench-check]");
             std::process::exit(2);
         }
     }
@@ -927,6 +928,43 @@ fn serve(smoke: bool) {
     println!("wrote serve.json");
     if !report.all_ok() {
         eprintln!("one or more serving checks failed");
+        std::process::exit(1);
+    }
+}
+
+/// `store [--smoke]`: the fleet-wide content-addressed checkpoint store
+/// driven through the scheduler — identical resubmission resumes at the
+/// full horizon, an extended run pays only for the extension, a
+/// byte-identical twin lineage dedups to zero new chunks, and GC
+/// reclaims terminals without touching a leased lineage — written to
+/// `store.json` with a machine-checkable `checks` section plus the
+/// grep-stable `name:ok` lines CI matches. Exits non-zero on any
+/// failed check.
+fn store(smoke: bool) {
+    use agcm_bench::store::run_store;
+
+    println!("\n=== Checkpoint store: fleet-wide prefix reuse, dedup, and GC ===\n");
+    let report = run_store(smoke);
+    println!("{}", report.table);
+    for c in &report.checks {
+        println!(
+            "check {}: {} ({})",
+            c.name,
+            if c.ok { "ok" } else { "VIOLATED" },
+            c.detail
+        );
+    }
+    // Stable grep targets for CI, one per invariant.
+    for c in &report.checks {
+        println!("{}:{}", c.name, if c.ok { "ok" } else { "FAIL" });
+    }
+    if let Err(e) = std::fs::write("store.json", format!("{}\n", report.doc)) {
+        eprintln!("could not write store.json: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote store.json");
+    if !report.all_ok() {
+        eprintln!("one or more store checks failed");
         std::process::exit(1);
     }
 }

@@ -27,3 +27,4 @@ pub mod kernels;
 pub mod paper;
 pub mod profile;
 pub mod serve;
+pub mod store;

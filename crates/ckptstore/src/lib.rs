@@ -1,0 +1,39 @@
+//! # agcm-ckptstore — content-addressed fleet-wide checkpoint store
+//!
+//! Every ensemble job used to checkpoint into a private directory and
+//! recompute from step 0. At serving scale the dominant saving is not a
+//! faster kernel but *reuse*: the fleet's workload is full of identical
+//! retries and near-duplicate scenarios whose trajectories share a
+//! prefix, and the paper's checkpoint/restart discipline (reproduced in
+//! `agcm-resilience`) makes model state bit-identical and therefore
+//! safe to key on. This crate turns those checkpoints into a shared,
+//! deduplicated store:
+//!
+//! * [`store::Store`] — chunks each encoded `ModelCheckpoint` record
+//!   into FNV-1a-addressed content chunks, refcounts them across jobs,
+//!   and persists a checksummed metadata index with the same
+//!   tmp-fsync-rename commit discipline as the resilience coordinator
+//!   and the server journal;
+//! * the **prefix index** — per config-lineage commit sets, so a job
+//!   whose `AgcmConfig` lineage matches an earlier run resumes from the
+//!   longest committed step at or below its own horizon instead of
+//!   step 0 ([`store::Store::longest_prefix`]);
+//! * **leases + GC** — live jobs hold leases on their lineage;
+//!   [`store::Store::gc`] reclaims only unleased lineages, decrementing
+//!   chunk refcounts and deleting chunks that reach zero, so terminal
+//!   cleanup can never drop a chunk another job still references;
+//! * [`backend::JobStoreBackend`] — the
+//!   [`agcm_resilience::ShardBackend`] adapter that routes one job's
+//!   shards into the shared store, clamping visible commits to the
+//!   job's own horizon (the clamp *is* the longest-matching-prefix
+//!   rule).
+//!
+//! The crate is std-only and speaks encoded checkpoint records, never
+//! model types: its only upstream dependency is the resilience crate's
+//! trait surface and error type.
+
+pub mod backend;
+pub mod store;
+
+pub use backend::JobStoreBackend;
+pub use store::{GcReport, Store, StoreStats};

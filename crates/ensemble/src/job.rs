@@ -110,6 +110,13 @@ pub struct JobSpec {
     /// Checkpoint directory; `None` uses an ephemeral per-job temp dir
     /// removed after the run.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Fleet-wide content-addressed checkpoint store. When set, the
+    /// job's shards route into the shared store under its config
+    /// lineage instead of `checkpoint_dir`, and the job resumes from
+    /// the longest committed prefix any same-lineage job already paid
+    /// for. The job holds a lease on its lineage while it runs, so the
+    /// store's GC cannot reclaim state under it.
+    pub shared_store: Option<Arc<agcm_ckptstore::Store>>,
     /// Per-job telemetry sink; fed this job's step and run records.
     pub sink: Option<Arc<dyn TelemetrySink>>,
     /// Distributed-tracing context minted by the submitter (e.g. the
@@ -136,6 +143,7 @@ impl fmt::Debug for JobSpec {
             .field("deadline", &self.deadline)
             .field("max_restarts", &self.max_restarts)
             .field("has_plan", &self.plan.is_some())
+            .field("has_shared_store", &self.shared_store.is_some())
             .field("has_sink", &self.sink.is_some())
             .field("trace", &self.trace.as_ref().map(|t| t.trace_hex()))
             .field("profile_hz", &self.profile_hz)
@@ -157,6 +165,7 @@ impl JobSpec {
             max_restarts: 0,
             plan: None,
             checkpoint_dir: None,
+            shared_store: None,
             sink: None,
             trace: None,
             profile_hz: None,
@@ -205,6 +214,13 @@ impl JobSpec {
         self
     }
 
+    /// Builder-style: checkpoint into (and resume from) the fleet-wide
+    /// content-addressed store.
+    pub fn with_shared_store(mut self, store: Arc<agcm_ckptstore::Store>) -> JobSpec {
+        self.shared_store = Some(store);
+        self
+    }
+
     /// Builder-style: route this job's telemetry to `sink`.
     pub fn with_sink(mut self, sink: Arc<dyn TelemetrySink>) -> JobSpec {
         self.sink = Some(sink);
@@ -249,6 +265,14 @@ pub struct JobRecord {
     pub queue_seconds: f64,
     /// Wall seconds from dispatch to completion (0 for undispatched jobs).
     pub run_seconds: f64,
+    /// Config lineage hash, recorded when the job used the fleet-wide
+    /// checkpoint store (reuse provenance, hex in wire views).
+    pub lineage: Option<u64>,
+    /// Step the job's first attempt resumed from via the shared store's
+    /// prefix index; `None` means it started from step 0 (or did not
+    /// use the store). `Some(s)` with `s == config.steps` means the
+    /// whole run was satisfied from the store with zero recomputation.
+    pub resumed_from: Option<u64>,
     /// Per-rank model outcomes (completed jobs only) — byte-for-byte the
     /// same values a solo `run_model` of the same config produces.
     pub outcome: Option<Vec<RankOutcome>>,

@@ -36,11 +36,12 @@
 
 use crate::fleet::{FleetMetrics, FleetSnapshot};
 use crate::job::{CancelReason, JobId, JobRecord, JobSpec, JobStatus, Priority};
+use agcm_ckptstore::JobStoreBackend;
 use agcm_core::{run_model_resilient, ConfigError, ResilienceOpts};
 use agcm_costmodel::machine::MachineProfile;
 use agcm_mps::{CancelToken, FanoutObserver, SpanObserver};
 use agcm_resilience::recovery::RecoveryError;
-use agcm_resilience::RunProgress;
+use agcm_resilience::{CheckpointStore, RunProgress};
 use agcm_telemetry::{
     skew_report, ProfileConfig, Profiler, ResilienceCounters, RunMetrics, TelemetrySink,
 };
@@ -262,9 +263,19 @@ impl PendingJob {
             attempts: 0,
             queue_seconds: self.submitted.elapsed().as_secs_f64(),
             run_seconds: 0.0,
+            lineage: None,
+            resumed_from: None,
             outcome: None,
             summary: None,
         }
+    }
+
+    /// Lease key the job holds on its lineage in the shared store: the
+    /// caller's durable tag when present, else the ensemble id. Using
+    /// the tag lets a serving layer release the same lease later by the
+    /// only identifier *it* persists across restarts.
+    fn lease_key(&self) -> u64 {
+        self.spec.tag.unwrap_or(self.id)
     }
 }
 
@@ -278,6 +289,10 @@ struct RunningJob {
     /// Set (before the token fires) when the cancellation came from the
     /// deadline watchdog, so the terminal record can name the reason.
     deadline_hit: Arc<AtomicBool>,
+    /// Committed prefix step the shared checkpoint store promised at
+    /// dispatch (`None` = cold start or no store) — surfaced live in
+    /// [`JobView::Running`].
+    resumed_from: Option<u64>,
 }
 
 struct SchedState {
@@ -329,6 +344,10 @@ pub enum JobView {
     Running {
         /// Ranks currently charged against the budget.
         ranks: usize,
+        /// Step the shared checkpoint store resumed the job from at
+        /// dispatch (`None` = cold start or no store) — reuse
+        /// provenance, visible while the job runs.
+        resumed_from: Option<u64>,
     },
     /// Terminal; the full record.
     Done(Box<JobRecord>),
@@ -537,7 +556,10 @@ impl Ensemble {
             });
         }
         if let Some(r) = st.running.iter().find(|r| r.id == id) {
-            return Some(JobView::Running { ranks: r.ranks });
+            return Some(JobView::Running {
+                ranks: r.ranks,
+                resumed_from: r.resumed_from,
+            });
         }
         st.records
             .iter()
@@ -755,6 +777,18 @@ fn dispatch(
     st.free_ranks -= ranks;
     let token = CancelToken::new();
     let deadline_hit = Arc::new(AtomicBool::new(false));
+    // Fleet checkpoint store: consult the prefix index under the
+    // scheduler lock and take the lineage lease *now*, before the runner
+    // thread exists — a concurrent GC between dispatch and the first
+    // shard read must not reclaim the prefix the job is about to resume
+    // from. `(lineage, planned_resume)` travels to the runner so the
+    // terminal record can carry reuse provenance.
+    let store_ctx = p.spec.shared_store.as_ref().map(|store| {
+        let lineage = p.spec.config.lineage();
+        let planned = store.longest_prefix(lineage, p.spec.config.steps as u64);
+        store.acquire(lineage, p.lease_key());
+        (lineage, planned)
+    });
     st.running.push(RunningJob {
         id: p.id,
         ranks,
@@ -762,6 +796,7 @@ fn dispatch(
         token: token.clone(),
         deadline: p.spec.deadline.map(|d| p.submitted + d),
         deadline_hit: Arc::clone(&deadline_hit),
+        resumed_from: store_ctx.and_then(|(_, planned)| planned),
     });
     let queue_seconds = p.submitted.elapsed().as_secs_f64();
     shared.fleet.on_dispatch(
@@ -775,7 +810,7 @@ fn dispatch(
     let shared = Arc::clone(shared);
     let handle = std::thread::Builder::new()
         .name(format!("ensemble-job-{}", p.id))
-        .spawn(move || run_job(&shared, p, queue_seconds, token, deadline_hit))
+        .spawn(move || run_job(&shared, p, store_ctx, queue_seconds, token, deadline_hit))
         .expect("spawn job runner");
     runners.push(handle);
 }
@@ -842,14 +877,64 @@ impl SpanObserver for SinkBridge {
     }
 }
 
+/// Observes the first attempt's resume step so the terminal
+/// [`JobRecord`] can report where the shared store actually picked the
+/// run up — as opposed to the prefix *planned* at dispatch, which a
+/// concurrent same-lineage job may have extended in the meantime.
+/// Forwards every hook to an optional inner progress sink unchanged.
+struct ResumeRecorder {
+    seen_first: AtomicBool,
+    /// First attempt's resume step; `u64::MAX` = cold start (steps are
+    /// far below that, so the sentinel is unambiguous).
+    first_resume: AtomicU64,
+    inner: Option<Arc<dyn RunProgress>>,
+}
+
+impl ResumeRecorder {
+    fn new(inner: Option<Arc<dyn RunProgress>>) -> ResumeRecorder {
+        ResumeRecorder {
+            seen_first: AtomicBool::new(false),
+            first_resume: AtomicU64::new(u64::MAX),
+            inner,
+        }
+    }
+
+    fn first(&self) -> Option<u64> {
+        match self.first_resume.load(Ordering::SeqCst) {
+            u64::MAX => None,
+            step => Some(step),
+        }
+    }
+}
+
+impl RunProgress for ResumeRecorder {
+    fn on_attempt(&self, attempt: usize, resumed_from: Option<u64>) {
+        if !self.seen_first.swap(true, Ordering::SeqCst) {
+            self.first_resume
+                .store(resumed_from.unwrap_or(u64::MAX), Ordering::SeqCst);
+        }
+        if let Some(inner) = &self.inner {
+            inner.on_attempt(attempt, resumed_from);
+        }
+    }
+
+    fn on_checkpoint(&self, step: u64) {
+        if let Some(inner) = &self.inner {
+            inner.on_checkpoint(step);
+        }
+    }
+}
+
 /// Runner thread body: run the model resiliently, summarize, finalize.
 fn run_job(
     shared: &Arc<Shared>,
     p: PendingJob,
+    store_ctx: Option<(u64, Option<u64>)>,
     queue_seconds: f64,
     token: CancelToken,
     deadline_hit: Arc<AtomicBool>,
 ) {
+    let lease_key = p.lease_key();
     let spec = p.spec;
     let dispatched = Instant::now();
     let (dir, ephemeral) = match &spec.checkpoint_dir {
@@ -859,14 +944,27 @@ fn run_job(
             true,
         ),
     };
-    let mut opts = ResilienceOpts::new(&dir).with_cancel(token);
+    // With a shared store the directory store is only a shell: every
+    // shard routes through the content-addressed backend, clamped to
+    // this job's horizon so a longer-lived lineage never hands back a
+    // checkpoint past `config.steps`.
+    let mut opts = match (&spec.shared_store, store_ctx) {
+        (Some(store), Some((lineage, _))) => {
+            let backend =
+                JobStoreBackend::new(Arc::clone(store), lineage, spec.config.steps as u64);
+            ResilienceOpts::from_store(CheckpointStore::new(&dir).with_backend(Arc::new(backend)))
+        }
+        _ => ResilienceOpts::new(&dir),
+    }
+    .with_cancel(token);
     opts.max_restarts = spec.max_restarts;
     opts.plan = spec.plan.clone();
     let mut span_obs: Vec<Arc<dyn SpanObserver>> = Vec::new();
     let mut profiler: Option<Profiler> = None;
+    let mut progress_inner: Option<Arc<dyn RunProgress>> = None;
     if let Some(sink) = spec.sink.as_ref().filter(|s| s.enabled()) {
         let bridge = Arc::new(SinkBridge::new(Arc::clone(sink)));
-        opts = opts.with_progress(Arc::clone(&bridge) as Arc<dyn RunProgress>);
+        progress_inner = Some(Arc::clone(&bridge) as Arc<dyn RunProgress>);
         span_obs.push(bridge as Arc<dyn SpanObserver>);
         // Profiling needs a sink to deliver the report to, so it is
         // gated on the same condition as the live bridge.
@@ -876,6 +974,8 @@ fn run_job(
             profiler = Some(p);
         }
     }
+    let recorder = Arc::new(ResumeRecorder::new(progress_inner));
+    opts = opts.with_progress(Arc::clone(&recorder) as Arc<dyn RunProgress>);
     opts = match span_obs.len() {
         0 => opts,
         1 => opts.with_spans(span_obs.pop().expect("one observer")),
@@ -885,6 +985,13 @@ fn run_job(
     let result = catch_unwind(AssertUnwindSafe(|| run_model_resilient(spec.config, opts)));
     if ephemeral {
         let _ = std::fs::remove_dir_all(&dir);
+    }
+    // Give back the lineage lease taken at dispatch — on every terminal
+    // path, including cancellation and panic. Release does not reclaim:
+    // the committed prefix stays cached for a resubmission until an
+    // explicit GC sweeps unleased lineages.
+    if let (Some(store), Some((lineage, _))) = (&spec.shared_store, store_ctx) {
+        store.release(lineage, lease_key);
     }
     let run_seconds = dispatched.elapsed().as_secs_f64();
 
@@ -995,6 +1102,8 @@ fn run_job(
         attempts,
         queue_seconds,
         run_seconds,
+        lineage: store_ctx.map(|(lineage, _)| lineage),
+        resumed_from: recorder.first(),
         outcome,
         summary,
     };

@@ -1,0 +1,104 @@
+//! Fleet checkpoint store wired through the scheduler: a resubmitted
+//! identical job resumes from the committed prefix instead of step 0,
+//! an extended-horizon near-duplicate starts from the shorter run's
+//! last commit, and reuse provenance lands in the terminal records.
+
+use agcm_ckptstore::Store;
+use agcm_core::AgcmConfig;
+use agcm_ensemble::{Ensemble, EnsembleConfig, JobSpec, JobStatus, JobView};
+use agcm_filtering::driver::FilterVariant;
+use agcm_grid::latlon::GridSpec;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn config(steps: usize) -> AgcmConfig {
+    AgcmConfig::for_grid(GridSpec::new(24, 12, 2), 1, 2, FilterVariant::LbFft)
+        .with_steps(steps)
+        .with_checkpointing(2)
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("agcm-store-reuse-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Block until `id` is terminal, then return its record.
+fn wait_done(ensemble: &Ensemble, id: u64) -> agcm_ensemble::JobRecord {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match ensemble.status(id) {
+            Some(JobView::Done(record)) => return *record,
+            _ => {
+                assert!(Instant::now() < deadline, "job {id} should finish");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+#[test]
+fn resubmitted_and_extended_jobs_resume_from_the_fleet_prefix() {
+    let dir = scratch("resume");
+    let store = Arc::new(Store::open(dir.join("store")).unwrap());
+    let ensemble = Ensemble::start(EnsembleConfig {
+        rank_budget: 2,
+        ..EnsembleConfig::default()
+    });
+
+    // Cold run: pays for every step and seeds the lineage's prefix.
+    let a = ensemble
+        .try_submit(JobSpec::new("cold", config(6)).with_shared_store(Arc::clone(&store)))
+        .unwrap();
+    let rec_a = wait_done(&ensemble, a);
+    assert_eq!(rec_a.status, JobStatus::Completed);
+    assert_eq!(rec_a.resumed_from, None, "nothing to reuse on a cold run");
+    let lineage = rec_a.lineage.expect("store-backed job records lineage");
+    assert_eq!(lineage, config(6).lineage());
+
+    // Identical resubmission: the whole horizon is already committed, so
+    // the run resumes at step 6 and recomputes nothing.
+    let b = ensemble
+        .try_submit(JobSpec::new("retry", config(6)).with_shared_store(Arc::clone(&store)))
+        .unwrap();
+    let rec_b = wait_done(&ensemble, b);
+    assert_eq!(rec_b.status, JobStatus::Completed);
+    assert_eq!(rec_b.resumed_from, Some(6), "full-prefix resume");
+    assert_eq!(
+        rec_b.outcome, rec_a.outcome,
+        "reused run reproduces the original outcomes bit-for-bit"
+    );
+
+    // Extended horizon, same lineage: starts from the 6-step commit and
+    // only pays for the extension.
+    let c = ensemble
+        .try_submit(JobSpec::new("extend", config(10)).with_shared_store(Arc::clone(&store)))
+        .unwrap();
+    let rec_c = wait_done(&ensemble, c);
+    assert_eq!(rec_c.status, JobStatus::Completed);
+    assert_eq!(rec_c.resumed_from, Some(6), "extension reuses the prefix");
+    assert_eq!(
+        rec_c.lineage,
+        Some(lineage),
+        "same trajectory, same lineage"
+    );
+
+    // A different trajectory shares nothing.
+    let d = ensemble
+        .try_submit(
+            JobSpec::new("other", config(6).with_physics_balancing())
+                .with_shared_store(Arc::clone(&store)),
+        )
+        .unwrap();
+    let rec_d = wait_done(&ensemble, d);
+    assert_eq!(rec_d.resumed_from, None, "different lineage is a cold run");
+
+    ensemble.join();
+    // Every lease was released at job end, so a GC drains the store.
+    let stats = store.stats();
+    assert_eq!(stats.leased_lineages, 0, "terminal jobs hold no leases");
+    assert!(stats.prefix_hits >= 2 && stats.prefix_misses >= 2);
+    store.gc().unwrap();
+    assert_eq!(store.stats().chunks, 0, "unleased lineages fully reclaim");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -20,6 +20,7 @@ use std::fmt;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Errors from the checkpoint store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,12 +82,55 @@ fn io_err(ctx: &str, path: &Path, e: std::io::Error) -> StoreError {
     StoreError::Io(format!("{ctx} {}: {e}", path.display()))
 }
 
+/// Byte-level storage for checkpoint shards, the seam behind
+/// [`CheckpointStore`].
+///
+/// The default store writes each shard as a file under
+/// `step_XXXXXXXX/` and publishes a `COMMIT` manifest; a backend
+/// replaces that directory layout with its own storage (e.g. the
+/// content-addressed fleet store in `agcm-ckptstore`) while the commit
+/// protocol, encoding, and recovery loop above it stay unchanged. A
+/// backend speaks encoded records, not `ModelCheckpoint` values, so the
+/// checksummed wire format is the unit of storage everywhere.
+///
+/// `committed_steps` is also the reuse surface: a backend may report
+/// steps committed by *another* job with the same lineage, which is how
+/// fleet-wide prefix reuse reaches the recovery loop without it knowing.
+pub trait ShardBackend: Send + Sync {
+    /// Store one rank's encoded shard for `step`. Must be atomic: a
+    /// concurrent reader sees the whole record or nothing.
+    fn put_shard(&self, step: u64, rank: u32, world: u32, record: &[u8]) -> Result<(), StoreError>;
+    /// Publish `step` as committed once all `world` shards are stored.
+    fn commit(&self, step: u64, world: u32) -> Result<(), StoreError>;
+    /// Steps visible as committed, ascending.
+    fn committed_steps(&self) -> Vec<u64>;
+    /// Retrieve the encoded shard for `(step, rank)`.
+    fn get_shard(&self, step: u64, rank: u32) -> Result<Vec<u8>, StoreError>;
+    /// Shards present for `step`.
+    fn shard_count(&self, step: u64) -> usize;
+}
+
 /// An on-disk checkpoint directory:
-/// `root/step_XXXXXXXX/{rank_NNNN.agck..., COMMIT}`.
-#[derive(Debug, Clone)]
+/// `root/step_XXXXXXXX/{rank_NNNN.agck..., COMMIT}`,
+/// or a [`ShardBackend`] replacing that layout.
+#[derive(Clone)]
 pub struct CheckpointStore {
     root: PathBuf,
     order: ByteOrder,
+    backend: Option<Arc<dyn ShardBackend>>,
+}
+
+impl fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointStore")
+            .field("root", &self.root)
+            .field("order", &self.order)
+            .field(
+                "backend",
+                &self.backend.as_ref().map(|_| "dyn ShardBackend"),
+            )
+            .finish()
+    }
 }
 
 impl CheckpointStore {
@@ -96,6 +140,7 @@ impl CheckpointStore {
         CheckpointStore {
             root: root.into(),
             order: ByteOrder::Little,
+            backend: None,
         }
     }
 
@@ -103,6 +148,19 @@ impl CheckpointStore {
     pub fn with_order(mut self, order: ByteOrder) -> CheckpointStore {
         self.order = order;
         self
+    }
+
+    /// Route shard bytes through `backend` instead of the directory
+    /// layout. `root` is kept for display only; no files are written
+    /// under it.
+    pub fn with_backend(mut self, backend: Arc<dyn ShardBackend>) -> CheckpointStore {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Whether shards route through a [`ShardBackend`].
+    pub fn has_backend(&self) -> bool {
+        self.backend.is_some()
     }
 
     /// Root directory of the store.
@@ -118,8 +176,12 @@ impl CheckpointStore {
         self.step_dir(step).join(format!("rank_{rank:04}.agck"))
     }
 
-    /// Write one rank's shard: tmp file, flush, atomic rename.
+    /// Write one rank's shard: tmp file, flush, atomic rename (or hand
+    /// the encoded record to the backend).
     pub fn write_shard(&self, ckpt: &ModelCheckpoint) -> Result<(), StoreError> {
+        if let Some(b) = &self.backend {
+            return b.put_shard(ckpt.step, ckpt.rank, ckpt.world, &ckpt.encode(self.order));
+        }
         let dir = self.step_dir(ckpt.step);
         fs::create_dir_all(&dir).map_err(|e| io_err("create", &dir, e))?;
         let final_path = self.shard_path(ckpt.step, ckpt.rank);
@@ -135,6 +197,9 @@ impl CheckpointStore {
 
     /// Count the shards present for `step`.
     pub fn shard_count(&self, step: u64) -> usize {
+        if let Some(b) = &self.backend {
+            return b.shard_count(step);
+        }
         let Ok(entries) = fs::read_dir(self.step_dir(step)) else {
             return 0;
         };
@@ -151,6 +216,9 @@ impl CheckpointStore {
     /// Commit `step`: verify all `world` shards are in place, then publish
     /// the `COMMIT` manifest with an atomic rename. Rank 0 only.
     pub fn commit(&self, step: u64, world: u32) -> Result<(), StoreError> {
+        if let Some(b) = &self.backend {
+            return b.commit(step, world);
+        }
         let present = self.shard_count(step);
         if present != world as usize {
             return Err(StoreError::IncompleteCheckpoint {
@@ -172,6 +240,9 @@ impl CheckpointStore {
 
     /// Steps with a published `COMMIT` manifest, ascending.
     pub fn committed_steps(&self) -> Vec<u64> {
+        if let Some(b) = &self.backend {
+            return b.committed_steps();
+        }
         let Ok(entries) = fs::read_dir(&self.root) else {
             return Vec::new();
         };
@@ -196,8 +267,13 @@ impl CheckpointStore {
     /// Load one rank's shard of a committed step, verifying its checksum
     /// and that it is the shard asked for.
     pub fn load_shard(&self, step: u64, rank: u32) -> Result<ModelCheckpoint, StoreError> {
-        let path = self.shard_path(step, rank);
-        let record = fs::read(&path).map_err(|e| io_err("read", &path, e))?;
+        let record = match &self.backend {
+            Some(b) => b.get_shard(step, rank)?,
+            None => {
+                let path = self.shard_path(step, rank);
+                fs::read(&path).map_err(|e| io_err("read", &path, e))?
+            }
+        };
         let (ckpt, _) = ModelCheckpoint::decode(&record).map_err(StoreError::Format)?;
         if ckpt.step != step || ckpt.rank != rank {
             return Err(StoreError::ShardMismatch {
@@ -210,8 +286,12 @@ impl CheckpointStore {
 
     /// Drop every *committed* checkpoint older than `keep` steps back from
     /// the newest, returning the steps removed. Uncommitted (partial)
-    /// directories are left for inspection.
+    /// directories are left for inspection. With a backend the shared
+    /// store's refcounted GC owns chunk lifetime, so prune is a no-op.
     pub fn prune(&self, keep: usize) -> Vec<u64> {
+        if self.backend.is_some() {
+            return Vec::new();
+        }
         let steps = self.committed_steps();
         if steps.len() <= keep {
             return Vec::new();
@@ -354,6 +434,93 @@ mod tests {
             Err(StoreError::Format(CheckpointError::ChecksumMismatch { .. }))
         ));
         let _ = fs::remove_dir_all(store.root());
+    }
+
+    /// Minimal in-memory backend: enough to prove the delegation seam.
+    #[derive(Default)]
+    struct MemBackend {
+        shards: std::sync::Mutex<std::collections::HashMap<(u64, u32), Vec<u8>>>,
+        committed: std::sync::Mutex<std::collections::BTreeSet<u64>>,
+    }
+
+    impl ShardBackend for MemBackend {
+        fn put_shard(
+            &self,
+            step: u64,
+            rank: u32,
+            _world: u32,
+            record: &[u8],
+        ) -> Result<(), StoreError> {
+            self.shards
+                .lock()
+                .unwrap()
+                .insert((step, rank), record.to_vec());
+            Ok(())
+        }
+        fn commit(&self, step: u64, world: u32) -> Result<(), StoreError> {
+            let present = self.shard_count(step);
+            if present != world as usize {
+                return Err(StoreError::IncompleteCheckpoint {
+                    step,
+                    present,
+                    required: world as usize,
+                });
+            }
+            self.committed.lock().unwrap().insert(step);
+            Ok(())
+        }
+        fn committed_steps(&self) -> Vec<u64> {
+            self.committed.lock().unwrap().iter().copied().collect()
+        }
+        fn get_shard(&self, step: u64, rank: u32) -> Result<Vec<u8>, StoreError> {
+            self.shards
+                .lock()
+                .unwrap()
+                .get(&(step, rank))
+                .cloned()
+                .ok_or_else(|| StoreError::Io(format!("no shard for step {step} rank {rank}")))
+        }
+        fn shard_count(&self, step: u64) -> usize {
+            self.shards
+                .lock()
+                .unwrap()
+                .keys()
+                .filter(|(s, _)| *s == step)
+                .count()
+        }
+    }
+
+    #[test]
+    fn backend_routes_shards_away_from_the_directory_layout() {
+        let store =
+            CheckpointStore::new(scratch("backend")).with_backend(Arc::new(MemBackend::default()));
+        assert!(store.has_backend());
+        store.write_shard(&shard(4, 0, 1)).unwrap();
+        assert_eq!(store.shard_count(4), 1);
+        assert_eq!(store.latest_committed(), None, "uncommitted is invisible");
+        store.commit(4, 1).unwrap();
+        assert_eq!(store.latest_committed(), Some(4));
+        assert_eq!(store.load_shard(4, 0).unwrap(), shard(4, 0, 1));
+        assert!(store.prune(0).is_empty(), "prune defers to backend GC");
+        assert!(
+            !store.root().exists(),
+            "backend-wired store writes nothing under its root"
+        );
+    }
+
+    #[test]
+    fn backend_commit_refuses_missing_shards() {
+        let store = CheckpointStore::new(scratch("backend-miss"))
+            .with_backend(Arc::new(MemBackend::default()));
+        store.write_shard(&shard(2, 0, 3)).unwrap();
+        assert_eq!(
+            store.commit(2, 3),
+            Err(StoreError::IncompleteCheckpoint {
+                step: 2,
+                present: 1,
+                required: 3
+            })
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod metrics;
 pub mod recovery;
 
 pub use checkpoint::{CheckpointError, ModelCheckpoint};
-pub use coordinator::{write_coordinated, CheckpointStore, StoreError};
+pub use coordinator::{write_coordinated, CheckpointStore, ShardBackend, StoreError};
 pub use metrics::ResilienceMetrics;
 pub use recovery::{
     run_recovered, AttemptFailure, RecoveryError, RecoveryOptions, RunProgress, RunReport,

@@ -222,10 +222,17 @@ pub fn view_to_value(durable_id: u64, view: &JobView) -> Value {
             ("position", Value::Num(*position as f64)),
             ("ranks", Value::Num(*ranks as f64)),
         ]),
-        JobView::Running { ranks } => Value::obj(vec![
+        JobView::Running {
+            ranks,
+            resumed_from,
+        } => Value::obj(vec![
             ("id", Value::Num(durable_id as f64)),
             ("state", Value::Str("running".into())),
             ("ranks", Value::Num(*ranks as f64)),
+            (
+                "resumed_from",
+                resumed_from.map_or(Value::Null, |s| Value::Num(s as f64)),
+            ),
         ]),
         JobView::Done(record) => record_to_value(durable_id, record),
     }
@@ -248,6 +255,15 @@ pub fn record_to_value(durable_id: u64, r: &JobRecord) -> Value {
         ("attempts", Value::Num(r.attempts as f64)),
         ("queue_seconds", Value::Num(r.queue_seconds)),
         ("run_seconds", Value::Num(r.run_seconds)),
+        (
+            "lineage",
+            r.lineage
+                .map_or(Value::Null, |l| Value::Str(format!("{l:016x}"))),
+        ),
+        (
+            "resumed_from",
+            r.resumed_from.map_or(Value::Null, |s| Value::Num(s as f64)),
+        ),
     ])
 }
 

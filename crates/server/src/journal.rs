@@ -18,7 +18,12 @@
 //! Checkpoint directories (`<dir>/ckpt/job_<id>`) are deleted when
 //! their job reaches a terminal state, and any directory left behind by
 //! a crash (its job finished but the deletion never ran) is swept at
-//! open — only live jobs keep their checkpoints.
+//! open — only live jobs keep their checkpoints. When a fleet
+//! checkpoint store is attached ([`Journal::attach_store`]), terminal
+//! cleanup additionally releases the job's lineage lease in the store:
+//! reclamation is then the store's refcounted GC, not directory
+//! removal, so chunks shared with a live same-lineage job are never
+//! touched and a finished job's prefix stays cached for resubmission.
 //!
 //! Crash-consistency argument, per job state:
 //! - crash before `submitted` committed → the client never got an ack;
@@ -31,13 +36,14 @@
 //!   the last committed checkpoint rather than step 0.
 //! - crash after `terminal` → compaction drops it; it is done.
 
+use agcm_ckptstore::Store;
 use agcm_ensemble::{JobId, JobObserver, JobRecord};
 use agcm_telemetry::json::Value;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// FNV-1a, the repo's standard integrity hash (same constants as the
 /// checkpoint store).
@@ -108,6 +114,10 @@ pub struct Journal {
     appended: AtomicU64,
     compacted_live: usize,
     dropped_terminal: usize,
+    /// Fleet checkpoint store, when the server runs one. Terminal-job
+    /// cleanup then goes through the store's refcounted lease/GC
+    /// discipline instead of only deleting the per-job directory.
+    store: Mutex<Option<Arc<Store>>>,
 }
 
 const LOG_NAME: &str = "jobs.log";
@@ -194,6 +204,7 @@ impl Journal {
             appended: AtomicU64::new(0),
             compacted_live: live.len(),
             dropped_terminal: stats.already_terminal,
+            store: Mutex::new(None),
         };
         Ok((journal, live, stats))
     }
@@ -210,6 +221,15 @@ impl Journal {
             compacted_live: self.compacted_live,
             dropped_terminal: self.dropped_terminal,
         }
+    }
+
+    /// Route terminal-job checkpoint cleanup through `store`'s
+    /// refcounted lease/GC discipline: on terminal, the job's lineage
+    /// lease (keyed by its durable id) is released, leaving the
+    /// committed prefix cached for a same-lineage resubmission until an
+    /// explicit [`Store::gc`] sweeps unleased lineages.
+    pub fn attach_store(&self, store: Arc<Store>) {
+        *self.store.lock().unwrap() = Some(store);
     }
 
     /// Write-ahead record: the job exists, before the scheduler sees it.
@@ -276,6 +296,18 @@ impl JobObserver for Journal {
             // crash must leave checkpoints for the restart to resume.
             if !self.inner.lock().unwrap().detached {
                 let _ = std::fs::remove_dir_all(checkpoint_dir(&self.dir, durable));
+                // Store-backed jobs keep nothing under the directory
+                // above — their shards live in the fleet store. Release
+                // the lineage lease (idempotent with the scheduler's own
+                // release) so the next GC sweep can reclaim the chunks
+                // once no live job shares the lineage. Deliberately no
+                // eager `gc()` here: the committed prefix is the cache a
+                // resubmitted or extended-horizon job resumes from.
+                if let Some(lineage) = record.lineage {
+                    if let Some(store) = self.store.lock().unwrap().as_ref() {
+                        store.release(lineage, durable);
+                    }
+                }
             }
         }
     }
@@ -596,6 +628,8 @@ mod tests {
             attempts: 1,
             queue_seconds: 0.0,
             run_seconds: 0.0,
+            lineage: None,
+            resumed_from: None,
             outcome: None,
             summary: None,
         }

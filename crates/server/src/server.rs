@@ -18,6 +18,7 @@ use crate::api::{error_body, record_to_value, result_to_value, view_to_value, Jo
 use crate::http::{read_request, write_response, HttpLimits, ReadError, Request, Response};
 use crate::journal::{checkpoint_dir, Journal};
 use crate::log::{EventLog, LogLevel};
+use agcm_ckptstore::Store;
 use agcm_ensemble::{
     Ensemble, EnsembleConfig, JobId, JobObserver, JobRecord, JobView, SubmitError,
 };
@@ -160,6 +161,10 @@ struct ServerState {
     cfg: ServerConfig,
     ensemble: RwLock<Option<Ensemble>>,
     journal: Arc<Journal>,
+    /// Fleet-wide content-addressed checkpoint store under
+    /// `<journal_dir>/store`: every admitted job checkpoints into it and
+    /// resumes from the longest committed prefix of its config lineage.
+    store: Arc<Store>,
     /// durable id → (ensemble id, tenant) for every job this process
     /// has admitted (including recovered ones).
     jobs: Mutex<HashMap<u64, (JobId, Option<String>)>>,
@@ -282,6 +287,14 @@ impl AgcmServer {
     pub fn start(cfg: ServerConfig) -> std::io::Result<AgcmServer> {
         let (journal, live, replay) = Journal::open(&cfg.journal_dir)?;
         let journal = Arc::new(journal);
+        // The fleet checkpoint store shares the journal root. It must be
+        // open before recovery so recovered jobs can lease their
+        // lineages ahead of the startup GC sweep below.
+        let store = Arc::new(
+            Store::open(cfg.journal_dir.join("store"))
+                .map_err(|e| std::io::Error::other(e.to_string()))?,
+        );
+        journal.attach_store(Arc::clone(&store));
         let log = Arc::new(match (&cfg.event_log, cfg.event_log_rotation) {
             (Some(path), Some(policy)) => {
                 EventLog::open_rotating(path, LogLevel::from_env(), policy)?
@@ -322,6 +335,30 @@ impl AgcmServer {
             already_terminal: replay.already_terminal,
             ..RecoveryReport::default()
         };
+        // Lease every recoverable job's lineage *before* the startup GC
+        // sweep, so the sweep reclaims only lineages whose jobs all
+        // finished in the previous incarnation — never the committed
+        // prefix a recovered job is about to resume from. Leases are
+        // in-memory, so a fresh open holds none until this pass.
+        for job in &live {
+            if let Ok(req) = JobRequest::from_value(&job.spec) {
+                store.acquire(req.config.lineage(), job.id);
+            }
+        }
+        let swept = store.gc();
+        if let Ok(gc) = &swept {
+            if !gc.lineages.is_empty() {
+                log.event(
+                    LogLevel::Info,
+                    "store_gc",
+                    vec![
+                        ("lineages", Value::Num(gc.lineages.len() as f64)),
+                        ("chunks_reclaimed", Value::Num(gc.chunks_reclaimed as f64)),
+                        ("bytes_reclaimed", Value::Num(gc.bytes_reclaimed as f64)),
+                    ],
+                );
+            }
+        }
         let mut jobs = HashMap::new();
         for job in &live {
             let Ok(req) = JobRequest::from_value(&job.spec) else {
@@ -344,6 +381,7 @@ impl AgcmServer {
                     job.id,
                     checkpoint_dir(&cfg.journal_dir, job.id),
                 )
+                .with_shared_store(Arc::clone(&store))
                 .with_trace(trace)
                 .with_sink(collector.sink(job.id));
             let spec = match cfg.profile_hz {
@@ -359,7 +397,12 @@ impl AgcmServer {
                         report.requeued += 1;
                     }
                 }
-                Err(_) => report.unrecoverable += 1,
+                Err(_) => {
+                    // The job will never run, so the eager lease taken
+                    // above must not pin its lineage forever.
+                    store.release(req.config.lineage(), job.id);
+                    report.unrecoverable += 1;
+                }
             }
         }
         log.event(
@@ -381,6 +424,7 @@ impl AgcmServer {
             cfg,
             ensemble: RwLock::new(Some(ensemble)),
             journal,
+            store,
             jobs: Mutex::new(jobs),
             recovery: report,
             metrics,
@@ -667,6 +711,29 @@ fn healthz(state: &ServerState) -> Response {
     Response::json(200, body.to_string())
 }
 
+/// The fleet checkpoint store's counters as a JSON object — the
+/// serving-layer view of dedup effectiveness and prefix-reuse hit rate.
+fn store_to_json(s: &agcm_ckptstore::StoreStats) -> Value {
+    let n = |v: u64| Value::Num(v as f64);
+    Value::obj(vec![
+        ("chunks", n(s.chunks)),
+        ("live_bytes", n(s.live_bytes)),
+        ("manifests", n(s.manifests)),
+        ("lineages", n(s.lineages)),
+        ("leased_lineages", n(s.leased_lineages)),
+        ("bytes_ingested", n(s.bytes_ingested)),
+        ("bytes_written", n(s.bytes_written)),
+        ("bytes_deduped", n(s.bytes_deduped)),
+        ("shard_dedup_hits", n(s.shard_dedup_hits)),
+        ("prefix_hits", n(s.prefix_hits)),
+        ("prefix_misses", n(s.prefix_misses)),
+        ("gc_runs", n(s.gc_runs)),
+        ("chunks_reclaimed", n(s.chunks_reclaimed)),
+        ("bytes_reclaimed", n(s.bytes_reclaimed)),
+        ("orphans_swept", n(s.orphans_swept)),
+    ])
+}
+
 fn metrics(state: &ServerState) -> Response {
     let guard = state.ensemble.read().unwrap();
     let Some(ensemble) = guard.as_ref() else {
@@ -676,6 +743,7 @@ fn metrics(state: &ServerState) -> Response {
         ("fleet", ensemble.fleet().to_json()),
         ("server", state.metrics.snapshot().to_json()),
         ("live", state.collector.rollup()),
+        ("store", store_to_json(&state.store.stats())),
     ];
     if let Some(policy) = &state.cfg.slo {
         fields.push((
@@ -698,6 +766,7 @@ fn prom_metrics(state: &ServerState) -> Response {
         return Response::json(503, error_body("shutting_down", "ensemble stopped"));
     };
     let fleet = ensemble.fleet();
+    let store = state.store.stats();
     let extras = vec![
         (
             "server.uptime_seconds".to_string(),
@@ -713,6 +782,22 @@ fn prom_metrics(state: &ServerState) -> Response {
         (
             "live.tracked_jobs".to_string(),
             state.collector.tracked_jobs() as f64,
+        ),
+        ("store.chunks".to_string(), store.chunks as f64),
+        ("store.live_bytes".to_string(), store.live_bytes as f64),
+        ("store.lineages".to_string(), store.lineages as f64),
+        (
+            "store.bytes_deduped".to_string(),
+            store.bytes_deduped as f64,
+        ),
+        ("store.prefix_hits".to_string(), store.prefix_hits as f64),
+        (
+            "store.prefix_misses".to_string(),
+            store.prefix_misses as f64,
+        ),
+        (
+            "store.bytes_reclaimed".to_string(),
+            store.bytes_reclaimed as f64,
         ),
     ];
     Response::prometheus(prom::render(&state.metrics.snapshot(), &extras))
@@ -893,6 +978,7 @@ fn submit(state: &Arc<ServerState>, req: &Request) -> Response {
             durable,
             checkpoint_dir(&state.cfg.journal_dir, durable),
         )
+        .with_shared_store(Arc::clone(&state.store))
         .with_trace(trace)
         .with_sink(state.collector.sink(durable));
     let spec = match state.cfg.profile_hz {
